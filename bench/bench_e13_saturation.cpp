@@ -1,0 +1,77 @@
+// E13 -- Saturation throughput per router configuration (capstone).
+//
+// The paper's bottom line is a *throughput* claim: wave switching lifts
+// the sustainable load. This bench binary binary-searches the saturation
+// point (largest offered load the network drains while delivering >= 90%
+// of offered throughput) for the wormhole baseline and wave routers with
+// increasing switch counts, plus the PCS-only router of section 2.
+#include "bench_util.hpp"
+#include "core/simulation.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using namespace wavesim;
+
+struct Variant {
+  const char* name;
+  sim::ProtocolKind protocol;
+  std::int32_t k;
+  bool pcs_only;
+};
+
+struct Row {
+  load::SaturationSearch result;
+};
+
+Row run_point(const Variant& v, std::int32_t length) {
+  sim::SimConfig config = sim::SimConfig::default_torus();
+  config.protocol.protocol = v.protocol;
+  config.router.wave_switches = v.k;
+  config.protocol.pcs_only = v.pcs_only;
+  config.seed = 14;
+  return Row{load::find_saturation(config, "uniform", length,
+                                   /*lo=*/0.02, /*hi=*/0.95,
+                                   /*tolerance=*/0.03,
+                                   /*warmup=*/800, /*measure=*/3000,
+                                   /*seed=*/14)};
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E13", "saturation throughput per router configuration",
+                "8x8 torus, uniform traffic, binary search for the largest "
+                "offered load that drains with mean latency <= 5x the "
+                "uncongested reference");
+  const std::vector<Variant> variants{
+      {"wormhole (w=2)", sim::ProtocolKind::kWormholeOnly, 0, false},
+      {"wave k=1 CLRP", sim::ProtocolKind::kClrp, 1, false},
+      {"wave k=2 CLRP", sim::ProtocolKind::kClrp, 2, false},
+      {"wave k=4 CLRP", sim::ProtocolKind::kClrp, 4, false},
+      {"PCS-only k=2", sim::ProtocolKind::kClrp, 2, true},
+  };
+  for (const std::int32_t length : {32, 128}) {
+    std::printf("\n[%d-flit messages]\n", length);
+    bench::Table table({"router", "saturation-load", "latency-at-load",
+                        "points"});
+    std::vector<Row> rows(variants.size());
+    bench::parallel_for(variants.size(), [&](std::size_t i) {
+      rows[i] = run_point(variants[i], length);
+    });
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+      table.add_row({variants[i].name,
+                     bench::fmt(rows[i].result.load, 3),
+                     bench::fmt(rows[i].result.latency_at_load, 1),
+                     bench::fmt_int(rows[i].result.points_probed)});
+    }
+    table.print(length == 32 ? "e13_saturation_short" : "e13_saturation_long");
+  }
+  std::printf("\nExpected shape: every wave configuration saturates later "
+              "than wormhole, with\nthe margin growing for long messages; "
+              "k buys extra circuit capacity under\nuniform (low-reuse) "
+              "traffic; the PCS-only router trades the wormhole safety\n"
+              "net for simplicity and saturates earlier than the hybrid at "
+              "equal k.\n");
+  return 0;
+}

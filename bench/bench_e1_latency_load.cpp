@@ -1,0 +1,86 @@
+// E1 -- Latency vs offered load: wormhole switching vs wave switching
+// (CLRP), uniform traffic, 128-flit messages on an 8x8 torus.
+//
+// Paper claim (sections 1, 5, citing [10]): wave switching reduces latency
+// and lifts saturation throughput substantially for long messages. The
+// expected shape: the CLRP curve sits well below wormhole at every load
+// and saturates later.
+#include <mutex>
+
+#include "bench_util.hpp"
+#include "core/simulation.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using namespace wavesim;
+
+struct Point {
+  double load = 0.0;
+  double mean = 0.0;
+  double p99 = 0.0;
+  double throughput = 0.0;
+  bool saturated = false;
+};
+
+Point run_point(sim::ProtocolKind protocol, double load) {
+  sim::SimConfig config = sim::SimConfig::default_torus();
+  config.protocol.protocol = protocol;
+  if (protocol == sim::ProtocolKind::kWormholeOnly) {
+    config.router.wave_switches = 0;
+  }
+  config.seed = 42;
+  core::Simulation sim(config);
+  load::UniformTraffic pattern(sim.topology());
+  load::FixedSize sizes(128);
+  const auto r = load::run_open_loop(sim, pattern, sizes, load,
+                                     /*warmup=*/2000, /*measure=*/8000,
+                                     /*drain_cap=*/250000, /*seed=*/7);
+  Point p;
+  p.load = load;
+  p.mean = r.stats.latency_mean;
+  p.p99 = r.stats.latency_p99;
+  p.throughput = r.stats.throughput_flits_per_node_cycle;
+  p.saturated = !r.drained;
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E1", "latency vs offered load (wormhole vs wave/CLRP)",
+                "8x8 torus, uniform traffic, 128-flit messages, w=2 VCs, "
+                "k=2 wave switches, wave clock x4");
+  const std::vector<double> loads{0.05, 0.10, 0.15, 0.20, 0.30,
+                                  0.40, 0.50, 0.60};
+  std::vector<Point> wormhole(loads.size());
+  std::vector<Point> wave(loads.size());
+  bench::parallel_for(loads.size() * 2, [&](std::size_t i) {
+    const std::size_t li = i / 2;
+    if (i % 2 == 0) {
+      wormhole[li] = run_point(sim::ProtocolKind::kWormholeOnly, loads[li]);
+    } else {
+      wave[li] = run_point(sim::ProtocolKind::kClrp, loads[li]);
+    }
+  });
+
+  bench::Table table({"load", "wh-mean", "wh-p99", "wh-thru", "wave-mean",
+                      "wave-p99", "wave-thru", "speedup"});
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    const auto& w = wormhole[i];
+    const auto& v = wave[i];
+    auto cell = [](const Point& p, double value) {
+      return p.saturated ? "sat(" + bench::fmt(value, 0) + ")"
+                         : bench::fmt(value, 1);
+    };
+    table.add_row({bench::fmt(loads[i], 2), cell(w, w.mean),
+                   cell(w, w.p99), bench::fmt(w.throughput, 3),
+                   cell(v, v.mean), cell(v, v.p99),
+                   bench::fmt(v.throughput, 3),
+                   bench::fmt(w.mean / (v.mean > 0 ? v.mean : 1), 2) + "x"});
+  }
+  table.print("e1_latency_load");
+  std::printf("\n'sat' marks points past saturation (drain cap hit); their "
+              "latencies are lower bounds.\n");
+  return 0;
+}

@@ -1,0 +1,131 @@
+#include "bench_util.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cinttypes>
+#include <exception>
+#include <thread>
+
+namespace wavesim::bench {
+
+void banner(const std::string& id, const std::string& title,
+            const std::string& setup) {
+  std::printf("\n================================================================\n");
+  std::printf("%s: %s\n", id.c_str(), title.c_str());
+  std::printf("%s\n", setup.c_str());
+  std::printf("================================================================\n");
+}
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+namespace {
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void Table::write_csv(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::fprintf(f, "%s%s", c == 0 ? "" : ",", csv_escape(row[c]).c_str());
+    }
+    std::fprintf(f, "\n");
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  std::fclose(f);
+}
+
+void Table::print(const std::string& csv_name) const {
+  if (!csv_name.empty()) {
+    if (const char* dir = std::getenv("WAVESIM_CSV_DIR"); dir != nullptr) {
+      write_csv(std::string(dir) + "/" + csv_name + ".csv");
+    }
+  }
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < width.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::printf("%s%*s", c == 0 ? "" : "  ",
+                  static_cast<int>(width[c]), row[c].c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(header_);
+  std::size_t total = 0;
+  for (auto w : width) total += w + 2;
+  std::printf("%s\n", std::string(total > 2 ? total - 2 : total, '-').c_str());
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return buf;
+}
+
+std::string fmt_int(std::uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, value);
+  return buf;
+}
+
+std::string fmt_pct(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  unsigned threads) {
+  if (n == 0) return;
+  unsigned workers = threads != 0 ? threads : std::thread::hardware_concurrency();
+  workers = std::max(1u, std::min<unsigned>(workers, n));
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= n || failed.load()) return;
+        try {
+          fn(i);
+        } catch (...) {
+          if (!failed.exchange(true)) error = std::current_exception();
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace wavesim::bench

@@ -1,0 +1,41 @@
+// Shared helpers for the experiment benches: aligned table printing and a
+// small thread pool for running independent sweep points in parallel
+// (every point owns its Simulation; nothing is shared).
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace wavesim::bench {
+
+/// Print an experiment banner: id, claim, and setup description.
+void banner(const std::string& id, const std::string& title,
+            const std::string& setup);
+
+/// Fixed-width table. Column widths adapt to the widest cell.
+/// When the WAVESIM_CSV_DIR environment variable is set, print(name)
+/// additionally writes `$WAVESIM_CSV_DIR/<name>.csv` for plotting.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+  void print(const std::string& csv_name = "") const;
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::string fmt(double value, int precision = 1);
+std::string fmt_int(std::uint64_t value);
+std::string fmt_pct(double fraction, int precision = 1);
+
+/// Run fn(i) for i in [0, n) on up to `threads` workers (0 = hardware
+/// concurrency); blocks until all complete. Exceptions propagate.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  unsigned threads = 0);
+
+}  // namespace wavesim::bench

@@ -1,0 +1,228 @@
+// Command-line driver: run any configuration against any synthetic
+// workload and print the statistics the benchmarks use.
+//
+//   $ ./wavesim_cli --topo 8x8 --protocol clrp --pattern working-set
+//                   --load 0.15 --length 64 --cycles 10000
+//   $ ./wavesim_cli --help
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/simulation.hpp"
+#include "verify/delivery.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using namespace wavesim;
+
+struct Options {
+  std::string topo = "8x8";
+  bool mesh = false;
+  std::string protocol = "clrp";
+  std::string routing = "dor";
+  std::string pattern = "uniform";
+  std::int32_t vcs = 2;
+  std::int32_t k = 2;
+  std::int32_t m = 2;
+  std::int32_t cache = 8;
+  std::string replacement = "lru";
+  double load = 0.10;
+  std::int32_t length = 64;
+  Cycle warmup = 2000;
+  Cycle cycles = 10000;
+  std::uint64_t seed = 1;
+  double faults = 0.0;
+  bool pcs_only = false;
+  bool virtual_circuits = false;
+  std::int32_t max_packet = 0;
+  bool histogram = false;
+};
+
+void usage() {
+  std::printf(
+      "wavesim_cli -- wave-switching network simulator\n\n"
+      "  --topo RxC[xD..]    topology radices (default 8x8)\n"
+      "  --mesh              mesh instead of torus\n"
+      "  --protocol P        wormhole | clrp | carp (default clrp)\n"
+      "  --routing R         dor | duato | west-first | negative-first\n"
+      "                      (default dor)\n"
+      "  --pattern P         uniform | hotspot | transpose | bit-reversal |\n"
+      "                      bit-complement | tornado | neighbor | working-set\n"
+      "  --vcs N             wormhole VCs (default 2)\n"
+      "  --k N               wave switches (default 2; 0 with --protocol wormhole)\n"
+      "  --m N               MB-m misroute budget (default 2)\n"
+      "  --cache N           circuit-cache entries per node (default 8)\n"
+      "  --replacement R     lru | lfu | fifo | random (default lru)\n"
+      "  --load F            offered flits/node/cycle (default 0.10)\n"
+      "  --length N          message length in flits (default 64)\n"
+      "  --warmup N          warmup cycles (default 2000)\n"
+      "  --cycles N          measured cycles (default 10000)\n"
+      "  --seed N            RNG seed (default 1)\n"
+      "  --faults F          circuit-channel fault rate (default 0)\n"
+      "  --pcs-only          no wormhole fallback (paper's k=1/w=0 router)\n"
+      "  --virtual           virtual circuits (base clock; ablation)\n"
+      "  --max-packet N      wormhole segmentation limit (default off)\n"
+      "  --hist              print an ASCII latency histogram\n");
+}
+
+bool parse(int argc, char** argv, Options& opt) {
+  auto need = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", argv[i]);
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") return false;
+    else if (arg == "--topo") opt.topo = need(i);
+    else if (arg == "--mesh") opt.mesh = true;
+    else if (arg == "--protocol") opt.protocol = need(i);
+    else if (arg == "--routing") opt.routing = need(i);
+    else if (arg == "--pattern") opt.pattern = need(i);
+    else if (arg == "--vcs") opt.vcs = std::atoi(need(i));
+    else if (arg == "--k") opt.k = std::atoi(need(i));
+    else if (arg == "--m") opt.m = std::atoi(need(i));
+    else if (arg == "--cache") opt.cache = std::atoi(need(i));
+    else if (arg == "--replacement") opt.replacement = need(i);
+    else if (arg == "--load") opt.load = std::atof(need(i));
+    else if (arg == "--length") opt.length = std::atoi(need(i));
+    else if (arg == "--warmup") opt.warmup = std::strtoull(need(i), nullptr, 10);
+    else if (arg == "--cycles") opt.cycles = std::strtoull(need(i), nullptr, 10);
+    else if (arg == "--seed") opt.seed = std::strtoull(need(i), nullptr, 10);
+    else if (arg == "--faults") opt.faults = std::atof(need(i));
+    else if (arg == "--pcs-only") opt.pcs_only = true;
+    else if (arg == "--virtual") opt.virtual_circuits = true;
+    else if (arg == "--max-packet") opt.max_packet = std::atoi(need(i));
+    else if (arg == "--hist") opt.histogram = true;
+    else {
+      std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  return true;
+}
+
+std::vector<std::int32_t> parse_radices(const std::string& spec) {
+  std::vector<std::int32_t> radix;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const std::size_t next = spec.find('x', pos);
+    radix.push_back(std::atoi(spec.substr(pos, next - pos).c_str()));
+    if (next == std::string::npos) break;
+    pos = next + 1;
+  }
+  return radix;
+}
+
+sim::SimConfig build_config(const Options& opt) {
+  sim::SimConfig cfg;
+  cfg.topology.radix = parse_radices(opt.topo);
+  cfg.topology.torus = !opt.mesh;
+  cfg.router.wormhole_vcs = opt.vcs;
+  cfg.router.wave_switches = opt.protocol == "wormhole" ? 0 : opt.k;
+  cfg.protocol.max_misroutes = opt.m;
+  cfg.protocol.circuit_cache_entries = opt.cache;
+  cfg.protocol.pcs_only = opt.pcs_only;
+  cfg.router.virtual_circuits = opt.virtual_circuits;
+  cfg.protocol.max_packet_flits = opt.max_packet;
+  cfg.faults.link_fault_rate = opt.faults;
+  cfg.seed = opt.seed;
+
+  if (opt.protocol == "wormhole") cfg.protocol.protocol = sim::ProtocolKind::kWormholeOnly;
+  else if (opt.protocol == "clrp") cfg.protocol.protocol = sim::ProtocolKind::kClrp;
+  else if (opt.protocol == "carp") cfg.protocol.protocol = sim::ProtocolKind::kCarp;
+  else throw std::invalid_argument("unknown --protocol " + opt.protocol);
+
+  if (opt.routing == "dor") cfg.router.routing = sim::RoutingKind::kDimensionOrder;
+  else if (opt.routing == "duato") cfg.router.routing = sim::RoutingKind::kDuatoAdaptive;
+  else if (opt.routing == "west-first") cfg.router.routing = sim::RoutingKind::kWestFirst;
+  else if (opt.routing == "negative-first") cfg.router.routing = sim::RoutingKind::kNegativeFirst;
+  else throw std::invalid_argument("unknown --routing " + opt.routing);
+
+  if (opt.replacement == "lru") cfg.protocol.replacement = sim::ReplacementPolicy::kLru;
+  else if (opt.replacement == "lfu") cfg.protocol.replacement = sim::ReplacementPolicy::kLfu;
+  else if (opt.replacement == "fifo") cfg.protocol.replacement = sim::ReplacementPolicy::kFifo;
+  else if (opt.replacement == "random") cfg.protocol.replacement = sim::ReplacementPolicy::kRandom;
+  else throw std::invalid_argument("unknown --replacement " + opt.replacement);
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse(argc, argv, opt)) {
+    usage();
+    return 0;
+  }
+  try {
+    const sim::SimConfig cfg = build_config(opt);
+    cfg.validate();
+    core::Simulation sim(cfg);
+    auto pattern = load::make_traffic(opt.pattern, sim.topology(),
+                                      sim::Rng{opt.seed * 31 + 7});
+    load::FixedSize sizes(opt.length);
+    const auto result = load::run_open_loop(
+        sim, *pattern, sizes, opt.load, opt.warmup, opt.cycles,
+        /*drain_cap=*/40 * (opt.warmup + opt.cycles) + 1'000'000, opt.seed);
+
+    const auto& s = result.stats;
+    std::printf("config: %s %s, %s routing, %s, w=%d k=%d m=%d cache=%d %s\n",
+                opt.topo.c_str(), cfg.topology.torus ? "torus" : "mesh",
+                opt.routing.c_str(), sim::to_string(cfg.protocol.protocol),
+                cfg.router.wormhole_vcs, cfg.router.wave_switches,
+                cfg.protocol.max_misroutes,
+                cfg.protocol.circuit_cache_entries,
+                sim::to_string(cfg.protocol.replacement));
+    std::printf("workload: %s, %d-flit messages, load %.3f, %llu cycles "
+                "measured (+%llu warmup)\n",
+                opt.pattern.c_str(), opt.length, opt.load,
+                static_cast<unsigned long long>(opt.cycles),
+                static_cast<unsigned long long>(opt.warmup));
+    std::printf("\nmessages   offered %llu, delivered %llu%s\n",
+                static_cast<unsigned long long>(s.messages_offered),
+                static_cast<unsigned long long>(s.messages_delivered),
+                result.drained ? "" : "  [drain cap hit: saturated]");
+    std::printf("latency    mean %.1f  p50 %.1f  p95 %.1f  p99 %.1f  max %.0f\n",
+                s.latency_mean, s.latency_p50, s.latency_p95, s.latency_p99,
+                s.latency_max);
+    std::printf("throughput %.4f flits/node/cycle\n",
+                s.throughput_flits_per_node_cycle);
+    std::printf("modes      hit %llu  after-setup %llu  fallback %llu  "
+                "wormhole %llu\n",
+                static_cast<unsigned long long>(s.circuit_hit_count),
+                static_cast<unsigned long long>(s.circuit_setup_count),
+                static_cast<unsigned long long>(s.fallback_count),
+                static_cast<unsigned long long>(s.wormhole_count));
+    if (s.probes_launched > 0) {
+      std::printf("circuits   cache hit-rate %.1f%%, evictions %llu, "
+                  "teardowns %llu, reallocs %llu\n",
+                  100.0 * s.cache_hit_rate(),
+                  static_cast<unsigned long long>(s.cache_evictions),
+                  static_cast<unsigned long long>(s.teardowns),
+                  static_cast<unsigned long long>(s.buffer_reallocs));
+      std::printf("probes     launched %llu, success %.1f%%, backtracks %llu, "
+                  "misroutes %llu, release-requests %llu\n",
+                  static_cast<unsigned long long>(s.probes_launched),
+                  100.0 * s.setup_success_rate(),
+                  static_cast<unsigned long long>(s.probe_backtracks),
+                  static_cast<unsigned long long>(s.probe_misroutes),
+                  static_cast<unsigned long long>(s.release_requests));
+    }
+    if (opt.histogram && s.messages_delivered > 0) {
+      const double hi = s.latency_max * 1.01 + 1.0;
+      std::printf("\nlatency histogram (cycles):\n%s",
+                  sim.latency_histogram(0.0, hi, 16).render().c_str());
+    }
+    const auto check = verify::check_delivery(sim.network());
+    std::printf("invariants %s\n", check.ok() ? "ok" : check.summary().c_str());
+    return check.ok() && result.drained ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}

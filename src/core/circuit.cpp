@@ -1,0 +1,60 @@
+#include "core/circuit.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wavesim::core {
+
+const char* to_string(CircuitState state) noexcept {
+  switch (state) {
+    case CircuitState::kProbing: return "probing";
+    case CircuitState::kEstablished: return "established";
+    case CircuitState::kTearingDown: return "tearing-down";
+    case CircuitState::kDead: return "dead";
+  }
+  return "?";
+}
+
+CircuitId CircuitTable::create(NodeId src, NodeId dest,
+                               std::int32_t switch_index) {
+  const CircuitId id = next_id_++;
+  CircuitRecord rec;
+  rec.id = id;
+  rec.src = src;
+  rec.dest = dest;
+  rec.switch_index = switch_index;
+  table_.emplace(id, std::move(rec));
+  return id;
+}
+
+CircuitRecord& CircuitTable::at(CircuitId id) {
+  const auto it = table_.find(id);
+  if (it == table_.end()) {
+    throw std::out_of_range("CircuitTable: unknown circuit");
+  }
+  return it->second;
+}
+
+const CircuitRecord& CircuitTable::at(CircuitId id) const {
+  const auto it = table_.find(id);
+  if (it == table_.end()) {
+    throw std::out_of_range("CircuitTable: unknown circuit");
+  }
+  return it->second;
+}
+
+bool CircuitTable::contains(CircuitId id) const {
+  return table_.find(id) != table_.end();
+}
+
+void CircuitTable::retire(CircuitId id) { table_.erase(id); }
+
+std::vector<CircuitId> CircuitTable::active_ids() const {
+  std::vector<CircuitId> ids;
+  ids.reserve(table_.size());
+  for (const auto& [id, rec] : table_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+}  // namespace wavesim::core

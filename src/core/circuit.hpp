@@ -1,0 +1,66 @@
+// Circuit lifecycle bookkeeping.
+//
+// Physically a circuit is nothing but the reserved (control, data) channel
+// pairs in the distributed PCS registers; the CircuitTable centralizes the
+// simulator's view of each circuit for statistics, teardown routing and
+// the source-side fields that live in the Circuit Cache.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace wavesim::core {
+
+enum class CircuitState : std::uint8_t {
+  kProbing,      ///< a probe is searching / reserving the path
+  kEstablished,  ///< setup ack returned to the source; usable
+  kTearingDown,  ///< teardown flit in flight
+  kDead,         ///< fully released (kept for statistics)
+};
+
+const char* to_string(CircuitState state) noexcept;
+
+struct CircuitRecord {
+  CircuitId id = kInvalidCircuit;
+  NodeId src = kInvalidNode;
+  NodeId dest = kInvalidNode;
+  std::int32_t switch_index = 0;   ///< wave switch S_{i+1} the circuit uses
+  CircuitState state = CircuitState::kProbing;
+  /// Output port taken at each hop, source first (known once established).
+  std::vector<PortId> path;
+  bool in_use = false;             ///< a message is in transit (Fig. 5)
+  bool pending_release = false;    ///< release requested; tear down when idle
+  Cycle established_at = 0;
+  std::int64_t messages_carried = 0;
+  /// Delivery-buffer flits allocated at both ends when the circuit was
+  /// established (paper section 2); grown on re-allocation.
+  std::int32_t buffer_flits = 0;
+
+  std::int32_t hops() const noexcept {
+    return static_cast<std::int32_t>(path.size());
+  }
+};
+
+class CircuitTable {
+ public:
+  CircuitId create(NodeId src, NodeId dest, std::int32_t switch_index);
+  CircuitRecord& at(CircuitId id);
+  const CircuitRecord& at(CircuitId id) const;
+  bool contains(CircuitId id) const;
+  /// Transition to kDead and drop from the active index.
+  void retire(CircuitId id);
+
+  std::int64_t created_total() const noexcept { return next_id_; }
+  std::size_t active() const noexcept { return table_.size(); }
+  /// Ids of all live circuits, ascending (stable iteration for checkers).
+  std::vector<CircuitId> active_ids() const;
+
+ private:
+  std::unordered_map<CircuitId, CircuitRecord> table_;
+  CircuitId next_id_ = 0;
+};
+
+}  // namespace wavesim::core

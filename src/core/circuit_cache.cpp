@@ -1,0 +1,106 @@
+#include "core/circuit_cache.hpp"
+
+#include <stdexcept>
+
+namespace wavesim::core {
+
+CircuitCache::CircuitCache(std::int32_t entries, sim::ReplacementPolicy policy,
+                           sim::Rng rng)
+    : entries_(entries), policy_(policy), rng_(rng) {
+  if (entries < 1) throw std::invalid_argument("CircuitCache: entries < 1");
+}
+
+CacheEntry* CircuitCache::find(NodeId dest) {
+  for (auto& e : entries_) {
+    if (e.valid && e.dest == dest) return &e;
+  }
+  return nullptr;
+}
+
+const CacheEntry* CircuitCache::find(NodeId dest) const {
+  for (const auto& e : entries_) {
+    if (e.valid && e.dest == dest) return &e;
+  }
+  return nullptr;
+}
+
+std::int32_t CircuitCache::pick_victim() {
+  // Replaceable = valid, established, idle. Probing entries are mid-setup
+  // and in-use entries carry a message; neither may be displaced (the
+  // paper's In-use bit exists for exactly this).
+  std::vector<std::int32_t> candidates;
+  for (std::int32_t i = 0; i < capacity(); ++i) {
+    const CacheEntry& e = entries_[i];
+    if (e.valid && e.ack_returned && !e.in_use && !e.probing) {
+      candidates.push_back(i);
+    }
+  }
+  if (candidates.empty()) return -1;
+  auto better = [&](std::int32_t a, std::int32_t b) {
+    const CacheEntry& ea = entries_[a];
+    const CacheEntry& eb = entries_[b];
+    switch (policy_) {
+      case sim::ReplacementPolicy::kLru: return ea.last_use < eb.last_use;
+      case sim::ReplacementPolicy::kLfu: return ea.uses < eb.uses;
+      case sim::ReplacementPolicy::kFifo: return ea.created < eb.created;
+      case sim::ReplacementPolicy::kRandom: return false;  // handled below
+    }
+    return false;
+  };
+  if (policy_ == sim::ReplacementPolicy::kRandom) {
+    return candidates[rng_.next_below(candidates.size())];
+  }
+  std::int32_t best = candidates.front();
+  for (std::int32_t c : candidates) {
+    if (better(c, best)) best = c;
+  }
+  return best;
+}
+
+CacheEntry* CircuitCache::allocate(NodeId dest, Cycle now,
+                                   std::optional<CacheEntry>* evicted) {
+  if (evicted != nullptr) evicted->reset();
+  if (find(dest) != nullptr) {
+    throw std::logic_error("CircuitCache: duplicate entry for destination");
+  }
+  CacheEntry* slot = nullptr;
+  for (auto& e : entries_) {
+    if (!e.valid) {
+      slot = &e;
+      break;
+    }
+  }
+  if (slot == nullptr) {
+    const std::int32_t victim = pick_victim();
+    if (victim < 0) return nullptr;
+    if (evicted != nullptr) *evicted = entries_[victim];
+    ++evictions;
+    slot = &entries_[victim];
+  }
+  *slot = CacheEntry{};
+  slot->valid = true;
+  slot->dest = dest;
+  slot->created = now;
+  slot->last_use = now;
+  return slot;
+}
+
+void CircuitCache::touch(CacheEntry& entry, Cycle now) {
+  entry.last_use = now;
+  ++entry.uses;
+}
+
+void CircuitCache::invalidate(CacheEntry& entry) {
+  if (entry.in_use) {
+    throw std::logic_error("CircuitCache: invalidating an in-use entry");
+  }
+  entry = CacheEntry{};
+}
+
+std::int32_t CircuitCache::valid_entries() const {
+  std::int32_t n = 0;
+  for (const auto& e : entries_) n += e.valid ? 1 : 0;
+  return n;
+}
+
+}  // namespace wavesim::core

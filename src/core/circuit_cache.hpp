@@ -1,0 +1,78 @@
+// Circuit Cache (paper Fig. 5): per-node registers in the network
+// interface recording the circuits that start at this node, plus the
+// replacement machinery CLRP uses when the cache is full.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "sim/rng.hpp"
+#include "sim/types.hpp"
+
+namespace wavesim::core {
+
+struct CacheEntry {
+  bool valid = false;
+  NodeId dest = kInvalidNode;
+  std::int32_t initial_switch = 0;  ///< first switch tried (avoid re-search)
+  std::int32_t switch_index = 0;    ///< switch searched / used (Fig. 5 "Switch")
+  PortId channel = kInvalidPort;    ///< output channel at the source
+  CircuitId circuit = kInvalidCircuit;
+  bool ack_returned = false;        ///< setup complete, circuit usable
+  bool in_use = false;              ///< message in transit right now
+  bool probing = false;             ///< setup still in progress
+  // "Replace" accounting; which field drives eviction depends on policy.
+  Cycle last_use = 0;               ///< LRU
+  std::uint64_t uses = 0;           ///< LFU
+  Cycle created = 0;                ///< FIFO
+};
+
+class CircuitCache {
+ public:
+  CircuitCache(std::int32_t entries, sim::ReplacementPolicy policy,
+               sim::Rng rng);
+
+  std::int32_t capacity() const noexcept {
+    return static_cast<std::int32_t>(entries_.size());
+  }
+  sim::ReplacementPolicy policy() const noexcept { return policy_; }
+
+  /// Entry for `dest`, or nullptr. At most one entry per destination.
+  CacheEntry* find(NodeId dest);
+  const CacheEntry* find(NodeId dest) const;
+
+  /// Claim a slot for a new circuit toward `dest`. Prefers an invalid
+  /// slot; otherwise evicts a replaceable entry (valid, established, not
+  /// in use, not probing) chosen by the policy. Returns nullptr when every
+  /// entry is unevictable. `evicted` receives the displaced entry, if any,
+  /// so the caller can tear its circuit down.
+  CacheEntry* allocate(NodeId dest, Cycle now,
+                       std::optional<CacheEntry>* evicted);
+
+  /// Record a use for replacement accounting (call when a message starts
+  /// on the circuit).
+  void touch(CacheEntry& entry, Cycle now);
+
+  /// Invalidate (entry must not be in use).
+  void invalidate(CacheEntry& entry);
+
+  std::int32_t valid_entries() const;
+  /// Direct slot access for tests/diagnostics.
+  const CacheEntry& slot(std::int32_t i) const { return entries_.at(i); }
+
+  // -- statistics ---------------------------------------------------------
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+
+ private:
+  std::int32_t pick_victim();
+
+  std::vector<CacheEntry> entries_;
+  sim::ReplacementPolicy policy_;
+  sim::Rng rng_;
+};
+
+}  // namespace wavesim::core

@@ -1,0 +1,400 @@
+#include "core/control_plane.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "sim/log.hpp"
+
+namespace wavesim::core {
+
+namespace {
+using topo::KAryNCube;
+}  // namespace
+
+ControlPlane::ControlPlane(const topo::KAryNCube& topology,
+                           CircuitTable& circuits, wh::LinkGate& gate,
+                           const ControlPlaneParams& params)
+    : topology_(topology), circuits_(circuits), gate_(gate), params_(params),
+      registers_(topology, params.num_switches) {
+  if (params.num_switches < 1 || params.max_misroutes < 0 ||
+      params.hop_cycles < 1) {
+    throw std::invalid_argument("ControlPlane: bad params");
+  }
+}
+
+void ControlPlane::mark_faulty(NodeId node, std::int32_t switch_index,
+                               PortId port) {
+  registers_.at(node, switch_index).mark_faulty(port);
+}
+
+ProbeId ControlPlane::launch_probe(CircuitId circuit, bool force) {
+  const CircuitRecord& rec = circuits_.at(circuit);
+  if (rec.state != CircuitState::kProbing) {
+    throw std::logic_error("launch_probe: circuit not in probing state");
+  }
+  ActiveProbe ap;
+  ap.probe.id = next_probe_++;
+  ap.probe.circuit = circuit;
+  ap.probe.src = rec.src;
+  ap.probe.dest = rec.dest;
+  ap.probe.force = force;
+  ap.probe.switch_index = rec.switch_index;
+  ap.node = rec.src;
+  probes_.emplace(ap.probe.id, ap);
+  ++stats_.probes_launched;
+  return ap.probe.id;
+}
+
+void ControlPlane::start_teardown(CircuitId circuit) {
+  CircuitRecord& rec = circuits_.at(circuit);
+  if (rec.state != CircuitState::kEstablished) {
+    throw std::logic_error("start_teardown: circuit not established");
+  }
+  if (rec.in_use) {
+    throw std::logic_error("start_teardown: circuit has a message in transit");
+  }
+  rec.state = CircuitState::kTearingDown;
+  TravelFlit flit;
+  flit.kind = pcs::ControlKind::kTeardown;
+  flit.circuit = circuit;
+  flit.switch_index = rec.switch_index;
+  flit.node = rec.src;
+  flit.port = rec.path.empty() ? kInvalidPort : rec.path.front();
+  if (flit.port == kInvalidPort) {
+    throw std::logic_error("start_teardown: circuit has no path");
+  }
+  flits_.push_back(flit);
+  ++stats_.teardowns_started;
+}
+
+std::vector<pcs::PortView> ControlPlane::build_view(
+    const ActiveProbe& ap) const {
+  const pcs::SwitchRegisters& regs =
+      registers_.at(ap.node, ap.probe.switch_index);
+  std::vector<pcs::PortView> view(topology_.num_ports(),
+                                  pcs::PortView::kUnusable);
+  for (PortId p = 0; p < topology_.num_ports(); ++p) {
+    if (!topology_.has_neighbor(ap.node, p)) continue;
+    if (history_.searched(ap.probe.id, ap.node, p)) continue;
+    switch (regs.status(p)) {
+      case pcs::ChannelStatus::kFree:
+        view[p] = pcs::PortView::kAvailable;
+        break;
+      case pcs::ChannelStatus::kReservedByProbe:
+        view[p] = pcs::PortView::kBusyPending;
+        break;
+      case pcs::ChannelStatus::kBusyCircuit:
+        // Commit and Ack-Returned travel together in this implementation,
+        // so a busy channel is an established circuit's channel; it may
+        // also belong to a circuit already being torn down, in which case
+        // the wait below resolves when the teardown frees it.
+        view[p] = regs.ack_returned(p) ? pcs::PortView::kBusyEstablished
+                                       : pcs::PortView::kBusyPending;
+        break;
+      case pcs::ChannelStatus::kFaulty:
+        break;  // stays kUnusable
+    }
+  }
+  return view;
+}
+
+void ControlPlane::finish_probe_success(ActiveProbe& ap, Cycle now) {
+  // Convert the probe into an ack flit that walks back to the source,
+  // committing each reserved pair and setting Ack-Returned on the way.
+  ++stats_.probes_succeeded;
+  TravelFlit ack;
+  ack.kind = pcs::ControlKind::kAck;
+  ack.circuit = ap.probe.circuit;
+  ack.switch_index = ap.probe.switch_index;
+  ack.node = ap.node;
+  ack.port = ap.arrival_port;  // direction toward the source
+  ack.ready_at = now + params_.hop_cycles;
+  if (ap.node != ap.probe.src && ack.port == kInvalidPort) {
+    throw std::logic_error("probe at destination without arrival port");
+  }
+  if (ap.node == ap.probe.src) {
+    // Zero-hop circuit (src == dest) cannot occur: protocol layer never
+    // requests circuits to self.
+    throw std::logic_error("circuit to self");
+  }
+  flits_.push_back(ack);
+  history_.erase(ap.probe.id);
+  probes_.erase(ap.probe.id);
+}
+
+void ControlPlane::fail_probe(ActiveProbe& ap) {
+  ++stats_.probes_failed;
+  probe_results_.push_back(ProbeResult{ap.probe.id, ap.probe.circuit,
+                                       ap.probe.src, /*success=*/false,
+                                       ap.probe.switch_index});
+  history_.erase(ap.probe.id);
+  probes_.erase(ap.probe.id);
+}
+
+void ControlPlane::request_release(ActiveProbe& ap, PortId port, Cycle now) {
+  const pcs::SwitchRegisters& regs =
+      registers_.at(ap.node, ap.probe.switch_index);
+  const CircuitId victim = regs.owning_circuit(port);
+  if (victim == ap.release_requested_for &&
+      now < ap.release_requested_at +
+                static_cast<Cycle>(params_.release_retry_cycles)) {
+    return;  // already asked recently
+  }
+  ap.release_requested_for = victim;
+  ap.release_requested_at = now;
+  if (!circuits_.contains(victim)) return;  // racing teardown finished
+  const CircuitRecord& rec = circuits_.at(victim);
+  if (rec.src == ap.node) {
+    // The victim starts here: demand release from the local interface
+    // directly (paper: "This circuit starts at the current node").
+    release_demands_.push_back(ReleaseDemand{victim, ap.node});
+    ++stats_.release_requests_sent;
+    return;
+  }
+  // Send a release request toward the victim's source over the reverse
+  // control path.
+  TravelFlit req;
+  req.kind = pcs::ControlKind::kReleaseRequest;
+  req.circuit = victim;
+  req.switch_index = ap.probe.switch_index;
+  req.node = ap.node;
+  req.port = regs.reverse_map(port);  // input port of the victim circuit here
+  if (req.port == kInvalidPort) return;  // torn down in this very cycle
+  flits_.push_back(req);
+  ++stats_.release_requests_sent;
+}
+
+void ControlPlane::step_probe(ActiveProbe& ap, Cycle now) {
+  if (now < ap.ready_at) return;  // still traversing the previous hop
+  ++ap.steps;
+  stats_.max_probe_steps = std::max(stats_.max_probe_steps, ap.steps);
+
+  pcs::SwitchRegisters& here = registers_.at(ap.node, ap.probe.switch_index);
+  CircuitRecord& rec = circuits_.at(ap.probe.circuit);
+
+  if (ap.node == ap.probe.dest) {
+    finish_probe_success(ap, now);
+    return;
+  }
+
+  const auto view = build_view(ap);
+  const auto decision =
+      pcs::decide(topology_, ap.node, ap.probe.dest, view, ap.arrival_port,
+                  ap.probe.misroutes, params_.max_misroutes, ap.probe.force);
+
+  switch (decision.action) {
+    case pcs::MbmAction::kDeliver:
+      finish_probe_success(ap, now);
+      return;
+
+    case pcs::MbmAction::kAdvance: {
+      if (!gate_.try_acquire(ap.node, decision.port)) return;  // link busy
+      const PortId in_port =
+          ap.arrival_port == kInvalidPort ? pcs::kLocalEndpoint
+                                          : ap.arrival_port;
+      here.reserve(decision.port, ap.probe.id, in_port);
+      history_.mark(ap.probe.id, ap.node, decision.port);
+      ap.stack.push_back(Hop{ap.node, decision.port, ap.probe.misroutes});
+      if (decision.misroute) {
+        ++ap.probe.misroutes;
+        ++stats_.probe_misroutes;
+      }
+      rec.path.push_back(decision.port);
+      ap.waiting = false;
+      ap.wait_port = kInvalidPort;
+      ap.node = topology_.neighbor(ap.node, decision.port);
+      ap.arrival_port = KAryNCube::opposite(decision.port);
+      ap.ready_at = now + params_.hop_cycles;
+      ++stats_.probe_advances;
+      return;
+    }
+
+    case pcs::MbmAction::kWaitForce: {
+      if (!ap.waiting) {
+        sim::log_debug("probe ", ap.probe.id, " force-waits at node ",
+                       ap.node, " port ", decision.port, " on circuit ",
+                       here.owning_circuit(decision.port));
+      }
+      ++stats_.force_waits;
+      ap.waiting = true;
+      ap.wait_port = decision.port;
+      request_release(ap, decision.port, now);
+      return;
+    }
+
+    case pcs::MbmAction::kBacktrack: {
+      ap.waiting = false;
+      ap.wait_port = kInvalidPort;
+      if (ap.stack.empty()) {
+        fail_probe(ap);  // exhausted the search from the source
+        return;
+      }
+      // Travel back over the reserved control channel (reverse direction
+      // of the physical link we arrived through).
+      if (!gate_.try_acquire(ap.node, ap.arrival_port)) return;
+      const Hop hop = ap.stack.back();
+      ap.stack.pop_back();
+      registers_.at(hop.from, ap.probe.switch_index)
+          .release_reservation(hop.out_port);
+      ap.probe.misroutes = hop.misroutes_before;
+      if (rec.path.empty()) {
+        throw std::logic_error("backtrack with empty circuit path");
+      }
+      rec.path.pop_back();
+      ap.node = hop.from;
+      ap.arrival_port = ap.stack.empty()
+                            ? kInvalidPort
+                            : KAryNCube::opposite(ap.stack.back().out_port);
+      ap.ready_at = now + params_.hop_cycles;
+      ++stats_.probe_backtracks;
+      return;
+    }
+  }
+}
+
+void ControlPlane::step_flit(TravelFlit& flit, Cycle now) {
+  if (now < flit.ready_at) return;  // still traversing the previous hop
+  switch (flit.kind) {
+    case pcs::ControlKind::kAck: {
+      // Move one hop toward the source; commit + set Ack-Returned on the
+      // upstream channel just crossed.
+      if (!gate_.try_acquire(flit.node, flit.port)) return;
+      const NodeId upstream = topology_.neighbor(flit.node, flit.port);
+      const PortId up_out = KAryNCube::opposite(flit.port);
+      pcs::SwitchRegisters& regs = registers_.at(upstream, flit.switch_index);
+      regs.commit(up_out, flit.circuit);
+      regs.mark_ack_returned(up_out);
+      flit.node = upstream;
+      flit.port = regs.reverse_map(up_out);
+      flit.ready_at = now + params_.hop_cycles;
+      if (flit.port == pcs::kLocalEndpoint) {
+        // Reached the source: the circuit is established.
+        CircuitRecord& rec = circuits_.at(flit.circuit);
+        rec.state = CircuitState::kEstablished;
+        flit.done = true;
+        ++stats_.acks_completed;
+        probe_results_.push_back(ProbeResult{kInvalidProbe, flit.circuit,
+                                             rec.src, /*success=*/true,
+                                             rec.switch_index});
+      }
+      return;
+    }
+
+    case pcs::ControlKind::kTeardown: {
+      if (!gate_.try_acquire(flit.node, flit.port)) return;
+      pcs::SwitchRegisters& regs = registers_.at(flit.node, flit.switch_index);
+      regs.release_circuit(flit.port);
+      const NodeId next = topology_.neighbor(flit.node, flit.port);
+      const PortId next_in = KAryNCube::opposite(flit.port);
+      flit.node = next;
+      flit.port = registers_.at(next, flit.switch_index).direct_map(next_in);
+      flit.ready_at = now + params_.hop_cycles;
+      if (flit.port == kInvalidPort) {
+        // Reached the destination end: the whole circuit is free.
+        CircuitRecord& rec = circuits_.at(flit.circuit);
+        rec.state = CircuitState::kDead;
+        teardowns_done_.push_back(TeardownDone{flit.circuit});
+        circuits_.retire(flit.circuit);
+        flit.done = true;
+        ++stats_.teardowns_completed;
+      }
+      return;
+    }
+
+    case pcs::ControlKind::kReleaseRequest: {
+      // Walk toward the circuit's source over reserved control channels.
+      // Any mapping mismatch means a concurrent teardown: discard (the
+      // channel the waiting probe wants is being freed anyway).
+      if (flit.port == pcs::kLocalEndpoint) {
+        release_demands_.push_back(ReleaseDemand{flit.circuit, flit.node});
+        flit.done = true;
+        return;
+      }
+      if (!gate_.try_acquire(flit.node, flit.port)) return;
+      const NodeId upstream = topology_.neighbor(flit.node, flit.port);
+      const PortId up_out = KAryNCube::opposite(flit.port);
+      const pcs::SwitchRegisters& regs =
+          registers_.at(upstream, flit.switch_index);
+      if (regs.status(up_out) != pcs::ChannelStatus::kBusyCircuit ||
+          regs.owning_circuit(up_out) != flit.circuit) {
+        flit.done = true;  // concurrent teardown: discard
+        ++stats_.release_requests_discarded;
+        return;
+      }
+      flit.node = upstream;
+      flit.port = regs.reverse_map(up_out);
+      flit.ready_at = now + params_.hop_cycles;
+      if (flit.port == pcs::kLocalEndpoint) {
+        release_demands_.push_back(ReleaseDemand{flit.circuit, flit.node});
+        flit.done = true;
+      }
+      return;
+    }
+
+    case pcs::ControlKind::kProbe:
+      throw std::logic_error("probe inside travelling-flit list");
+  }
+}
+
+void ControlPlane::step(Cycle now) {
+  // Travelling flits first (acks, teardowns, release requests make
+  // progress guarantees possible), then probes, both in creation order
+  // for determinism.
+  for (auto& flit : flits_) {
+    if (!flit.done) step_flit(flit, now);
+  }
+  flits_.erase(std::remove_if(flits_.begin(), flits_.end(),
+                              [](const TravelFlit& f) { return f.done; }),
+               flits_.end());
+
+  // step_probe may erase the probe from the map; collect ids first.
+  std::vector<ProbeId> ids;
+  ids.reserve(probes_.size());
+  for (const auto& [id, ap] : probes_) ids.push_back(id);
+  for (ProbeId id : ids) {
+    const auto it = probes_.find(id);
+    if (it != probes_.end()) step_probe(it->second, now);
+  }
+}
+
+std::string ControlPlane::debug_dump() const {
+  std::ostringstream os;
+  for (const auto& [id, ap] : probes_) {
+    os << "probe " << id << " circuit " << ap.probe.circuit << " "
+       << ap.probe.src << "->" << ap.probe.dest << " sw "
+       << ap.probe.switch_index << (ap.probe.force ? " FORCE" : "")
+       << " at node " << ap.node << " misroutes " << ap.probe.misroutes
+       << " depth " << ap.stack.size();
+    if (ap.waiting) {
+      os << " WAITING on port " << ap.wait_port << " (requested release of "
+         << ap.release_requested_for << ")";
+      const auto& regs = registers_.at(ap.node, ap.probe.switch_index);
+      os << " port-status " << pcs::to_string(regs.status(ap.wait_port))
+         << " owner " << regs.owning_circuit(ap.wait_port);
+    }
+    os << "\n";
+  }
+  for (const auto& flit : flits_) {
+    if (flit.done) continue;
+    os << pcs::to_string(flit.kind) << " flit circuit " << flit.circuit
+       << " sw " << flit.switch_index << " at node " << flit.node << " port "
+       << flit.port << "\n";
+  }
+  return os.str();
+}
+
+std::vector<ProbeResult> ControlPlane::take_probe_results() {
+  return std::exchange(probe_results_, {});
+}
+
+std::vector<ReleaseDemand> ControlPlane::take_release_demands() {
+  return std::exchange(release_demands_, {});
+}
+
+std::vector<TeardownDone> ControlPlane::take_teardowns_done() {
+  return std::exchange(teardowns_done_, {});
+}
+
+}  // namespace wavesim::core

@@ -1,0 +1,185 @@
+// PCS control plane: drives probes (MB-m search with Force semantics),
+// setup acks, teardowns and release requests over the control channels.
+//
+// Control channels are single-flit virtual channels of the S0 physical
+// links, so every control-flit hop claims one flit-time of link bandwidth
+// through the shared LinkGate (the control plane steps before the wormhole
+// plane each cycle, giving control traffic priority as in the paper's
+// router, where the PCS routing control unit owns dedicated VCs).
+//
+// Race rules implemented exactly as argued in the proof of Theorem 1:
+//  * a release request finding its circuit's mapping gone (concurrent
+//    teardown) is discarded at that hop;
+//  * the second of two release requests for the same circuit is discarded
+//    at the source;
+//  * a Force probe waits only on channels whose circuit has returned its
+//    ack; if every requested channel belongs to a circuit still being
+//    established the probe backtracks even with Force set.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/circuit.hpp"
+#include "pcs/history.hpp"
+#include "pcs/mbm.hpp"
+#include "pcs/probe.hpp"
+#include "pcs/registers.hpp"
+#include "sim/types.hpp"
+#include "topology/topology.hpp"
+#include "wormhole/link_gate.hpp"
+
+namespace wavesim::core {
+
+struct ControlPlaneParams {
+  std::int32_t num_switches = 2;   ///< k
+  std::int32_t max_misroutes = 2;  ///< m of MB-m
+  std::int32_t hop_cycles = 2;     ///< per-hop latency of control flits
+  /// A waiting Force probe re-sends its release request after this many
+  /// cycles. A request can legitimately be discarded (e.g. it reaches the
+  /// source while the victim's own setup ack is still in flight, or races
+  /// a teardown); the retry guarantees the wait stays finite, preserving
+  /// the Theorem-1 argument.
+  std::int32_t release_retry_cycles = 128;
+};
+
+/// Probe finished: the circuit is established (success) or the search of
+/// its switch is exhausted (failure; the circuit record stays kProbing so
+/// the protocol layer can retry on another switch or fall back).
+struct ProbeResult {
+  ProbeId probe = kInvalidProbe;
+  CircuitId circuit = kInvalidCircuit;
+  NodeId src = kInvalidNode;
+  bool success = false;
+  std::int32_t switch_index = 0;
+};
+
+/// A release request reached the source of `circuit`.
+struct ReleaseDemand {
+  CircuitId circuit = kInvalidCircuit;
+  NodeId src = kInvalidNode;
+};
+
+/// Teardown flit reached the circuit's end; all channels are free.
+struct TeardownDone {
+  CircuitId circuit = kInvalidCircuit;
+};
+
+class ControlPlane {
+ public:
+  ControlPlane(const topo::KAryNCube& topology, CircuitTable& circuits,
+               wh::LinkGate& gate, const ControlPlaneParams& params);
+
+  std::int32_t num_switches() const noexcept { return params_.num_switches; }
+
+  /// Static fault injection (before any traffic).
+  void mark_faulty(NodeId node, std::int32_t switch_index, PortId port);
+
+  /// Launch an MB-m probe for `circuit` (state must be kProbing) over the
+  /// circuit's switch. Returns the probe id.
+  ProbeId launch_probe(CircuitId circuit, bool force);
+
+  /// Source-initiated teardown of an established, idle circuit.
+  void start_teardown(CircuitId circuit);
+
+  /// Advance one cycle: move every active probe and travelling control
+  /// flit by at most one hop.
+  void step(Cycle now);
+
+  // -- event drains (call once per cycle) ---------------------------------
+  std::vector<ProbeResult> take_probe_results();
+  std::vector<ReleaseDemand> take_release_demands();
+  std::vector<TeardownDone> take_teardowns_done();
+
+  // -- introspection -------------------------------------------------------
+  const pcs::SwitchRegisters& registers(NodeId node, std::int32_t sw) const {
+    return registers_.at(node, sw);
+  }
+  std::size_t active_probes() const noexcept { return probes_.size(); }
+  bool probe_active(ProbeId probe) const {
+    return probes_.find(probe) != probes_.end();
+  }
+  std::size_t travelling_flits() const noexcept { return flits_.size(); }
+  bool idle() const noexcept { return probes_.empty() && flits_.empty(); }
+
+  struct Stats {
+    std::uint64_t probes_launched = 0;
+    std::uint64_t probes_succeeded = 0;
+    std::uint64_t probes_failed = 0;
+    std::uint64_t probe_advances = 0;
+    std::uint64_t probe_backtracks = 0;
+    std::uint64_t probe_misroutes = 0;
+    std::uint64_t force_waits = 0;           ///< cycles spent waiting
+    std::uint64_t release_requests_sent = 0;
+    std::uint64_t release_requests_discarded = 0;
+    std::uint64_t teardowns_started = 0;
+    std::uint64_t teardowns_completed = 0;
+    std::uint64_t acks_completed = 0;
+    /// Largest number of decision steps any single probe has taken;
+    /// bounded by the finite search space (livelock-freedom, Theorem 3).
+    std::uint64_t max_probe_steps = 0;
+  };
+  const Stats& stats() const noexcept { return stats_; }
+
+  /// Human-readable state of every active probe and travelling flit
+  /// (diagnostics; used by the watchdog reports and debugging).
+  std::string debug_dump() const;
+
+ private:
+  struct Hop {
+    NodeId from = kInvalidNode;
+    PortId out_port = kInvalidPort;
+    std::int32_t misroutes_before = 0;
+  };
+
+  struct ActiveProbe {
+    pcs::Probe probe;
+    NodeId node = kInvalidNode;       ///< current location
+    PortId arrival_port = kInvalidPort;  ///< input port here (src: invalid)
+    std::vector<Hop> stack;           ///< reserved path back to the source
+    bool waiting = false;             ///< Force probe parked on wait_port
+    PortId wait_port = kInvalidPort;
+    CircuitId release_requested_for = kInvalidCircuit;
+    Cycle release_requested_at = 0;
+    Cycle ready_at = 0;               ///< earliest cycle of the next hop
+    std::uint64_t steps = 0;
+  };
+
+  /// A non-probe control flit walking an existing circuit's control path.
+  struct TravelFlit {
+    pcs::ControlKind kind = pcs::ControlKind::kAck;
+    CircuitId circuit = kInvalidCircuit;
+    std::int32_t switch_index = 0;
+    NodeId node = kInvalidNode;  ///< current location
+    /// kAck / kReleaseRequest: input port of the circuit at `node`
+    /// (direction toward the source). kTeardown: the circuit's output
+    /// port at `node` (direction toward the destination).
+    PortId port = kInvalidPort;
+    Cycle ready_at = 0;  ///< earliest cycle of the next hop
+    bool done = false;
+  };
+
+  std::vector<pcs::PortView> build_view(const ActiveProbe& ap) const;
+  void step_probe(ActiveProbe& ap, Cycle now);
+  void finish_probe_success(ActiveProbe& ap, Cycle now);
+  void fail_probe(ActiveProbe& ap);
+  void request_release(ActiveProbe& ap, PortId port, Cycle now);
+  void step_flit(TravelFlit& flit, Cycle now);
+
+  const topo::KAryNCube& topology_;
+  CircuitTable& circuits_;
+  wh::LinkGate& gate_;
+  ControlPlaneParams params_;
+  pcs::RegisterFile registers_;
+  pcs::HistoryStore history_;
+  std::map<ProbeId, ActiveProbe> probes_;
+  std::vector<TravelFlit> flits_;
+  std::vector<ProbeResult> probe_results_;
+  std::vector<ReleaseDemand> release_demands_;
+  std::vector<TeardownDone> teardowns_done_;
+  ProbeId next_probe_ = 0;
+  Stats stats_;
+};
+
+}  // namespace wavesim::core

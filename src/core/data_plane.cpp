@@ -1,0 +1,93 @@
+#include "core/data_plane.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace wavesim::core {
+
+DataPlane::DataPlane(CircuitTable& circuits, const DataPlaneParams& params)
+    : circuits_(circuits), params_(params) {
+  if (params.flits_per_cycle <= 0.0 || params.wave_clock_factor <= 0.0 ||
+      params.window < 1) {
+    throw std::invalid_argument("DataPlane: bad params");
+  }
+}
+
+Cycle DataPlane::pipe_latency(std::int32_t hops) const {
+  // Each hop costs one wave cycle (switch + wire, no flit buffering);
+  // plus one base cycle of synchronizer delay at the delivery end.
+  const double cycles =
+      static_cast<double>(hops) / params_.wave_clock_factor;
+  return static_cast<Cycle>(std::ceil(cycles)) + 1;
+}
+
+void DataPlane::start_transfer(MessageId msg, CircuitId circuit,
+                               std::int32_t length, Cycle now,
+                               Cycle start_delay) {
+  CircuitRecord& rec = circuits_.at(circuit);
+  if (rec.state != CircuitState::kEstablished) {
+    throw std::logic_error("start_transfer: circuit not established");
+  }
+  if (rec.in_use) {
+    throw std::logic_error("start_transfer: circuit already carrying a message");
+  }
+  if (length < 1) throw std::invalid_argument("start_transfer: empty message");
+  rec.in_use = true;
+  ++rec.messages_carried;
+  Transfer t;
+  t.msg = msg;
+  t.circuit = circuit;
+  t.length = length;
+  t.started = now;
+  t.not_before = now + start_delay;
+  t.pipe = pipe_latency(rec.hops());
+  transfers_.emplace(msg, std::move(t));
+}
+
+void DataPlane::step(Cycle now) {
+  for (auto it = transfers_.begin(); it != transfers_.end();) {
+    Transfer& t = it->second;
+    if (now < t.not_before) {
+      ++it;  // still in the software send path / buffer re-allocation
+      continue;
+    }
+    // 1. Acks arriving at the source this cycle: a flit delivered at cycle
+    //    c is acknowledged at c + pipe.
+    while (t.acked < t.sent && !t.deliveries.empty() &&
+           t.deliveries.front() + t.pipe <= now) {
+      t.deliveries.erase(t.deliveries.begin());
+      ++t.acked;
+    }
+    // 2. Inject new flits: bandwidth accumulator, window limit.
+    t.send_credit += params_.flits_per_cycle;
+    while (t.sent < t.length && t.send_credit >= 1.0 &&
+           t.sent - t.acked < params_.window) {
+      t.send_credit -= 1.0;
+      ++t.sent;
+      t.deliveries.push_back(now + t.pipe);
+      t.last_delivery = now + t.pipe;
+      ++flits_delivered_;
+    }
+    if (t.send_credit > params_.flits_per_cycle) {
+      t.send_credit = params_.flits_per_cycle;  // don't bank idle cycles
+    }
+    // 3. Completion: every flit sent and acknowledged.
+    if (t.sent == t.length && t.acked == t.length) {
+      CircuitRecord& rec = circuits_.at(t.circuit);
+      rec.in_use = false;
+      completed_.push_back(TransferDone{t.msg, t.circuit, rec.src, rec.dest,
+                                        t.last_delivery, now});
+      it = transfers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<TransferDone> DataPlane::take_completed() {
+  return std::exchange(completed_, {});
+}
+
+}  // namespace wavesim::core

@@ -1,0 +1,21 @@
+#include "core/instrumentation.hpp"
+
+namespace wavesim::core {
+
+const char* to_string(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::kSubmitted: return "submitted";
+    case EventKind::kProbeLaunched: return "probe-launched";
+    case EventKind::kCircuitEstablished: return "circuit-established";
+    case EventKind::kSetupAbandoned: return "setup-abandoned";
+    case EventKind::kTransferStarted: return "transfer-started";
+    case EventKind::kTransferCompleted: return "transfer-completed";
+    case EventKind::kDelivered: return "delivered";
+    case EventKind::kTeardownStarted: return "teardown-started";
+    case EventKind::kEvicted: return "evicted";
+    case EventKind::kReleaseDemanded: return "release-demanded";
+  }
+  return "?";
+}
+
+}  // namespace wavesim::core

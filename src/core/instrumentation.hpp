@@ -1,0 +1,54 @@
+// Optional event instrumentation: a caller-supplied sink receives one
+// typed event per protocol milestone, enabling timelines, debugging and
+// trace capture without any cost when unused.
+#pragma once
+
+#include <functional>
+
+#include "sim/types.hpp"
+
+namespace wavesim::core {
+
+enum class EventKind : std::uint8_t {
+  kSubmitted,           ///< message offered to its source NI
+  kProbeLaunched,       ///< one MB-m attempt started
+  kCircuitEstablished,  ///< setup ack reached the source
+  kSetupAbandoned,      ///< every attempt failed; fell back / will retry
+  kTransferStarted,     ///< message began moving on a circuit
+  kTransferCompleted,   ///< last ack reached the source (In-use cleared)
+  kDelivered,           ///< last flit reached the destination
+  kTeardownStarted,     ///< source began releasing a circuit
+  kEvicted,             ///< cache replacement displaced a circuit
+  kReleaseDemanded,     ///< a release request reached the circuit's source
+};
+
+const char* to_string(EventKind kind) noexcept;
+
+struct Event {
+  Cycle at = 0;
+  EventKind kind = EventKind::kSubmitted;
+  NodeId node = kInvalidNode;          ///< where the event happened
+  MessageId msg = kInvalidMessage;     ///< if message-scoped
+  CircuitId circuit = kInvalidCircuit; ///< if circuit-scoped
+};
+
+/// Shared by the Network and its per-node interfaces. Emitting with no
+/// sink installed is a no-op.
+class Instrumentation {
+ public:
+  using Sink = std::function<void(const Event&)>;
+
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+  bool enabled() const noexcept { return static_cast<bool>(sink_); }
+
+  void emit(Cycle at, EventKind kind, NodeId node,
+            MessageId msg = kInvalidMessage,
+            CircuitId circuit = kInvalidCircuit) const {
+    if (sink_) sink_(Event{at, kind, node, msg, circuit});
+  }
+
+ private:
+  Sink sink_;
+};
+
+}  // namespace wavesim::core

@@ -1,0 +1,71 @@
+// Per-message bookkeeping shared by the node interfaces and statistics.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace wavesim::core {
+
+/// How a message ultimately travelled.
+enum class MessageMode : std::uint8_t {
+  kUnset,
+  kCircuitHit,        ///< used a circuit that was already established
+  kCircuitAfterSetup, ///< waited for (and used) a fresh circuit
+  kWormholeFallback,  ///< circuit setup failed; fell back to S0 wormhole
+  kWormholePolicy,    ///< sent via wormhole by protocol policy
+};
+
+const char* to_string(MessageMode mode) noexcept;
+
+struct MessageRecord {
+  MessageId id = kInvalidMessage;
+  NodeId src = kInvalidNode;
+  NodeId dest = kInvalidNode;
+  std::int32_t length = 0;
+  Cycle created = 0;
+  Cycle delivered = 0;  ///< last flit arrived at the destination
+  MessageMode mode = MessageMode::kUnset;
+  bool done = false;
+  /// Wormhole flits that reached the destination so far (packet
+  /// reassembly when segmentation is enabled).
+  std::int32_t flits_received = 0;
+
+  double latency() const noexcept {
+    return static_cast<double>(delivered - created);
+  }
+};
+
+/// Dense message registry; MessageId is the index.
+class MessageLog {
+ public:
+  MessageId create(NodeId src, NodeId dest, std::int32_t length, Cycle now) {
+    MessageRecord rec;
+    rec.id = static_cast<MessageId>(records_.size());
+    rec.src = src;
+    rec.dest = dest;
+    rec.length = length;
+    rec.created = now;
+    records_.push_back(rec);
+    return rec.id;
+  }
+
+  MessageRecord& at(MessageId id) { return records_.at(id); }
+  const MessageRecord& at(MessageId id) const { return records_.at(id); }
+  std::size_t size() const noexcept { return records_.size(); }
+  const std::vector<MessageRecord>& all() const noexcept { return records_; }
+
+  void mark_delivered(MessageId id, Cycle delivered) {
+    MessageRecord& rec = at(id);
+    if (rec.done) throw std::logic_error("MessageLog: delivered twice");
+    rec.delivered = delivered;
+    rec.done = true;
+  }
+
+ private:
+  std::vector<MessageRecord> records_;
+};
+
+}  // namespace wavesim::core

@@ -1,0 +1,148 @@
+#include "core/network.hpp"
+
+#include <stdexcept>
+
+#include "sim/log.hpp"
+
+namespace wavesim::core {
+
+Network::Network(const sim::SimConfig& config)
+    : config_(config),
+      topology_(config.topology.radix, config.topology.torus),
+      routing_(route::make_routing(config.router.routing, topology_,
+                                   config.router.wormhole_vcs)),
+      gate_(topology_),
+      fabric_(topology_, *routing_,
+              wh::FabricParams{
+                  wh::RouterParams{config.router.wormhole_vcs,
+                                   config.router.vc_buffer_depth},
+                  static_cast<Cycle>(config.router.wormhole_pipeline_latency)},
+              &gate_),
+      rng_(config.seed) {
+  config_.validate();
+  if (config_.router.wave_switches > 0) {
+    control_ = std::make_unique<ControlPlane>(
+        topology_, circuits_, gate_,
+        ControlPlaneParams{config_.router.wave_switches,
+                           config_.protocol.max_misroutes,
+                           config_.router.control_hop_cycles});
+    data_ = std::make_unique<DataPlane>(
+        circuits_,
+        DataPlaneParams{config_.circuit_flits_per_cycle(),
+                        config_.effective_wave_factor(),
+                        config_.router.circuit_window});
+    inject_faults();
+  }
+  interfaces_.reserve(topology_.num_nodes());
+  for (NodeId n = 0; n < topology_.num_nodes(); ++n) {
+    interfaces_.push_back(std::make_unique<NodeInterface>(
+        n, config_, topology_, log_, circuits_, fabric_, control_.get(),
+        data_.get(), instrumentation_, rng_.fork()));
+  }
+  sim::log_info("network up: ", topology_.num_nodes(), " nodes, ",
+                sim::to_string(config_.protocol.protocol), ", routing ",
+                sim::to_string(config_.router.routing), ", w=",
+                config_.router.wormhole_vcs, " k=",
+                config_.router.wave_switches,
+                faulty_channels_ > 0 ? " (faulty circuit channels: " : "",
+                faulty_channels_ > 0 ? std::to_string(faulty_channels_) : "",
+                faulty_channels_ > 0 ? ")" : "");
+  fabric_.set_delivery_handler([this](NodeId, const wh::Flit& flit) {
+    // Reassembly by count: packets of a segmented message may interleave
+    // across VCs, so tail flags alone cannot signal completion.
+    MessageRecord& rec = log_.at(flit.msg);
+    if (++rec.flits_received == rec.length) {
+      log_.mark_delivered(flit.msg, now_);
+      instrumentation_.emit(now_, EventKind::kDelivered, rec.dest, flit.msg);
+    }
+  });
+}
+
+void Network::inject_faults() {
+  if (config_.faults.link_fault_rate <= 0.0) return;
+  sim::Rng fault_rng = rng_.fork();
+  for (NodeId n = 0; n < topology_.num_nodes(); ++n) {
+    for (std::int32_t s = 0; s < config_.router.wave_switches; ++s) {
+      for (PortId p = 0; p < topology_.num_ports(); ++p) {
+        if (!topology_.has_neighbor(n, p)) continue;
+        if (fault_rng.chance(config_.faults.link_fault_rate)) {
+          control_->mark_faulty(n, s, p);
+          ++faulty_channels_;
+        }
+      }
+    }
+  }
+}
+
+MessageId Network::send(NodeId src, NodeId dest, std::int32_t length) {
+  if (src < 0 || src >= topology_.num_nodes() || dest < 0 ||
+      dest >= topology_.num_nodes()) {
+    throw std::invalid_argument("Network::send: node out of range");
+  }
+  if (src == dest) {
+    throw std::invalid_argument("Network::send: src == dest");
+  }
+  if (length < 1) {
+    throw std::invalid_argument("Network::send: length < 1");
+  }
+  const MessageId id = log_.create(src, dest, length, now_);
+  instrumentation_.emit(now_, EventKind::kSubmitted, src, id);
+  interfaces_[src]->submit(id, now_);
+  return id;
+}
+
+bool Network::establish_circuit(NodeId src, NodeId dest,
+                                std::int32_t max_message_flits) {
+  return interfaces_.at(src)->establish_circuit(dest, now_, max_message_flits);
+}
+
+void Network::release_circuit(NodeId src, NodeId dest) {
+  interfaces_.at(src)->release_circuit(dest, now_);
+}
+
+void Network::dispatch_events() {
+  if (control_ != nullptr) {
+    for (const auto& result : control_->take_probe_results()) {
+      interfaces_[result.src]->on_probe_result(result, now_);
+    }
+    for (const auto& demand : control_->take_release_demands()) {
+      interfaces_[demand.src]->on_release_demand(demand, now_);
+    }
+    control_->take_teardowns_done();  // informational only
+  }
+  if (data_ != nullptr) {
+    for (const auto& done : data_->take_completed()) {
+      interfaces_[done.src]->on_transfer_done(done, now_);
+    }
+  }
+}
+
+void Network::step() {
+  gate_.reset();
+  if (control_ != nullptr) control_->step(now_);
+  if (data_ != nullptr) data_->step(now_);
+  dispatch_events();
+  for (auto& ni : interfaces_) ni->pump(now_);
+  fabric_.step(now_);
+  ++now_;
+}
+
+void Network::run(Cycle cycles) {
+  for (Cycle i = 0; i < cycles; ++i) step();
+}
+
+std::uint64_t Network::messages_delivered() const {
+  std::uint64_t n = 0;
+  for (const auto& rec : log_.all()) n += rec.done ? 1 : 0;
+  return n;
+}
+
+bool Network::quiescent() const {
+  if (messages_delivered() != log_.size()) return false;
+  if (fabric_.flits_in_flight() != 0) return false;
+  if (control_ != nullptr && !control_->idle()) return false;
+  if (data_ != nullptr && data_->active_transfers() != 0) return false;
+  return true;
+}
+
+}  // namespace wavesim::core

@@ -1,0 +1,93 @@
+// The wave-switching network: an array of wave routers (paper Fig. 2).
+//
+// Each router is the composition of an S0 wormhole router (wh::Fabric), a
+// slice of the PCS control plane (k control VCs sharing S0 link bandwidth)
+// and k wave-pipelined circuit switches (the data plane). This class wires
+// the planes together, injects static faults, owns the per-node interfaces
+// and advances everything in the per-cycle order that gives control
+// traffic link priority.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/control_plane.hpp"
+#include "core/data_plane.hpp"
+#include "core/instrumentation.hpp"
+#include "core/message.hpp"
+#include "core/node_interface.hpp"
+#include "routing/routing.hpp"
+#include "sim/config.hpp"
+#include "sim/rng.hpp"
+#include "wormhole/fabric.hpp"
+
+namespace wavesim::core {
+
+class Network {
+ public:
+  explicit Network(const sim::SimConfig& config);
+
+  const sim::SimConfig& config() const noexcept { return config_; }
+  const topo::KAryNCube& topology() const noexcept { return topology_; }
+  Cycle now() const noexcept { return now_; }
+
+  /// Offer a message; protocol handling starts this cycle.
+  MessageId send(NodeId src, NodeId dest, std::int32_t length);
+
+  /// CARP primitives (valid on any circuit-capable configuration).
+  /// `max_message_flits` sizes the circuit's end-point buffers (0 = use
+  /// the speculative CLRP size).
+  bool establish_circuit(NodeId src, NodeId dest,
+                         std::int32_t max_message_flits = 0);
+  void release_circuit(NodeId src, NodeId dest);
+
+  void step();
+  void run(Cycle cycles);
+
+  // -- component access ----------------------------------------------------
+  const MessageLog& messages() const noexcept { return log_; }
+  wh::Fabric& fabric() noexcept { return fabric_; }
+  const wh::Fabric& fabric() const noexcept { return fabric_; }
+  ControlPlane* control_plane() noexcept { return control_.get(); }
+  const ControlPlane* control_plane() const noexcept { return control_.get(); }
+  DataPlane* data_plane() noexcept { return data_.get(); }
+  const DataPlane* data_plane() const noexcept { return data_.get(); }
+  const CircuitTable& circuits() const noexcept { return circuits_; }
+  NodeInterface& interface(NodeId node) { return *interfaces_.at(node); }
+  const NodeInterface& interface(NodeId node) const {
+    return *interfaces_.at(node);
+  }
+
+  /// Every offered message delivered and all planes drained.
+  bool quiescent() const;
+  std::uint64_t messages_delivered() const;
+
+  /// Number of circuit data channels statically marked faulty.
+  std::int64_t faulty_channels() const noexcept { return faulty_channels_; }
+
+  /// Install an event sink (timelines, debugging, trace capture).
+  void set_event_sink(Instrumentation::Sink sink) {
+    instrumentation_.set_sink(std::move(sink));
+  }
+
+ private:
+  void dispatch_events();
+  void inject_faults();
+
+  sim::SimConfig config_;
+  topo::KAryNCube topology_;
+  std::unique_ptr<route::RoutingAlgorithm> routing_;
+  wh::ExclusiveLinkGate gate_;
+  CircuitTable circuits_;
+  std::unique_ptr<ControlPlane> control_;
+  std::unique_ptr<DataPlane> data_;
+  wh::Fabric fabric_;
+  Instrumentation instrumentation_;
+  MessageLog log_;
+  std::vector<std::unique_ptr<NodeInterface>> interfaces_;
+  sim::Rng rng_;
+  Cycle now_ = 0;
+  std::int64_t faulty_channels_ = 0;
+};
+
+}  // namespace wavesim::core

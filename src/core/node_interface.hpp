@@ -1,0 +1,140 @@
+// Network interface of one node: owns the Circuit Cache, runs the CLRP /
+// CARP protocol decisions for outgoing messages, streams wormhole flits
+// into S0 injection buffers, and reacts to control/data-plane events.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+
+#include "core/circuit_cache.hpp"
+#include "core/control_plane.hpp"
+#include "core/instrumentation.hpp"
+#include "core/data_plane.hpp"
+#include "core/message.hpp"
+#include "core/protocols.hpp"
+#include "sim/config.hpp"
+#include "wormhole/fabric.hpp"
+
+namespace wavesim::core {
+
+class NodeInterface {
+ public:
+  NodeInterface(NodeId node, const sim::SimConfig& config,
+                const topo::KAryNCube& topology, MessageLog& log,
+                CircuitTable& circuits, wh::Fabric& fabric,
+                ControlPlane* control, DataPlane* data,
+                const Instrumentation& instrumentation, sim::Rng rng);
+
+  NodeId node() const noexcept { return node_; }
+
+  /// Accept a message created in the log (src == this node).
+  void submit(MessageId id, Cycle now);
+
+  /// CARP: ask for a circuit toward `dest`. Returns false when the cache
+  /// cannot host the entry (every slot busy). Idempotent while a circuit
+  /// or attempt for `dest` exists. `max_message_flits` sizes the circuit's
+  /// end-point buffers ("buffer size is determined by the longest message
+  /// of the set"); 0 falls back to the CLRP speculative size.
+  bool establish_circuit(NodeId dest, Cycle now,
+                         std::int32_t max_message_flits = 0);
+  /// CARP: tear the circuit down once queued traffic has drained.
+  void release_circuit(NodeId dest, Cycle now);
+
+  // -- event handlers (invoked by Network's dispatch) ----------------------
+  void on_probe_result(const ProbeResult& result, Cycle now);
+  void on_release_demand(const ReleaseDemand& demand, Cycle now);
+  void on_transfer_done(const TransferDone& done, Cycle now);
+
+  /// Per-cycle work: start message transfers on idle circuits and feed
+  /// wormhole injection buffers.
+  void pump(Cycle now);
+
+  const CircuitCache& cache() const noexcept { return cache_; }
+
+  struct Stats {
+    std::uint64_t circuit_messages = 0;
+    std::uint64_t wormhole_messages = 0;
+    std::uint64_t fallback_messages = 0;
+    std::uint64_t setups_started = 0;
+    std::uint64_t setups_succeeded = 0;
+    std::uint64_t setups_failed = 0;
+    std::uint64_t release_demands_honored = 0;
+    std::uint64_t release_demands_discarded = 0;
+    std::uint64_t buffer_reallocs = 0;
+    std::uint64_t packets_sent = 0;
+    std::uint64_t setup_retries = 0;  ///< PCS-only backoff retries
+  };
+  const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  struct DestState {
+    std::deque<MessageId> queue;  ///< waiting for setup outcome / circuit slot
+    std::optional<SetupSequencer> setup;
+    bool release_urgent = false;   ///< CLRP demand: stop after current message
+    bool release_when_drained = false;  ///< CARP: release once queue empties
+    /// CARP buffer request for the circuit being set up (0 = unspecified).
+    std::int32_t carp_buffer_flits = 0;
+    /// PCS-only mode: a failed setup retries after a backoff instead of
+    /// falling back to wormhole switching.
+    bool needs_retry = false;
+    Cycle retry_at = 0;
+  };
+
+  DestState& dest_state(NodeId dest) { return dests_[dest]; }
+  bool circuits_enabled() const noexcept { return control_ != nullptr; }
+  /// Paper section 3.1: stagger InitialSwitch across neighbors, e.g. node
+  /// (x, y) first tries switch (x + y) mod k.
+  std::int32_t initial_switch() const;
+
+  /// Launch the current attempt of ds.setup for dest (circuit exists).
+  void launch_attempt(NodeId dest, DestState& ds, Cycle now);
+  /// Begin a CLRP/CARP setup toward dest. Returns false when the cache
+  /// cannot take the entry.
+  bool start_setup(NodeId dest, SetupSequencer::Mode mode, Cycle now);
+  /// Attempt exhausted or cache entry gone: flush queue to wormhole.
+  void abandon_setup(NodeId dest, DestState& ds, Cycle now);
+  /// Start the next queued message if the circuit is idle.
+  void try_start_transfer(NodeId dest, Cycle now);
+  /// Invalidate the entry and send the teardown flit (circuit idle).
+  void teardown_now(NodeId dest, CacheEntry& entry, Cycle now);
+  /// Resubmit messages (used when a circuit goes away under a queue).
+  void requeue(std::deque<MessageId> msgs, Cycle now);
+  void send_wormhole(MessageId id, MessageMode mode);
+
+  NodeId node_;
+  const sim::SimConfig& config_;
+  const topo::KAryNCube& topology_;
+  MessageLog& log_;
+  CircuitTable& circuits_;
+  wh::Fabric& fabric_;
+  ControlPlane* control_;  ///< null when k == 0 (pure wormhole network)
+  DataPlane* data_;
+  const Instrumentation& instr_;
+  CircuitCache cache_;
+
+  std::map<NodeId, DestState> dests_;
+
+  /// Wormhole injection: pending packets and one active stream per VC.
+  /// Without segmentation a packet is the whole message; with it, packets
+  /// of one message may stream on several VCs concurrently.
+  struct Packet {
+    MessageId msg = kInvalidMessage;
+    NodeId dest = kInvalidNode;
+    std::int32_t start = 0;       ///< message-relative seq of first flit
+    std::int32_t count = 0;       ///< flits in this packet
+    std::int32_t msg_length = 0;
+    Cycle created = 0;
+  };
+  struct Stream {
+    Packet pkt;
+    std::int32_t sent = 0;
+    bool active() const noexcept { return pkt.msg != kInvalidMessage; }
+  };
+  std::deque<Packet> wormhole_pending_;
+  std::vector<Stream> streams_;
+
+  Stats stats_;
+};
+
+}  // namespace wavesim::core

@@ -1,0 +1,55 @@
+#include "core/protocols.hpp"
+
+#include <stdexcept>
+
+namespace wavesim::core {
+
+SetupSequencer::SetupSequencer(Mode mode, sim::ClrpVariant variant,
+                               std::int32_t num_switches,
+                               std::int32_t initial_switch)
+    : mode_(mode), variant_(variant), num_switches_(num_switches),
+      initial_switch_(initial_switch) {
+  if (num_switches < 1) {
+    throw std::invalid_argument("SetupSequencer: num_switches < 1");
+  }
+  if (initial_switch < 0 || initial_switch >= num_switches) {
+    throw std::invalid_argument("SetupSequencer: bad initial switch");
+  }
+  if (mode_ == Mode::kClrp && variant_ == sim::ClrpVariant::kForceFirst) {
+    phase_ = 2;  // skip phase 1 entirely
+  }
+}
+
+std::int32_t SetupSequencer::switches_per_phase() const noexcept {
+  if (mode_ == Mode::kClrp && variant_ == sim::ClrpVariant::kSingleSwitch) {
+    return 1;
+  }
+  return num_switches_;
+}
+
+SetupAttempt SetupSequencer::current() const {
+  if (exhausted_) {
+    throw std::logic_error("SetupSequencer: sequence exhausted");
+  }
+  SetupAttempt attempt;
+  attempt.switch_index = (initial_switch_ + tried_) % num_switches_;
+  attempt.force = mode_ == Mode::kClrp && phase_ == 2;
+  return attempt;
+}
+
+bool SetupSequencer::advance() {
+  if (exhausted_) return false;
+  ++attempts_;
+  ++tried_;
+  if (tried_ < switches_per_phase()) return true;
+  // Phase finished.
+  tried_ = 0;
+  if (mode_ == Mode::kClrp && phase_ == 1) {
+    phase_ = 2;
+    return true;
+  }
+  exhausted_ = true;
+  return false;
+}
+
+}  // namespace wavesim::core

@@ -1,0 +1,64 @@
+// Setup-attempt sequencing for the two routing protocols of the paper.
+//
+// CLRP (section 3.1) establishes a circuit in phases:
+//   phase 1: probe with Force=0 over InitialSwitch, then the next switch
+//            modulo k, until all k switches were tried;
+//   phase 2: probe with Force=1, same switch order;
+//   phase 3: give up -> wormhole (signalled here by exhaustion).
+// The section also names two simplifications, exposed as variants:
+//   kForceFirst   -- set Force on the very first probe (skip phase 1);
+//   kSingleSwitch -- never try more than InitialSwitch in either phase.
+//
+// CARP (section 3.2) tries each switch once with Force=0 and falls back to
+// wormhole switching on exhaustion; Force never applies.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/config.hpp"
+#include "sim/types.hpp"
+
+namespace wavesim::core {
+
+struct SetupAttempt {
+  std::int32_t switch_index = 0;
+  bool force = false;
+
+  friend bool operator==(const SetupAttempt&, const SetupAttempt&) = default;
+};
+
+class SetupSequencer {
+ public:
+  enum class Mode { kClrp, kCarp };
+
+  /// `initial_switch` is the Fig.-5 InitialSwitch field; the paper suggests
+  /// staggering it across neighboring nodes (e.g. (x+y) mod k).
+  SetupSequencer(Mode mode, sim::ClrpVariant variant,
+                 std::int32_t num_switches, std::int32_t initial_switch);
+
+  /// The attempt to launch now.
+  SetupAttempt current() const;
+
+  /// Record a failed attempt and move on. Returns false when the sequence
+  /// is exhausted (CLRP phase 3 / CARP wormhole fallback).
+  bool advance();
+
+  bool exhausted() const noexcept { return exhausted_; }
+  /// 1 or 2 for CLRP (the Force phase); always 1 for CARP.
+  std::int32_t phase() const noexcept { return phase_; }
+  std::int32_t attempts_made() const noexcept { return attempts_; }
+
+ private:
+  std::int32_t switches_per_phase() const noexcept;
+
+  Mode mode_;
+  sim::ClrpVariant variant_;
+  std::int32_t num_switches_;
+  std::int32_t initial_switch_;
+  std::int32_t phase_ = 1;
+  std::int32_t tried_ = 0;  ///< attempts consumed within the current phase
+  std::int32_t attempts_ = 0;
+  bool exhausted_ = false;
+};
+
+}  // namespace wavesim::core

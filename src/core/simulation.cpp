@@ -1,0 +1,104 @@
+#include "core/simulation.hpp"
+
+namespace wavesim::core {
+
+Simulation::Simulation(const sim::SimConfig& config)
+    : network_(std::make_unique<Network>(config)) {}
+
+bool Simulation::run_until_delivered(Cycle max_cycles) {
+  const Cycle deadline = now() + max_cycles;
+  while (!network_->quiescent()) {
+    if (now() >= deadline) return false;
+    network_->step();
+  }
+  return true;
+}
+
+sim::Histogram Simulation::latency_histogram(double lo, double hi,
+                                             std::size_t bins,
+                                             Cycle min_created) const {
+  sim::Histogram hist(lo, hi, bins);
+  for (const auto& rec : network_->messages().all()) {
+    if (!rec.done || rec.created < min_created) continue;
+    hist.add(rec.latency());
+  }
+  return hist;
+}
+
+SimulationStats Simulation::stats(Cycle min_created) const {
+  SimulationStats out;
+  sim::Sample latency;
+  sim::OnlineStats hit_lat;
+  sim::OnlineStats setup_lat;
+  sim::OnlineStats fallback_lat;
+  sim::OnlineStats wormhole_lat;
+  Cycle span_begin = kCycleMax;
+  Cycle span_end = 0;
+
+  for (const auto& rec : network_->messages().all()) {
+    if (rec.created < min_created) continue;
+    ++out.messages_offered;
+    if (!rec.done) continue;
+    ++out.messages_delivered;
+    out.flits_delivered += static_cast<std::uint64_t>(rec.length);
+    latency.add(rec.latency());
+    span_begin = std::min(span_begin, rec.created);
+    span_end = std::max(span_end, rec.delivered);
+    switch (rec.mode) {
+      case MessageMode::kCircuitHit:
+        ++out.circuit_hit_count;
+        hit_lat.add(rec.latency());
+        break;
+      case MessageMode::kCircuitAfterSetup:
+        ++out.circuit_setup_count;
+        setup_lat.add(rec.latency());
+        break;
+      case MessageMode::kWormholeFallback:
+        ++out.fallback_count;
+        fallback_lat.add(rec.latency());
+        break;
+      case MessageMode::kWormholePolicy:
+        ++out.wormhole_count;
+        wormhole_lat.add(rec.latency());
+        break;
+      case MessageMode::kUnset:
+        break;
+    }
+  }
+  out.latency_mean = latency.mean();
+  out.latency_p50 = latency.percentile(50);
+  out.latency_p95 = latency.percentile(95);
+  out.latency_p99 = latency.percentile(99);
+  out.latency_max = latency.max();
+  out.circuit_hit_latency = hit_lat.mean();
+  out.circuit_setup_latency = setup_lat.mean();
+  out.fallback_latency = fallback_lat.mean();
+  out.wormhole_latency = wormhole_lat.mean();
+  if (span_end > span_begin) {
+    const double span = static_cast<double>(span_end - span_begin);
+    out.throughput_flits_per_node_cycle =
+        static_cast<double>(out.flits_delivered) / span /
+        static_cast<double>(network_->topology().num_nodes());
+  }
+
+  for (NodeId n = 0; n < network_->topology().num_nodes(); ++n) {
+    const auto& cache = network_->interface(n).cache();
+    out.cache_hits += cache.hits;
+    out.cache_misses += cache.misses;
+    out.cache_evictions += cache.evictions;
+    out.buffer_reallocs += network_->interface(n).stats().buffer_reallocs;
+  }
+  if (const ControlPlane* cp = network_->control_plane(); cp != nullptr) {
+    const auto& s = cp->stats();
+    out.probes_launched = s.probes_launched;
+    out.probes_succeeded = s.probes_succeeded;
+    out.probes_failed = s.probes_failed;
+    out.probe_backtracks = s.probe_backtracks;
+    out.probe_misroutes = s.probe_misroutes;
+    out.release_requests = s.release_requests_sent;
+    out.teardowns = s.teardowns_started;
+  }
+  return out;
+}
+
+}  // namespace wavesim::core

@@ -1,0 +1,38 @@
+#include "pcs/history.hpp"
+
+#include <stdexcept>
+
+namespace wavesim::pcs {
+
+void HistoryStore::mark(ProbeId probe, NodeId node, PortId out_port) {
+  if (out_port < 0 || out_port >= 32) {
+    throw std::invalid_argument("HistoryStore: port out of mask range");
+  }
+  store_[probe][node] |= 1u << out_port;
+}
+
+bool HistoryStore::searched(ProbeId probe, NodeId node, PortId out_port) const {
+  return (mask(probe, node) >> out_port) & 1u;
+}
+
+std::uint32_t HistoryStore::mask(ProbeId probe, NodeId node) const {
+  const auto probe_it = store_.find(probe);
+  if (probe_it == store_.end()) return 0;
+  const auto node_it = probe_it->second.find(node);
+  if (node_it == probe_it->second.end()) return 0;
+  return node_it->second;
+}
+
+std::int64_t HistoryStore::entries(ProbeId probe) const {
+  const auto probe_it = store_.find(probe);
+  if (probe_it == store_.end()) return 0;
+  std::int64_t total = 0;
+  for (const auto& [node, mask] : probe_it->second) {
+    total += __builtin_popcount(mask);
+  }
+  return total;
+}
+
+void HistoryStore::erase(ProbeId probe) { store_.erase(probe); }
+
+}  // namespace wavesim::pcs

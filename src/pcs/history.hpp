@@ -1,0 +1,42 @@
+// History Store (paper Fig. 3): distributed per-node registers recording,
+// for each in-flight probe, which output links it has already searched, so
+// a backtracking probe never re-searches the same path. Livelock freedom
+// (Theorems 3/4) follows because every advance consumes one (node, port)
+// entry and the network is finite.
+//
+// The simulator centralizes the registers in one container keyed by probe,
+// which is behaviorally identical and makes cleanup on probe completion
+// trivial.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "sim/types.hpp"
+
+namespace wavesim::pcs {
+
+class HistoryStore {
+ public:
+  /// Mark `out_port` at `node` as searched by `probe`.
+  void mark(ProbeId probe, NodeId node, PortId out_port);
+
+  bool searched(ProbeId probe, NodeId node, PortId out_port) const;
+
+  /// Bitmask of searched ports of `probe` at `node` (bit p = port p).
+  std::uint32_t mask(ProbeId probe, NodeId node) const;
+
+  /// Number of (node, port) entries recorded for `probe`.
+  std::int64_t entries(ProbeId probe) const;
+
+  /// Drop all state of a finished probe.
+  void erase(ProbeId probe);
+
+  std::size_t probes_tracked() const noexcept { return store_.size(); }
+
+ private:
+  // probe -> (node -> searched-port bitmask)
+  std::unordered_map<ProbeId, std::unordered_map<NodeId, std::uint32_t>> store_;
+};
+
+}  // namespace wavesim::pcs

@@ -1,0 +1,85 @@
+#include "pcs/mbm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace wavesim::pcs {
+
+std::vector<PortId> ordered_minimal_ports(const topo::KAryNCube& topology,
+                                          NodeId node, NodeId dest) {
+  const auto offsets = topology.min_offsets(node, dest);
+  std::vector<std::pair<std::int32_t, PortId>> scored;
+  for (std::size_t d = 0; d < offsets.size(); ++d) {
+    if (offsets[d] == 0) continue;
+    scored.emplace_back(
+        -std::abs(offsets[d]),
+        topo::KAryNCube::port_of(static_cast<std::int32_t>(d), offsets[d] > 0));
+  }
+  std::sort(scored.begin(), scored.end());
+  std::vector<PortId> ports;
+  ports.reserve(scored.size());
+  for (const auto& [neg_mag, port] : scored) ports.push_back(port);
+  return ports;
+}
+
+MbmDecision decide(const topo::KAryNCube& topology, NodeId node, NodeId dest,
+                   const std::vector<PortView>& view, PortId arrival_port,
+                   std::int32_t misroutes, std::int32_t max_misroutes,
+                   bool force) {
+  if (static_cast<std::int32_t>(view.size()) != topology.num_ports()) {
+    throw std::invalid_argument("mbm::decide: view size mismatch");
+  }
+  if (node == dest) return MbmDecision{MbmAction::kDeliver, kInvalidPort, false};
+
+  const auto minimal = ordered_minimal_ports(topology, node, dest);
+
+  // 1. A free minimal channel pair.
+  for (PortId p : minimal) {
+    if (view[p] == PortView::kAvailable) {
+      return MbmDecision{MbmAction::kAdvance, p, false};
+    }
+  }
+  // 2. Force mode: wait for a minimal channel held by an *established*
+  //    circuit (CLRP will tear it down). Never wait on kBusyPending.
+  if (force) {
+    for (PortId p : minimal) {
+      if (view[p] == PortView::kBusyEstablished) {
+        return MbmDecision{MbmAction::kWaitForce, p, false};
+      }
+    }
+  }
+  // 3. Misroute through any other free pair (never straight back where we
+  //    came from: the reverse hop is what backtracking is for).
+  if (misroutes < max_misroutes) {
+    for (PortId p = 0; p < topology.num_ports(); ++p) {
+      if (view[p] != PortView::kAvailable) continue;
+      // Input port q of a node faces the neighbor in direction q, so the
+      // output link back toward the previous node is port q itself.
+      if (p == arrival_port) continue;
+      // Minimal ports were already rejected above.
+      if (std::find(minimal.begin(), minimal.end(), p) != minimal.end()) {
+        continue;
+      }
+      return MbmDecision{MbmAction::kAdvance, p, true};
+    }
+    // A Force probe may also wait on a non-minimal established circuit if
+    // that is the only way forward within the misroute budget.
+    if (force) {
+      for (PortId p = 0; p < topology.num_ports(); ++p) {
+        if (view[p] != PortView::kBusyEstablished) continue;
+        if (p == arrival_port) continue;
+        if (std::find(minimal.begin(), minimal.end(), p) != minimal.end()) {
+          continue;
+        }
+        // Advancing here after the wait will consume a misroute credit.
+        return MbmDecision{MbmAction::kWaitForce, p, true};
+      }
+    }
+  }
+  // 4. Nothing workable here (including the Theorem-1 case: every
+  //    requested channel belongs to a circuit still being established).
+  return MbmDecision{MbmAction::kBacktrack, kInvalidPort, false};
+}
+
+}  // namespace wavesim::pcs

@@ -1,0 +1,67 @@
+// MB-m: misrouting backtracking probe routing with at most m misroutes
+// (Gaughan & Yalamanchili, used by the paper for circuit setup).
+//
+// decide() is a pure function over the probe's local view of one node:
+// given per-port availability, the history mask and the misroute budget it
+// returns what the probe does this step. The control plane executes the
+// decision (reserving channels, parking Force probes, moving flits).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pcs/probe.hpp"
+#include "topology/topology.hpp"
+
+namespace wavesim::pcs {
+
+/// Availability of the (control, data) channel pair behind one output port
+/// as seen by a probe.
+enum class PortView : std::uint8_t {
+  kAvailable,        ///< free pair, selectable
+  kBusyEstablished,  ///< owned by a circuit whose ack has returned
+  kBusyPending,      ///< owned by a probe or a circuit still awaiting ack
+  kUnusable,         ///< faulty, searched (history), or off the mesh edge
+};
+
+enum class MbmAction : std::uint8_t {
+  kAdvance,    ///< reserve `port` and move forward
+  kDeliver,    ///< probe is at the destination: return the ack
+  kWaitForce,  ///< Force probe waits for `port`'s established circuit
+  kBacktrack,  ///< give up at this node, return over the reverse mapping
+};
+
+struct MbmDecision {
+  MbmAction action = MbmAction::kBacktrack;
+  PortId port = kInvalidPort;
+  bool misroute = false;  ///< the advance consumes one misroute credit
+
+  friend bool operator==(const MbmDecision&, const MbmDecision&) = default;
+};
+
+/// One probe-routing step at `node`.
+///
+/// Preference order (minimal ports sorted by largest remaining offset):
+///   1. minimal available port                         -> advance
+///   2. [force] minimal port busy w/ established circuit -> wait (tear down)
+///   3. available misroute port, if misroutes < m      -> advance (misroute)
+///   4. otherwise                                      -> backtrack
+/// Matching the paper: a Force probe never waits on a channel that belongs
+/// to a circuit still being established -- it backtracks instead, which is
+/// the linchpin of the Theorem-1 deadlock-freedom argument.
+///
+/// `view[p]` must already fold in history, faults and mesh edges
+/// (kUnusable). `arrival_port` is the input port the probe occupies at
+/// `node` (kInvalidPort at the source); its opposite direction is excluded
+/// from misroute candidates.
+MbmDecision decide(const topo::KAryNCube& topology, NodeId node, NodeId dest,
+                   const std::vector<PortView>& view, PortId arrival_port,
+                   std::int32_t misroutes, std::int32_t max_misroutes,
+                   bool force);
+
+/// Minimal ports toward dest ordered by descending remaining offset
+/// magnitude (ties by port index). Exposed for tests.
+std::vector<PortId> ordered_minimal_ports(const topo::KAryNCube& topology,
+                                          NodeId node, NodeId dest);
+
+}  // namespace wavesim::pcs

@@ -1,0 +1,15 @@
+#include "pcs/probe.hpp"
+
+namespace wavesim::pcs {
+
+const char* to_string(ControlKind kind) noexcept {
+  switch (kind) {
+    case ControlKind::kProbe: return "probe";
+    case ControlKind::kAck: return "ack";
+    case ControlKind::kTeardown: return "teardown";
+    case ControlKind::kReleaseRequest: return "release-request";
+  }
+  return "?";
+}
+
+}  // namespace wavesim::pcs

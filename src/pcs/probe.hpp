@@ -1,0 +1,45 @@
+// Probe and control-flit formats for pipelined circuit switching
+// (paper Fig. 4 plus the teardown / ack / release-request control flits
+// described in sections 2 and 3).
+#pragma once
+
+#include "sim/types.hpp"
+
+namespace wavesim::pcs {
+
+/// Routing probe (paper Fig. 4). The paper encodes per-dimension offsets;
+/// we carry (src, dest) and recompute offsets at each node, which is
+/// informationally identical on a k-ary n-cube.
+struct Probe {
+  ProbeId id = kInvalidProbe;
+  CircuitId circuit = kInvalidCircuit;  ///< circuit being established
+  NodeId src = kInvalidNode;
+  NodeId dest = kInvalidNode;
+  /// Header bit of Fig. 4 is implied by ControlFlit::kind == kProbe.
+  bool backtrack = false;     ///< progressing or backtracking
+  std::int32_t misroutes = 0; ///< misrouting operations on the current path
+  bool force = false;         ///< CLRP phase-2: tear down established circuits
+  std::int32_t switch_index = 0;  ///< which wave switch S_{i+1} is searched
+};
+
+enum class ControlKind : std::uint8_t {
+  kProbe,           ///< path search (forward or backtracking)
+  kAck,             ///< path-setup acknowledgment, travels dest -> src
+  kTeardown,        ///< circuit release, travels src -> dest
+  kReleaseRequest,  ///< ask a circuit's source to release it, travels
+                    ///< toward the source over the reverse control path
+};
+
+const char* to_string(ControlKind kind) noexcept;
+
+/// One flit on a control channel. Control channels are single-flit VCs of
+/// the S0 physical channels, so at most one ControlFlit occupies a given
+/// control channel at a time.
+struct ControlFlit {
+  ControlKind kind = ControlKind::kProbe;
+  Probe probe;                           ///< valid when kind == kProbe
+  CircuitId circuit = kInvalidCircuit;   ///< subject circuit (ack/teardown/release)
+  std::int32_t switch_index = 0;         ///< wave switch the circuit lives on
+};
+
+}  // namespace wavesim::pcs

@@ -1,0 +1,150 @@
+#include "pcs/registers.hpp"
+
+#include <stdexcept>
+
+namespace wavesim::pcs {
+
+const char* to_string(ChannelStatus status) noexcept {
+  switch (status) {
+    case ChannelStatus::kFree: return "free";
+    case ChannelStatus::kReservedByProbe: return "reserved";
+    case ChannelStatus::kBusyCircuit: return "busy";
+    case ChannelStatus::kFaulty: return "faulty";
+  }
+  return "?";
+}
+
+SwitchRegisters::SwitchRegisters(std::int32_t num_ports) : out_(num_ports) {
+  if (num_ports < 1) {
+    throw std::invalid_argument("SwitchRegisters: num_ports < 1");
+  }
+}
+
+const SwitchRegisters::OutChannel& SwitchRegisters::at(PortId out_port) const {
+  return out_.at(out_port);
+}
+
+SwitchRegisters::OutChannel& SwitchRegisters::at(PortId out_port) {
+  return out_.at(out_port);
+}
+
+ChannelStatus SwitchRegisters::status(PortId out_port) const {
+  return at(out_port).status;
+}
+
+ProbeId SwitchRegisters::reserving_probe(PortId out_port) const {
+  return at(out_port).probe;
+}
+
+CircuitId SwitchRegisters::owning_circuit(PortId out_port) const {
+  return at(out_port).circuit;
+}
+
+bool SwitchRegisters::ack_returned(PortId out_port) const {
+  return at(out_port).ack_returned;
+}
+
+void SwitchRegisters::reserve(PortId out_port, ProbeId probe, PortId in_port) {
+  OutChannel& ch = at(out_port);
+  if (ch.status != ChannelStatus::kFree) {
+    throw std::logic_error("SwitchRegisters::reserve on non-free channel");
+  }
+  ch.status = ChannelStatus::kReservedByProbe;
+  ch.probe = probe;
+  ch.circuit = kInvalidCircuit;
+  ch.ack_returned = false;
+  ch.in_port = in_port;
+}
+
+void SwitchRegisters::release_reservation(PortId out_port) {
+  OutChannel& ch = at(out_port);
+  if (ch.status != ChannelStatus::kReservedByProbe) {
+    throw std::logic_error("release_reservation on non-reserved channel");
+  }
+  ch = OutChannel{};
+}
+
+void SwitchRegisters::commit(PortId out_port, CircuitId circuit) {
+  OutChannel& ch = at(out_port);
+  if (ch.status != ChannelStatus::kReservedByProbe) {
+    throw std::logic_error("commit on non-reserved channel");
+  }
+  ch.status = ChannelStatus::kBusyCircuit;
+  ch.probe = kInvalidProbe;
+  ch.circuit = circuit;
+}
+
+void SwitchRegisters::mark_ack_returned(PortId out_port) {
+  OutChannel& ch = at(out_port);
+  if (ch.status != ChannelStatus::kBusyCircuit) {
+    throw std::logic_error("mark_ack_returned on non-circuit channel");
+  }
+  ch.ack_returned = true;
+}
+
+void SwitchRegisters::release_circuit(PortId out_port) {
+  OutChannel& ch = at(out_port);
+  if (ch.status != ChannelStatus::kBusyCircuit) {
+    throw std::logic_error("release_circuit on non-circuit channel");
+  }
+  ch = OutChannel{};
+}
+
+void SwitchRegisters::mark_faulty(PortId out_port) {
+  OutChannel& ch = at(out_port);
+  if (ch.status != ChannelStatus::kFree) {
+    throw std::logic_error("mark_faulty on non-free channel");
+  }
+  ch = OutChannel{};
+  ch.status = ChannelStatus::kFaulty;
+}
+
+PortId SwitchRegisters::direct_map(PortId in_port) const {
+  for (PortId p = 0; p < num_ports(); ++p) {
+    const OutChannel& ch = out_[p];
+    if (ch.status != ChannelStatus::kFree &&
+        ch.status != ChannelStatus::kFaulty && ch.in_port == in_port) {
+      return p;
+    }
+  }
+  return kInvalidPort;
+}
+
+PortId SwitchRegisters::reverse_map(PortId out_port) const {
+  const OutChannel& ch = at(out_port);
+  if (ch.status == ChannelStatus::kFree || ch.status == ChannelStatus::kFaulty) {
+    return kInvalidPort;
+  }
+  return ch.in_port;
+}
+
+std::int32_t SwitchRegisters::count(ChannelStatus status_value) const {
+  std::int32_t n = 0;
+  for (const auto& ch : out_) n += ch.status == status_value ? 1 : 0;
+  return n;
+}
+
+RegisterFile::RegisterFile(const topo::KAryNCube& topology,
+                           std::int32_t num_switches)
+    : num_switches_(num_switches) {
+  if (num_switches < 1) {
+    throw std::invalid_argument("RegisterFile: num_switches < 1");
+  }
+  regs_.reserve(static_cast<std::size_t>(topology.num_nodes()) * num_switches);
+  for (NodeId n = 0; n < topology.num_nodes(); ++n) {
+    for (std::int32_t s = 0; s < num_switches; ++s) {
+      regs_.emplace_back(topology.num_ports());
+    }
+  }
+}
+
+SwitchRegisters& RegisterFile::at(NodeId node, std::int32_t switch_index) {
+  return regs_.at(static_cast<std::size_t>(node) * num_switches_ + switch_index);
+}
+
+const SwitchRegisters& RegisterFile::at(NodeId node,
+                                        std::int32_t switch_index) const {
+  return regs_.at(static_cast<std::size_t>(node) * num_switches_ + switch_index);
+}
+
+}  // namespace wavesim::pcs

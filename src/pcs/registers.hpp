@@ -1,0 +1,94 @@
+// Status registers of the PCS routing control unit (paper Fig. 3).
+//
+// For every wave switch S_i and every node, the unit tracks per output
+// channel: free/reserved/busy/faulty status (a control channel and its
+// paired data channel are reserved together, so a single status covers the
+// pair), the direct and reverse mappings between input and output channels
+// of the circuits/probes crossing the node, and the Ack-Returned bit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hpp"
+#include "topology/topology.hpp"
+
+namespace wavesim::pcs {
+
+/// Pseudo-port used in mappings for circuits that start (input side) or
+/// terminate (output side) at this node.
+inline constexpr PortId kLocalEndpoint = -2;
+
+enum class ChannelStatus : std::uint8_t {
+  kFree,
+  kReservedByProbe,  ///< a probe holds the pair while searching
+  kBusyCircuit,      ///< an established (or establishing-won) circuit owns it
+  kFaulty,           ///< static fault; never selectable
+};
+
+const char* to_string(ChannelStatus status) noexcept;
+
+/// Registers of one (node, wave switch) pair.
+class SwitchRegisters {
+ public:
+  explicit SwitchRegisters(std::int32_t num_ports);
+
+  std::int32_t num_ports() const noexcept {
+    return static_cast<std::int32_t>(out_.size());
+  }
+
+  ChannelStatus status(PortId out_port) const;
+  ProbeId reserving_probe(PortId out_port) const;
+  CircuitId owning_circuit(PortId out_port) const;
+  bool ack_returned(PortId out_port) const;
+
+  /// Reserve the (control, data) channel pair for a searching probe.
+  void reserve(PortId out_port, ProbeId probe, PortId in_port);
+  /// Probe backtracked: release the reservation.
+  void release_reservation(PortId out_port);
+  /// Probe succeeded: the pair now belongs to `circuit` (still awaiting ack).
+  void commit(PortId out_port, CircuitId circuit);
+  /// Ack passed through on its way back to the source.
+  void mark_ack_returned(PortId out_port);
+  /// Teardown: the pair is free again.
+  void release_circuit(PortId out_port);
+  void mark_faulty(PortId out_port);
+
+  /// Mapping queries (paper: Direct / Reverse Channel Mappings). Input and
+  /// output are ports of this node; kLocalEndpoint marks circuit ends.
+  PortId direct_map(PortId in_port) const;   ///< in  -> out
+  PortId reverse_map(PortId out_port) const; ///< out -> in
+
+  /// Count of channels in each status (diagnostics / tests).
+  std::int32_t count(ChannelStatus status) const;
+
+ private:
+  struct OutChannel {
+    ChannelStatus status = ChannelStatus::kFree;
+    ProbeId probe = kInvalidProbe;
+    CircuitId circuit = kInvalidCircuit;
+    bool ack_returned = false;
+    PortId in_port = kInvalidPort;  ///< reverse mapping
+  };
+
+  const OutChannel& at(PortId out_port) const;
+  OutChannel& at(PortId out_port);
+
+  std::vector<OutChannel> out_;
+};
+
+/// All PCS registers of the network: [node][switch_index].
+class RegisterFile {
+ public:
+  RegisterFile(const topo::KAryNCube& topology, std::int32_t num_switches);
+
+  std::int32_t num_switches() const noexcept { return num_switches_; }
+  SwitchRegisters& at(NodeId node, std::int32_t switch_index);
+  const SwitchRegisters& at(NodeId node, std::int32_t switch_index) const;
+
+ private:
+  std::int32_t num_switches_;
+  std::vector<SwitchRegisters> regs_;  // node-major
+};
+
+}  // namespace wavesim::pcs

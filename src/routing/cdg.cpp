@@ -1,0 +1,160 @@
+#include "routing/cdg.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wavesim::route {
+
+ChannelDependencyGraph::ChannelDependencyGraph(const topo::KAryNCube& topology,
+                                               std::int32_t num_vcs)
+    : topology_(topology), num_vcs_(num_vcs),
+      adj_(static_cast<std::size_t>(topology.num_channels()) * num_vcs) {}
+
+std::int32_t ChannelDependencyGraph::num_vertices() const noexcept {
+  return static_cast<std::int32_t>(adj_.size());
+}
+
+std::int32_t ChannelDependencyGraph::vertex(NodeId node, PortId port,
+                                            VcId vc) const noexcept {
+  return topology_.channel_index(node, port) * num_vcs_ + vc;
+}
+
+void ChannelDependencyGraph::add_edge(std::int32_t from, std::int32_t to) {
+  adj_.at(from).push_back(to);
+  ++num_edges_;
+}
+
+bool ChannelDependencyGraph::acyclic() const { return find_cycle().empty(); }
+
+std::vector<std::int32_t> ChannelDependencyGraph::find_cycle() const {
+  // Iterative DFS with tri-coloring; reconstructs the cycle on detection.
+  enum class Color : std::uint8_t { kWhite, kGray, kBlack };
+  std::vector<Color> color(adj_.size(), Color::kWhite);
+  std::vector<std::int32_t> parent(adj_.size(), -1);
+
+  for (std::int32_t root = 0; root < num_vertices(); ++root) {
+    if (color[root] != Color::kWhite) continue;
+    // Stack holds (vertex, next child index).
+    std::vector<std::pair<std::int32_t, std::size_t>> stack;
+    stack.emplace_back(root, 0);
+    color[root] = Color::kGray;
+    while (!stack.empty()) {
+      auto& [v, next] = stack.back();
+      if (next < adj_[v].size()) {
+        const std::int32_t child = adj_[v][next++];
+        if (color[child] == Color::kWhite) {
+          color[child] = Color::kGray;
+          parent[child] = v;
+          stack.emplace_back(child, 0);
+        } else if (color[child] == Color::kGray) {
+          // Cycle: walk parents from v back to child.
+          std::vector<std::int32_t> cycle{child};
+          for (std::int32_t walk = v; walk != child; walk = parent[walk]) {
+            cycle.push_back(walk);
+          }
+          std::reverse(cycle.begin(), cycle.end());
+          return cycle;
+        }
+      } else {
+        color[v] = Color::kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+  return {};
+}
+
+namespace {
+
+/// Escape-candidate vertex ids requested from `node` onward to `dest`
+/// through chains of adaptive channels (extended-dependency closure).
+/// Minimal routing guarantees the per-destination node graph is a DAG, so
+/// plain memoized recursion terminates.
+class EscapeClosure {
+ public:
+  EscapeClosure(const topo::KAryNCube& topology,
+                const RoutingAlgorithm& routing,
+                const ChannelDependencyGraph& graph, NodeId dest)
+      : topology_(topology), routing_(routing), graph_(graph), dest_(dest),
+        memo_(topology.num_nodes()) {}
+
+  const std::vector<std::int32_t>& requests_from(NodeId node) {
+    auto& entry = memo_.at(node);
+    if (entry.done) return entry.requests;
+    entry.done = true;  // set first; DAG property makes re-entry impossible
+    if (node == dest_) return entry.requests;
+    for (const auto& cand :
+         routing_.route(node, kInvalidPort, kInvalidVc, dest_)) {
+      if (cand.escape) {
+        entry.requests.push_back(graph_.vertex(node, cand.port, cand.vc));
+      } else {
+        const NodeId next = topology_.neighbor(node, cand.port);
+        if (next == kInvalidNode || next == dest_) continue;
+        const auto& deeper = requests_from(next);
+        entry.requests.insert(entry.requests.end(), deeper.begin(),
+                              deeper.end());
+      }
+    }
+    std::sort(entry.requests.begin(), entry.requests.end());
+    entry.requests.erase(
+        std::unique(entry.requests.begin(), entry.requests.end()),
+        entry.requests.end());
+    return entry.requests;
+  }
+
+ private:
+  struct Memo {
+    bool done = false;
+    std::vector<std::int32_t> requests;
+  };
+  const topo::KAryNCube& topology_;
+  const RoutingAlgorithm& routing_;
+  const ChannelDependencyGraph& graph_;
+  NodeId dest_;
+  std::vector<Memo> memo_;
+};
+
+}  // namespace
+
+ChannelDependencyGraph build_cdg(const topo::KAryNCube& topology,
+                                 const RoutingAlgorithm& routing,
+                                 std::int32_t num_vcs, bool escape_only) {
+  ChannelDependencyGraph graph(topology, num_vcs);
+  // Both routing algorithms in this library are stateless in (in_port,
+  // in_vc), and any node can be a source, so every candidate offered at a
+  // node toward a destination is a holdable channel.
+  std::vector<std::pair<std::int32_t, std::int32_t>> edges;
+  for (NodeId dest = 0; dest < topology.num_nodes(); ++dest) {
+    EscapeClosure closure(topology, routing, graph, dest);
+    for (NodeId node = 0; node < topology.num_nodes(); ++node) {
+      if (node == dest) continue;
+      for (const auto& held :
+           routing.route(node, kInvalidPort, kInvalidVc, dest)) {
+        if (escape_only && !held.escape) continue;
+        const NodeId next = topology.neighbor(node, held.port);
+        if (next == kInvalidNode || next == dest) continue;
+        const std::int32_t from = graph.vertex(node, held.port, held.vc);
+        if (escape_only) {
+          // Extended dependencies: direct escape requests at `next` plus
+          // escape requests reachable through adaptive chains.
+          for (std::int32_t to : closure.requests_from(next)) {
+            edges.emplace_back(from, to);
+          }
+        } else {
+          for (const auto& req :
+               routing.route(next, topo::KAryNCube::opposite(held.port),
+                             held.vc, dest)) {
+            edges.emplace_back(from,
+                               graph.vertex(next, req.port, req.vc));
+          }
+        }
+      }
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  for (const auto& [from, to] : edges) graph.add_edge(from, to);
+  return graph;
+}
+
+}  // namespace wavesim::route

@@ -1,0 +1,50 @@
+// Channel-dependency-graph construction and acyclicity checking.
+//
+// Vertices are virtual channels (node, out-port, vc); an edge c1 -> c2
+// means some packet can hold c1 while requesting c2. Dally & Seitz: a
+// deterministic routing algorithm is deadlock-free iff this graph is
+// acyclic. Duato: an adaptive algorithm is deadlock-free if the CDG
+// restricted to its escape channels is acyclic (and escape candidates are
+// always offered). Both checks run structurally, before any simulation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "routing/routing.hpp"
+#include "topology/topology.hpp"
+
+namespace wavesim::route {
+
+class ChannelDependencyGraph {
+ public:
+  ChannelDependencyGraph(const topo::KAryNCube& topology, std::int32_t num_vcs);
+
+  std::int32_t num_vertices() const noexcept;
+  std::int32_t vertex(NodeId node, PortId port, VcId vc) const noexcept;
+
+  void add_edge(std::int32_t from, std::int32_t to);
+  std::int64_t num_edges() const noexcept { return num_edges_; }
+
+  /// True iff the graph has no directed cycle (iterative DFS).
+  bool acyclic() const;
+
+  /// One directed cycle (vertex list) if any exists, else empty.
+  std::vector<std::int32_t> find_cycle() const;
+
+ private:
+  const topo::KAryNCube& topology_;
+  std::int32_t num_vcs_;
+  std::vector<std::vector<std::int32_t>> adj_;
+  std::int64_t num_edges_ = 0;
+};
+
+/// Exact CDG of an adaptive routing relation: BFS over (held channel)
+/// states per destination, adding an edge for every candidate the relation
+/// offers from a reachable state. `escape_only` restricts both the held
+/// and requested channels to escape candidates (Duato's escape subnet).
+ChannelDependencyGraph build_cdg(const topo::KAryNCube& topology,
+                                 const RoutingAlgorithm& routing,
+                                 std::int32_t num_vcs, bool escape_only);
+
+}  // namespace wavesim::route

@@ -1,0 +1,33 @@
+// Deterministic dimension-order routing (e-cube).
+//
+// Mesh: any VC may be used; the CDG is acyclic because each dimension is an
+// acyclic chain and dependencies only flow to higher dimensions.
+// Torus: two VC classes per dimension break the wraparound cycle (Dally &
+// Seitz dateline scheme); class is computed statelessly from the current
+// and destination coordinates. VCs are partitioned: class 0 = lower half,
+// class 1 = upper half (requires >= 2 VCs).
+#pragma once
+
+#include "routing/routing.hpp"
+
+namespace wavesim::route {
+
+class DimensionOrderRouting final : public RoutingAlgorithm {
+ public:
+  DimensionOrderRouting(const topo::KAryNCube& topology, std::int32_t num_vcs);
+
+  std::vector<RouteCandidate> route(NodeId node, PortId in_port, VcId in_vc,
+                                    NodeId dest) const override;
+  std::int32_t min_vcs() const noexcept override;
+  bool minimal() const noexcept override { return true; }
+  const char* name() const noexcept override { return "dor"; }
+
+  /// VCs belonging to dateline class `cls` (all VCs on a mesh).
+  std::vector<VcId> vcs_of_class(std::int32_t cls) const;
+
+ private:
+  const topo::KAryNCube& topology_;
+  std::int32_t num_vcs_;
+};
+
+}  // namespace wavesim::route

@@ -1,0 +1,49 @@
+#include "routing/duato.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace wavesim::route {
+
+DuatoAdaptiveRouting::DuatoAdaptiveRouting(const topo::KAryNCube& topology,
+                                           std::int32_t num_vcs)
+    : topology_(topology), num_vcs_(num_vcs),
+      escape_vcs_(topology.torus() ? 2 : 1) {
+  if (num_vcs_ < min_vcs()) {
+    throw std::invalid_argument("DuatoAdaptiveRouting: too few VCs");
+  }
+}
+
+std::int32_t DuatoAdaptiveRouting::min_vcs() const noexcept {
+  return escape_vcs_ + 1;
+}
+
+std::vector<RouteCandidate> DuatoAdaptiveRouting::route(NodeId node,
+                                                        PortId /*in_port*/,
+                                                        VcId /*in_vc*/,
+                                                        NodeId dest) const {
+  assert(node != dest);
+  std::vector<RouteCandidate> candidates;
+  // Adaptive channels first (preferred): every minimal port, every
+  // adaptive VC.
+  for (PortId port : topology_.minimal_ports(node, dest)) {
+    for (VcId vc = escape_vcs_; vc < num_vcs_; ++vc) {
+      candidates.push_back(RouteCandidate{port, vc, /*escape=*/false});
+    }
+  }
+  // Escape channel last: the dimension-order hop on the escape VC of the
+  // proper dateline class.
+  const auto offsets = topology_.min_offsets(node, dest);
+  const std::int32_t dim = detail::first_unresolved_dim(offsets);
+  if (dim >= 0) {
+    const bool positive = offsets[dim] > 0;
+    const PortId port = topo::KAryNCube::port_of(dim, positive);
+    const VcId vc = topology_.torus()
+        ? detail::torus_vc_class(topology_, node, dest, dim, positive)
+        : 0;
+    candidates.push_back(RouteCandidate{port, vc, /*escape=*/true});
+  }
+  return candidates;
+}
+
+}  // namespace wavesim::route

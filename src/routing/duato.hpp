@@ -1,0 +1,36 @@
+// Duato's fully adaptive minimal routing (Duato 93/95).
+//
+// VCs are partitioned into an escape set implementing dimension-order
+// routing (1 class on mesh, 2 dateline classes on torus) and an adaptive
+// set usable on every minimal direction. Deadlock freedom follows from
+// Duato's theorem: the escape subnetwork's extended CDG is acyclic and an
+// escape candidate is offered at every routing step.
+//
+// VC layout per physical channel: VCs [0, escape_vcs) are escape channels,
+// VCs [escape_vcs, num_vcs) are adaptive channels.
+#pragma once
+
+#include "routing/routing.hpp"
+
+namespace wavesim::route {
+
+class DuatoAdaptiveRouting final : public RoutingAlgorithm {
+ public:
+  DuatoAdaptiveRouting(const topo::KAryNCube& topology, std::int32_t num_vcs);
+
+  std::vector<RouteCandidate> route(NodeId node, PortId in_port, VcId in_vc,
+                                    NodeId dest) const override;
+  std::int32_t min_vcs() const noexcept override;
+  bool minimal() const noexcept override { return true; }
+  const char* name() const noexcept override { return "duato"; }
+
+  std::int32_t escape_vcs() const noexcept { return escape_vcs_; }
+  bool is_escape_vc(VcId vc) const noexcept { return vc < escape_vcs_; }
+
+ private:
+  const topo::KAryNCube& topology_;
+  std::int32_t num_vcs_;
+  std::int32_t escape_vcs_;
+};
+
+}  // namespace wavesim::route

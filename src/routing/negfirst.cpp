@@ -1,0 +1,48 @@
+#include "routing/negfirst.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace wavesim::route {
+
+NegativeFirstRouting::NegativeFirstRouting(const topo::KAryNCube& topology,
+                                           std::int32_t num_vcs)
+    : topology_(topology), num_vcs_(num_vcs) {
+  if (topology.torus()) {
+    throw std::invalid_argument("NegativeFirstRouting: meshes only");
+  }
+  if (num_vcs < 1) throw std::invalid_argument("NegativeFirstRouting: no VCs");
+}
+
+std::vector<RouteCandidate> NegativeFirstRouting::route(NodeId node,
+                                                        PortId /*in_port*/,
+                                                        VcId /*in_vc*/,
+                                                        NodeId dest) const {
+  assert(node != dest);
+  const auto offsets = topology_.min_offsets(node, dest);
+  std::vector<RouteCandidate> candidates;
+  // Negative phase: adaptive among every dimension still needing a
+  // negative hop. Positive hops must wait (turns back to negative are
+  // prohibited, so negative legs can never be deferred).
+  for (std::size_t d = 0; d < offsets.size(); ++d) {
+    if (offsets[d] >= 0) continue;
+    const PortId port =
+        topo::KAryNCube::port_of(static_cast<std::int32_t>(d), false);
+    for (VcId v = 0; v < num_vcs_; ++v) {
+      candidates.push_back(RouteCandidate{port, v, /*escape=*/true});
+    }
+  }
+  if (!candidates.empty()) return candidates;
+  // Positive phase: adaptive among the remaining dimensions.
+  for (std::size_t d = 0; d < offsets.size(); ++d) {
+    if (offsets[d] <= 0) continue;
+    const PortId port =
+        topo::KAryNCube::port_of(static_cast<std::int32_t>(d), true);
+    for (VcId v = 0; v < num_vcs_; ++v) {
+      candidates.push_back(RouteCandidate{port, v, /*escape=*/true});
+    }
+  }
+  return candidates;
+}
+
+}  // namespace wavesim::route

@@ -1,0 +1,30 @@
+// Negative-first turn-model routing (Glass & Ni) for meshes of any
+// dimensionality.
+//
+// The packet first takes every required negative-direction hop (adaptively
+// among the negative dimensions), then every positive-direction hop
+// (adaptively among the positive dimensions). Turns from a positive to a
+// negative direction are prohibited, which removes all CDG cycles on a
+// mesh: deadlock-free with a single virtual channel.
+#pragma once
+
+#include "routing/routing.hpp"
+
+namespace wavesim::route {
+
+class NegativeFirstRouting final : public RoutingAlgorithm {
+ public:
+  NegativeFirstRouting(const topo::KAryNCube& topology, std::int32_t num_vcs);
+
+  std::vector<RouteCandidate> route(NodeId node, PortId in_port, VcId in_vc,
+                                    NodeId dest) const override;
+  std::int32_t min_vcs() const noexcept override { return 1; }
+  bool minimal() const noexcept override { return true; }
+  const char* name() const noexcept override { return "negative-first"; }
+
+ private:
+  const topo::KAryNCube& topology_;
+  std::int32_t num_vcs_;
+};
+
+}  // namespace wavesim::route

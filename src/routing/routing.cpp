@@ -1,0 +1,28 @@
+#include "routing/routing.hpp"
+
+#include <stdexcept>
+
+#include "routing/dor.hpp"
+#include "routing/duato.hpp"
+#include "routing/negfirst.hpp"
+#include "routing/westfirst.hpp"
+
+namespace wavesim::route {
+
+std::unique_ptr<RoutingAlgorithm> make_routing(sim::RoutingKind kind,
+                                               const topo::KAryNCube& topology,
+                                               std::int32_t num_vcs) {
+  switch (kind) {
+    case sim::RoutingKind::kDimensionOrder:
+      return std::make_unique<DimensionOrderRouting>(topology, num_vcs);
+    case sim::RoutingKind::kDuatoAdaptive:
+      return std::make_unique<DuatoAdaptiveRouting>(topology, num_vcs);
+    case sim::RoutingKind::kWestFirst:
+      return std::make_unique<WestFirstRouting>(topology, num_vcs);
+    case sim::RoutingKind::kNegativeFirst:
+      return std::make_unique<NegativeFirstRouting>(topology, num_vcs);
+  }
+  throw std::invalid_argument("make_routing: unknown RoutingKind");
+}
+
+}  // namespace wavesim::route

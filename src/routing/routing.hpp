@@ -1,0 +1,65 @@
+// Wormhole-plane routing algorithms.
+//
+// A routing algorithm is a stateless function: given the packet's current
+// node, the (port, vc) it occupies there (injection = kInvalidPort) and its
+// destination, it returns the set of (output port, output VC) candidates.
+// Candidates are ordered by preference; deadlock-freedom requires that the
+// subset marked `escape` forms an acyclic channel-dependency graph and is
+// offered at every step (Duato's condition; for deterministic algorithms
+// every candidate is an escape candidate).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "sim/types.hpp"
+#include "topology/topology.hpp"
+
+namespace wavesim::route {
+
+struct RouteCandidate {
+  PortId port = kInvalidPort;
+  VcId vc = kInvalidVc;
+  bool escape = false;  ///< belongs to the deadlock-free escape subnetwork
+
+  friend bool operator==(const RouteCandidate&, const RouteCandidate&) = default;
+};
+
+class RoutingAlgorithm {
+ public:
+  virtual ~RoutingAlgorithm() = default;
+
+  /// Candidate outputs for a head flit at `node` on (in_port, in_vc),
+  /// destined for `dest`. Precondition: node != dest (ejection is the
+  /// router's job). in_port == kInvalidPort means the packet is injecting.
+  virtual std::vector<RouteCandidate> route(NodeId node, PortId in_port,
+                                            VcId in_vc, NodeId dest) const = 0;
+
+  /// Minimum number of VCs per physical channel this algorithm requires.
+  virtual std::int32_t min_vcs() const noexcept = 0;
+
+  /// True if the algorithm only ever produces minimal hops (needed for the
+  /// livelock argument of Theorems 3/4).
+  virtual bool minimal() const noexcept = 0;
+
+  virtual const char* name() const noexcept = 0;
+};
+
+/// Factory keyed by SimConfig's RoutingKind.
+std::unique_ptr<RoutingAlgorithm> make_routing(sim::RoutingKind kind,
+                                               const topo::KAryNCube& topology,
+                                               std::int32_t num_vcs);
+
+namespace detail {
+/// First dimension with a nonzero minimal offset, or -1 if none.
+std::int32_t first_unresolved_dim(const std::vector<std::int32_t>& offsets);
+
+/// VC class (0 or 1) for torus DOR in dimension `dim`: class 0 when the
+/// remaining segment in this dimension does not cross the wraparound,
+/// class 1 when it will (or the packet is on the pre-wrap segment).
+std::int32_t torus_vc_class(const topo::KAryNCube& topology, NodeId node,
+                            NodeId dest, std::int32_t dim, bool positive);
+}  // namespace detail
+
+}  // namespace wavesim::route

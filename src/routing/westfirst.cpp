@@ -1,0 +1,42 @@
+#include "routing/westfirst.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace wavesim::route {
+
+WestFirstRouting::WestFirstRouting(const topo::KAryNCube& topology,
+                                   std::int32_t num_vcs)
+    : topology_(topology), num_vcs_(num_vcs) {
+  if (topology.torus() || topology.num_dims() != 2) {
+    throw std::invalid_argument("WestFirstRouting: needs a 2-D mesh");
+  }
+  if (num_vcs < 1) throw std::invalid_argument("WestFirstRouting: no VCs");
+}
+
+std::vector<RouteCandidate> WestFirstRouting::route(NodeId node,
+                                                    PortId /*in_port*/,
+                                                    VcId /*in_vc*/,
+                                                    NodeId dest) const {
+  assert(node != dest);
+  const auto offsets = topology_.min_offsets(node, dest);
+  std::vector<RouteCandidate> candidates;
+  if (offsets[0] < 0) {
+    // West leg: deterministic, exhaust it before anything else (turns
+    // into west are prohibited, so west hops can never come later).
+    const PortId west = topo::KAryNCube::port_of(0, false);
+    for (VcId v = 0; v < num_vcs_; ++v) {
+      candidates.push_back(RouteCandidate{west, v, /*escape=*/true});
+    }
+    return candidates;
+  }
+  // Adaptive among the remaining minimal directions (east, north, south).
+  for (PortId port : topology_.minimal_ports(node, dest)) {
+    for (VcId v = 0; v < num_vcs_; ++v) {
+      candidates.push_back(RouteCandidate{port, v, /*escape=*/true});
+    }
+  }
+  return candidates;
+}
+
+}  // namespace wavesim::route

@@ -1,0 +1,30 @@
+// West-first turn-model routing (Glass & Ni) for 2-D meshes.
+//
+// All west (negative-x) hops are taken first and deterministically; once
+// the packet no longer needs to go west it routes adaptively among the
+// remaining minimal directions (east / north / south). Prohibiting the
+// *-to-west turns removes every cycle from the channel dependency graph,
+// so the algorithm is deadlock-free with a single virtual channel and
+// needs no escape subnetwork (every candidate is an escape candidate).
+#pragma once
+
+#include "routing/routing.hpp"
+
+namespace wavesim::route {
+
+class WestFirstRouting final : public RoutingAlgorithm {
+ public:
+  WestFirstRouting(const topo::KAryNCube& topology, std::int32_t num_vcs);
+
+  std::vector<RouteCandidate> route(NodeId node, PortId in_port, VcId in_vc,
+                                    NodeId dest) const override;
+  std::int32_t min_vcs() const noexcept override { return 1; }
+  bool minimal() const noexcept override { return true; }
+  const char* name() const noexcept override { return "west-first"; }
+
+ private:
+  const topo::KAryNCube& topology_;
+  std::int32_t num_vcs_;
+};
+
+}  // namespace wavesim::route

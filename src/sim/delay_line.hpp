@@ -1,0 +1,42 @@
+// Fixed-latency FIFO used to model link traversal and credit return.
+#pragma once
+
+#include <deque>
+#include <utility>
+
+#include "sim/types.hpp"
+
+namespace wavesim::sim {
+
+template <typename T>
+class DelayLine {
+ public:
+  explicit DelayLine(Cycle latency = 1) : latency_(latency) {}
+
+  Cycle latency() const noexcept { return latency_; }
+
+  /// Schedule `value` to emerge `latency` cycles after `now`.
+  void push(Cycle now, T value) {
+    queue_.emplace_back(now + latency_, std::move(value));
+  }
+
+  /// True if the front item is due at or before `now`.
+  bool ready(Cycle now) const noexcept {
+    return !queue_.empty() && queue_.front().first <= now;
+  }
+
+  T pop() {
+    T value = std::move(queue_.front().second);
+    queue_.pop_front();
+    return value;
+  }
+
+  bool empty() const noexcept { return queue_.empty(); }
+  std::size_t size() const noexcept { return queue_.size(); }
+
+ private:
+  Cycle latency_;
+  std::deque<std::pair<Cycle, T>> queue_;
+};
+
+}  // namespace wavesim::sim

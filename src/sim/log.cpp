@@ -1,0 +1,56 @@
+#include "sim/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace wavesim::sim {
+
+namespace {
+
+LogLevel level_from_env() {
+  const char* env = std::getenv("WAVESIM_LOG");
+  if (env == nullptr) return LogLevel::kWarn;
+  const std::string v{env};
+  if (v == "error") return LogLevel::kError;
+  if (v == "warn") return LogLevel::kWarn;
+  if (v == "info") return LogLevel::kInfo;
+  if (v == "debug") return LogLevel::kDebug;
+  if (v == "trace") return LogLevel::kTrace;
+  return LogLevel::kWarn;
+}
+
+std::atomic<int>& level_storage() {
+  static std::atomic<int> level{static_cast<int>(level_from_env())};
+  return level;
+}
+
+constexpr const char* prefix(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "[error] ";
+    case LogLevel::kWarn: return "[warn ] ";
+    case LogLevel::kInfo: return "[info ] ";
+    case LogLevel::kDebug: return "[debug] ";
+    case LogLevel::kTrace: return "[trace] ";
+  }
+  return "[?    ] ";
+}
+
+}  // namespace
+
+LogLevel log_level() noexcept {
+  return static_cast<LogLevel>(level_storage().load(std::memory_order_relaxed));
+}
+
+void set_log_level(LogLevel level) noexcept {
+  level_storage().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void log_line(LogLevel level, std::string_view msg) {
+  std::fprintf(stderr, "%s%.*s\n", prefix(level),
+               static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace wavesim::sim

@@ -1,0 +1,51 @@
+// Minimal leveled logger. The simulator is hot-loop heavy, so log calls are
+// guarded by an inline level check; formatting only happens when enabled.
+#pragma once
+
+#include <sstream>
+#include <string_view>
+
+namespace wavesim::sim {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3, kTrace = 4 };
+
+/// Global threshold; messages above it are dropped. Defaults to kWarn and
+/// can be raised via WAVESIM_LOG environment variable (error|warn|info|debug|trace).
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+/// Emit one line to stderr with a level prefix. Not thread-safe beyond the
+/// atomicity of a single write; the simulator itself is single-threaded.
+void log_line(LogLevel level, std::string_view msg);
+
+namespace detail {
+template <typename... Args>
+void log_fmt(LogLevel level, Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  log_line(level, os.str());
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_error(Args&&... args) {
+  if (log_level() >= LogLevel::kError) detail::log_fmt(LogLevel::kError, args...);
+}
+template <typename... Args>
+void log_warn(Args&&... args) {
+  if (log_level() >= LogLevel::kWarn) detail::log_fmt(LogLevel::kWarn, args...);
+}
+template <typename... Args>
+void log_info(Args&&... args) {
+  if (log_level() >= LogLevel::kInfo) detail::log_fmt(LogLevel::kInfo, args...);
+}
+template <typename... Args>
+void log_debug(Args&&... args) {
+  if (log_level() >= LogLevel::kDebug) detail::log_fmt(LogLevel::kDebug, args...);
+}
+template <typename... Args>
+void log_trace(Args&&... args) {
+  if (log_level() >= LogLevel::kTrace) detail::log_fmt(LogLevel::kTrace, args...);
+}
+
+}  // namespace wavesim::sim

@@ -1,0 +1,47 @@
+// Deterministic pseudo-random number generation.
+//
+// xoshiro256** seeded through SplitMix64. Every stochastic component of the
+// simulator draws from an Rng it owns (or a child forked from the run seed),
+// so a run is reproducible from a single 64-bit seed regardless of module
+// evaluation order.
+#pragma once
+
+#include <cstdint>
+#include <array>
+
+namespace wavesim::sim {
+
+/// SplitMix64 step; used for seeding and for cheap stateless hashing.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  /// Next raw 64-bit value.
+  std::uint64_t next() noexcept;
+
+  /// Uniform integer in [0, bound); bound must be > 0.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept;
+
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  bool chance(double p) noexcept;
+
+  /// Geometric-ish: number of failures before first success, capped.
+  std::uint64_t geometric(double p, std::uint64_t cap) noexcept;
+
+  /// Fork an independent child stream (stable given call order).
+  Rng fork() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+}  // namespace wavesim::sim

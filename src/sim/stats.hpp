@@ -1,0 +1,81 @@
+// Statistics collectors used by the simulator and the benchmark harness.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wavesim::sim {
+
+/// Streaming mean/variance/min/max (Welford). O(1) memory.
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const OnlineStats& other) noexcept;
+  void reset() noexcept { *this = OnlineStats{}; }
+
+  std::uint64_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double variance() const noexcept;  ///< population variance
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double sum() const noexcept { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exact-percentile sampler: stores every value. Suitable for the message
+/// counts this simulator produces (<= a few million doubles per run).
+class Sample {
+ public:
+  void add(double x) { values_.push_back(x); sorted_ = false; }
+  void reserve(std::size_t n) { values_.reserve(n); }
+  void reset() { values_.clear(); sorted_ = false; }
+
+  std::size_t count() const noexcept { return values_.size(); }
+  double mean() const noexcept;
+  /// Percentile in [0,100]; nearest-rank. Returns 0 when empty.
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+  double min() const { return percentile(0.0); }
+  double max() const { return percentile(100.0); }
+
+ private:
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+};
+
+/// Fixed-width histogram with overflow bin, for latency distributions.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  std::uint64_t total() const noexcept { return total_; }
+  std::uint64_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t num_bins() const noexcept { return counts_.size(); }
+  double bin_lo(std::size_t i) const noexcept;
+  double bin_hi(std::size_t i) const noexcept;
+  std::uint64_t underflow() const noexcept { return underflow_; }
+  std::uint64_t overflow() const noexcept { return overflow_; }
+
+  /// Human-readable ASCII rendering (one line per non-empty bin).
+  std::string render(std::size_t max_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace wavesim::sim

@@ -1,0 +1,55 @@
+// Technology timing model for the wave-pipelined clock factor.
+//
+// Paper section 2 (summarizing the ICPP'96 companion study): a wormhole
+// router's clock period covers routing decision + switch traversal + flit
+// buffer access, while a pre-established circuit removes routing and
+// buffering entirely -- its wave clock is limited only by switch delay,
+// signal skew between the wires of the parallel data path, latch setup
+// time, and node memory bandwidth. "Circuit simulations using Spice
+// indicated that clock frequency could be up to four times higher than in
+// a wormhole router using the same technology."
+//
+// This model turns those constraints into the `wave_clock_factor`
+// simulation parameter instead of hard-coding 4x.
+#pragma once
+
+namespace wavesim::sim {
+
+struct TechnologyModel {
+  // Wormhole router pipeline components, nanoseconds (mid-90s CMOS
+  // ballpark matching the paper's era).
+  double routing_delay_ns = 4.0;   ///< routing decision logic
+  double switch_delay_ns = 1.5;    ///< crossbar traversal
+  double buffer_delay_ns = 2.5;    ///< flit buffer write/read
+
+  // Wave-pipelined path constraints, nanoseconds.
+  double wire_skew_ns = 0.3;       ///< skew across the parallel data path
+  double latch_setup_ns = 0.2;     ///< synchronizer latch setup
+  /// Shortest period the node memory system can source/sink phits at.
+  double memory_cycle_ns = 1.5;
+
+  /// Base (wormhole) clock period: every pipeline component must fit.
+  double base_period_ns() const noexcept {
+    return routing_delay_ns + switch_delay_ns + buffer_delay_ns;
+  }
+
+  /// Wave clock period: switch + skew + setup, but never faster than the
+  /// memory system.
+  double wave_period_ns() const noexcept {
+    const double path = switch_delay_ns + wire_skew_ns + latch_setup_ns;
+    return path > memory_cycle_ns ? path : memory_cycle_ns;
+  }
+
+  /// The resulting clock multiplier (paper: "up to four times higher").
+  double wave_clock_factor() const noexcept {
+    return base_period_ns() / wave_period_ns();
+  }
+
+  bool valid() const noexcept {
+    return routing_delay_ns > 0 && switch_delay_ns > 0 &&
+           buffer_delay_ns >= 0 && wire_skew_ns >= 0 && latch_setup_ns >= 0 &&
+           memory_cycle_ns > 0;
+  }
+};
+
+}  // namespace wavesim::sim

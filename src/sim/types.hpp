@@ -1,0 +1,42 @@
+// Fundamental identifier and time types shared by every subsystem.
+//
+// Strong-ish typedefs: plain integer aliases with named invalid sentinels.
+// All ids are dense indices assigned by the owning container, so they are
+// kept as integers for use as vector subscripts.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace wavesim {
+
+/// Simulation time in base router clock cycles.
+using Cycle = std::uint64_t;
+
+/// Dense node index in [0, num_nodes).
+using NodeId = std::int32_t;
+
+/// Dense index of a unidirectional router port (see topology::PortMap).
+using PortId = std::int32_t;
+
+/// Virtual-channel index within a port.
+using VcId = std::int32_t;
+
+/// Unique message identifier (monotonic per simulation).
+using MessageId = std::int64_t;
+
+/// Unique circuit identifier (monotonic per simulation).
+using CircuitId = std::int64_t;
+
+/// Unique probe identifier (monotonic per simulation).
+using ProbeId = std::int64_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr PortId kInvalidPort = -1;
+inline constexpr VcId kInvalidVc = -1;
+inline constexpr MessageId kInvalidMessage = -1;
+inline constexpr CircuitId kInvalidCircuit = -1;
+inline constexpr ProbeId kInvalidProbe = -1;
+inline constexpr Cycle kCycleMax = std::numeric_limits<Cycle>::max();
+
+}  // namespace wavesim

@@ -1,0 +1,46 @@
+#include "topology/coord.hpp"
+
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+
+namespace wavesim::topo {
+
+NodeId linearize(const Coord& coord, const std::vector<std::int32_t>& radix) {
+  if (coord.size() != radix.size()) {
+    throw std::invalid_argument("linearize: dimension mismatch");
+  }
+  NodeId node = 0;
+  std::int32_t stride = 1;
+  for (std::size_t d = 0; d < radix.size(); ++d) {
+    if (coord[d] < 0 || coord[d] >= radix[d]) {
+      throw std::out_of_range("linearize: coordinate out of range");
+    }
+    node += coord[d] * stride;
+    stride *= radix[d];
+  }
+  return node;
+}
+
+Coord delinearize(NodeId node, const std::vector<std::int32_t>& radix) {
+  Coord coord(radix.size(), 0);
+  for (std::size_t d = 0; d < radix.size(); ++d) {
+    coord[d] = node % radix[d];
+    node /= radix[d];
+  }
+  if (node != 0) throw std::out_of_range("delinearize: node out of range");
+  return coord;
+}
+
+std::string to_string(const Coord& coord) {
+  std::ostringstream os;
+  os << "(";
+  for (std::size_t d = 0; d < coord.size(); ++d) {
+    if (d != 0) os << ", ";
+    os << coord[d];
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace wavesim::topo

@@ -1,0 +1,24 @@
+// Multi-dimensional coordinates and their linearization.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace wavesim::topo {
+
+/// Per-dimension coordinate of a node; size == number of dimensions.
+using Coord = std::vector<std::int32_t>;
+
+/// Row-major style linearization: dimension 0 varies fastest.
+NodeId linearize(const Coord& coord, const std::vector<std::int32_t>& radix);
+
+/// Inverse of linearize().
+Coord delinearize(NodeId node, const std::vector<std::int32_t>& radix);
+
+/// "(x, y, z)" rendering for diagnostics.
+std::string to_string(const Coord& coord);
+
+}  // namespace wavesim::topo

@@ -1,0 +1,83 @@
+#include "topology/topology.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace wavesim::topo {
+
+KAryNCube::KAryNCube(std::vector<std::int32_t> radix, bool torus)
+    : radix_(std::move(radix)), torus_(torus) {
+  if (radix_.empty()) {
+    throw std::invalid_argument("KAryNCube: need at least one dimension");
+  }
+  std::int64_t n = 1;
+  for (auto r : radix_) {
+    if (r < 2) throw std::invalid_argument("KAryNCube: radix must be >= 2");
+    n *= r;
+    if (n > (1 << 24)) {
+      throw std::invalid_argument("KAryNCube: network too large");
+    }
+  }
+  num_nodes_ = static_cast<std::int32_t>(n);
+  coords_.reserve(num_nodes_);
+  for (NodeId id = 0; id < num_nodes_; ++id) {
+    coords_.push_back(delinearize(id, radix_));
+  }
+}
+
+NodeId KAryNCube::neighbor(NodeId node, PortId port) const {
+  const std::int32_t d = dim_of(port);
+  if (d < 0 || d >= num_dims()) throw std::out_of_range("neighbor: bad port");
+  Coord c = coord_of(node);
+  const std::int32_t step = is_positive(port) ? 1 : -1;
+  std::int32_t v = c[d] + step;
+  if (v < 0 || v >= radix_[d]) {
+    if (!torus_) return kInvalidNode;
+    v = (v + radix_[d]) % radix_[d];
+  }
+  c[d] = v;
+  return node_of(c);
+}
+
+std::vector<std::int32_t> KAryNCube::min_offsets(NodeId from, NodeId to) const {
+  const Coord& a = coord_of(from);
+  const Coord& b = coord_of(to);
+  std::vector<std::int32_t> off(radix_.size(), 0);
+  for (std::size_t d = 0; d < radix_.size(); ++d) {
+    std::int32_t delta = b[d] - a[d];
+    if (torus_) {
+      const std::int32_t r = radix_[d];
+      // Normalize into (-r/2, r/2]; ties (|delta| == r/2) go positive.
+      if (delta > r / 2) delta -= r;
+      else if (delta < -(r - 1) / 2) delta += r;
+    }
+    off[d] = delta;
+  }
+  return off;
+}
+
+std::int32_t KAryNCube::distance(NodeId from, NodeId to) const {
+  std::int32_t sum = 0;
+  for (auto o : min_offsets(from, to)) sum += std::abs(o);
+  return sum;
+}
+
+std::vector<PortId> KAryNCube::minimal_ports(NodeId from, NodeId to) const {
+  std::vector<PortId> ports;
+  const auto off = min_offsets(from, to);
+  for (std::size_t d = 0; d < off.size(); ++d) {
+    if (off[d] > 0) ports.push_back(port_of(static_cast<std::int32_t>(d), true));
+    else if (off[d] < 0) ports.push_back(port_of(static_cast<std::int32_t>(d), false));
+  }
+  return ports;
+}
+
+bool KAryNCube::crosses_dateline(NodeId node, PortId port) const {
+  if (!torus_) return false;
+  const std::int32_t d = dim_of(port);
+  const std::int32_t v = coord_of(node)[d];
+  return is_positive(port) ? (v == radix_[d] - 1) : (v == 0);
+}
+
+}  // namespace wavesim::topo

@@ -1,0 +1,80 @@
+// k-ary n-cube topology (mesh or torus). Hypercube = 2-ary n-cube.
+//
+// Port numbering per node: port 2*d   = dimension d, positive direction
+//                          port 2*d+1 = dimension d, negative direction
+// A flit leaving node A through port p arrives at neighbor(A, p) on input
+// port opposite(p). Injection/ejection ports are a router concern and do
+// not appear here.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hpp"
+#include "topology/coord.hpp"
+
+namespace wavesim::topo {
+
+class KAryNCube {
+ public:
+  KAryNCube(std::vector<std::int32_t> radix, bool torus);
+
+  std::int32_t num_nodes() const noexcept { return num_nodes_; }
+  std::int32_t num_dims() const noexcept {
+    return static_cast<std::int32_t>(radix_.size());
+  }
+  std::int32_t radix(std::int32_t dim) const { return radix_.at(dim); }
+  const std::vector<std::int32_t>& radices() const noexcept { return radix_; }
+  bool torus() const noexcept { return torus_; }
+  /// Network ports per node (2 per dimension).
+  std::int32_t num_ports() const noexcept { return 2 * num_dims(); }
+
+  static constexpr PortId port_of(std::int32_t dim, bool positive) noexcept {
+    return 2 * dim + (positive ? 0 : 1);
+  }
+  static constexpr std::int32_t dim_of(PortId port) noexcept { return port / 2; }
+  static constexpr bool is_positive(PortId port) noexcept { return (port % 2) == 0; }
+  static constexpr PortId opposite(PortId port) noexcept { return port ^ 1; }
+
+  const Coord& coord_of(NodeId node) const { return coords_.at(node); }
+  NodeId node_of(const Coord& coord) const { return linearize(coord, radix_); }
+
+  /// Neighbor through `port`, or kInvalidNode at a mesh boundary.
+  NodeId neighbor(NodeId node, PortId port) const;
+  bool has_neighbor(NodeId node, PortId port) const {
+    return neighbor(node, port) != kInvalidNode;
+  }
+
+  /// Signed minimal offset from `from` to `to` along each dimension
+  /// (torus picks the shorter way; exact ties go the positive way).
+  std::vector<std::int32_t> min_offsets(NodeId from, NodeId to) const;
+
+  /// Minimal hop distance.
+  std::int32_t distance(NodeId from, NodeId to) const;
+
+  /// Ports that strictly reduce distance to `to` (empty iff from == to).
+  std::vector<PortId> minimal_ports(NodeId from, NodeId to) const;
+
+  /// True if traversing `port` out of `node` crosses the torus wraparound
+  /// ("dateline") of that dimension; always false on a mesh. Used for
+  /// deadlock-free VC-class assignment in torus DOR.
+  bool crosses_dateline(NodeId node, PortId port) const;
+
+  /// Dense id of the unidirectional channel leaving `node` through `port`,
+  /// in [0, num_nodes * num_ports). Valid even at mesh boundaries (such
+  /// channels simply never carry traffic).
+  std::int32_t channel_index(NodeId node, PortId port) const noexcept {
+    return node * num_ports() + port;
+  }
+  std::int32_t num_channels() const noexcept {
+    return num_nodes_ * num_ports();
+  }
+
+ private:
+  std::vector<std::int32_t> radix_;
+  bool torus_;
+  std::int32_t num_nodes_;
+  std::vector<Coord> coords_;  // precomputed coordinate of every node
+};
+
+}  // namespace wavesim::topo

@@ -1,0 +1,119 @@
+#include "verify/delivery.hpp"
+
+#include <map>
+#include <sstream>
+
+namespace wavesim::verify {
+
+std::string CheckResult::summary() const {
+  if (ok()) return "all delivery invariants hold";
+  std::ostringstream os;
+  os << violations.size() << " violation(s):";
+  for (const auto& v : violations) os << "\n  - " << v;
+  return os.str();
+}
+
+CheckResult check_conservation(const core::Network& network) {
+  CheckResult result;
+  const auto& fabric = network.fabric();
+  const std::int64_t injected =
+      static_cast<std::int64_t>(fabric.flits_injected());
+  const std::int64_t delivered =
+      static_cast<std::int64_t>(fabric.flits_delivered());
+  const std::int64_t in_flight = fabric.flits_in_flight();
+  if (injected != delivered + in_flight) {
+    std::ostringstream os;
+    os << "wormhole flit conservation broken: injected=" << injected
+       << " delivered=" << delivered << " in-flight=" << in_flight;
+    result.violations.push_back(os.str());
+  }
+  return result;
+}
+
+CheckResult check_drained(const core::Network& network) {
+  CheckResult result;
+  if (!network.quiescent()) {
+    result.violations.push_back("network is not quiescent");
+    return result;
+  }
+  const auto* plane = network.control_plane();
+  if (plane == nullptr) return result;
+  const auto& topo = network.topology();
+  const auto& circuits = network.circuits();
+  for (NodeId n = 0; n < topo.num_nodes(); ++n) {
+    for (std::int32_t s = 0; s < network.config().router.wave_switches; ++s) {
+      const auto& regs = plane->registers(n, s);
+      for (PortId p = 0; p < topo.num_ports(); ++p) {
+        std::ostringstream os;
+        os << "channel (node " << n << ", sw " << s << ", port " << p << ") ";
+        switch (regs.status(p)) {
+          case pcs::ChannelStatus::kReservedByProbe:
+            os << "still reserved by probe " << regs.reserving_probe(p)
+               << " after drain";
+            result.violations.push_back(os.str());
+            break;
+          case pcs::ChannelStatus::kBusyCircuit: {
+            const CircuitId id = regs.owning_circuit(p);
+            if (!circuits.contains(id)) {
+              os << "busy with retired circuit " << id;
+              result.violations.push_back(os.str());
+              break;
+            }
+            const auto& rec = circuits.at(id);
+            if (rec.state != core::CircuitState::kEstablished || rec.in_use) {
+              os << "busy with circuit " << id << " in state "
+                 << to_string(rec.state) << (rec.in_use ? " (in use)" : "");
+              result.violations.push_back(os.str());
+            }
+            break;
+          }
+          case pcs::ChannelStatus::kFree:
+          case pcs::ChannelStatus::kFaulty:
+            break;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+CheckResult check_delivery(const core::Network& network) {
+  CheckResult result = check_conservation(network);
+  // (src, dest) -> delivered cycle of the previous circuit message.
+  std::map<std::pair<NodeId, NodeId>, Cycle> last_circuit_delivery;
+
+  for (const auto& rec : network.messages().all()) {
+    std::ostringstream tag;
+    tag << "message " << rec.id << " (" << rec.src << "->" << rec.dest
+        << ", len " << rec.length << ")";
+    if (!rec.done) {
+      result.violations.push_back(tag.str() + " was never delivered");
+      continue;
+    }
+    if (rec.mode == core::MessageMode::kUnset) {
+      result.violations.push_back(tag.str() + " has no transport mode");
+    }
+    if (rec.delivered < rec.created) {
+      result.violations.push_back(tag.str() + " delivered before creation");
+    }
+    const bool circuit_mode =
+        rec.mode == core::MessageMode::kCircuitHit ||
+        rec.mode == core::MessageMode::kCircuitAfterSetup;
+    if (circuit_mode) {
+      const auto key = std::make_pair(rec.src, rec.dest);
+      const auto it = last_circuit_delivery.find(key);
+      // The log is in creation order, so a later-created circuit message
+      // must not be delivered before an earlier one of the same pair.
+      if (it != last_circuit_delivery.end() && rec.delivered < it->second) {
+        result.violations.push_back(tag.str() +
+                                    " overtook an earlier circuit message");
+      }
+      last_circuit_delivery[key] =
+          std::max(it == last_circuit_delivery.end() ? 0 : it->second,
+                   rec.delivered);
+    }
+  }
+  return result;
+}
+
+}  // namespace wavesim::verify

@@ -1,0 +1,36 @@
+// Post-run delivery invariants:
+//  * completeness -- every offered message was delivered;
+//  * causality    -- delivered-at >= created-at, mode assigned;
+//  * in-order     -- circuit messages of a (src, dest) pair arrive in send
+//                    order (paper section 2: "once a circuit has been
+//                    established ... in-order delivery is guaranteed");
+//  * conservation -- no wormhole flit was lost or duplicated.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/network.hpp"
+
+namespace wavesim::verify {
+
+struct CheckResult {
+  std::vector<std::string> violations;
+  bool ok() const noexcept { return violations.empty(); }
+  std::string summary() const;
+};
+
+/// Run all delivery invariants over a (typically quiescent) network.
+CheckResult check_delivery(const core::Network& network);
+
+/// Conservation only (valid mid-run as well).
+CheckResult check_conservation(const core::Network& network);
+
+/// Leak check for a quiescent network: with nothing in flight, no channel
+/// may remain Reserved (a leaked probe reservation), and every Busy
+/// channel must belong to a cached, idle, Established circuit. Call after
+/// run_until_delivered(); complements check_control_state, which allows
+/// mid-transition states.
+CheckResult check_drained(const core::Network& network);
+
+}  // namespace wavesim::verify

@@ -1,0 +1,229 @@
+#include "verify/fsck.hpp"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace wavesim::verify {
+
+namespace {
+
+using core::CircuitState;
+
+void note(CheckResult& result, const std::ostringstream& os) {
+  result.violations.push_back(os.str());
+}
+
+using ChannelKey = std::tuple<NodeId, std::int32_t, PortId>;
+
+/// Walk one circuit's recorded path and validate the register states the
+/// circuit's lifecycle allows:
+///  * kEstablished: every hop Busy + Ack-Returned, owned by the circuit,
+///    reverse mappings chaining from kLocalEndpoint to the destination;
+///  * kProbing: a Reserved prefix (the probe's reservations, or those
+///    awaiting the travelling ack) followed by a Busy suffix the ack has
+///    already committed -- the switch happens exactly once;
+///  * kTearingDown: an arbitrary prefix already released (and possibly
+///    re-acquired by others) followed by a contiguous Busy suffix still
+///    owned by the circuit.
+/// Channels owned/reserved on behalf of this circuit are added to
+/// `accounted` so the register sweep can exempt them.
+void walk_circuit(const core::Network& network, const core::CircuitRecord& rec,
+                  std::map<ChannelKey, CircuitId>& busy_owner,
+                  std::set<ChannelKey>& accounted, CheckResult& result) {
+  const auto* plane = network.control_plane();
+  const auto& topo = network.topology();
+  NodeId at = rec.src;
+  PortId expected_in = pcs::kLocalEndpoint;
+  bool seen_busy = false;
+
+  for (std::size_t h = 0; h < rec.path.size(); ++h) {
+    const PortId out = rec.path[h];
+    const auto& regs = plane->registers(at, rec.switch_index);
+    std::ostringstream os;
+    os << "circuit " << rec.id << " (" << to_string(rec.state) << ") hop "
+       << h << " at node " << at << " port " << out << ": ";
+    const NodeId next = topo.neighbor(at, out);
+    if (next == kInvalidNode) {
+      os << "I3: path leaves the topology";
+      note(result, os);
+      return;
+    }
+    const auto status = regs.status(out);
+    const bool owned_busy = status == pcs::ChannelStatus::kBusyCircuit &&
+                            regs.owning_circuit(out) == rec.id;
+    switch (rec.state) {
+      case CircuitState::kEstablished:
+        if (!owned_busy) {
+          os << "I3: status " << pcs::to_string(status) << ", owner "
+             << regs.owning_circuit(out);
+          note(result, os);
+          return;
+        }
+        if (!regs.ack_returned(out)) {
+          os << "I3: established circuit without Ack-Returned";
+          note(result, os);
+        }
+        if (regs.reverse_map(out) != expected_in) {
+          os << "I3: reverse mapping " << regs.reverse_map(out)
+             << " != expected " << expected_in;
+          note(result, os);
+        }
+        break;
+
+      case CircuitState::kProbing:
+        if (owned_busy) {
+          seen_busy = true;
+        } else if (status == pcs::ChannelStatus::kReservedByProbe) {
+          if (seen_busy) {
+            os << "I3: Reserved hop after a committed (Busy) hop -- the ack "
+                  "commits from the destination backwards";
+            note(result, os);
+            return;
+          }
+          if (regs.reverse_map(out) != expected_in) {
+            os << "I3: reverse mapping " << regs.reverse_map(out)
+               << " != expected " << expected_in;
+            note(result, os);
+          }
+        } else {
+          os << "I3: probing circuit hop is " << pcs::to_string(status)
+             << " owned by " << regs.owning_circuit(out);
+          note(result, os);
+          return;
+        }
+        accounted.insert(ChannelKey{at, rec.switch_index, out});
+        break;
+
+      case CircuitState::kTearingDown:
+        // Teardown releases from the source forwards, so the owned hops
+        // form a contiguous suffix: a released (possibly re-acquired) hop
+        // may never follow a still-owned one.
+        if (owned_busy) {
+          seen_busy = true;
+        } else {
+          if (seen_busy) {
+            os << "I3: released hop after a still-owned hop -- teardown "
+                  "releases from the source forwards";
+            note(result, os);
+            return;
+          }
+        }
+        break;
+
+      case CircuitState::kDead:
+        return;  // retired circuits never reach the walker
+    }
+    if (owned_busy) {
+      const auto [it, inserted] =
+          busy_owner.emplace(ChannelKey{at, rec.switch_index, out}, rec.id);
+      if (!inserted) {
+        os << "I4: channel also owned by circuit " << it->second;
+        note(result, os);
+      }
+      accounted.insert(ChannelKey{at, rec.switch_index, out});
+    }
+    expected_in = topo::KAryNCube::opposite(out);
+    at = next;
+  }
+  if (rec.state == CircuitState::kEstablished && at != rec.dest) {
+    std::ostringstream os;
+    os << "I3: circuit " << rec.id << " path ends at node " << at
+       << " instead of " << rec.dest;
+    note(result, os);
+  }
+}
+
+}  // namespace
+
+CheckResult check_control_state(const core::Network& network) {
+  CheckResult result;
+  const auto* plane = network.control_plane();
+  if (plane == nullptr) return result;  // pure wormhole network: nothing to do
+  const auto& topo = network.topology();
+  const auto& circuits = network.circuits();
+  const std::int32_t k = network.config().router.wave_switches;
+
+  // Path walks first (I3/I4/I6); they also collect which channels are
+  // legitimately held on behalf of circuits mid-transition.
+  std::map<ChannelKey, CircuitId> busy_owner;
+  std::set<ChannelKey> accounted;
+  for (const CircuitId id : circuits.active_ids()) {
+    const auto& rec = circuits.at(id);
+    if (rec.in_use && rec.state != CircuitState::kEstablished) {
+      std::ostringstream os;
+      os << "I6: circuit " << id << " in_use while " << to_string(rec.state);
+      note(result, os);
+    }
+    walk_circuit(network, rec, busy_owner, accounted, result);
+  }
+
+  // Register sweep: I1 (busy -> live circuit) and I2 (reserved -> live
+  // probe, or a successful probe's reservation awaiting its ack).
+  for (NodeId n = 0; n < topo.num_nodes(); ++n) {
+    for (std::int32_t s = 0; s < k; ++s) {
+      const auto& regs = plane->registers(n, s);
+      for (PortId p = 0; p < topo.num_ports(); ++p) {
+        switch (regs.status(p)) {
+          case pcs::ChannelStatus::kBusyCircuit:
+            if (!circuits.contains(regs.owning_circuit(p))) {
+              std::ostringstream os;
+              os << "I1: channel (node " << n << ", sw " << s << ", port "
+                 << p << ") busy with retired circuit "
+                 << regs.owning_circuit(p);
+              note(result, os);
+            }
+            break;
+          case pcs::ChannelStatus::kReservedByProbe:
+            if (!plane->probe_active(regs.reserving_probe(p)) &&
+                accounted.find(ChannelKey{n, s, p}) == accounted.end()) {
+              std::ostringstream os;
+              os << "I2: channel (node " << n << ", sw " << s << ", port "
+                 << p << ") reserved by dead probe "
+                 << regs.reserving_probe(p)
+                 << " and not on any probing circuit's path";
+              note(result, os);
+            }
+            break;
+          case pcs::ChannelStatus::kFree:
+          case pcs::ChannelStatus::kFaulty:
+            break;
+        }
+      }
+    }
+  }
+
+  // I5: cache entries agree with the table.
+  for (NodeId n = 0; n < topo.num_nodes(); ++n) {
+    const auto& cache = network.interface(n).cache();
+    for (std::int32_t i = 0; i < cache.capacity(); ++i) {
+      const auto& e = cache.slot(i);
+      if (!e.valid) continue;
+      std::ostringstream os;
+      os << "I5: node " << n << " cache slot " << i << " (dest " << e.dest
+         << ", circuit " << e.circuit << "): ";
+      if (!circuits.contains(e.circuit)) {
+        os << "circuit not in table";
+        note(result, os);
+        continue;
+      }
+      const auto& rec = circuits.at(e.circuit);
+      if (rec.src != n || rec.dest != e.dest) {
+        os << "circuit is " << rec.src << "->" << rec.dest;
+        note(result, os);
+        continue;
+      }
+      if (e.ack_returned && rec.state != CircuitState::kEstablished) {
+        os << "ack_returned but circuit is " << to_string(rec.state);
+        note(result, os);
+      }
+      if (e.probing && rec.state != CircuitState::kProbing) {
+        os << "probing flag but circuit is " << to_string(rec.state);
+        note(result, os);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace wavesim::verify

@@ -1,0 +1,28 @@
+// Control-plane state checker ("fsck"): structural invariants over the
+// distributed PCS registers, the circuit table and the circuit caches.
+// Valid at any cycle boundary; the stress suites run it periodically so a
+// protocol bug is caught at the cycle it corrupts state, not when a
+// message finally goes missing.
+//
+// Invariants checked:
+//  I1  every Busy channel names a live circuit (never a retired one);
+//  I2  every Reserved channel names a live probe;
+//  I3  every Established circuit's recorded path exists hop-by-hop in the
+//      registers: status Busy, correct owner, Ack-Returned set, and the
+//      direct/reverse mappings chain from the source's kLocalEndpoint to
+//      the destination;
+//  I4  no channel is owned by two circuits (path walks never collide);
+//  I5  cache entries agree with the table: an ack_returned entry points at
+//      an Established circuit of matching (src, dest); a probing entry
+//      points at a kProbing circuit;
+//  I6  in_use circuits are Established.
+#pragma once
+
+#include "core/network.hpp"
+#include "verify/delivery.hpp"
+
+namespace wavesim::verify {
+
+CheckResult check_control_state(const core::Network& network);
+
+}  // namespace wavesim::verify

@@ -1,0 +1,61 @@
+#include "verify/watchdog.hpp"
+
+#include <stdexcept>
+
+namespace wavesim::verify {
+
+const char* to_string(Verdict verdict) noexcept {
+  switch (verdict) {
+    case Verdict::kProgressing: return "progressing";
+    case Verdict::kIdle: return "idle";
+    case Verdict::kWaiting: return "waiting";
+    case Verdict::kStuck: return "stuck";
+  }
+  return "?";
+}
+
+ProgressWatchdog::ProgressWatchdog(const core::Network& network, Cycle patience)
+    : network_(network), patience_(patience) {
+  if (patience < 1) {
+    throw std::invalid_argument("ProgressWatchdog: patience < 1");
+  }
+  last_ = take();
+  last_poll_cycle_ = network.now();
+}
+
+ProgressWatchdog::Snapshot ProgressWatchdog::take() const {
+  Snapshot s;
+  s.delivered = network_.messages_delivered();
+  s.wormhole_moves =
+      network_.fabric().link_flit_hops() + network_.fabric().flits_delivered();
+  if (const auto* cp = network_.control_plane(); cp != nullptr) {
+    const auto& st = cp->stats();
+    s.probe_moves = st.probe_advances + st.probe_backtracks;
+    s.control_events = st.acks_completed + st.teardowns_completed +
+                       st.release_requests_sent + st.probes_failed +
+                       st.probes_launched;
+  }
+  if (const auto* dp = network_.data_plane(); dp != nullptr) {
+    s.circuit_flits = dp->flits_delivered();
+  }
+  return s;
+}
+
+Verdict ProgressWatchdog::poll() {
+  const Snapshot current = take();
+  const Cycle now = network_.now();
+  if (!(current == last_)) {
+    last_ = current;
+    last_poll_cycle_ = now;
+    stalled_ = 0;
+    return Verdict::kProgressing;
+  }
+  if (network_.quiescent()) {
+    stalled_ = 0;
+    return Verdict::kIdle;
+  }
+  stalled_ = now - last_poll_cycle_;
+  return stalled_ >= patience_ ? Verdict::kStuck : Verdict::kWaiting;
+}
+
+}  // namespace wavesim::verify

@@ -1,0 +1,50 @@
+// Progress watchdog: the dynamic complement to the paper's deadlock- and
+// livelock-freedom theorems. It samples every activity counter in the
+// network; if work is pending but nothing has moved for `patience` cycles,
+// the network is declared stuck (which Theorems 1-4 say must never
+// happen).
+#pragma once
+
+#include "core/network.hpp"
+
+namespace wavesim::verify {
+
+enum class Verdict {
+  kProgressing,  ///< something moved since the last poll
+  kIdle,         ///< nothing pending anywhere
+  kWaiting,      ///< no movement yet, but patience has not elapsed
+  kStuck,        ///< pending work with no movement for >= patience cycles
+};
+
+const char* to_string(Verdict verdict) noexcept;
+
+class ProgressWatchdog {
+ public:
+  ProgressWatchdog(const core::Network& network, Cycle patience);
+
+  /// Call periodically (any interval). Compares activity counters against
+  /// the previous poll.
+  Verdict poll();
+
+  Cycle stalled_for() const noexcept { return stalled_; }
+
+ private:
+  struct Snapshot {
+    std::uint64_t delivered = 0;
+    std::uint64_t wormhole_moves = 0;
+    std::uint64_t probe_moves = 0;
+    std::uint64_t circuit_flits = 0;
+    std::uint64_t control_events = 0;
+
+    friend bool operator==(const Snapshot&, const Snapshot&) = default;
+  };
+  Snapshot take() const;
+
+  const core::Network& network_;
+  Cycle patience_;
+  Snapshot last_;
+  Cycle last_poll_cycle_ = 0;
+  Cycle stalled_ = 0;
+};
+
+}  // namespace wavesim::verify

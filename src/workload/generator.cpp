@@ -1,0 +1,108 @@
+#include "workload/generator.hpp"
+
+#include <stdexcept>
+
+#include "workload/traffic.hpp"
+
+namespace wavesim::load {
+
+OpenLoopGenerator::OpenLoopGenerator(core::Simulation& sim,
+                                     TrafficPattern& pattern, SizeDist& sizes,
+                                     double offered_flits_per_node_cycle,
+                                     sim::Rng rng)
+    : sim_(sim), pattern_(pattern), sizes_(sizes),
+      load_(offered_flits_per_node_cycle),
+      p_message_(offered_flits_per_node_cycle / sizes.mean()), rng_(rng) {
+  if (load_ < 0.0) {
+    throw std::invalid_argument("OpenLoopGenerator: negative load");
+  }
+  if (p_message_ > 1.0) {
+    throw std::invalid_argument(
+        "OpenLoopGenerator: load exceeds one message per node per cycle");
+  }
+}
+
+void OpenLoopGenerator::tick() {
+  const std::int32_t n = sim_.topology().num_nodes();
+  for (NodeId src = 0; src < n; ++src) {
+    if (!rng_.chance(p_message_)) continue;
+    const NodeId dest = pattern_.pick(src, rng_);
+    sim_.send(src, dest, sizes_.sample(rng_));
+    ++offered_;
+  }
+  sim_.step();
+}
+
+ExperimentResult run_open_loop(core::Simulation& sim, TrafficPattern& pattern,
+                               SizeDist& sizes, double offered_load,
+                               Cycle warmup, Cycle measure, Cycle drain_cap,
+                               std::uint64_t seed) {
+  OpenLoopGenerator gen(sim, pattern, sizes, offered_load, sim::Rng{seed});
+  for (Cycle c = 0; c < warmup; ++c) gen.tick();
+  const Cycle cut = sim.now();
+  const std::uint64_t offered_before = gen.offered_messages();
+  for (Cycle c = 0; c < measure; ++c) gen.tick();
+
+  ExperimentResult result;
+  result.offered_messages = gen.offered_messages() - offered_before;
+  result.drained = sim.run_until_delivered(drain_cap);
+  result.stats = sim.stats(cut);
+  result.cycles_total = sim.now();
+  return result;
+}
+
+SaturationSearch find_saturation(const sim::SimConfig& config,
+                                 const std::string& pattern_name,
+                                 std::int32_t message_flits, double lo,
+                                 double hi, double tolerance, Cycle warmup,
+                                 Cycle measure, std::uint64_t seed) {
+  if (!(lo > 0.0) || !(hi > lo) || !(tolerance > 0.0)) {
+    throw std::invalid_argument("find_saturation: bad bracket");
+  }
+  SaturationSearch out;
+  double reference_latency = 0.0;
+  auto probe = [&](double load) {
+    core::Simulation sim(config);
+    auto pattern = make_traffic(pattern_name, sim.topology(),
+                                sim::Rng{seed * 131 + 7});
+    FixedSize sizes(message_flits);
+    const Cycle drain_cap = 20 * (warmup + measure);
+    ++out.points_probed;
+    return run_open_loop(sim, *pattern, sizes, load, warmup, measure,
+                         drain_cap, seed);
+  };
+  auto stable_at = [&](double load) {
+    const auto r = probe(load);
+    if (!r.drained) return false;
+    if (r.stats.messages_delivered < r.offered_messages) return false;
+    // Latency-blowup criterion: past saturation, queueing delay explodes
+    // relative to the uncongested reference.
+    const bool keeps_up = r.stats.latency_mean <= 5.0 * reference_latency;
+    if (keeps_up) out.latency_at_load = r.stats.latency_mean;
+    return keeps_up;
+  };
+  // Reference point: the bracket's low end must itself be sustainable.
+  const auto ref = probe(lo);
+  if (!ref.drained || ref.stats.messages_delivered < ref.offered_messages) {
+    out.load = lo;
+    return out;
+  }
+  reference_latency = ref.stats.latency_mean;
+  out.latency_at_load = reference_latency;
+  if (stable_at(hi)) {
+    out.load = hi;
+    return out;
+  }
+  while (hi - lo > tolerance) {
+    const double mid = 0.5 * (lo + hi);
+    if (stable_at(mid)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  out.load = 0.5 * (lo + hi);
+  return out;
+}
+
+}  // namespace wavesim::load

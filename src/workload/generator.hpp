@@ -1,0 +1,73 @@
+// Open-loop Bernoulli traffic generation and the warmup / measure / drain
+// experiment harness used by every benchmark.
+#pragma once
+
+#include <memory>
+
+#include "core/simulation.hpp"
+#include "workload/size_dist.hpp"
+#include "workload/traffic.hpp"
+
+namespace wavesim::load {
+
+/// Injects messages open-loop: every cycle, every node offers a message
+/// with probability `offered_load / mean_length` so that the offered load
+/// in flits per node per cycle matches the request.
+class OpenLoopGenerator {
+ public:
+  OpenLoopGenerator(core::Simulation& sim, TrafficPattern& pattern,
+                    SizeDist& sizes, double offered_flits_per_node_cycle,
+                    sim::Rng rng);
+
+  /// Offer this cycle's messages, then step the simulation once.
+  void tick();
+
+  std::uint64_t offered_messages() const noexcept { return offered_; }
+  double offered_load() const noexcept { return load_; }
+
+ private:
+  core::Simulation& sim_;
+  TrafficPattern& pattern_;
+  SizeDist& sizes_;
+  double load_;
+  double p_message_;
+  sim::Rng rng_;
+  std::uint64_t offered_ = 0;
+};
+
+/// One complete measurement: warm up, measure, then drain in-flight
+/// traffic, reporting statistics over messages created during the
+/// measurement window only.
+struct ExperimentResult {
+  core::SimulationStats stats;
+  std::uint64_t offered_messages = 0;
+  bool drained = true;  ///< false if the drain cap was hit (saturation)
+  Cycle cycles_total = 0;
+};
+
+ExperimentResult run_open_loop(core::Simulation& sim, TrafficPattern& pattern,
+                               SizeDist& sizes, double offered_load,
+                               Cycle warmup, Cycle measure, Cycle drain_cap,
+                               std::uint64_t seed);
+
+/// Binary-search the saturation throughput of a configuration: the
+/// largest offered load (flits/node/cycle) the network sustains, where
+/// "sustains" means the run drains within the cap, delivers every offered
+/// message, and keeps mean latency within 5x the latency measured at the
+/// low end of the bracket (the classic latency-blowup criterion). A fresh
+/// Simulation is built from `config` for every probe point. Returns the
+/// bracket midpoint once `hi - lo <= tolerance`.
+struct SaturationSearch {
+  double load = 0.0;            ///< estimated saturation load
+  double latency_at_load = 0.0; ///< mean latency at the last stable point
+  int points_probed = 0;
+};
+SaturationSearch find_saturation(const sim::SimConfig& config,
+                                 const std::string& pattern_name,
+                                 std::int32_t message_flits,
+                                 double lo = 0.02, double hi = 1.0,
+                                 double tolerance = 0.02,
+                                 Cycle warmup = 1000, Cycle measure = 4000,
+                                 std::uint64_t seed = 1);
+
+}  // namespace wavesim::load

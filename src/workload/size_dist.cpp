@@ -1,0 +1,43 @@
+#include "workload/size_dist.hpp"
+
+#include <stdexcept>
+
+namespace wavesim::load {
+
+FixedSize::FixedSize(std::int32_t flits) : flits_(flits) {
+  if (flits < 1) throw std::invalid_argument("FixedSize: flits < 1");
+}
+
+std::int32_t FixedSize::sample(sim::Rng& rng) {
+  (void)rng;
+  return flits_;
+}
+
+UniformSize::UniformSize(std::int32_t lo, std::int32_t hi) : lo_(lo), hi_(hi) {
+  if (lo < 1 || hi < lo) throw std::invalid_argument("UniformSize: bad range");
+}
+
+std::int32_t UniformSize::sample(sim::Rng& rng) {
+  return static_cast<std::int32_t>(rng.uniform_int(lo_, hi_));
+}
+
+BimodalSize::BimodalSize(std::int32_t short_flits, std::int32_t long_flits,
+                         double p_long)
+    : short_flits_(short_flits), long_flits_(long_flits), p_long_(p_long) {
+  if (short_flits < 1 || long_flits < short_flits) {
+    throw std::invalid_argument("BimodalSize: bad sizes");
+  }
+  if (p_long < 0.0 || p_long > 1.0) {
+    throw std::invalid_argument("BimodalSize: p_long out of [0,1]");
+  }
+}
+
+std::int32_t BimodalSize::sample(sim::Rng& rng) {
+  return rng.chance(p_long_) ? long_flits_ : short_flits_;
+}
+
+double BimodalSize::mean() const noexcept {
+  return p_long_ * long_flits_ + (1.0 - p_long_) * short_flits_;
+}
+
+}  // namespace wavesim::load

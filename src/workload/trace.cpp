@@ -1,0 +1,196 @@
+#include "workload/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace wavesim::load {
+
+void Trace::add(TraceEvent event) {
+  if (event.op == TraceOp::kSend && event.length < 1) {
+    throw std::invalid_argument("Trace: send with length < 1");
+  }
+  events_.push_back(event);
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.at < b.at;
+                   });
+}
+
+Cycle Trace::horizon() const noexcept {
+  return events_.empty() ? 0 : events_.back().at;
+}
+
+Trace Trace::without_circuit_ops() const {
+  Trace out;
+  for (const auto& e : events_) {
+    if (e.op == TraceOp::kSend) out.add(e);
+  }
+  return out;
+}
+
+bool replay(const Trace& trace, core::Simulation& sim, Cycle drain_cap) {
+  const Cycle start = sim.now();
+  std::size_t next = 0;
+  while (next < trace.events().size()) {
+    const Cycle rel = sim.now() - start;
+    while (next < trace.events().size() &&
+           trace.events()[next].at <= rel) {
+      const TraceEvent& e = trace.events()[next++];
+      switch (e.op) {
+        case TraceOp::kSend:
+          sim.send(e.src, e.dest, e.length);
+          break;
+        case TraceOp::kEstablish:
+          sim.establish_circuit(e.src, e.dest);
+          break;
+        case TraceOp::kRelease:
+          sim.release_circuit(e.src, e.dest);
+          break;
+      }
+    }
+    sim.step();
+  }
+  return sim.run_until_delivered(drain_cap);
+}
+
+Trace capture(const core::MessageLog& log) {
+  Trace out;
+  for (const auto& rec : log.all()) {
+    out.send(rec.created, rec.src, rec.dest, rec.length);
+  }
+  return out;
+}
+
+void save_trace(const Trace& trace, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_trace: cannot open " + path);
+  out << "# wavesim trace: <cycle> <op> <src> <dest> [flits]\n";
+  for (const auto& e : trace.events()) {
+    out << e.at << ' ';
+    switch (e.op) {
+      case TraceOp::kSend:
+        out << "send " << e.src << ' ' << e.dest << ' ' << e.length;
+        break;
+      case TraceOp::kEstablish:
+        out << "establish " << e.src << ' ' << e.dest;
+        break;
+      case TraceOp::kRelease:
+        out << "release " << e.src << ' ' << e.dest;
+        break;
+    }
+    out << '\n';
+  }
+  if (!out) throw std::runtime_error("save_trace: write failed for " + path);
+}
+
+Trace load_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_trace: cannot open " + path);
+  Trace trace;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line.front() == '#') continue;
+    std::istringstream fields(line);
+    Cycle at = 0;
+    std::string op;
+    NodeId src = kInvalidNode;
+    NodeId dest = kInvalidNode;
+    if (!(fields >> at >> op >> src >> dest)) {
+      throw std::runtime_error("load_trace: malformed line " +
+                               std::to_string(line_no) + " in " + path);
+    }
+    if (op == "send") {
+      std::int32_t flits = 0;
+      if (!(fields >> flits)) {
+        throw std::runtime_error("load_trace: send without length at line " +
+                                 std::to_string(line_no));
+      }
+      trace.send(at, src, dest, flits);
+    } else if (op == "establish") {
+      trace.establish(at, src, dest);
+    } else if (op == "release") {
+      trace.release(at, src, dest);
+    } else {
+      throw std::runtime_error("load_trace: unknown op '" + op +
+                               "' at line " + std::to_string(line_no));
+    }
+  }
+  return trace;
+}
+
+Trace make_stencil_trace(const topo::KAryNCube& topology,
+                         std::int32_t iterations, std::int32_t halo_flits,
+                         Cycle cycles_per_iteration, bool carp_circuits) {
+  if (topology.num_dims() != 2) {
+    throw std::invalid_argument("stencil trace requires a 2-D topology");
+  }
+  Trace trace;
+  const std::int32_t n = topology.num_nodes();
+  if (carp_circuits) {
+    for (NodeId src = 0; src < n; ++src) {
+      for (PortId p = 0; p < topology.num_ports(); ++p) {
+        const NodeId d = topology.neighbor(src, p);
+        if (d != kInvalidNode && d != src) trace.establish(0, src, d);
+      }
+    }
+  }
+  // Leave the prefetch window before the first round.
+  const Cycle first_round = carp_circuits ? cycles_per_iteration : 0;
+  for (std::int32_t it = 0; it < iterations; ++it) {
+    const Cycle at = first_round + it * cycles_per_iteration;
+    for (NodeId src = 0; src < n; ++src) {
+      for (PortId p = 0; p < topology.num_ports(); ++p) {
+        const NodeId d = topology.neighbor(src, p);
+        if (d != kInvalidNode && d != src) trace.send(at, src, d, halo_flits);
+      }
+    }
+  }
+  if (carp_circuits) {
+    const Cycle end = first_round + iterations * cycles_per_iteration;
+    for (NodeId src = 0; src < n; ++src) {
+      for (PortId p = 0; p < topology.num_ports(); ++p) {
+        const NodeId d = topology.neighbor(src, p);
+        if (d != kInvalidNode && d != src) trace.release(end, src, d);
+      }
+    }
+  }
+  return trace;
+}
+
+Trace make_master_worker_trace(const topo::KAryNCube& topology, NodeId master,
+                               std::int32_t rounds, std::int32_t request_flits,
+                               std::int32_t chunk_flits,
+                               Cycle cycles_per_round, bool carp_circuits) {
+  Trace trace;
+  const std::int32_t n = topology.num_nodes();
+  if (master < 0 || master >= n) {
+    throw std::invalid_argument("master out of range");
+  }
+  if (carp_circuits) {
+    for (NodeId w = 0; w < n; ++w) {
+      if (w != master) trace.establish(0, master, w);
+    }
+  }
+  const Cycle first = carp_circuits ? cycles_per_round : 0;
+  for (std::int32_t r = 0; r < rounds; ++r) {
+    const Cycle at = first + r * cycles_per_round;
+    for (NodeId w = 0; w < n; ++w) {
+      if (w == master) continue;
+      trace.send(at, w, master, request_flits);
+      trace.send(at + cycles_per_round / 2, master, w, chunk_flits);
+    }
+  }
+  if (carp_circuits) {
+    const Cycle end = first + rounds * cycles_per_round;
+    for (NodeId w = 0; w < n; ++w) {
+      if (w != master) trace.release(end, master, w);
+    }
+  }
+  return trace;
+}
+
+}  // namespace wavesim::load

@@ -1,0 +1,86 @@
+// Application traces: timed sequences of sends and (for CARP) explicit
+// circuit establish/release instructions -- the role the paper assigns to
+// "the programmer and/or the compiler".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/simulation.hpp"
+#include "sim/types.hpp"
+#include "topology/topology.hpp"
+
+namespace wavesim::load {
+
+enum class TraceOp : std::uint8_t { kSend, kEstablish, kRelease };
+
+struct TraceEvent {
+  Cycle at = 0;  ///< earliest cycle to issue (relative to replay start)
+  TraceOp op = TraceOp::kSend;
+  NodeId src = kInvalidNode;
+  NodeId dest = kInvalidNode;
+  std::int32_t length = 0;  ///< flits, kSend only
+};
+
+/// An ordered-by-time event list.
+class Trace {
+ public:
+  void add(TraceEvent event);
+  void send(Cycle at, NodeId src, NodeId dest, std::int32_t length) {
+    add(TraceEvent{at, TraceOp::kSend, src, dest, length});
+  }
+  void establish(Cycle at, NodeId src, NodeId dest) {
+    add(TraceEvent{at, TraceOp::kEstablish, src, dest, 0});
+  }
+  void release(Cycle at, NodeId src, NodeId dest) {
+    add(TraceEvent{at, TraceOp::kRelease, src, dest, 0});
+  }
+
+  const std::vector<TraceEvent>& events() const noexcept { return events_; }
+  std::size_t size() const noexcept { return events_.size(); }
+  Cycle horizon() const noexcept;  ///< timestamp of the last event
+
+  /// Drop establish/release events (to replay the same workload under
+  /// CLRP or plain wormhole switching for comparison).
+  Trace without_circuit_ops() const;
+
+ private:
+  std::vector<TraceEvent> events_;  // kept sorted by `at` (stable)
+};
+
+/// Issue the trace against a simulation, then drain. Returns false if the
+/// drain cap was hit.
+bool replay(const Trace& trace, core::Simulation& sim,
+            Cycle drain_cap = 1'000'000);
+
+/// Capture the send sequence of a finished run as a replayable trace
+/// (timestamps are the original submission cycles). Circuit ops are not
+/// captured -- replaying under a different protocol is the typical use.
+Trace capture(const core::MessageLog& log);
+
+/// Plain-text trace files, one event per line:
+///   <cycle> send <src> <dest> <flits>
+///   <cycle> establish <src> <dest>
+///   <cycle> release <src> <dest>
+/// Lines starting with '#' and blank lines are ignored on load.
+void save_trace(const Trace& trace, const std::string& path);
+Trace load_trace(const std::string& path);  ///< throws on malformed input
+
+// -- synthetic applications ------------------------------------------------
+
+/// 5-point stencil (2-D): `iterations` rounds; per round every node sends
+/// one `halo_flits` message to each of its 4 neighbors. With CARP, circuits
+/// are established before round 0 and released after the last round.
+Trace make_stencil_trace(const topo::KAryNCube& topology,
+                         std::int32_t iterations, std::int32_t halo_flits,
+                         Cycle cycles_per_iteration, bool carp_circuits);
+
+/// Master/worker: workers request (short message to master), master
+/// responds with a `chunk_flits` message; `rounds` rounds. With CARP the
+/// master pre-establishes circuits to every worker.
+Trace make_master_worker_trace(const topo::KAryNCube& topology, NodeId master,
+                               std::int32_t rounds, std::int32_t request_flits,
+                               std::int32_t chunk_flits, Cycle cycles_per_round,
+                               bool carp_circuits);
+
+}  // namespace wavesim::load

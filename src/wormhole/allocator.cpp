@@ -1,0 +1,18 @@
+#include "wormhole/allocator.hpp"
+
+#include <stdexcept>
+
+namespace wavesim::wh {
+
+RoundRobinArbiter::RoundRobinArbiter(std::int32_t size) : size_(size) {
+  if (size <= 0) throw std::invalid_argument("RoundRobinArbiter: size <= 0");
+}
+
+std::int32_t RoundRobinArbiter::grant(const std::vector<std::uint8_t>& requests) {
+  if (static_cast<std::int32_t>(requests.size()) != size_) {
+    throw std::invalid_argument("RoundRobinArbiter: request width mismatch");
+  }
+  return grant_first([&](std::int32_t i) { return requests[i] != 0; });
+}
+
+}  // namespace wavesim::wh

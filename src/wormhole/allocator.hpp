@@ -1,0 +1,42 @@
+// Round-robin arbitration primitives used by the router's VC and switch
+// allocation stages.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace wavesim::wh {
+
+/// Rotating-priority arbiter over `size` requesters. grant() scans from the
+/// slot after the previous winner, returning the first requesting index and
+/// advancing the pointer (strong fairness under persistent requests).
+class RoundRobinArbiter {
+ public:
+  explicit RoundRobinArbiter(std::int32_t size);
+
+  std::int32_t size() const noexcept { return size_; }
+
+  /// `requests[i] != 0` means slot i wants the grant. Returns winner index
+  /// or -1 when nobody requests.
+  std::int32_t grant(const std::vector<std::uint8_t>& requests);
+
+  /// Convenience: iterate slots in current priority order, calling
+  /// `try_slot(i)`; the first slot returning true wins (pointer advances).
+  template <typename Fn>
+  std::int32_t grant_first(Fn&& try_slot) {
+    for (std::int32_t n = 0; n < size_; ++n) {
+      const std::int32_t i = (pointer_ + n) % size_;
+      if (try_slot(i)) {
+        pointer_ = (i + 1) % size_;
+        return i;
+      }
+    }
+    return -1;
+  }
+
+ private:
+  std::int32_t size_;
+  std::int32_t pointer_ = 0;
+};
+
+}  // namespace wavesim::wh

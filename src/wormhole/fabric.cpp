@@ -1,0 +1,107 @@
+#include "wormhole/fabric.hpp"
+
+#include <stdexcept>
+
+namespace wavesim::wh {
+
+Fabric::Fabric(const topo::KAryNCube& topology,
+               const route::RoutingAlgorithm& routing,
+               const FabricParams& params, LinkGate* gate)
+    : topology_(topology), params_(params), gate_(gate),
+      gate_is_owned_(gate == nullptr),
+      flit_line_(params.link_latency),
+      credit_line_(1),
+      link_flits_(topology.num_channels(), 0) {
+  if (params.link_latency < 1) {
+    throw std::invalid_argument("Fabric: link_latency must be >= 1");
+  }
+  if (gate_is_owned_) {
+    owned_gate_ = std::make_unique<ExclusiveLinkGate>(topology);
+    gate_ = owned_gate_.get();
+  }
+  routers_.reserve(topology.num_nodes());
+  for (NodeId n = 0; n < topology.num_nodes(); ++n) {
+    routers_.push_back(
+        std::make_unique<Router>(topology, routing, n, params.router));
+  }
+}
+
+bool Fabric::can_inject(NodeId node, VcId vc) const {
+  const Router& r = router(node);
+  return r.can_accept(r.local_port(), vc);
+}
+
+void Fabric::inject(NodeId node, VcId vc, const Flit& flit) {
+  Router& r = router(node);
+  r.receive(r.local_port(), vc, flit);
+  ++flits_injected_;
+}
+
+void Fabric::step(Cycle now) {
+  if (gate_is_owned_) owned_gate_->reset();
+
+  // 1. Arrivals scheduled for this cycle enter downstream buffers; credits
+  //    return to upstream output VCs.
+  while (credit_line_.ready(now)) {
+    const Credit c = credit_line_.pop();
+    routers_[c.node]->credit_return(c.out_port, c.vc);
+  }
+  while (flit_line_.ready(now)) {
+    const LinkFlit lf = flit_line_.pop();
+    routers_[lf.dest_node]->receive(lf.in_port, lf.vc, lf.flit);
+    last_activity_ = now;
+  }
+
+  // 2. Switch allocation + traversal on every router; transport the moves.
+  for (NodeId n = 0; n < topology_.num_nodes(); ++n) {
+    Router& r = *routers_[n];
+    for (const SwitchMove& move : r.switch_allocate(*gate_)) {
+      last_activity_ = now;
+      // Credit for the slot freed on the input buffer goes to the upstream
+      // router (none needed for injection: the NI polls occupancy).
+      if (move.in_port != r.local_port()) {
+        const NodeId upstream = topology_.neighbor(n, move.in_port);
+        if (upstream == kInvalidNode) {
+          throw std::logic_error("Fabric: flit arrived over a missing link");
+        }
+        credit_line_.push(
+            now, Credit{upstream, topo::KAryNCube::opposite(move.in_port),
+                        move.in_vc});
+      }
+      if (move.eject) {
+        ++flits_delivered_;
+        if (delivery_) delivery_(n, move.flit);
+      } else {
+        const NodeId next = topology_.neighbor(n, move.out_port);
+        if (next == kInvalidNode) {
+          throw std::logic_error("Fabric: routed onto a missing link");
+        }
+        ++link_flit_hops_;
+        ++link_flits_[topology_.channel_index(n, move.out_port)];
+        flit_line_.push(now,
+                        LinkFlit{next, topo::KAryNCube::opposite(move.out_port),
+                                 move.out_vc, move.flit});
+      }
+    }
+  }
+
+  // 3. VC allocation, then 4. route computation (so a new head needs one
+  //    cycle in each stage before its first switch traversal).
+  for (auto& r : routers_) r->vc_allocate();
+  for (auto& r : routers_) r->route_compute();
+}
+
+double Fabric::max_link_utilization(Cycle elapsed) const {
+  if (elapsed == 0) return 0.0;
+  std::uint64_t peak = 0;
+  for (auto count : link_flits_) peak = std::max(peak, count);
+  return static_cast<double>(peak) / static_cast<double>(elapsed);
+}
+
+std::int64_t Fabric::flits_in_flight() const {
+  std::int64_t total = static_cast<std::int64_t>(flit_line_.size());
+  for (const auto& r : routers_) total += r->buffered_flits();
+  return total;
+}
+
+}  // namespace wavesim::wh

@@ -1,0 +1,96 @@
+// Network-level wormhole plane: owns one Router per node plus the flit and
+// credit delay lines between them. This is both the S0 plane of the wave
+// router and the standalone wormhole baseline (k = 0).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/delay_line.hpp"
+#include "wormhole/router.hpp"
+
+namespace wavesim::wh {
+
+struct FabricParams {
+  RouterParams router;
+  /// Cycles a flit spends between leaving one router's switch and entering
+  /// the next router's buffer (wire + downstream pipeline front-end).
+  Cycle link_latency = 2;
+};
+
+class Fabric {
+ public:
+  /// `gate` may be nullptr, in which case the fabric owns an exclusive
+  /// gate (pure wormhole network). The caller keeps ownership otherwise
+  /// and must reset it each cycle before step().
+  Fabric(const topo::KAryNCube& topology,
+         const route::RoutingAlgorithm& routing, const FabricParams& params,
+         LinkGate* gate = nullptr);
+
+  const topo::KAryNCube& topology() const noexcept { return topology_; }
+  std::int32_t num_vcs() const noexcept { return params_.router.num_vcs; }
+  Router& router(NodeId node) { return *routers_.at(node); }
+  const Router& router(NodeId node) const { return *routers_.at(node); }
+
+  /// Injection-side buffer space on (local port, vc) of `node`.
+  bool can_inject(NodeId node, VcId vc) const;
+  void inject(NodeId node, VcId vc, const Flit& flit);
+
+  /// Called once per ejected flit, in delivery order.
+  using DeliveryHandler = std::function<void(NodeId node, const Flit& flit)>;
+  void set_delivery_handler(DeliveryHandler handler) {
+    delivery_ = std::move(handler);
+  }
+
+  /// Advance one cycle. When an external gate was supplied, the caller is
+  /// responsible for resetting it and stepping higher-priority traffic
+  /// (the PCS control plane) first.
+  void step(Cycle now);
+
+  // -- statistics / invariants -------------------------------------------
+  std::uint64_t flits_delivered() const noexcept { return flits_delivered_; }
+  std::uint64_t flits_injected() const noexcept { return flits_injected_; }
+  std::uint64_t link_flit_hops() const noexcept { return link_flit_hops_; }
+  /// Flits that traversed the physical link leaving `node` through `port`.
+  std::uint64_t link_flits(NodeId node, PortId port) const {
+    return link_flits_.at(topology_.channel_index(node, port));
+  }
+  /// Highest per-link utilization (flits per cycle) over `elapsed` cycles.
+  double max_link_utilization(Cycle elapsed) const;
+  /// Flits currently inside routers or on links (conservation checks).
+  std::int64_t flits_in_flight() const;
+  /// Cycle of the most recent flit movement anywhere in the plane
+  /// (progress watchdog input).
+  Cycle last_activity() const noexcept { return last_activity_; }
+
+ private:
+  struct Credit {
+    NodeId node;
+    PortId out_port;
+    VcId vc;
+  };
+  struct LinkFlit {
+    NodeId dest_node;
+    PortId in_port;
+    VcId vc;
+    Flit flit;
+  };
+
+  const topo::KAryNCube& topology_;
+  FabricParams params_;
+  std::vector<std::unique_ptr<Router>> routers_;
+  std::unique_ptr<ExclusiveLinkGate> owned_gate_;
+  LinkGate* gate_;
+  bool gate_is_owned_;
+  sim::DelayLine<LinkFlit> flit_line_;
+  sim::DelayLine<Credit> credit_line_;
+  DeliveryHandler delivery_;
+  std::uint64_t flits_delivered_ = 0;
+  std::uint64_t flits_injected_ = 0;
+  std::uint64_t link_flit_hops_ = 0;
+  std::vector<std::uint64_t> link_flits_;  ///< per unidirectional channel
+  Cycle last_activity_ = 0;
+};
+
+}  // namespace wavesim::wh

@@ -1,0 +1,49 @@
+// Flow-control digit travelling on the S0 wormhole plane.
+#pragma once
+
+#include "sim/types.hpp"
+
+namespace wavesim::wh {
+
+struct Flit {
+  MessageId msg = kInvalidMessage;
+  NodeId src = kInvalidNode;
+  NodeId dest = kInvalidNode;
+  std::int32_t seq = 0;        ///< index within the message, 0-based
+  std::int32_t length = 0;     ///< total flits in the message
+  bool head = false;
+  bool tail = false;
+  Cycle created_at = 0;        ///< cycle the message was offered by the app
+
+  friend bool operator==(const Flit&, const Flit&) = default;
+};
+
+/// Build flit `seq` of an L-flit message (single-flit messages are both
+/// head and tail).
+inline Flit make_flit(MessageId msg, NodeId src, NodeId dest, std::int32_t seq,
+                      std::int32_t length, Cycle created_at) {
+  Flit f;
+  f.msg = msg;
+  f.src = src;
+  f.dest = dest;
+  f.seq = seq;
+  f.length = length;
+  f.head = seq == 0;
+  f.tail = seq == length - 1;
+  f.created_at = created_at;
+  return f;
+}
+
+/// Segmented variant: head/tail mark *packet* boundaries while seq/length
+/// stay message-relative (the destination reassembles by flit count).
+inline Flit make_packet_flit(MessageId msg, NodeId src, NodeId dest,
+                             std::int32_t seq, std::int32_t length,
+                             bool packet_head, bool packet_tail,
+                             Cycle created_at) {
+  Flit f = make_flit(msg, src, dest, seq, length, created_at);
+  f.head = packet_head;
+  f.tail = packet_tail;
+  return f;
+}
+
+}  // namespace wavesim::wh

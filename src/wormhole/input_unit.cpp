@@ -1,0 +1,55 @@
+#include "wormhole/input_unit.hpp"
+
+#include <stdexcept>
+
+namespace wavesim::wh {
+
+InputVc::InputVc(std::int32_t capacity) : capacity_(capacity) {
+  if (capacity < 1) throw std::invalid_argument("InputVc: capacity < 1");
+}
+
+void InputVc::push(const Flit& flit) {
+  if (full()) throw std::logic_error("InputVc overflow: credit protocol bug");
+  buffer_.push_back(flit);
+}
+
+const Flit& InputVc::front() const {
+  if (buffer_.empty()) throw std::logic_error("InputVc::front on empty VC");
+  return buffer_.front();
+}
+
+Flit InputVc::pop() {
+  if (buffer_.empty()) throw std::logic_error("InputVc::pop on empty VC");
+  Flit f = buffer_.front();
+  buffer_.pop_front();
+  return f;
+}
+
+void InputVc::start_routing(std::vector<route::RouteCandidate> candidates) {
+  if (state_ != VcState::kIdle) {
+    throw std::logic_error("InputVc::start_routing while not idle");
+  }
+  candidates_ = std::move(candidates);
+  state_ = VcState::kRouting;
+}
+
+void InputVc::activate(PortId out_port, VcId out_vc) {
+  if (state_ != VcState::kRouting) {
+    throw std::logic_error("InputVc::activate while not routing");
+  }
+  out_port_ = out_port;
+  out_vc_ = out_vc;
+  state_ = VcState::kActive;
+  candidates_.clear();
+}
+
+void InputVc::release() {
+  if (state_ != VcState::kActive) {
+    throw std::logic_error("InputVc::release while not active");
+  }
+  state_ = VcState::kIdle;
+  out_port_ = kInvalidPort;
+  out_vc_ = kInvalidVc;
+}
+
+}  // namespace wavesim::wh

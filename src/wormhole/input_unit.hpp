@@ -1,0 +1,59 @@
+// Per-virtual-channel input state of a wormhole router (paper Fig. 1:
+// "Input queues (virtual channels)").
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "routing/routing.hpp"
+#include "wormhole/flit.hpp"
+
+namespace wavesim::wh {
+
+/// Lifecycle of one input VC:
+///   kIdle      -- empty or waiting for a head flit to reach the front
+///   kRouting   -- head at front, candidates computed, awaiting VC alloc
+///   kActive    -- output VC held; flits stream through switch allocation
+enum class VcState : std::uint8_t { kIdle, kRouting, kActive };
+
+class InputVc {
+ public:
+  explicit InputVc(std::int32_t capacity);
+
+  std::int32_t capacity() const noexcept { return capacity_; }
+  std::int32_t occupancy() const noexcept {
+    return static_cast<std::int32_t>(buffer_.size());
+  }
+  bool full() const noexcept { return occupancy() >= capacity_; }
+  bool empty() const noexcept { return buffer_.empty(); }
+
+  /// Enqueue an arriving flit. Caller must have honored credits; overflow
+  /// is a simulator bug and throws.
+  void push(const Flit& flit);
+
+  const Flit& front() const;
+  Flit pop();
+
+  VcState state() const noexcept { return state_; }
+  void start_routing(std::vector<route::RouteCandidate> candidates);
+  const std::vector<route::RouteCandidate>& candidates() const noexcept {
+    return candidates_;
+  }
+  /// Grant an output VC; transitions kRouting -> kActive.
+  void activate(PortId out_port, VcId out_vc);
+  /// Tail left; back to kIdle.
+  void release();
+
+  PortId out_port() const noexcept { return out_port_; }
+  VcId out_vc() const noexcept { return out_vc_; }
+
+ private:
+  std::int32_t capacity_;
+  std::deque<Flit> buffer_;
+  VcState state_ = VcState::kIdle;
+  std::vector<route::RouteCandidate> candidates_;
+  PortId out_port_ = kInvalidPort;
+  VcId out_vc_ = kInvalidVc;
+};
+
+}  // namespace wavesim::wh

@@ -1,0 +1,199 @@
+#include "wormhole/router.hpp"
+
+#include <stdexcept>
+
+namespace wavesim::wh {
+
+Router::Router(const topo::KAryNCube& topology,
+               const route::RoutingAlgorithm& routing, NodeId node,
+               const RouterParams& params)
+    : topology_(topology), routing_(routing), node_(node), params_(params),
+      network_ports_(topology.num_ports()),
+      va_arbiter_((network_ports_ + 1) * params.num_vcs) {
+  if (params.num_vcs < 1 || params.vc_buffer_depth < 1) {
+    throw std::invalid_argument("Router: bad params");
+  }
+  inputs_.reserve(network_ports_ + 1);
+  outputs_.reserve(network_ports_ + 1);
+  for (PortId p = 0; p <= network_ports_; ++p) {
+    inputs_.emplace_back();
+    outputs_.emplace_back();
+    for (VcId v = 0; v < params.num_vcs; ++v) {
+      inputs_.back().emplace_back(params.vc_buffer_depth);
+      OutputVc out;
+      // Network outputs start with a full window of downstream credits;
+      // the ejection port never blocks (delivery buffers are the NI's
+      // responsibility and are modeled as always-accepting).
+      out.credits = params.vc_buffer_depth;
+      outputs_.back().push_back(out);
+    }
+    switch_arbiters_.emplace_back((network_ports_ + 1) * params.num_vcs);
+  }
+}
+
+const InputVc& Router::input_vc(PortId port, VcId vc) const {
+  return inputs_.at(port).at(vc);
+}
+
+InputVc& Router::input_vc_mut(PortId port, VcId vc) {
+  return inputs_.at(port).at(vc);
+}
+
+Router::OutputVc& Router::output_vc(PortId port, VcId vc) {
+  return outputs_.at(port).at(vc);
+}
+
+const Router::OutputVc& Router::output_vc(PortId port, VcId vc) const {
+  return outputs_.at(port).at(vc);
+}
+
+bool Router::output_exists(PortId port) const {
+  if (port == local_port()) return true;
+  return topology_.has_neighbor(node_, port);
+}
+
+bool Router::can_accept(PortId port, VcId vc) const {
+  return !input_vc(port, vc).full();
+}
+
+void Router::receive(PortId port, VcId vc, const Flit& flit) {
+  input_vc_mut(port, vc).push(flit);
+}
+
+void Router::credit_return(PortId out_port, VcId out_vc) {
+  auto& out = output_vc(out_port, out_vc);
+  if (out.credits >= params_.vc_buffer_depth) {
+    throw std::logic_error("Router: credit overflow");
+  }
+  ++out.credits;
+}
+
+std::int32_t Router::credits(PortId out_port, VcId out_vc) const {
+  return output_vc(out_port, out_vc).credits;
+}
+
+bool Router::output_allocated(PortId out_port, VcId out_vc) const {
+  return output_vc(out_port, out_vc).allocated;
+}
+
+std::vector<SwitchMove> Router::switch_allocate(LinkGate& gate) {
+  std::vector<SwitchMove> moves;
+  const std::int32_t vcs = params_.num_vcs;
+  for (PortId out_port = 0; out_port <= network_ports_; ++out_port) {
+    const bool eject = out_port == local_port();
+    bool link_claimed = false;
+    switch_arbiters_[out_port].grant_first([&](std::int32_t slot) {
+      const PortId in_port = slot / vcs;
+      const VcId in_vc = slot % vcs;
+      InputVc& in = inputs_[in_port][in_vc];
+      if (in.state() != VcState::kActive || in.out_port() != out_port) {
+        return false;
+      }
+      if (in.empty()) return false;
+      OutputVc& out = output_vc(out_port, in.out_vc());
+      if (!eject && out.credits <= 0) return false;
+      // One flit per physical link per cycle, shared with control VCs.
+      if (!eject && !gate.try_acquire(node_, out_port)) {
+        link_claimed = true;
+        return false;
+      }
+      SwitchMove move;
+      move.in_port = in_port;
+      move.in_vc = in_vc;
+      move.out_port = out_port;
+      move.out_vc = in.out_vc();
+      move.flit = in.pop();
+      move.eject = eject;
+      if (!eject) --out.credits;
+      if (move.flit.tail) {
+        out.allocated = false;
+        out.holder_port = kInvalidPort;
+        out.holder_vc = kInvalidVc;
+        in.release();
+      }
+      moves.push_back(move);
+      return true;
+    });
+    (void)link_claimed;
+  }
+  return moves;
+}
+
+void Router::vc_allocate() {
+  const std::int32_t vcs = params_.num_vcs;
+  va_arbiter_.grant_first([&](std::int32_t slot) {
+    const PortId in_port = slot / vcs;
+    const VcId in_vc = slot % vcs;
+    InputVc& in = inputs_[in_port][in_vc];
+    if (in.state() != VcState::kRouting) return false;
+    for (const auto& cand : in.candidates()) {
+      if (!output_exists(cand.port)) continue;
+      OutputVc& out = output_vc(cand.port, cand.vc);
+      if (out.allocated) continue;
+      out.allocated = true;
+      out.holder_port = in_port;
+      out.holder_vc = in_vc;
+      in.activate(cand.port, cand.vc);
+      return true;  // advance arbiter pointer past the winner
+    }
+    return false;
+  });
+  // A single grant per cycle would be too restrictive; sweep the remaining
+  // VCs once more in index order so independent outputs can be claimed in
+  // the same cycle (the arbiter above only rotates fairness for the first
+  // grant, which is the contended one).
+  for (PortId in_port = 0; in_port <= network_ports_; ++in_port) {
+    for (VcId in_vc = 0; in_vc < vcs; ++in_vc) {
+      InputVc& in = inputs_[in_port][in_vc];
+      if (in.state() != VcState::kRouting) continue;
+      for (const auto& cand : in.candidates()) {
+        if (!output_exists(cand.port)) continue;
+        OutputVc& out = output_vc(cand.port, cand.vc);
+        if (out.allocated) continue;
+        out.allocated = true;
+        out.holder_port = in_port;
+        out.holder_vc = in_vc;
+        in.activate(cand.port, cand.vc);
+        break;
+      }
+    }
+  }
+}
+
+void Router::route_compute() {
+  for (PortId in_port = 0; in_port <= network_ports_; ++in_port) {
+    for (VcId in_vc = 0; in_vc < params_.num_vcs; ++in_vc) {
+      InputVc& in = inputs_[in_port][in_vc];
+      if (in.state() != VcState::kIdle || in.empty()) continue;
+      const Flit& head = in.front();
+      if (!head.head) {
+        throw std::logic_error("Router: body flit at front of idle VC");
+      }
+      std::vector<route::RouteCandidate> candidates;
+      if (head.dest == node_) {
+        for (VcId v = 0; v < params_.num_vcs; ++v) {
+          candidates.push_back(
+              route::RouteCandidate{local_port(), v, /*escape=*/true});
+        }
+      } else {
+        candidates = routing_.route(
+            node_, in_port == local_port() ? kInvalidPort : in_port, in_vc,
+            head.dest);
+        if (candidates.empty()) {
+          throw std::logic_error("Router: routing returned no candidates");
+        }
+      }
+      in.start_routing(std::move(candidates));
+    }
+  }
+}
+
+std::int64_t Router::buffered_flits() const {
+  std::int64_t total = 0;
+  for (const auto& port : inputs_) {
+    for (const auto& vc : port) total += vc.occupancy();
+  }
+  return total;
+}
+
+}  // namespace wavesim::wh

@@ -1,0 +1,98 @@
+// One wormhole router (paper Fig. 1): per-input-VC buffers, route
+// computation, VC allocation, and switch allocation with credit-based flow
+// control. The router is topology-agnostic beyond its own port count; the
+// Fabric moves flits and credits between routers.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "routing/routing.hpp"
+#include "wormhole/allocator.hpp"
+#include "wormhole/flit.hpp"
+#include "wormhole/input_unit.hpp"
+#include "wormhole/link_gate.hpp"
+
+namespace wavesim::wh {
+
+struct RouterParams {
+  std::int32_t num_vcs = 2;          ///< w, wormhole data VCs per channel
+  std::int32_t vc_buffer_depth = 4;  ///< flits per VC buffer
+};
+
+/// A flit crossing the switch this cycle, as decided by switch allocation.
+struct SwitchMove {
+  PortId in_port = kInvalidPort;
+  VcId in_vc = kInvalidVc;
+  PortId out_port = kInvalidPort;
+  VcId out_vc = kInvalidVc;
+  Flit flit;
+  bool eject = false;  ///< out_port is the local ejection port
+};
+
+class Router {
+ public:
+  Router(const topo::KAryNCube& topology,
+         const route::RoutingAlgorithm& routing, NodeId node,
+         const RouterParams& params);
+
+  NodeId node() const noexcept { return node_; }
+  std::int32_t num_vcs() const noexcept { return params_.num_vcs; }
+  /// Network ports [0, num_network_ports); local port == num_network_ports
+  /// (injection on the input side, ejection on the output side).
+  std::int32_t num_network_ports() const noexcept { return network_ports_; }
+  PortId local_port() const noexcept { return network_ports_; }
+
+  const InputVc& input_vc(PortId port, VcId vc) const;
+  bool can_accept(PortId port, VcId vc) const;
+  void receive(PortId port, VcId vc, const Flit& flit);
+
+  /// Downstream buffer freed a slot for (out_port, out_vc).
+  void credit_return(PortId out_port, VcId out_vc);
+  std::int32_t credits(PortId out_port, VcId out_vc) const;
+  bool output_allocated(PortId out_port, VcId out_vc) const;
+
+  /// Pipeline stages, called once per cycle by the Fabric in the order
+  /// switch_allocate -> vc_allocate -> route_compute (a head therefore
+  /// spends >= 2 cycles of pipeline per hop, plus link latency).
+  ///
+  /// switch_allocate grants at most one flit per output port, consuming
+  /// network-link bandwidth through `gate` (shared with the PCS control
+  /// plane); the moves are applied internally (buffers popped, credits
+  /// decremented, tail releases) and returned for the Fabric to transport.
+  std::vector<SwitchMove> switch_allocate(LinkGate& gate);
+  void vc_allocate();
+  void route_compute();
+
+  /// Sum of buffered flits across all input VCs (watchdog / conservation).
+  std::int64_t buffered_flits() const;
+
+ private:
+  struct OutputVc {
+    bool allocated = false;
+    PortId holder_port = kInvalidPort;
+    VcId holder_vc = kInvalidVc;
+    std::int32_t credits = 0;  ///< ignored for the ejection port
+  };
+
+  InputVc& input_vc_mut(PortId port, VcId vc);
+  OutputVc& output_vc(PortId port, VcId vc);
+  const OutputVc& output_vc(PortId port, VcId vc) const;
+  bool output_exists(PortId port) const;
+
+  const topo::KAryNCube& topology_;
+  const route::RoutingAlgorithm& routing_;
+  NodeId node_;
+  RouterParams params_;
+  std::int32_t network_ports_;
+
+  /// [port][vc], port in [0, network_ports_] (last = injection).
+  std::vector<std::vector<InputVc>> inputs_;
+  /// [port][vc], port in [0, network_ports_] (last = ejection).
+  std::vector<std::vector<OutputVc>> outputs_;
+  std::vector<RoundRobinArbiter> switch_arbiters_;  ///< one per output port
+  RoundRobinArbiter va_arbiter_;                    ///< over all input VCs
+};
+
+}  // namespace wavesim::wh

@@ -1,0 +1,91 @@
+// Fairness and contention properties of the wormhole switch allocation.
+#include <gtest/gtest.h>
+
+#include "core/simulation.hpp"
+#include "sim/rng.hpp"
+
+namespace wavesim::wh {
+namespace {
+
+TEST(Arbitration, CompetingFlowsShareALinkFairly) {
+  // Two steady flows from (0,0) and (0,1) both crossing column x=1..3 to
+  // reach (3,0)/(3,1): same direction, different rows -- no shared link.
+  // Instead share one link explicitly: sources (0,0) and (1,0)->... use
+  // dest column so both use link (2,0)->(3,0): flows (0,0)->(3,0) and
+  // (1,0)->(3,0) share links (1,0)->(2,0) and (2,0)->(3,0).
+  sim::SimConfig cfg;
+  cfg.topology.radix = {4, 4};
+  cfg.topology.torus = false;
+  cfg.protocol.protocol = sim::ProtocolKind::kWormholeOnly;
+  cfg.router.wave_switches = 0;
+  cfg.router.wormhole_vcs = 2;
+  core::Simulation sim(cfg);
+  const NodeId a = sim.topology().node_of({0, 0});
+  const NodeId b = sim.topology().node_of({1, 0});
+  const NodeId dest = sim.topology().node_of({3, 0});
+  // Keep both sources saturated with back-to-back messages.
+  for (int i = 0; i < 30; ++i) {
+    sim.send(a, dest, 16);
+    sim.send(b, dest, 16);
+  }
+  ASSERT_TRUE(sim.run_until_delivered(500000));
+  // Per-source delivered byte counts must be equal (same offered volume)
+  // and their completion times interleaved, not serialized: the last
+  // message of each source should finish within ~25% of the other.
+  Cycle last_a = 0;
+  Cycle last_b = 0;
+  for (const auto& rec : sim.network().messages().all()) {
+    if (rec.src == a) last_a = std::max(last_a, rec.delivered);
+    if (rec.src == b) last_b = std::max(last_b, rec.delivered);
+  }
+  const double hi = static_cast<double>(std::max(last_a, last_b));
+  const double lo = static_cast<double>(std::min(last_a, last_b));
+  EXPECT_LT(hi / lo, 1.25) << "link arbitration starved one flow";
+}
+
+TEST(Arbitration, EjectionPortContentionResolves) {
+  // Every other node sends to one sink simultaneously; the sink's single
+  // ejection port must drain them all without starvation.
+  sim::SimConfig cfg;
+  cfg.topology.radix = {4, 4};
+  cfg.topology.torus = true;
+  cfg.protocol.protocol = sim::ProtocolKind::kWormholeOnly;
+  cfg.router.wave_switches = 0;
+  core::Simulation sim(cfg);
+  const NodeId sink = 5;
+  std::uint64_t sent = 0;
+  for (NodeId n = 0; n < 16; ++n) {
+    if (n == sink) continue;
+    sim.send(n, sink, 24);
+    ++sent;
+  }
+  ASSERT_TRUE(sim.run_until_delivered(500000));
+  EXPECT_EQ(sim.stats().messages_delivered, sent);
+  // Lower bound: 15 x 24 flits through one ejection port takes >= 360
+  // cycles; make sure the simulation respected the serial bottleneck.
+  EXPECT_GE(sim.now(), 15u * 24u);
+}
+
+TEST(Arbitration, RoundRobinPreventsVcStarvationOnSharedLink) {
+  // A long worm and a short message share +x links and the same dateline
+  // class. With 2 VCs each class holds a single VC, so the short message
+  // must legitimately wait behind the worm; with 4 VCs the class has two
+  // channels and the short message interleaves past it.
+  sim::SimConfig cfg;
+  cfg.topology.radix = {8, 8};
+  cfg.topology.torus = true;
+  cfg.protocol.protocol = sim::ProtocolKind::kWormholeOnly;
+  cfg.router.wave_switches = 0;
+  cfg.router.wormhole_vcs = 4;
+  core::Simulation sim(cfg);
+  const MessageId big = sim.send(0, 4, 512);
+  sim.run(30);  // the worm now occupies the +x path
+  const MessageId small = sim.send(1, 4, 8);  // same links, other VC
+  ASSERT_TRUE(sim.run_until_delivered(500000));
+  const auto& log = sim.network().messages();
+  EXPECT_LT(log.at(small).delivered, log.at(big).delivered)
+      << "virtual channels failed to let the short message pass the worm";
+}
+
+}  // namespace
+}  // namespace wavesim::wh

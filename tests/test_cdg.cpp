@@ -1,0 +1,156 @@
+// Structural deadlock-freedom checks: the premise of the paper's Theorems
+// 1 and 2 is that the wormhole routing algorithm is deadlock-free. We
+// verify it with channel-dependency-graph acyclicity (Dally & Seitz for
+// deterministic routing; Duato's escape-subnetwork condition for adaptive).
+#include "routing/cdg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "routing/dor.hpp"
+#include "routing/duato.hpp"
+
+namespace wavesim::route {
+namespace {
+
+using topo::KAryNCube;
+
+TEST(Cdg, GraphBasics) {
+  KAryNCube mesh({2, 2}, false);
+  ChannelDependencyGraph g(mesh, 2);
+  EXPECT_EQ(g.num_vertices(), mesh.num_channels() * 2);
+  EXPECT_TRUE(g.acyclic());
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_TRUE(g.acyclic());
+  g.add_edge(2, 0);
+  EXPECT_FALSE(g.acyclic());
+  const auto cycle = g.find_cycle();
+  EXPECT_EQ(cycle.size(), 3u);
+}
+
+TEST(Cdg, SelfLoopIsACycle) {
+  KAryNCube mesh({2, 2}, false);
+  ChannelDependencyGraph g(mesh, 1);
+  g.add_edge(3, 3);
+  EXPECT_FALSE(g.acyclic());
+  EXPECT_EQ(g.find_cycle().size(), 1u);
+}
+
+TEST(Cdg, DorMeshIsAcyclic) {
+  for (auto radix : {std::vector<std::int32_t>{4, 4},
+                     std::vector<std::int32_t>{3, 3, 3},
+                     std::vector<std::int32_t>{8, 2}}) {
+    KAryNCube mesh(radix, false);
+    DimensionOrderRouting dor(mesh, 1);
+    const auto g = build_cdg(mesh, dor, 1, /*escape_only=*/false);
+    EXPECT_GT(g.num_edges(), 0);
+    EXPECT_TRUE(g.acyclic()) << "mesh radix[0]=" << radix[0];
+  }
+}
+
+TEST(Cdg, DorTorusWithDatelinesIsAcyclic) {
+  for (auto radix : {std::vector<std::int32_t>{4, 4},
+                     std::vector<std::int32_t>{5, 3},
+                     std::vector<std::int32_t>{3, 3, 3}}) {
+    KAryNCube torus(radix, true);
+    DimensionOrderRouting dor(torus, 2);
+    const auto g = build_cdg(torus, dor, 2, /*escape_only=*/false);
+    EXPECT_GT(g.num_edges(), 0);
+    EXPECT_TRUE(g.acyclic()) << "torus radix[0]=" << radix[0];
+  }
+}
+
+TEST(Cdg, TorusWithoutDatelinesHasCycle) {
+  // Deliberately mis-configured routing: DOR on a torus where both VCs are
+  // in the same class (simulated by a mesh-style DOR that ignores the
+  // dateline). We emulate it by building a ring CDG by hand to document
+  // why the dateline classes exist.
+  KAryNCube ring({4}, true);
+  ChannelDependencyGraph g(ring, 1);
+  // All-positive traversal around the ring: channel at node i depends on
+  // channel at node i+1 mod 4.
+  for (NodeId n = 0; n < 4; ++n) {
+    const auto from = g.vertex(n, KAryNCube::port_of(0, true), 0);
+    const auto to =
+        g.vertex(ring.neighbor(n, KAryNCube::port_of(0, true)),
+                 KAryNCube::port_of(0, true), 0);
+    g.add_edge(from, to);
+  }
+  EXPECT_FALSE(g.acyclic());
+}
+
+TEST(Cdg, DuatoEscapeSubnetIsAcyclicOnMesh) {
+  KAryNCube mesh({4, 4}, false);
+  DuatoAdaptiveRouting duato(mesh, 3);
+  const auto escape = build_cdg(mesh, duato, 3, /*escape_only=*/true);
+  EXPECT_GT(escape.num_edges(), 0);
+  EXPECT_TRUE(escape.acyclic());
+}
+
+TEST(Cdg, DuatoEscapeSubnetIsAcyclicOnTorus) {
+  for (auto radix : {std::vector<std::int32_t>{4, 4},
+                     std::vector<std::int32_t>{5, 5},
+                     std::vector<std::int32_t>{3, 3, 3}}) {
+    KAryNCube torus(radix, true);
+    DuatoAdaptiveRouting duato(torus, 4);
+    const auto escape = build_cdg(torus, duato, 4, /*escape_only=*/true);
+    EXPECT_GT(escape.num_edges(), 0);
+    EXPECT_TRUE(escape.acyclic()) << "torus radix[0]=" << radix[0];
+  }
+}
+
+TEST(Cdg, DuatoFullRelationHasCyclesOnTorus) {
+  // The full adaptive relation is allowed to contain cycles; only the
+  // escape subnetwork must be acyclic (Duato's theorem). This documents
+  // that the escape_only restriction is what carries the proof.
+  KAryNCube torus({4, 4}, true);
+  DuatoAdaptiveRouting duato(torus, 3);
+  const auto full = build_cdg(torus, duato, 3, /*escape_only=*/false);
+  EXPECT_FALSE(full.acyclic());
+}
+
+TEST(Cdg, DorFullEqualsEscape) {
+  // For a deterministic algorithm every candidate is an escape candidate,
+  // so the two build modes agree.
+  KAryNCube torus({4, 4}, true);
+  DimensionOrderRouting dor(torus, 2);
+  const auto full = build_cdg(torus, dor, 2, false);
+  const auto escape = build_cdg(torus, dor, 2, true);
+  EXPECT_EQ(full.num_edges(), escape.num_edges());
+  EXPECT_TRUE(full.acyclic());
+  EXPECT_TRUE(escape.acyclic());
+}
+
+TEST(Cdg, DuatoEscapeAcyclicOn3DMesh) {
+  KAryNCube mesh({3, 3, 3}, false);
+  DuatoAdaptiveRouting duato(mesh, 2);  // 1 escape + 1 adaptive on a mesh
+  const auto escape = build_cdg(mesh, duato, 2, /*escape_only=*/true);
+  EXPECT_GT(escape.num_edges(), 0);
+  EXPECT_TRUE(escape.acyclic());
+  // The *full* relation is cyclic even on a mesh: fully adaptive minimal
+  // routing permits all turns, and opposing turn pairs close CDG cycles
+  // without any wraparound (this is exactly why turn models prohibit
+  // turns, and why Duato needs the escape channels the previous assertion
+  // verified).
+  const auto full = build_cdg(mesh, duato, 2, /*escape_only=*/false);
+  EXPECT_FALSE(full.acyclic());
+}
+
+TEST(Cdg, DorOnHypercubeIsAcyclic) {
+  KAryNCube cube({2, 2, 2, 2}, true);  // radix-2 "torus" == hypercube
+  DimensionOrderRouting dor(cube, 2);
+  const auto g = build_cdg(cube, dor, 2, false);
+  EXPECT_GT(g.num_edges(), 0);
+  EXPECT_TRUE(g.acyclic());
+}
+
+TEST(Cdg, LargerRadixStillAcyclic) {
+  KAryNCube torus({8, 8}, true);
+  DimensionOrderRouting dor(torus, 2);
+  EXPECT_TRUE(build_cdg(torus, dor, 2, false).acyclic());
+  DuatoAdaptiveRouting duato(torus, 3);
+  EXPECT_TRUE(build_cdg(torus, duato, 3, true).acyclic());
+}
+
+}  // namespace
+}  // namespace wavesim::route

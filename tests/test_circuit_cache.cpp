@@ -1,0 +1,179 @@
+// Circuit Cache (paper Fig. 5) and circuit table unit tests, including the
+// replacement policies selectable through the "Replace" field.
+#include "core/circuit_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/circuit.hpp"
+
+namespace wavesim::core {
+namespace {
+
+CircuitCache make_cache(std::int32_t entries,
+                        sim::ReplacementPolicy policy = sim::ReplacementPolicy::kLru) {
+  return CircuitCache(entries, policy, sim::Rng{42});
+}
+
+TEST(CircuitTable, CreateAndRetire) {
+  CircuitTable table;
+  const CircuitId a = table.create(0, 5, 1);
+  const CircuitId b = table.create(2, 7, 0);
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(table.contains(a));
+  EXPECT_EQ(table.at(a).src, 0);
+  EXPECT_EQ(table.at(a).dest, 5);
+  EXPECT_EQ(table.at(a).switch_index, 1);
+  EXPECT_EQ(table.at(a).state, CircuitState::kProbing);
+  EXPECT_EQ(table.active(), 2u);
+  table.retire(a);
+  EXPECT_FALSE(table.contains(a));
+  EXPECT_THROW(table.at(a), std::out_of_range);
+  EXPECT_EQ(table.active(), 1u);
+}
+
+TEST(CircuitTable, HopsTracksPath) {
+  CircuitTable table;
+  const CircuitId a = table.create(0, 5, 0);
+  EXPECT_EQ(table.at(a).hops(), 0);
+  table.at(a).path = {0, 0, 2};
+  EXPECT_EQ(table.at(a).hops(), 3);
+}
+
+TEST(CircuitCache, RejectsBadCapacity) {
+  EXPECT_THROW(make_cache(0), std::invalid_argument);
+}
+
+TEST(CircuitCache, FindMissesOnEmpty) {
+  auto cache = make_cache(4);
+  EXPECT_EQ(cache.find(3), nullptr);
+  EXPECT_EQ(cache.valid_entries(), 0);
+}
+
+TEST(CircuitCache, AllocateAndFind) {
+  auto cache = make_cache(2);
+  std::optional<CacheEntry> evicted;
+  CacheEntry* e = cache.allocate(7, 100, &evicted);
+  ASSERT_NE(e, nullptr);
+  EXPECT_FALSE(evicted.has_value());
+  EXPECT_TRUE(e->valid);
+  EXPECT_EQ(e->dest, 7);
+  EXPECT_EQ(e->created, 100u);
+  EXPECT_EQ(cache.find(7), e);
+  EXPECT_EQ(cache.valid_entries(), 1);
+}
+
+TEST(CircuitCache, DuplicateDestinationThrows) {
+  auto cache = make_cache(2);
+  cache.allocate(7, 0, nullptr);
+  EXPECT_THROW(cache.allocate(7, 1, nullptr), std::logic_error);
+}
+
+TEST(CircuitCache, NoVictimWhenAllBusy) {
+  auto cache = make_cache(2);
+  CacheEntry* a = cache.allocate(1, 0, nullptr);
+  CacheEntry* b = cache.allocate(2, 0, nullptr);
+  a->probing = true;             // mid-setup: unevictable
+  b->ack_returned = true;
+  b->in_use = true;              // carrying a message: unevictable
+  std::optional<CacheEntry> evicted;
+  EXPECT_EQ(cache.allocate(3, 1, &evicted), nullptr);
+  EXPECT_FALSE(evicted.has_value());
+}
+
+TEST(CircuitCache, LruEvictsLeastRecentlyUsed) {
+  auto cache = make_cache(2, sim::ReplacementPolicy::kLru);
+  CacheEntry* a = cache.allocate(1, 0, nullptr);
+  CacheEntry* b = cache.allocate(2, 1, nullptr);
+  a->ack_returned = true;
+  b->ack_returned = true;
+  cache.touch(*a, 50);  // a used recently; b stale
+  std::optional<CacheEntry> evicted;
+  CacheEntry* c = cache.allocate(3, 60, &evicted);
+  ASSERT_NE(c, nullptr);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->dest, 2);
+  EXPECT_EQ(cache.find(2), nullptr);
+  EXPECT_NE(cache.find(1), nullptr);
+  EXPECT_EQ(cache.evictions, 1u);
+}
+
+TEST(CircuitCache, LfuEvictsLeastFrequentlyUsed) {
+  auto cache = make_cache(2, sim::ReplacementPolicy::kLfu);
+  CacheEntry* a = cache.allocate(1, 0, nullptr);
+  CacheEntry* b = cache.allocate(2, 1, nullptr);
+  a->ack_returned = true;
+  b->ack_returned = true;
+  cache.touch(*a, 10);
+  cache.touch(*a, 20);
+  cache.touch(*b, 30);  // b used once but more recently
+  std::optional<CacheEntry> evicted;
+  cache.allocate(3, 40, &evicted);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->dest, 2);  // fewer uses wins eviction despite recency
+}
+
+TEST(CircuitCache, FifoEvictsOldestEntry) {
+  auto cache = make_cache(2, sim::ReplacementPolicy::kFifo);
+  CacheEntry* a = cache.allocate(1, 0, nullptr);
+  CacheEntry* b = cache.allocate(2, 5, nullptr);
+  a->ack_returned = true;
+  b->ack_returned = true;
+  cache.touch(*a, 100);  // recency must not matter for FIFO
+  std::optional<CacheEntry> evicted;
+  cache.allocate(3, 200, &evicted);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->dest, 1);
+}
+
+TEST(CircuitCache, RandomEvictsSomeReplaceableEntry) {
+  auto cache = make_cache(3, sim::ReplacementPolicy::kRandom);
+  for (NodeId d : {1, 2, 3}) {
+    CacheEntry* e = cache.allocate(d, 0, nullptr);
+    e->ack_returned = true;
+  }
+  cache.find(2)->in_use = true;  // not replaceable
+  std::optional<CacheEntry> evicted;
+  CacheEntry* e = cache.allocate(4, 1, &evicted);
+  ASSERT_NE(e, nullptr);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_NE(evicted->dest, 2);
+  EXPECT_NE(cache.find(2), nullptr);
+}
+
+TEST(CircuitCache, ProbingEntriesAreNeverEvicted) {
+  auto cache = make_cache(1);
+  CacheEntry* a = cache.allocate(1, 0, nullptr);
+  a->probing = true;
+  EXPECT_EQ(cache.allocate(2, 1, nullptr), nullptr);
+  a->probing = false;
+  a->ack_returned = true;
+  EXPECT_NE(cache.allocate(2, 2, nullptr), nullptr);
+}
+
+TEST(CircuitCache, InvalidateFreesSlot) {
+  auto cache = make_cache(1);
+  CacheEntry* a = cache.allocate(1, 0, nullptr);
+  cache.invalidate(*a);
+  EXPECT_EQ(cache.find(1), nullptr);
+  EXPECT_EQ(cache.valid_entries(), 0);
+  EXPECT_NE(cache.allocate(2, 1, nullptr), nullptr);
+}
+
+TEST(CircuitCache, InvalidateInUseThrows) {
+  auto cache = make_cache(1);
+  CacheEntry* a = cache.allocate(1, 0, nullptr);
+  a->in_use = true;
+  EXPECT_THROW(cache.invalidate(*a), std::logic_error);
+}
+
+TEST(CircuitCache, TouchUpdatesReplaceAccounting) {
+  auto cache = make_cache(1);
+  CacheEntry* a = cache.allocate(1, 0, nullptr);
+  cache.touch(*a, 7);
+  cache.touch(*a, 9);
+  EXPECT_EQ(a->uses, 2u);
+  EXPECT_EQ(a->last_use, 9u);
+}
+
+}  // namespace
+}  // namespace wavesim::core

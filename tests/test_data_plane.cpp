@@ -1,0 +1,136 @@
+// Data-plane tests: wave-pipelined bandwidth, end-to-end windowing, and
+// the In-use lifecycle.
+#include "core/data_plane.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wavesim::core {
+namespace {
+
+class DataPlaneTest : public ::testing::Test {
+ protected:
+  CircuitId make_circuit(std::int32_t hops) {
+    const CircuitId c = circuits_.create(0, 1, 0);
+    auto& rec = circuits_.at(c);
+    rec.state = CircuitState::kEstablished;
+    rec.path.assign(hops, 0);
+    return c;
+  }
+
+  std::vector<TransferDone> run(DataPlane& plane, int cycles) {
+    std::vector<TransferDone> done;
+    for (int i = 0; i < cycles; ++i) {
+      plane.step(now_++);
+      for (const auto& t : plane.take_completed()) done.push_back(t);
+    }
+    return done;
+  }
+
+  CircuitTable circuits_;
+  Cycle now_ = 0;
+};
+
+TEST_F(DataPlaneTest, RejectsBadParams) {
+  EXPECT_THROW(DataPlane(circuits_, DataPlaneParams{0.0, 4.0, 32}),
+               std::invalid_argument);
+  EXPECT_THROW(DataPlane(circuits_, DataPlaneParams{4.0, 0.0, 32}),
+               std::invalid_argument);
+  EXPECT_THROW(DataPlane(circuits_, DataPlaneParams{4.0, 4.0, 0}),
+               std::invalid_argument);
+}
+
+TEST_F(DataPlaneTest, PipeLatencyScalesWithHopsOverWaveClock) {
+  DataPlane plane(circuits_, DataPlaneParams{4.0, 4.0, 32});
+  EXPECT_EQ(plane.pipe_latency(1), 2u);   // ceil(1/4) + 1
+  EXPECT_EQ(plane.pipe_latency(4), 2u);   // ceil(4/4) + 1
+  EXPECT_EQ(plane.pipe_latency(8), 3u);   // ceil(8/4) + 1
+  EXPECT_EQ(plane.pipe_latency(16), 5u);
+  DataPlane slow(circuits_, DataPlaneParams{1.0, 1.0, 32});
+  EXPECT_EQ(slow.pipe_latency(8), 9u);    // no wave pipelining: 8 + 1
+}
+
+TEST_F(DataPlaneTest, StartTransferValidation) {
+  DataPlane plane(circuits_, DataPlaneParams{4.0, 4.0, 32});
+  const CircuitId c = make_circuit(2);
+  circuits_.at(c).state = CircuitState::kProbing;
+  EXPECT_THROW(plane.start_transfer(1, c, 8, 0), std::logic_error);
+  circuits_.at(c).state = CircuitState::kEstablished;
+  EXPECT_THROW(plane.start_transfer(1, c, 0, 0), std::invalid_argument);
+  plane.start_transfer(1, c, 8, 0);
+  EXPECT_TRUE(circuits_.at(c).in_use);
+  EXPECT_THROW(plane.start_transfer(2, c, 8, 0), std::logic_error);
+}
+
+TEST_F(DataPlaneTest, ShortMessageCompletesAtPipePlusAckTime) {
+  DataPlane plane(circuits_, DataPlaneParams{4.0, 4.0, 32});
+  const CircuitId c = make_circuit(4);  // pipe = 2
+  plane.start_transfer(7, c, 4, now_);
+  const auto done = run(plane, 20);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].msg, 7);
+  // All 4 flits leave in cycle 0 (bw 4/cycle), arrive at 0+2, acked at 0+4.
+  EXPECT_EQ(done[0].delivered_at, 2u);
+  EXPECT_EQ(done[0].acked_at, 4u);
+  EXPECT_FALSE(circuits_.at(c).in_use);
+  EXPECT_EQ(plane.active_transfers(), 0u);
+}
+
+TEST_F(DataPlaneTest, LongMessageThroughputMatchesBandwidth) {
+  DataPlane plane(circuits_, DataPlaneParams{4.0, 4.0, 64});
+  const CircuitId c = make_circuit(4);
+  const std::int32_t length = 256;
+  plane.start_transfer(1, c, length, now_);
+  const auto done = run(plane, 200);
+  ASSERT_EQ(done.size(), 1u);
+  // Serialization at 4 flits/cycle dominates: ~length/4 cycles + pipe.
+  const Cycle expect_serialize = length / 4;
+  EXPECT_NEAR(static_cast<double>(done[0].delivered_at),
+              static_cast<double>(expect_serialize + 2), 3.0);
+}
+
+TEST_F(DataPlaneTest, SmallWindowThrottlesThroughput) {
+  // Window 4 with round-trip 2*pipe: once the window fills, the sender
+  // stalls until acks return.
+  DataPlane plane(circuits_, DataPlaneParams{4.0, 4.0, 4});
+  const CircuitId c = make_circuit(16);  // pipe = 5, rtt = 10
+  plane.start_transfer(1, c, 64, now_);
+  const auto done = run(plane, 400);
+  ASSERT_EQ(done.size(), 1u);
+  // Effective bandwidth = window / rtt = 0.4 flits/cycle << 4.
+  EXPECT_GT(done[0].delivered_at, 64u / 4u + 5u + 50u);
+}
+
+TEST_F(DataPlaneTest, FractionalBandwidthAccumulates) {
+  // 0.5 flits/cycle: one flit every other cycle.
+  DataPlane plane(circuits_, DataPlaneParams{0.5, 1.0, 32});
+  const CircuitId c = make_circuit(1);  // pipe = 2
+  plane.start_transfer(1, c, 8, now_);
+  const auto done = run(plane, 64);
+  ASSERT_EQ(done.size(), 1u);
+  // 8 flits at 0.5/cycle = 16 cycles serialization (+pipe+ack).
+  EXPECT_GE(done[0].delivered_at, 15u);
+  EXPECT_LE(done[0].delivered_at, 20u);
+}
+
+TEST_F(DataPlaneTest, ConcurrentTransfersOnDistinctCircuits) {
+  DataPlane plane(circuits_, DataPlaneParams{4.0, 4.0, 32});
+  const CircuitId a = make_circuit(2);
+  const CircuitId b = make_circuit(6);
+  plane.start_transfer(1, a, 64, now_);
+  plane.start_transfer(2, b, 64, now_);
+  EXPECT_EQ(plane.active_transfers(), 2u);
+  const auto done = run(plane, 100);
+  EXPECT_EQ(done.size(), 2u);
+  EXPECT_EQ(plane.flits_delivered(), 128u);
+}
+
+TEST_F(DataPlaneTest, FlitsDeliveredCounts) {
+  DataPlane plane(circuits_, DataPlaneParams{4.0, 4.0, 32});
+  const CircuitId c = make_circuit(2);
+  plane.start_transfer(1, c, 10, now_);
+  run(plane, 50);
+  EXPECT_EQ(plane.flits_delivered(), 10u);
+}
+
+}  // namespace
+}  // namespace wavesim::core

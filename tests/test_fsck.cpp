@@ -1,0 +1,158 @@
+// Tests for the control-plane state checker itself: clean states pass at
+// every cycle; seeded corruption is detected.
+#include "verify/fsck.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/simulation.hpp"
+#include "sim/rng.hpp"
+
+namespace wavesim::verify {
+namespace {
+
+sim::SimConfig clrp_small() {
+  sim::SimConfig cfg;
+  cfg.topology.radix = {4, 4};
+  cfg.topology.torus = true;
+  cfg.protocol.protocol = sim::ProtocolKind::kClrp;
+  cfg.protocol.circuit_cache_entries = 2;
+  return cfg;
+}
+
+TEST(Fsck, WormholeOnlyNetworkIsTriviallyClean) {
+  core::Simulation sim(sim::SimConfig::wormhole_baseline());
+  sim.send(0, 9, 16);
+  sim.run(100);
+  EXPECT_TRUE(check_control_state(sim.network()).ok());
+}
+
+TEST(Fsck, CleanAtEveryCycleUnderTraffic) {
+  core::Simulation sim(clrp_small());
+  sim::Rng rng{3};
+  for (int burst = 0; burst < 60; ++burst) {
+    const NodeId s = static_cast<NodeId>(rng.next_below(16));
+    NodeId d = static_cast<NodeId>(rng.next_below(16));
+    if (d == s) d = (d + 1) % 16;
+    sim.send(s, d, static_cast<std::int32_t>(4 + rng.next_below(28)));
+    for (int c = 0; c < 20; ++c) {
+      sim.step();
+      const auto result = check_control_state(sim.network());
+      ASSERT_TRUE(result.ok()) << "cycle " << sim.now() << ": "
+                               << result.summary();
+    }
+  }
+  ASSERT_TRUE(sim.run_until_delivered(500000));
+  EXPECT_TRUE(check_control_state(sim.network()).ok());
+}
+
+TEST(Fsck, CleanWithFaultsAndEvictions) {
+  sim::SimConfig cfg = clrp_small();
+  cfg.faults.link_fault_rate = 0.15;
+  core::Simulation sim(cfg);
+  sim::Rng rng{5};
+  for (int i = 0; i < 120; ++i) {
+    const NodeId s = static_cast<NodeId>(rng.next_below(16));
+    NodeId d = static_cast<NodeId>(rng.next_below(16));
+    if (d == s) d = (d + 1) % 16;
+    sim.send(s, d, 16);
+    sim.run(15);
+    const auto result = check_control_state(sim.network());
+    ASSERT_TRUE(result.ok()) << result.summary();
+  }
+  ASSERT_TRUE(sim.run_until_delivered(500000));
+}
+
+TEST(FaultInjection, CircuitPlaneIslandFallsBackButDelivers) {
+  // Targeted (not random) fault injection: every circuit channel touching
+  // node 0 is faulty, so no circuit can start or end there -- yet all its
+  // traffic must still flow via the wormhole plane, and other pairs keep
+  // using circuits.
+  sim::SimConfig cfg = clrp_small();
+  core::Simulation sim(cfg);
+  auto* plane = sim.network().control_plane();
+  const auto& topo = sim.topology();
+  for (std::int32_t s = 0; s < cfg.router.wave_switches; ++s) {
+    for (PortId p = 0; p < topo.num_ports(); ++p) {
+      plane->mark_faulty(0, s, p);  // channels out of node 0
+      const NodeId nb = topo.neighbor(0, p);
+      // Channels from each neighbor back toward node 0.
+      for (PortId q = 0; q < topo.num_ports(); ++q) {
+        if (topo.neighbor(nb, q) == 0) plane->mark_faulty(nb, s, q);
+      }
+    }
+  }
+  const MessageId out = sim.send(0, 5, 32);
+  const MessageId in = sim.send(5, 0, 32);
+  const MessageId bystander = sim.send(6, 9, 32);
+  ASSERT_TRUE(sim.run_until_delivered(200000));
+  const auto& log = sim.network().messages();
+  EXPECT_EQ(log.at(out).mode, core::MessageMode::kWormholeFallback);
+  EXPECT_EQ(log.at(in).mode, core::MessageMode::kWormholeFallback);
+  EXPECT_EQ(log.at(bystander).mode, core::MessageMode::kCircuitAfterSetup);
+  EXPECT_TRUE(check_control_state(sim.network()).ok());
+}
+
+TEST(FaultInjection, BisectionCutRoutesAroundOnOtherRows) {
+  // Cut every +x/-x circuit channel crossing the x=1|x=2 boundary in rows
+  // 0 and 1 of a 4x4 torus. Probes between the halves must detour through
+  // rows 2/3 (misrouting) or wrap, and every message still arrives.
+  sim::SimConfig cfg = clrp_small();
+  cfg.protocol.max_misroutes = 2;
+  core::Simulation sim(cfg);
+  auto* plane = sim.network().control_plane();
+  const auto& topo = sim.topology();
+  for (std::int32_t s = 0; s < cfg.router.wave_switches; ++s) {
+    for (std::int32_t y = 0; y < 2; ++y) {
+      plane->mark_faulty(topo.node_of({1, y}), s,
+                         topo::KAryNCube::port_of(0, true));
+      plane->mark_faulty(topo.node_of({2, y}), s,
+                         topo::KAryNCube::port_of(0, false));
+    }
+  }
+  std::uint64_t sent = 0;
+  for (std::int32_t y = 0; y < 4; ++y) {
+    sim.send(topo.node_of({1, y}), topo.node_of({2, y}), 48);
+    ++sent;
+    sim.run(40);
+  }
+  ASSERT_TRUE(sim.run_until_delivered(500000));
+  EXPECT_EQ(sim.stats().messages_delivered, sent);
+  // At least the unaffected rows still established circuits.
+  EXPECT_GE(sim.stats().probes_succeeded, 2u);
+  EXPECT_TRUE(check_control_state(sim.network()).ok());
+}
+
+TEST(Fsck, DetectsCorruptedCircuitPath) {
+  core::Simulation sim(clrp_small());
+  sim.send(0, 5, 32);
+  ASSERT_TRUE(sim.run_until_delivered(50000));
+  auto& net = sim.network();
+  // Corrupt: pretend the established circuit has an extra hop.
+  const auto ids = net.circuits().active_ids();
+  ASSERT_FALSE(ids.empty());
+  const_cast<core::CircuitTable&>(net.circuits())
+      .at(ids.front())
+      .path.push_back(0);
+  const auto result = check_control_state(net);
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.summary().find("I3"), std::string::npos);
+}
+
+TEST(Fsck, DetectsInUseOnNonEstablishedCircuit) {
+  core::Simulation sim(clrp_small());
+  sim.send(0, 5, 32);
+  ASSERT_TRUE(sim.run_until_delivered(50000));
+  auto& net = sim.network();
+  const auto ids = net.circuits().active_ids();
+  ASSERT_FALSE(ids.empty());
+  auto& rec =
+      const_cast<core::CircuitTable&>(net.circuits()).at(ids.front());
+  rec.state = core::CircuitState::kProbing;
+  rec.in_use = true;
+  const auto result = check_control_state(net);
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.summary().find("I6"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wavesim::verify

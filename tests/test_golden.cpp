@@ -1,0 +1,45 @@
+// Golden regression: one fixed scenario with every counter pinned to its
+// recorded value. The simulator is specified to be bit-deterministic for a
+// given seed, so ANY change here is a behavior change -- if it is
+// intentional (model improvement, protocol fix), update the constants in
+// the same commit and say why.
+#include <gtest/gtest.h>
+
+#include "core/simulation.hpp"
+#include "workload/generator.hpp"
+
+namespace wavesim {
+namespace {
+
+TEST(Golden, ClrpWorkingSetScenario) {
+  sim::SimConfig cfg = sim::SimConfig::default_torus();
+  cfg.protocol.protocol = sim::ProtocolKind::kClrp;
+  cfg.seed = 20260707;
+  core::Simulation sim(cfg);
+  load::WorkingSetTraffic pattern(sim.topology(), 3, 0.8, sim::Rng{99});
+  load::BimodalSize sizes(8, 96, 0.4);
+  const auto r = load::run_open_loop(sim, pattern, sizes, /*load=*/0.08,
+                                     /*warmup=*/1000, /*measure=*/4000,
+                                     /*drain_cap=*/300000, /*seed=*/12345);
+  const auto& s = r.stats;
+  EXPECT_TRUE(r.drained);
+  EXPECT_EQ(s.messages_offered, 455u);
+  EXPECT_EQ(s.messages_delivered, 455u);
+  EXPECT_EQ(sim.now(), 5182u);
+  EXPECT_NEAR(s.latency_mean, 69.400000, 1e-6);
+  EXPECT_DOUBLE_EQ(s.latency_p50, 49.0);
+  EXPECT_DOUBLE_EQ(s.latency_p99, 280.0);
+  EXPECT_NEAR(s.throughput_flits_per_node_cycle, 0.07061572, 1e-8);
+  EXPECT_EQ(s.cache_hits, 153u);
+  EXPECT_EQ(s.cache_misses, 423u);
+  EXPECT_EQ(s.cache_evictions, 0u);
+  EXPECT_EQ(s.probes_launched, 872u);
+  EXPECT_EQ(s.probes_succeeded, 423u);
+  EXPECT_EQ(s.probe_backtracks, 4689u);
+  EXPECT_EQ(s.probe_misroutes, 2134u);
+  EXPECT_EQ(s.release_requests, 359u);
+  EXPECT_EQ(s.teardowns, 350u);
+}
+
+}  // namespace
+}  // namespace wavesim

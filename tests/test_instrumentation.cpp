@@ -1,0 +1,150 @@
+// Event instrumentation: per-message timelines respect causal order, the
+// sink sees every milestone, trace capture replays faithfully, and the
+// histogram API summarizes latencies.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/simulation.hpp"
+#include "sim/rng.hpp"
+#include "workload/trace.hpp"
+
+namespace wavesim::core {
+namespace {
+
+sim::SimConfig clrp() {
+  sim::SimConfig cfg = sim::SimConfig::default_torus();
+  cfg.protocol.protocol = sim::ProtocolKind::kClrp;
+  return cfg;
+}
+
+TEST(Instrumentation, EventKindNamesDistinct) {
+  std::set<std::string> names;
+  for (auto kind : {EventKind::kSubmitted, EventKind::kProbeLaunched,
+                    EventKind::kCircuitEstablished, EventKind::kSetupAbandoned,
+                    EventKind::kTransferStarted, EventKind::kTransferCompleted,
+                    EventKind::kDelivered, EventKind::kTeardownStarted,
+                    EventKind::kEvicted, EventKind::kReleaseDemanded}) {
+    names.insert(to_string(kind));
+  }
+  EXPECT_EQ(names.size(), 10u);
+}
+
+TEST(Instrumentation, NoSinkMeansNoCost) {
+  Instrumentation instr;
+  EXPECT_FALSE(instr.enabled());
+  instr.emit(0, EventKind::kSubmitted, 0);  // must be a harmless no-op
+}
+
+TEST(Instrumentation, CircuitMessageTimelineIsCausal) {
+  Simulation sim(clrp());
+  std::vector<Event> events;
+  sim.set_event_sink([&](const Event& e) { events.push_back(e); });
+  const MessageId id = sim.send(0, 27, 64);
+  ASSERT_TRUE(sim.run_until_delivered(100000));
+
+  auto at = [&](EventKind kind) -> const Event* {
+    for (const auto& e : events) {
+      if (e.kind == kind) return &e;
+    }
+    return nullptr;
+  };
+  const Event* submitted = at(EventKind::kSubmitted);
+  const Event* probe = at(EventKind::kProbeLaunched);
+  const Event* established = at(EventKind::kCircuitEstablished);
+  const Event* started = at(EventKind::kTransferStarted);
+  const Event* delivered = at(EventKind::kDelivered);
+  const Event* completed = at(EventKind::kTransferCompleted);
+  ASSERT_NE(submitted, nullptr);
+  ASSERT_NE(probe, nullptr);
+  ASSERT_NE(established, nullptr);
+  ASSERT_NE(started, nullptr);
+  ASSERT_NE(delivered, nullptr);
+  ASSERT_NE(completed, nullptr);
+  EXPECT_EQ(submitted->msg, id);
+  EXPECT_EQ(started->msg, id);
+  EXPECT_LE(submitted->at, probe->at);
+  EXPECT_LT(probe->at, established->at);
+  EXPECT_LE(established->at, started->at);
+  EXPECT_LT(started->at, delivered->at);
+  EXPECT_LE(delivered->at, completed->at);
+  EXPECT_EQ(started->circuit, established->circuit);
+}
+
+TEST(Instrumentation, EvictionAndTeardownEventsFire) {
+  sim::SimConfig cfg = clrp();
+  cfg.protocol.circuit_cache_entries = 1;
+  Simulation sim(cfg);
+  std::map<EventKind, int> counts;
+  sim.set_event_sink([&](const Event& e) { ++counts[e.kind]; });
+  sim.send(0, 9, 32);
+  ASSERT_TRUE(sim.run_until_delivered(100000));
+  sim.send(0, 18, 32);  // evicts the circuit to 9
+  ASSERT_TRUE(sim.run_until_delivered(100000));
+  EXPECT_EQ(counts[EventKind::kEvicted], 1);
+  EXPECT_EQ(counts[EventKind::kCircuitEstablished], 2);
+  EXPECT_EQ(counts[EventKind::kDelivered], 2);
+}
+
+TEST(Instrumentation, WormholeMessagesAlsoReportDelivery) {
+  Simulation sim(sim::SimConfig::wormhole_baseline());
+  std::vector<Event> events;
+  sim.set_event_sink([&](const Event& e) { events.push_back(e); });
+  sim.send(0, 9, 16);
+  ASSERT_TRUE(sim.run_until_delivered(100000));
+  int delivered = 0;
+  for (const auto& e : events) delivered += e.kind == EventKind::kDelivered;
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(TraceCapture, ReplayPreservesWorkload) {
+  // Record a CLRP run, replay its send sequence on a wormhole-only
+  // network: same messages, same timestamps, everything delivered.
+  Simulation original(clrp());
+  sim::Rng rng{3};
+  for (int i = 0; i < 40; ++i) {
+    const NodeId s = static_cast<NodeId>(rng.next_below(64));
+    NodeId d = static_cast<NodeId>(rng.next_below(64));
+    if (d == s) d = (d + 1) % 64;
+    original.send(s, d, static_cast<std::int32_t>(4 + rng.next_below(28)));
+    original.run(7);
+  }
+  ASSERT_TRUE(original.run_until_delivered(500000));
+
+  const load::Trace trace = load::capture(original.network().messages());
+  EXPECT_EQ(trace.size(), 40u);
+  Simulation replayed(sim::SimConfig::wormhole_baseline());
+  ASSERT_TRUE(load::replay(trace, replayed, 500000));
+  EXPECT_EQ(replayed.stats().messages_delivered, 40u);
+  // Message identities and lengths carried over.
+  for (std::size_t i = 0; i < 40; ++i) {
+    const auto& a = original.network().messages().at(i);
+    const auto& b = replayed.network().messages().at(i);
+    EXPECT_EQ(a.src, b.src);
+    EXPECT_EQ(a.dest, b.dest);
+    EXPECT_EQ(a.length, b.length);
+    EXPECT_EQ(a.created, b.created);
+  }
+}
+
+TEST(LatencyHistogram, BinsDeliveredMessages) {
+  Simulation sim(clrp());
+  sim.send(0, 1, 8);    // short hop: small latency
+  sim.send(0, 36, 256); // far + long: large latency
+  ASSERT_TRUE(sim.run_until_delivered(100000));
+  const auto hist = sim.latency_histogram(0.0, 1000.0, 20);
+  EXPECT_EQ(hist.total(), 2u);
+  EXPECT_EQ(hist.overflow(), 0u);
+  // The two messages land in different bins.
+  int nonempty = 0;
+  for (std::size_t b = 0; b < hist.num_bins(); ++b) {
+    nonempty += hist.bin_count(b) > 0 ? 1 : 0;
+  }
+  EXPECT_EQ(nonempty, 2);
+  // Warmup filter excludes the early message.
+  const auto late = sim.latency_histogram(0.0, 1000.0, 20, /*min_created=*/1);
+  EXPECT_EQ(late.total(), 0u);  // both created at cycle 0
+}
+
+}  // namespace
+}  // namespace wavesim::core

@@ -1,0 +1,55 @@
+// Logger smoke tests: level gating and formatting round-trip.
+#include "sim/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wavesim::sim {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, SetAndGetLevel) {
+  LogLevelGuard guard;
+  for (auto level : {LogLevel::kError, LogLevel::kWarn, LogLevel::kInfo,
+                     LogLevel::kDebug, LogLevel::kTrace}) {
+    set_log_level(level);
+    EXPECT_EQ(log_level(), level);
+  }
+}
+
+TEST(Log, EmitAtEveryLevelDoesNotCrash) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kTrace);
+  testing::internal::CaptureStderr();
+  log_error("e ", 1);
+  log_warn("w ", 2.5);
+  log_info("i ", "str");
+  log_debug("d ", 'c');
+  log_trace("t ", 42);
+  const std::string captured = testing::internal::GetCapturedStderr();
+  EXPECT_NE(captured.find("[error] e 1"), std::string::npos);
+  EXPECT_NE(captured.find("[trace] t 42"), std::string::npos);
+}
+
+TEST(Log, MessagesAboveThresholdAreDropped) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kError);
+  testing::internal::CaptureStderr();
+  log_warn("should not appear");
+  log_info("nor this");
+  log_error("only this");
+  const std::string captured = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(captured.find("should not appear"), std::string::npos);
+  EXPECT_EQ(captured.find("nor this"), std::string::npos);
+  EXPECT_NE(captured.find("only this"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wavesim::sim

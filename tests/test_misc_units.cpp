@@ -1,0 +1,128 @@
+// Unit tests for small shared components: delay lines, the link gate,
+// the message log, and aggregate stat fields.
+#include <gtest/gtest.h>
+
+#include "core/simulation.hpp"
+#include "sim/delay_line.hpp"
+#include "wormhole/link_gate.hpp"
+
+namespace wavesim {
+namespace {
+
+TEST(DelayLine, DeliversAfterExactLatency) {
+  sim::DelayLine<int> line(3);
+  line.push(/*now=*/10, 42);
+  EXPECT_FALSE(line.ready(10));
+  EXPECT_FALSE(line.ready(12));
+  EXPECT_TRUE(line.ready(13));
+  EXPECT_TRUE(line.ready(20));  // stays ready until popped
+  EXPECT_EQ(line.pop(), 42);
+  EXPECT_TRUE(line.empty());
+}
+
+TEST(DelayLine, FifoAcrossPushCycles) {
+  sim::DelayLine<int> line(2);
+  line.push(0, 1);
+  line.push(0, 2);
+  line.push(1, 3);
+  EXPECT_EQ(line.size(), 3u);
+  ASSERT_TRUE(line.ready(2));
+  EXPECT_EQ(line.pop(), 1);
+  ASSERT_TRUE(line.ready(2));
+  EXPECT_EQ(line.pop(), 2);
+  EXPECT_FALSE(line.ready(2));  // item 3 due at cycle 3
+  ASSERT_TRUE(line.ready(3));
+  EXPECT_EQ(line.pop(), 3);
+}
+
+TEST(DelayLine, ZeroItemsNeverReady) {
+  sim::DelayLine<int> line(1);
+  EXPECT_FALSE(line.ready(1000));
+  EXPECT_TRUE(line.empty());
+}
+
+TEST(LinkGate, OneClaimPerLinkPerCycle) {
+  topo::KAryNCube mesh({4, 4}, false);
+  wh::ExclusiveLinkGate gate(mesh);
+  EXPECT_TRUE(gate.try_acquire(0, 0));
+  EXPECT_FALSE(gate.try_acquire(0, 0));   // same link, same cycle
+  EXPECT_TRUE(gate.try_acquire(0, 2));    // different port
+  EXPECT_TRUE(gate.try_acquire(1, 0));    // different node
+  EXPECT_TRUE(gate.in_use(0, 0));
+  EXPECT_FALSE(gate.in_use(1, 2));
+  gate.reset();
+  EXPECT_TRUE(gate.try_acquire(0, 0));    // fresh cycle
+}
+
+TEST(MessageLog, CreateAssignsDenseIds) {
+  core::MessageLog log;
+  EXPECT_EQ(log.create(0, 1, 8, 100), 0);
+  EXPECT_EQ(log.create(2, 3, 16, 101), 1);
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.at(1).src, 2);
+  EXPECT_EQ(log.at(1).length, 16);
+  EXPECT_EQ(log.at(1).created, 101u);
+  EXPECT_FALSE(log.at(0).done);
+}
+
+TEST(MessageLog, DoubleDeliveryThrows) {
+  core::MessageLog log;
+  const MessageId id = log.create(0, 1, 8, 0);
+  log.mark_delivered(id, 50);
+  EXPECT_TRUE(log.at(id).done);
+  EXPECT_EQ(log.at(id).latency(), 50.0);
+  EXPECT_THROW(log.mark_delivered(id, 60), std::logic_error);
+}
+
+TEST(SimulationStats, PerModeLatenciesAreConsistent) {
+  sim::SimConfig cfg = sim::SimConfig::default_torus();
+  cfg.protocol.protocol = sim::ProtocolKind::kClrp;
+  cfg.protocol.min_circuit_message_flits = 64;
+  core::Simulation sim(cfg);
+  sim.send(0, 36, 8);     // wormhole by policy
+  sim.send(0, 36, 128);   // circuit after setup
+  ASSERT_TRUE(sim.run_until_delivered(100000));
+  sim.send(0, 36, 128);   // circuit hit
+  ASSERT_TRUE(sim.run_until_delivered(100000));
+  const auto s = sim.stats();
+  EXPECT_EQ(s.wormhole_count, 1u);
+  EXPECT_EQ(s.circuit_setup_count, 1u);
+  EXPECT_EQ(s.circuit_hit_count, 1u);
+  EXPECT_GT(s.wormhole_latency, 0.0);
+  EXPECT_GT(s.circuit_setup_latency, s.circuit_hit_latency);
+  // The overall mean lies between the per-mode extremes.
+  EXPECT_GE(s.latency_mean,
+            std::min({s.wormhole_latency, s.circuit_hit_latency,
+                      s.circuit_setup_latency}));
+  EXPECT_LE(s.latency_mean,
+            std::max({s.wormhole_latency, s.circuit_hit_latency,
+                      s.circuit_setup_latency}));
+  EXPECT_DOUBLE_EQ(s.cache_hit_rate(), 0.5);  // 1 hit, 1 miss
+}
+
+TEST(Network, QuiescentTracksPendingWork) {
+  sim::SimConfig cfg = sim::SimConfig::default_torus();
+  cfg.protocol.protocol = sim::ProtocolKind::kClrp;
+  core::Simulation sim(cfg);
+  EXPECT_TRUE(sim.network().quiescent());
+  sim.send(0, 9, 32);
+  EXPECT_FALSE(sim.network().quiescent());
+  ASSERT_TRUE(sim.run_until_delivered(100000));
+  EXPECT_TRUE(sim.network().quiescent());
+}
+
+TEST(Network, FaultyChannelCountMatchesConfig) {
+  sim::SimConfig cfg = sim::SimConfig::default_torus();
+  cfg.protocol.protocol = sim::ProtocolKind::kClrp;
+  cfg.faults.link_fault_rate = 0.25;
+  core::Simulation sim(cfg);
+  // 64 nodes x 4 ports x k=2 switches = 512 channels; ~25% faulty.
+  EXPECT_NEAR(static_cast<double>(sim.network().faulty_channels()), 128.0,
+              40.0);
+  sim::SimConfig clean = sim::SimConfig::default_torus();
+  core::Simulation no_faults(clean);
+  EXPECT_EQ(no_faults.network().faulty_channels(), 0);
+}
+
+}  // namespace
+}  // namespace wavesim

@@ -1,0 +1,117 @@
+// Negative-first turn-model routing on n-dimensional meshes.
+#include "routing/negfirst.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/simulation.hpp"
+#include "routing/cdg.hpp"
+#include "sim/rng.hpp"
+
+namespace wavesim::route {
+namespace {
+
+using topo::KAryNCube;
+
+TEST(NegativeFirst, RejectsTorus) {
+  KAryNCube torus({4, 4}, true);
+  EXPECT_THROW(NegativeFirstRouting(torus, 1), std::invalid_argument);
+  KAryNCube mesh({4, 4, 4}, false);
+  EXPECT_NO_THROW(NegativeFirstRouting(mesh, 1));
+}
+
+TEST(NegativeFirst, NegativeLegsComeFirst) {
+  KAryNCube mesh({6, 6}, false);
+  NegativeFirstRouting nf(mesh, 1);
+  // Dest is south-west: both negative directions offered, no positive.
+  const auto both = nf.route(mesh.node_of({4, 4}), kInvalidPort, kInvalidVc,
+                             mesh.node_of({1, 2}));
+  ASSERT_EQ(both.size(), 2u);
+  for (const auto& c : both) {
+    EXPECT_FALSE(KAryNCube::is_positive(c.port));
+  }
+  // Mixed: dest is west and north -> only the negative (west) leg first.
+  const auto mixed = nf.route(mesh.node_of({4, 2}), kInvalidPort, kInvalidVc,
+                              mesh.node_of({1, 5}));
+  ASSERT_EQ(mixed.size(), 1u);
+  EXPECT_EQ(mixed.front().port, KAryNCube::port_of(0, false));
+}
+
+TEST(NegativeFirst, PositivePhaseIsAdaptive) {
+  KAryNCube mesh({6, 6}, false);
+  NegativeFirstRouting nf(mesh, 2);
+  const auto cands = nf.route(mesh.node_of({1, 1}), kInvalidPort, kInvalidVc,
+                              mesh.node_of({4, 5}));
+  ASSERT_EQ(cands.size(), 4u);  // 2 ports x 2 VCs
+  for (const auto& c : cands) {
+    EXPECT_TRUE(KAryNCube::is_positive(c.port));
+  }
+}
+
+TEST(NegativeFirst, CdgAcyclicOn2DAnd3DMesh) {
+  for (auto radix : {std::vector<std::int32_t>{5, 5},
+                     std::vector<std::int32_t>{3, 3, 3}}) {
+    KAryNCube mesh(radix, false);
+    NegativeFirstRouting nf(mesh, 1);
+    const auto g = build_cdg(mesh, nf, 1, /*escape_only=*/false);
+    EXPECT_GT(g.num_edges(), 0);
+    EXPECT_TRUE(g.acyclic()) << "dims=" << radix.size();
+  }
+}
+
+TEST(NegativeFirst, PathsAreMinimal) {
+  KAryNCube mesh({4, 4, 4}, false);
+  NegativeFirstRouting nf(mesh, 1);
+  sim::Rng rng{9};
+  for (int trial = 0; trial < 300; ++trial) {
+    const NodeId s = static_cast<NodeId>(rng.next_below(mesh.num_nodes()));
+    NodeId d = static_cast<NodeId>(rng.next_below(mesh.num_nodes()));
+    if (s == d) continue;
+    NodeId cur = s;
+    std::int32_t hops = 0;
+    while (cur != d) {
+      const auto cands = nf.route(cur, kInvalidPort, kInvalidVc, d);
+      ASSERT_FALSE(cands.empty());
+      cur = mesh.neighbor(cur, cands[rng.next_below(cands.size())].port);
+      ASSERT_NE(cur, kInvalidNode);
+      ASSERT_LE(++hops, mesh.distance(s, d));
+    }
+  }
+}
+
+TEST(NegativeFirst, EndToEndOn3DMesh) {
+  sim::SimConfig cfg;
+  cfg.topology.radix = {3, 3, 3};
+  cfg.topology.torus = false;
+  cfg.router.routing = sim::RoutingKind::kNegativeFirst;
+  cfg.router.wormhole_vcs = 2;
+  cfg.router.wave_switches = 0;
+  cfg.protocol.protocol = sim::ProtocolKind::kWormholeOnly;
+  core::Simulation sim(cfg);
+  sim::Rng rng{21};
+  std::uint64_t sent = 0;
+  for (int i = 0; i < 100; ++i) {
+    const NodeId s = static_cast<NodeId>(rng.next_below(27));
+    NodeId d = static_cast<NodeId>(rng.next_below(27));
+    if (d == s) d = (d + 1) % 27;
+    sim.send(s, d, static_cast<std::int32_t>(4 + rng.next_below(28)));
+    ++sent;
+    sim.run(6);
+  }
+  ASSERT_TRUE(sim.run_until_delivered(500000));
+  EXPECT_EQ(sim.stats().messages_delivered, sent);
+}
+
+TEST(NegativeFirst, ConfigValidation) {
+  sim::SimConfig cfg = sim::SimConfig::default_torus();
+  cfg.router.routing = sim::RoutingKind::kNegativeFirst;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);  // torus
+  cfg.topology.torus = false;
+  EXPECT_NO_THROW(cfg.validate());
+  cfg.topology.radix = {4, 4, 4};  // any dimensionality is fine on a mesh
+  EXPECT_NO_THROW(cfg.validate());
+  EXPECT_STREQ(sim::to_string(sim::RoutingKind::kNegativeFirst),
+               "negative-first");
+}
+
+}  // namespace
+}  // namespace wavesim::route

@@ -1,0 +1,178 @@
+// Node-interface protocol edge cases: eviction under queued traffic,
+// release demands with parked messages, CARP release-while-probing,
+// policy thresholds, and initial-switch staggering.
+#include <gtest/gtest.h>
+
+#include "core/simulation.hpp"
+#include "verify/fsck.hpp"
+
+namespace wavesim::core {
+namespace {
+
+sim::SimConfig clrp(std::int32_t cache_entries = 8) {
+  sim::SimConfig cfg = sim::SimConfig::default_torus();
+  cfg.protocol.protocol = sim::ProtocolKind::kClrp;
+  cfg.protocol.circuit_cache_entries = cache_entries;
+  return cfg;
+}
+
+TEST(NodeInterface, MinCircuitThresholdBoundary) {
+  sim::SimConfig cfg = clrp();
+  cfg.protocol.min_circuit_message_flits = 32;
+  Simulation sim(cfg);
+  const MessageId below = sim.send(0, 9, 31);
+  const MessageId at = sim.send(0, 10, 32);
+  ASSERT_TRUE(sim.run_until_delivered(100000));
+  EXPECT_EQ(sim.network().messages().at(below).mode,
+            MessageMode::kWormholePolicy);
+  EXPECT_EQ(sim.network().messages().at(at).mode,
+            MessageMode::kCircuitAfterSetup);
+}
+
+TEST(NodeInterface, FallbackWhenEveryCacheEntryIsBusyProbing) {
+  // Cache of 1: the first send occupies the only entry with a probing
+  // setup; a second send to a different dest cannot allocate and falls
+  // back to wormhole immediately.
+  Simulation sim(clrp(1));
+  const MessageId first = sim.send(0, 9, 64);
+  const MessageId second = sim.send(0, 18, 64);
+  ASSERT_TRUE(sim.run_until_delivered(100000));
+  EXPECT_EQ(sim.network().messages().at(first).mode,
+            MessageMode::kCircuitAfterSetup);
+  EXPECT_EQ(sim.network().messages().at(second).mode,
+            MessageMode::kWormholeFallback);
+}
+
+TEST(NodeInterface, EvictionWaitsOutInUseEntries) {
+  // One entry, long transfer in progress; a new dest cannot evict until
+  // the transfer finishes, so it falls back -- and after completion the
+  // next send evicts cleanly.
+  Simulation sim(clrp(1));
+  sim.send(0, 9, 64);
+  ASSERT_TRUE(sim.run_until_delivered(100000));
+  sim.send(0, 9, 5000);           // occupies the circuit for a long time
+  sim.run(30);                    // transfer is now in flight
+  const MessageId other = sim.send(0, 18, 64);
+  ASSERT_TRUE(sim.run_until_delivered(400000));
+  EXPECT_EQ(sim.network().messages().at(other).mode,
+            MessageMode::kWormholeFallback);
+  const MessageId after = sim.send(0, 27, 64);
+  ASSERT_TRUE(sim.run_until_delivered(400000));
+  EXPECT_EQ(sim.network().messages().at(after).mode,
+            MessageMode::kCircuitAfterSetup);
+  EXPECT_EQ(sim.stats().cache_evictions, 1u);
+}
+
+TEST(NodeInterface, QueuedMessagesSurviveEviction) {
+  // Messages queued behind an established circuit must be re-routed, not
+  // lost, if their circuit is evicted between transfers. Staging: the
+  // queue drains serially, so momentary idleness between transfers is the
+  // eviction window; we can't force it deterministically from outside, so
+  // we simply hammer one source with interleaved destinations and verify
+  // completeness + invariants.
+  Simulation sim(clrp(1));
+  std::uint64_t sent = 0;
+  for (int round = 0; round < 10; ++round) {
+    for (NodeId dest : {9, 18, 27, 36}) {
+      sim.send(0, dest, 48);
+      ++sent;
+    }
+    sim.run(50);
+  }
+  ASSERT_TRUE(sim.run_until_delivered(1'000'000));
+  EXPECT_EQ(sim.stats().messages_delivered, sent);
+  EXPECT_TRUE(verify::check_control_state(sim.network()).ok());
+}
+
+TEST(NodeInterface, CarpReleaseWhileProbingDefersTeardown) {
+  sim::SimConfig cfg = clrp();
+  cfg.protocol.protocol = sim::ProtocolKind::kCarp;
+  Simulation sim(cfg);
+  ASSERT_TRUE(sim.establish_circuit(0, 27));
+  sim.release_circuit(0, 27);  // released before the probe finishes
+  ASSERT_TRUE(sim.run_until_delivered(100000));
+  sim.run(500);  // allow setup + deferred teardown to complete
+  EXPECT_EQ(sim.stats().teardowns, 1u);
+  // The circuit is gone: a send goes via wormhole.
+  const MessageId id = sim.send(0, 27, 32);
+  ASSERT_TRUE(sim.run_until_delivered(100000));
+  EXPECT_EQ(sim.network().messages().at(id).mode,
+            MessageMode::kWormholePolicy);
+}
+
+TEST(NodeInterface, CarpReleaseUnknownDestIsNoop) {
+  sim::SimConfig cfg = clrp();
+  cfg.protocol.protocol = sim::ProtocolKind::kCarp;
+  Simulation sim(cfg);
+  sim.release_circuit(0, 13);  // nothing exists
+  sim.run(100);
+  EXPECT_EQ(sim.stats().teardowns, 0u);
+}
+
+TEST(NodeInterface, CarpEstablishToSelfFails) {
+  sim::SimConfig cfg = clrp();
+  cfg.protocol.protocol = sim::ProtocolKind::kCarp;
+  Simulation sim(cfg);
+  EXPECT_FALSE(sim.establish_circuit(5, 5));
+}
+
+TEST(NodeInterface, CarpEstablishFailsWhenCacheFull) {
+  sim::SimConfig cfg = clrp(2);
+  cfg.protocol.protocol = sim::ProtocolKind::kCarp;
+  Simulation sim(cfg);
+  ASSERT_TRUE(sim.establish_circuit(0, 1));
+  ASSERT_TRUE(sim.establish_circuit(0, 2));
+  // Both entries are probing (unevictable): the third must fail.
+  EXPECT_FALSE(sim.establish_circuit(0, 3));
+  sim.run(400);
+  // Once established, entries are evictable and establish succeeds again.
+  EXPECT_TRUE(sim.establish_circuit(0, 3));
+  ASSERT_TRUE(sim.run_until_delivered(100000));
+}
+
+TEST(NodeInterface, InitialSwitchStaggersAcrossNeighbors) {
+  // Paper section 3.1: node (x, y) first tries switch (x+y) mod k. Verify
+  // via the circuit table: single sends from neighboring nodes use
+  // different initial switches.
+  sim::SimConfig cfg = clrp();
+  cfg.router.wave_switches = 2;
+  Simulation sim(cfg);
+  const NodeId a = sim.topology().node_of({0, 0});  // coord sum 0 -> switch 0
+  const NodeId b = sim.topology().node_of({1, 0});  // coord sum 1 -> switch 1
+  sim.send(a, 27, 16);
+  sim.send(b, 28, 16);
+  ASSERT_TRUE(sim.run_until_delivered(100000));
+  std::set<std::int32_t> switches;
+  for (const CircuitId id : sim.network().circuits().active_ids()) {
+    switches.insert(sim.network().circuits().at(id).switch_index);
+  }
+  EXPECT_EQ(switches.size(), 2u);
+}
+
+TEST(NodeInterface, ReleaseDemandRequeuesParkedMessages) {
+  // Force a circuit release while messages are queued behind it: all
+  // messages must still be delivered (they are resubmitted). Staged by
+  // two sources contending for the same row on a k=1 network.
+  sim::SimConfig cfg = clrp(4);
+  cfg.router.wave_switches = 1;
+  Simulation sim(cfg);
+  // Source A builds a circuit along row 0 and queues several messages.
+  for (int i = 0; i < 4; ++i) sim.send(0, 3, 200);
+  sim.run(60);
+  // Source B's setup (force phase) will demand A's channels.
+  for (int i = 0; i < 3; ++i) sim.send(1, 2, 64);
+  ASSERT_TRUE(sim.run_until_delivered(1'000'000));
+  EXPECT_EQ(sim.stats().messages_delivered, 7u);
+  EXPECT_TRUE(verify::check_control_state(sim.network()).ok());
+}
+
+TEST(NodeInterface, PacketAndRetryStatsStartAtZero) {
+  Simulation sim(clrp());
+  const auto& stats = sim.network().interface(0).stats();
+  EXPECT_EQ(stats.packets_sent, 0u);
+  EXPECT_EQ(stats.setup_retries, 0u);
+  EXPECT_EQ(stats.buffer_reallocs, 0u);
+}
+
+}  // namespace
+}  // namespace wavesim::core

@@ -1,0 +1,367 @@
+// Unit tests for the PCS substrate: status registers (Fig. 3), history
+// store, and the MB-m decision function.
+#include <gtest/gtest.h>
+
+#include "pcs/history.hpp"
+#include "sim/rng.hpp"
+#include "pcs/mbm.hpp"
+#include "pcs/registers.hpp"
+
+namespace wavesim::pcs {
+namespace {
+
+using topo::KAryNCube;
+
+// ---------------------------------------------------------------- registers
+
+TEST(SwitchRegisters, FreshChannelsAreFree) {
+  SwitchRegisters regs(4);
+  for (PortId p = 0; p < 4; ++p) {
+    EXPECT_EQ(regs.status(p), ChannelStatus::kFree);
+    EXPECT_FALSE(regs.ack_returned(p));
+    EXPECT_EQ(regs.reverse_map(p), kInvalidPort);
+  }
+  EXPECT_EQ(regs.count(ChannelStatus::kFree), 4);
+}
+
+TEST(SwitchRegisters, ReserveCommitAckReleaseLifecycle) {
+  SwitchRegisters regs(4);
+  regs.reserve(2, /*probe=*/7, /*in_port=*/0);
+  EXPECT_EQ(regs.status(2), ChannelStatus::kReservedByProbe);
+  EXPECT_EQ(regs.reserving_probe(2), 7);
+  EXPECT_EQ(regs.reverse_map(2), 0);
+  EXPECT_EQ(regs.direct_map(0), 2);
+
+  regs.commit(2, /*circuit=*/42);
+  EXPECT_EQ(regs.status(2), ChannelStatus::kBusyCircuit);
+  EXPECT_EQ(regs.owning_circuit(2), 42);
+  EXPECT_FALSE(regs.ack_returned(2));
+  EXPECT_EQ(regs.direct_map(0), 2);  // mapping survives commit
+
+  regs.mark_ack_returned(2);
+  EXPECT_TRUE(regs.ack_returned(2));
+
+  regs.release_circuit(2);
+  EXPECT_EQ(regs.status(2), ChannelStatus::kFree);
+  EXPECT_EQ(regs.direct_map(0), kInvalidPort);
+}
+
+TEST(SwitchRegisters, BacktrackReleasesReservation) {
+  SwitchRegisters regs(4);
+  regs.reserve(1, 9, kLocalEndpoint);
+  regs.release_reservation(1);
+  EXPECT_EQ(regs.status(1), ChannelStatus::kFree);
+  EXPECT_EQ(regs.direct_map(kLocalEndpoint), kInvalidPort);
+}
+
+TEST(SwitchRegisters, LocalEndpointMapping) {
+  SwitchRegisters regs(4);
+  regs.reserve(3, 1, kLocalEndpoint);  // circuit starts at this node
+  EXPECT_EQ(regs.direct_map(kLocalEndpoint), 3);
+  EXPECT_EQ(regs.reverse_map(3), kLocalEndpoint);
+}
+
+TEST(SwitchRegisters, IllegalTransitionsThrow) {
+  SwitchRegisters regs(2);
+  EXPECT_THROW(regs.release_reservation(0), std::logic_error);
+  EXPECT_THROW(regs.commit(0, 1), std::logic_error);
+  EXPECT_THROW(regs.mark_ack_returned(0), std::logic_error);
+  EXPECT_THROW(regs.release_circuit(0), std::logic_error);
+  regs.reserve(0, 1, 0);
+  EXPECT_THROW(regs.reserve(0, 2, 1), std::logic_error);
+  EXPECT_THROW(regs.mark_ack_returned(0), std::logic_error);
+  regs.commit(0, 5);
+  EXPECT_THROW(regs.release_reservation(0), std::logic_error);
+}
+
+TEST(SwitchRegisters, FaultyChannelsStayFaulty) {
+  SwitchRegisters regs(2);
+  regs.mark_faulty(1);
+  EXPECT_EQ(regs.status(1), ChannelStatus::kFaulty);
+  EXPECT_THROW(regs.reserve(1, 1, 0), std::logic_error);
+  EXPECT_THROW(regs.mark_faulty(1), std::logic_error);
+}
+
+TEST(SwitchRegisters, TwoCircuitsCrossingOneNodeKeepDistinctMappings) {
+  // Two circuits enter a node through different input ports and leave
+  // through different output ports; both mapping directions must stay
+  // separable (the teardown and ack walkers rely on this).
+  SwitchRegisters regs(4);
+  regs.reserve(/*out=*/0, /*probe=*/1, /*in=*/3);
+  regs.reserve(/*out=*/2, /*probe=*/2, /*in=*/1);
+  regs.commit(0, /*circuit=*/10);
+  regs.commit(2, /*circuit=*/20);
+  EXPECT_EQ(regs.direct_map(3), 0);
+  EXPECT_EQ(regs.direct_map(1), 2);
+  EXPECT_EQ(regs.reverse_map(0), 3);
+  EXPECT_EQ(regs.reverse_map(2), 1);
+  EXPECT_EQ(regs.owning_circuit(0), 10);
+  EXPECT_EQ(regs.owning_circuit(2), 20);
+  regs.release_circuit(0);
+  EXPECT_EQ(regs.direct_map(3), kInvalidPort);
+  EXPECT_EQ(regs.direct_map(1), 2);  // the other circuit is untouched
+}
+
+TEST(RegisterFile, IndexesByNodeAndSwitch) {
+  KAryNCube torus({4, 4}, true);
+  RegisterFile file(torus, 2);
+  EXPECT_EQ(file.num_switches(), 2);
+  file.at(3, 1).reserve(0, 1, kLocalEndpoint);
+  EXPECT_EQ(file.at(3, 1).status(0), ChannelStatus::kReservedByProbe);
+  EXPECT_EQ(file.at(3, 0).status(0), ChannelStatus::kFree);
+  EXPECT_EQ(file.at(4, 1).status(0), ChannelStatus::kFree);
+}
+
+// ------------------------------------------------------------------ history
+
+TEST(HistoryStore, MarkAndQuery) {
+  HistoryStore h;
+  EXPECT_FALSE(h.searched(1, 5, 2));
+  h.mark(1, 5, 2);
+  EXPECT_TRUE(h.searched(1, 5, 2));
+  EXPECT_FALSE(h.searched(1, 5, 3));
+  EXPECT_FALSE(h.searched(1, 6, 2));
+  EXPECT_FALSE(h.searched(2, 5, 2));  // other probe unaffected
+  EXPECT_EQ(h.mask(1, 5), 0b100u);
+}
+
+TEST(HistoryStore, EntriesCountAcrossNodes) {
+  HistoryStore h;
+  h.mark(1, 0, 0);
+  h.mark(1, 0, 1);
+  h.mark(1, 7, 3);
+  EXPECT_EQ(h.entries(1), 3);
+  h.mark(1, 0, 0);  // idempotent
+  EXPECT_EQ(h.entries(1), 3);
+}
+
+TEST(HistoryStore, EraseDropsProbe) {
+  HistoryStore h;
+  h.mark(1, 0, 0);
+  h.mark(2, 0, 0);
+  h.erase(1);
+  EXPECT_FALSE(h.searched(1, 0, 0));
+  EXPECT_TRUE(h.searched(2, 0, 0));
+  EXPECT_EQ(h.probes_tracked(), 1u);
+}
+
+TEST(HistoryStore, PortOutOfMaskRangeThrows) {
+  HistoryStore h;
+  EXPECT_THROW(h.mark(1, 0, 32), std::invalid_argument);
+  EXPECT_THROW(h.mark(1, 0, -1), std::invalid_argument);
+}
+
+// -------------------------------------------------------------------- MB-m
+
+class MbmTest : public ::testing::Test {
+ protected:
+  MbmTest() : torus_({8, 8}, true) {}
+
+  std::vector<PortView> all(PortView v) const {
+    return std::vector<PortView>(torus_.num_ports(), v);
+  }
+
+  KAryNCube torus_;
+};
+
+TEST_F(MbmTest, OrderedMinimalPortsPreferLongestOffset) {
+  // From (0,0) to (1,3): dim 1 has the larger offset, so its port first.
+  const auto ports = ordered_minimal_ports(torus_, torus_.node_of({0, 0}),
+                                           torus_.node_of({1, 3}));
+  ASSERT_EQ(ports.size(), 2u);
+  EXPECT_EQ(ports[0], KAryNCube::port_of(1, true));
+  EXPECT_EQ(ports[1], KAryNCube::port_of(0, true));
+}
+
+TEST_F(MbmTest, DeliversAtDestination) {
+  const auto d = decide(torus_, 5, 5, all(PortView::kAvailable), 0, 0, 2, false);
+  EXPECT_EQ(d.action, MbmAction::kDeliver);
+}
+
+TEST_F(MbmTest, AdvancesMinimalWhenFree) {
+  const NodeId src = torus_.node_of({0, 0});
+  const NodeId dst = torus_.node_of({3, 0});
+  const auto d = decide(torus_, src, dst, all(PortView::kAvailable),
+                        kInvalidPort, 0, 2, false);
+  EXPECT_EQ(d.action, MbmAction::kAdvance);
+  EXPECT_EQ(d.port, KAryNCube::port_of(0, true));
+  EXPECT_FALSE(d.misroute);
+}
+
+TEST_F(MbmTest, MisroutesWhenMinimalBlocked) {
+  const NodeId src = torus_.node_of({0, 0});
+  const NodeId dst = torus_.node_of({3, 0});
+  auto view = all(PortView::kAvailable);
+  view[KAryNCube::port_of(0, true)] = PortView::kBusyPending;
+  const auto d = decide(torus_, src, dst, view, kInvalidPort, 0, 2, false);
+  EXPECT_EQ(d.action, MbmAction::kAdvance);
+  EXPECT_TRUE(d.misroute);
+  EXPECT_NE(d.port, KAryNCube::port_of(0, true));
+}
+
+TEST_F(MbmTest, BacktracksWhenBudgetExhausted) {
+  const NodeId src = torus_.node_of({0, 0});
+  const NodeId dst = torus_.node_of({3, 0});
+  auto view = all(PortView::kAvailable);
+  view[KAryNCube::port_of(0, true)] = PortView::kBusyPending;
+  const auto d = decide(torus_, src, dst, view, kInvalidPort,
+                        /*misroutes=*/2, /*max=*/2, false);
+  EXPECT_EQ(d.action, MbmAction::kBacktrack);
+}
+
+TEST_F(MbmTest, NeverMisroutesBackWhereItCameFrom) {
+  const NodeId node = torus_.node_of({2, 0});
+  const NodeId dst = torus_.node_of({5, 0});
+  // The probe arrived from (1,0): it entered through input port (0,-), and
+  // the output link back toward (1,0) is that same port index.
+  const PortId arrival = KAryNCube::port_of(0, false);
+  auto view = all(PortView::kUnusable);
+  view[arrival] = PortView::kAvailable;  // only way "forward" is backward
+  const auto d = decide(torus_, node, dst, view, arrival, 0, 2, false);
+  EXPECT_EQ(d.action, MbmAction::kBacktrack);
+}
+
+TEST_F(MbmTest, ForceWaitsOnEstablishedCircuit) {
+  const NodeId src = torus_.node_of({0, 0});
+  const NodeId dst = torus_.node_of({3, 0});
+  auto view = all(PortView::kBusyPending);
+  view[KAryNCube::port_of(0, true)] = PortView::kBusyEstablished;
+  const auto d = decide(torus_, src, dst, view, kInvalidPort, 0, 2, true);
+  EXPECT_EQ(d.action, MbmAction::kWaitForce);
+  EXPECT_EQ(d.port, KAryNCube::port_of(0, true));
+  EXPECT_FALSE(d.misroute);
+}
+
+TEST_F(MbmTest, ForceNeverWaitsOnPendingCircuits) {
+  // Theorem 1: when every requested channel belongs to a circuit still
+  // being established, the probe backtracks even with Force set.
+  const NodeId src = torus_.node_of({0, 0});
+  const NodeId dst = torus_.node_of({3, 3});
+  const auto d = decide(torus_, src, dst, all(PortView::kBusyPending),
+                        kInvalidPort, 0, 2, true);
+  EXPECT_EQ(d.action, MbmAction::kBacktrack);
+}
+
+TEST_F(MbmTest, ForcePrefersFreeChannelOverTeardown) {
+  const NodeId src = torus_.node_of({0, 0});
+  const NodeId dst = torus_.node_of({3, 3});
+  auto view = all(PortView::kBusyEstablished);
+  view[KAryNCube::port_of(1, true)] = PortView::kAvailable;
+  const auto d = decide(torus_, src, dst, view, kInvalidPort, 0, 2, true);
+  EXPECT_EQ(d.action, MbmAction::kAdvance);
+  EXPECT_EQ(d.port, KAryNCube::port_of(1, true));
+}
+
+TEST_F(MbmTest, ForceNonMinimalWaitConsumesMisroute) {
+  const NodeId src = torus_.node_of({0, 0});
+  const NodeId dst = torus_.node_of({3, 0});
+  auto view = all(PortView::kBusyPending);
+  view[KAryNCube::port_of(1, true)] = PortView::kBusyEstablished;  // non-minimal
+  const auto d = decide(torus_, src, dst, view, kInvalidPort, 0, 2, true);
+  EXPECT_EQ(d.action, MbmAction::kWaitForce);
+  EXPECT_EQ(d.port, KAryNCube::port_of(1, true));
+  EXPECT_TRUE(d.misroute);
+}
+
+TEST_F(MbmTest, ForceNonMinimalWaitRespectsBudget) {
+  const NodeId src = torus_.node_of({0, 0});
+  const NodeId dst = torus_.node_of({3, 0});
+  auto view = all(PortView::kBusyPending);
+  view[KAryNCube::port_of(1, true)] = PortView::kBusyEstablished;
+  const auto d = decide(torus_, src, dst, view, kInvalidPort,
+                        /*misroutes=*/2, /*max=*/2, true);
+  EXPECT_EQ(d.action, MbmAction::kBacktrack);
+}
+
+TEST_F(MbmTest, UnusablePortsAreSkipped) {
+  const NodeId src = torus_.node_of({0, 0});
+  const NodeId dst = torus_.node_of({2, 2});
+  auto view = all(PortView::kUnusable);
+  view[KAryNCube::port_of(1, true)] = PortView::kAvailable;
+  const auto d = decide(torus_, src, dst, view, kInvalidPort, 0, 2, false);
+  EXPECT_EQ(d.action, MbmAction::kAdvance);
+  EXPECT_EQ(d.port, KAryNCube::port_of(1, true));
+}
+
+TEST_F(MbmTest, ZeroMisrouteBudgetIsProfitableOnly) {
+  const NodeId src = torus_.node_of({0, 0});
+  const NodeId dst = torus_.node_of({3, 0});
+  auto view = all(PortView::kAvailable);
+  view[KAryNCube::port_of(0, true)] = PortView::kBusyPending;
+  const auto d = decide(torus_, src, dst, view, kInvalidPort, 0, 0, false);
+  EXPECT_EQ(d.action, MbmAction::kBacktrack);
+}
+
+TEST_F(MbmTest, ViewSizeMismatchThrows) {
+  EXPECT_THROW(decide(torus_, 0, 1, {PortView::kAvailable}, kInvalidPort, 0,
+                      2, false),
+               std::invalid_argument);
+}
+
+TEST_F(MbmTest, PropertyFuzzOverRandomViews) {
+  // Invariants of decide() over randomized channel views:
+  //  P1 an advance/wait never targets an unusable port;
+  //  P2 a non-force probe never waits;
+  //  P3 a wait always targets an established-busy channel;
+  //  P4 an advance always targets an available channel;
+  //  P5 a non-misroute advance/wait is minimal;
+  //  P6 with misroutes == max, every advance is minimal;
+  //  P7 an advance never goes straight back through the arrival port.
+  wavesim::sim::Rng rng{2024};
+  const auto statuses = {PortView::kAvailable, PortView::kBusyEstablished,
+                         PortView::kBusyPending, PortView::kUnusable};
+  for (int trial = 0; trial < 5000; ++trial) {
+    const NodeId node = static_cast<NodeId>(rng.next_below(64));
+    NodeId dest = static_cast<NodeId>(rng.next_below(64));
+    if (dest == node) dest = (dest + 1) % 64;
+    std::vector<PortView> view;
+    for (PortId p = 0; p < torus_.num_ports(); ++p) {
+      view.push_back(*(statuses.begin() + rng.next_below(4)));
+    }
+    const PortId arrival =
+        rng.chance(0.3) ? kInvalidPort
+                        : static_cast<PortId>(rng.next_below(torus_.num_ports()));
+    const auto m = static_cast<std::int32_t>(rng.next_below(4));
+    const auto used = static_cast<std::int32_t>(rng.next_below(m + 1));
+    const bool force = rng.chance(0.5);
+    const auto d = decide(torus_, node, dest, view, arrival, used, m, force);
+    const auto minimal = ordered_minimal_ports(torus_, node, dest);
+    const bool is_minimal =
+        d.port != kInvalidPort &&
+        std::find(minimal.begin(), minimal.end(), d.port) != minimal.end();
+    switch (d.action) {
+      case MbmAction::kAdvance:
+        ASSERT_EQ(view[d.port], PortView::kAvailable);  // P1, P4
+        if (!d.misroute) {
+          ASSERT_TRUE(is_minimal);  // P5
+        }
+        if (used >= m) {
+          ASSERT_TRUE(is_minimal);  // P6
+        }
+        if (!is_minimal) {
+          ASSERT_NE(d.port, arrival);  // P7
+        }
+        break;
+      case MbmAction::kWaitForce:
+        ASSERT_TRUE(force);                                   // P2
+        ASSERT_EQ(view[d.port], PortView::kBusyEstablished);  // P1, P3
+        if (!d.misroute) {
+          ASSERT_TRUE(is_minimal);  // P5
+        }
+        break;
+      case MbmAction::kBacktrack:
+      case MbmAction::kDeliver:
+        break;
+    }
+  }
+}
+
+TEST(ControlKindNames, AllDistinct) {
+  EXPECT_STREQ(to_string(ControlKind::kProbe), "probe");
+  EXPECT_STREQ(to_string(ControlKind::kAck), "ack");
+  EXPECT_STREQ(to_string(ControlKind::kTeardown), "teardown");
+  EXPECT_STREQ(to_string(ControlKind::kReleaseRequest), "release-request");
+}
+
+}  // namespace
+}  // namespace wavesim::pcs

@@ -1,0 +1,107 @@
+// SetupSequencer: CLRP's three-phase structure (section 3.1) including the
+// documented simplifications, and CARP's single sweep (section 3.2).
+#include "core/protocols.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/circuit.hpp"
+#include "core/message.hpp"
+
+namespace wavesim::core {
+namespace {
+
+using Mode = SetupSequencer::Mode;
+
+std::vector<SetupAttempt> drain(SetupSequencer& seq) {
+  std::vector<SetupAttempt> attempts;
+  attempts.push_back(seq.current());
+  while (seq.advance()) attempts.push_back(seq.current());
+  return attempts;
+}
+
+TEST(SetupSequencer, RejectsBadArguments) {
+  EXPECT_THROW(SetupSequencer(Mode::kClrp, sim::ClrpVariant::kFull, 0, 0),
+               std::invalid_argument);
+  EXPECT_THROW(SetupSequencer(Mode::kClrp, sim::ClrpVariant::kFull, 2, 2),
+               std::invalid_argument);
+  EXPECT_THROW(SetupSequencer(Mode::kClrp, sim::ClrpVariant::kFull, 2, -1),
+               std::invalid_argument);
+}
+
+TEST(SetupSequencer, ClrpFullTriesAllSwitchesThenForce) {
+  SetupSequencer seq(Mode::kClrp, sim::ClrpVariant::kFull, 3, 1);
+  const auto attempts = drain(seq);
+  // Phase 1: switches 1,2,0 with Force=0; phase 2: same with Force=1.
+  ASSERT_EQ(attempts.size(), 6u);
+  EXPECT_EQ(attempts[0], (SetupAttempt{1, false}));
+  EXPECT_EQ(attempts[1], (SetupAttempt{2, false}));
+  EXPECT_EQ(attempts[2], (SetupAttempt{0, false}));
+  EXPECT_EQ(attempts[3], (SetupAttempt{1, true}));
+  EXPECT_EQ(attempts[4], (SetupAttempt{2, true}));
+  EXPECT_EQ(attempts[5], (SetupAttempt{0, true}));
+  EXPECT_TRUE(seq.exhausted());
+  EXPECT_THROW(seq.current(), std::logic_error);
+  EXPECT_FALSE(seq.advance());
+}
+
+TEST(SetupSequencer, ClrpForceFirstSkipsPhaseOne) {
+  SetupSequencer seq(Mode::kClrp, sim::ClrpVariant::kForceFirst, 2, 0);
+  EXPECT_EQ(seq.phase(), 2);
+  const auto attempts = drain(seq);
+  ASSERT_EQ(attempts.size(), 2u);
+  EXPECT_EQ(attempts[0], (SetupAttempt{0, true}));
+  EXPECT_EQ(attempts[1], (SetupAttempt{1, true}));
+}
+
+TEST(SetupSequencer, ClrpSingleSwitchTriesInitialOnly) {
+  SetupSequencer seq(Mode::kClrp, sim::ClrpVariant::kSingleSwitch, 4, 2);
+  const auto attempts = drain(seq);
+  ASSERT_EQ(attempts.size(), 2u);
+  EXPECT_EQ(attempts[0], (SetupAttempt{2, false}));
+  EXPECT_EQ(attempts[1], (SetupAttempt{2, true}));
+}
+
+TEST(SetupSequencer, CarpNeverForces) {
+  SetupSequencer seq(Mode::kCarp, sim::ClrpVariant::kFull, 3, 2);
+  const auto attempts = drain(seq);
+  ASSERT_EQ(attempts.size(), 3u);
+  for (const auto& a : attempts) EXPECT_FALSE(a.force);
+  EXPECT_EQ(attempts[0].switch_index, 2);
+  EXPECT_EQ(attempts[1].switch_index, 0);
+  EXPECT_EQ(attempts[2].switch_index, 1);
+}
+
+TEST(SetupSequencer, SingleSwitchNetworkClrp) {
+  SetupSequencer seq(Mode::kClrp, sim::ClrpVariant::kFull, 1, 0);
+  const auto attempts = drain(seq);
+  ASSERT_EQ(attempts.size(), 2u);
+  EXPECT_EQ(attempts[0], (SetupAttempt{0, false}));
+  EXPECT_EQ(attempts[1], (SetupAttempt{0, true}));
+}
+
+TEST(SetupSequencer, AttemptCountAccumulates) {
+  SetupSequencer seq(Mode::kCarp, sim::ClrpVariant::kFull, 2, 0);
+  EXPECT_EQ(seq.attempts_made(), 0);
+  seq.advance();
+  EXPECT_EQ(seq.attempts_made(), 1);
+  seq.advance();
+  EXPECT_EQ(seq.attempts_made(), 2);
+}
+
+TEST(MessageModeNames, Distinct) {
+  EXPECT_STREQ(to_string(MessageMode::kCircuitHit), "circuit-hit");
+  EXPECT_STREQ(to_string(MessageMode::kCircuitAfterSetup),
+               "circuit-after-setup");
+  EXPECT_STREQ(to_string(MessageMode::kWormholeFallback), "wormhole-fallback");
+  EXPECT_STREQ(to_string(MessageMode::kWormholePolicy), "wormhole-policy");
+}
+
+TEST(CircuitStateNames, Distinct) {
+  EXPECT_STREQ(to_string(CircuitState::kProbing), "probing");
+  EXPECT_STREQ(to_string(CircuitState::kEstablished), "established");
+  EXPECT_STREQ(to_string(CircuitState::kTearingDown), "tearing-down");
+  EXPECT_STREQ(to_string(CircuitState::kDead), "dead");
+}
+
+}  // namespace
+}  // namespace wavesim::core

@@ -1,0 +1,160 @@
+#include "sim/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <set>
+
+namespace wavesim::sim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{42};
+  Rng b{42};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1};
+  Rng b{2};
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ZeroSeedIsValid) {
+  Rng r{0};
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(r.next());
+  EXPECT_GT(seen.size(), 90u);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng r{7};
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 17ULL, 1000ULL}) {
+    for (int i = 0; i < 2000; ++i) {
+      EXPECT_LT(r.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowCoversAllValues) {
+  Rng r{11};
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(r.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NextBelowRoughlyUniform) {
+  Rng r{13};
+  std::array<int, 8> counts{};
+  const int trials = 80000;
+  for (int i = 0; i < trials; ++i) ++counts[r.next_below(8)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, trials / 8, trials / 8 / 5);  // within 20%
+  }
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+  Rng r{17};
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = r.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  Rng r{19};
+  EXPECT_EQ(r.uniform_int(5, 5), 5);
+  EXPECT_EQ(r.uniform_int(5, 4), 5);  // hi < lo clamps to lo
+}
+
+TEST(Rng, Uniform01InRangeAndCentered) {
+  Rng r{23};
+  double sum = 0.0;
+  const int trials = 50000;
+  for (int i = 0; i < trials; ++i) {
+    const double u = r.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / trials, 0.5, 0.01);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r{29};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+    EXPECT_FALSE(r.chance(-0.5));
+    EXPECT_TRUE(r.chance(1.5));
+  }
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Rng r{31};
+  int hits = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) hits += r.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.01);
+}
+
+TEST(Rng, GeometricMeanRoughlyMatches) {
+  Rng r{37};
+  const double p = 0.25;
+  double sum = 0.0;
+  const int trials = 50000;
+  for (int i = 0; i < trials; ++i) {
+    sum += static_cast<double>(r.geometric(p, 1000000));
+  }
+  // Mean of failures-before-success geometric = (1-p)/p = 3.
+  EXPECT_NEAR(sum / trials, 3.0, 0.15);
+}
+
+TEST(Rng, GeometricHonorsCap) {
+  Rng r{41};
+  for (int i = 0; i < 1000; ++i) EXPECT_LE(r.geometric(0.001, 50), 50u);
+  EXPECT_EQ(r.geometric(0.0, 7), 7u);
+  EXPECT_EQ(r.geometric(1.0, 7), 0u);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent{43};
+  Rng child = parent.fork();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (parent.next() == child.next()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng a{47};
+  Rng b{47};
+  Rng ca = a.fork();
+  Rng cb = b.fork();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(ca.next(), cb.next());
+}
+
+TEST(SplitMix, KnownSequenceIsStable) {
+  std::uint64_t s = 0;
+  const auto v1 = splitmix64(s);
+  const auto v2 = splitmix64(s);
+  EXPECT_NE(v1, v2);
+  std::uint64_t s2 = 0;
+  EXPECT_EQ(splitmix64(s2), v1);
+}
+
+}  // namespace
+}  // namespace wavesim::sim

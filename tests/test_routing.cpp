@@ -1,0 +1,221 @@
+#include "routing/routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "routing/dor.hpp"
+#include "routing/duato.hpp"
+#include "sim/rng.hpp"
+
+namespace wavesim::route {
+namespace {
+
+using topo::KAryNCube;
+
+/// Walk a packet from src to dest always taking the first candidate;
+/// returns number of hops (fails the test on a non-progressing walk).
+std::int32_t walk_first_candidate(const KAryNCube& t,
+                                  const RoutingAlgorithm& algo, NodeId src,
+                                  NodeId dest) {
+  NodeId cur = src;
+  PortId in_port = kInvalidPort;
+  VcId in_vc = kInvalidVc;
+  std::int32_t hops = 0;
+  while (cur != dest) {
+    const auto candidates = algo.route(cur, in_port, in_vc, dest);
+    EXPECT_FALSE(candidates.empty()) << "stuck at node " << cur;
+    if (candidates.empty()) return -1;
+    const auto& c = candidates.front();
+    const NodeId next = t.neighbor(cur, c.port);
+    EXPECT_NE(next, kInvalidNode);
+    in_port = KAryNCube::opposite(c.port);
+    in_vc = c.vc;
+    cur = next;
+    if (++hops > 4 * t.num_nodes()) {
+      ADD_FAILURE() << "walk did not terminate";
+      return -1;
+    }
+  }
+  return hops;
+}
+
+TEST(Dor, RejectsTooFewVcs) {
+  KAryNCube torus({4, 4}, true);
+  EXPECT_THROW(DimensionOrderRouting(torus, 1), std::invalid_argument);
+  KAryNCube mesh({4, 4}, false);
+  EXPECT_NO_THROW(DimensionOrderRouting(mesh, 1));
+}
+
+TEST(Dor, PathsAreMinimalOnMesh) {
+  KAryNCube mesh({5, 4}, false);
+  DimensionOrderRouting dor(mesh, 2);
+  for (NodeId s = 0; s < mesh.num_nodes(); ++s) {
+    for (NodeId d = 0; d < mesh.num_nodes(); ++d) {
+      if (s == d) continue;
+      EXPECT_EQ(walk_first_candidate(mesh, dor, s, d), mesh.distance(s, d));
+    }
+  }
+}
+
+TEST(Dor, PathsAreMinimalOnTorus) {
+  KAryNCube torus({5, 4}, true);
+  DimensionOrderRouting dor(torus, 2);
+  for (NodeId s = 0; s < torus.num_nodes(); ++s) {
+    for (NodeId d = 0; d < torus.num_nodes(); ++d) {
+      if (s == d) continue;
+      EXPECT_EQ(walk_first_candidate(torus, dor, s, d), torus.distance(s, d));
+    }
+  }
+}
+
+TEST(Dor, RoutesLowestDimensionFirst) {
+  KAryNCube mesh({4, 4}, false);
+  DimensionOrderRouting dor(mesh, 1);
+  const auto cands = dor.route(mesh.node_of({0, 0}), kInvalidPort, kInvalidVc,
+                               mesh.node_of({2, 3}));
+  ASSERT_FALSE(cands.empty());
+  EXPECT_EQ(KAryNCube::dim_of(cands.front().port), 0);
+  EXPECT_TRUE(KAryNCube::is_positive(cands.front().port));
+}
+
+TEST(Dor, AllCandidatesAreEscape) {
+  KAryNCube torus({4, 4}, true);
+  DimensionOrderRouting dor(torus, 4);
+  for (NodeId s = 0; s < torus.num_nodes(); ++s) {
+    for (NodeId d = 0; d < torus.num_nodes(); ++d) {
+      if (s == d) continue;
+      for (const auto& c : dor.route(s, kInvalidPort, kInvalidVc, d)) {
+        EXPECT_TRUE(c.escape);
+      }
+    }
+  }
+}
+
+TEST(Dor, MeshUsesAllVcs) {
+  KAryNCube mesh({4, 4}, false);
+  DimensionOrderRouting dor(mesh, 3);
+  const auto cands = dor.route(0, kInvalidPort, kInvalidVc, 5);
+  EXPECT_EQ(cands.size(), 3u);
+}
+
+TEST(Dor, TorusVcClassSwitchesAfterWrap) {
+  KAryNCube torus({8, 8}, true);
+  DimensionOrderRouting dor(torus, 2);
+  // Route from x=6 to x=1: goes positive, wraps at x=7 -> x=0.
+  const NodeId dest = torus.node_of({1, 0});
+  // Pre-wrap (x=6 > 1): class 1.
+  auto pre = dor.route(torus.node_of({6, 0}), kInvalidPort, kInvalidVc, dest);
+  ASSERT_EQ(pre.size(), 1u);
+  EXPECT_EQ(pre.front().vc, 1);
+  // Post-wrap (x=0 < 1): class 0.
+  auto post = dor.route(torus.node_of({0, 0}), kInvalidPort, kInvalidVc, dest);
+  ASSERT_EQ(post.size(), 1u);
+  EXPECT_EQ(post.front().vc, 0);
+}
+
+TEST(Dor, NonWrappingTorusRouteUsesClassZero) {
+  KAryNCube torus({8, 8}, true);
+  DimensionOrderRouting dor(torus, 2);
+  const auto cands = dor.route(torus.node_of({2, 0}), kInvalidPort, kInvalidVc,
+                               torus.node_of({5, 0}));
+  ASSERT_EQ(cands.size(), 1u);
+  EXPECT_EQ(cands.front().vc, 0);
+}
+
+TEST(Dor, VcsOfClassPartitionOnTorus) {
+  KAryNCube torus({4, 4}, true);
+  DimensionOrderRouting dor(torus, 4);
+  const auto c0 = dor.vcs_of_class(0);
+  const auto c1 = dor.vcs_of_class(1);
+  EXPECT_EQ(c0, (std::vector<VcId>{0, 1}));
+  EXPECT_EQ(c1, (std::vector<VcId>{2, 3}));
+}
+
+TEST(Duato, RejectsTooFewVcs) {
+  KAryNCube torus({4, 4}, true);
+  EXPECT_THROW(DuatoAdaptiveRouting(torus, 2), std::invalid_argument);
+  EXPECT_NO_THROW(DuatoAdaptiveRouting(torus, 3));
+  KAryNCube mesh({4, 4}, false);
+  EXPECT_THROW(DuatoAdaptiveRouting(mesh, 1), std::invalid_argument);
+  EXPECT_NO_THROW(DuatoAdaptiveRouting(mesh, 2));
+}
+
+TEST(Duato, AlwaysOffersExactlyOneEscape) {
+  KAryNCube torus({4, 4}, true);
+  DuatoAdaptiveRouting duato(torus, 3);
+  for (NodeId s = 0; s < torus.num_nodes(); ++s) {
+    for (NodeId d = 0; d < torus.num_nodes(); ++d) {
+      if (s == d) continue;
+      const auto cands = duato.route(s, kInvalidPort, kInvalidVc, d);
+      int escapes = 0;
+      for (const auto& c : cands) escapes += c.escape ? 1 : 0;
+      EXPECT_EQ(escapes, 1);
+      EXPECT_TRUE(cands.back().escape) << "escape candidate must come last";
+    }
+  }
+}
+
+TEST(Duato, AdaptiveCandidatesCoverAllMinimalPorts) {
+  KAryNCube torus({4, 4}, true);
+  DuatoAdaptiveRouting duato(torus, 4);  // 2 escape + 2 adaptive
+  const NodeId s = torus.node_of({0, 0});
+  const NodeId d = torus.node_of({1, 2});
+  const auto cands = duato.route(s, kInvalidPort, kInvalidVc, d);
+  // 2 minimal ports x 2 adaptive VCs + 1 escape.
+  EXPECT_EQ(cands.size(), 5u);
+  std::set<PortId> adaptive_ports;
+  for (const auto& c : cands) {
+    if (!c.escape) {
+      EXPECT_GE(c.vc, duato.escape_vcs());
+      adaptive_ports.insert(c.port);
+    }
+  }
+  EXPECT_EQ(adaptive_ports.size(), 2u);
+}
+
+TEST(Duato, EscapeVcMatchesDatelineClass) {
+  KAryNCube torus({8, 8}, true);
+  DuatoAdaptiveRouting duato(torus, 3);
+  // Pre-wrap segment in dim 0 -> escape VC 1.
+  const auto cands = duato.route(torus.node_of({6, 0}), kInvalidPort,
+                                 kInvalidVc, torus.node_of({1, 0}));
+  ASSERT_FALSE(cands.empty());
+  const auto& escape = cands.back();
+  EXPECT_TRUE(escape.escape);
+  EXPECT_EQ(escape.vc, 1);
+}
+
+TEST(Duato, PathsAreMinimalUnderRandomChoice) {
+  KAryNCube torus({4, 4}, true);
+  DuatoAdaptiveRouting duato(torus, 3);
+  sim::Rng rng{123};
+  for (int trial = 0; trial < 500; ++trial) {
+    const NodeId s = static_cast<NodeId>(rng.next_below(torus.num_nodes()));
+    const NodeId d = static_cast<NodeId>(rng.next_below(torus.num_nodes()));
+    if (s == d) continue;
+    NodeId cur = s;
+    std::int32_t hops = 0;
+    while (cur != d) {
+      const auto cands = duato.route(cur, kInvalidPort, kInvalidVc, d);
+      ASSERT_FALSE(cands.empty());
+      const auto& pick = cands[rng.next_below(cands.size())];
+      cur = torus.neighbor(cur, pick.port);
+      ASSERT_NE(cur, kInvalidNode);
+      ++hops;
+      ASSERT_LE(hops, torus.distance(s, d));  // minimality: every hop helps
+    }
+    EXPECT_EQ(hops, torus.distance(s, d));
+  }
+}
+
+TEST(Factory, CreatesRequestedAlgorithms) {
+  KAryNCube torus({4, 4}, true);
+  auto dor = make_routing(sim::RoutingKind::kDimensionOrder, torus, 2);
+  EXPECT_STREQ(dor->name(), "dor");
+  EXPECT_TRUE(dor->minimal());
+  auto duato = make_routing(sim::RoutingKind::kDuatoAdaptive, torus, 3);
+  EXPECT_STREQ(duato->name(), "duato");
+  EXPECT_TRUE(duato->minimal());
+}
+
+}  // namespace
+}  // namespace wavesim::route

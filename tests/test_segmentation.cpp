@@ -1,0 +1,112 @@
+// Wormhole message segmentation: packetization, multi-VC streaming and
+// count-based reassembly at the destination.
+#include <gtest/gtest.h>
+
+#include "core/simulation.hpp"
+#include "sim/rng.hpp"
+#include "verify/delivery.hpp"
+
+namespace wavesim::core {
+namespace {
+
+sim::SimConfig wormhole_with_packets(std::int32_t max_packet) {
+  sim::SimConfig cfg = sim::SimConfig::wormhole_baseline();
+  cfg.protocol.max_packet_flits = max_packet;
+  return cfg;
+}
+
+std::uint64_t packets_sent(const Simulation& sim) {
+  std::uint64_t total = 0;
+  for (NodeId n = 0; n < sim.topology().num_nodes(); ++n) {
+    total += sim.network().interface(n).stats().packets_sent;
+  }
+  return total;
+}
+
+TEST(Segmentation, RejectsNegativeConfig) {
+  sim::SimConfig cfg = wormhole_with_packets(-1);
+  EXPECT_THROW(Simulation{cfg}, std::invalid_argument);
+}
+
+TEST(Segmentation, SplitsLongMessages) {
+  Simulation sim(wormhole_with_packets(16));
+  sim.send(0, 9, 64);  // 4 packets
+  sim.send(0, 9, 10);  // 1 packet (under the limit)
+  sim.send(0, 9, 17);  // 2 packets (16 + 1)
+  ASSERT_TRUE(sim.run_until_delivered(100000));
+  EXPECT_EQ(packets_sent(sim), 7u);
+  EXPECT_EQ(sim.stats().messages_delivered, 3u);
+}
+
+TEST(Segmentation, ZeroMeansWholeMessage) {
+  Simulation sim(wormhole_with_packets(0));
+  sim.send(0, 9, 200);
+  ASSERT_TRUE(sim.run_until_delivered(100000));
+  EXPECT_EQ(packets_sent(sim), 1u);
+}
+
+TEST(Segmentation, ExactMultipleProducesNoEmptyPacket) {
+  Simulation sim(wormhole_with_packets(16));
+  sim.send(0, 9, 32);
+  ASSERT_TRUE(sim.run_until_delivered(100000));
+  EXPECT_EQ(packets_sent(sim), 2u);
+}
+
+TEST(Segmentation, AllFlitsArriveExactlyOnce) {
+  Simulation sim(wormhole_with_packets(8));
+  sim.send(0, 27, 100);
+  ASSERT_TRUE(sim.run_until_delivered(100000));
+  const auto& rec = sim.network().messages().at(0);
+  EXPECT_TRUE(rec.done);
+  EXPECT_EQ(rec.flits_received, 100);
+}
+
+TEST(Segmentation, HeavyMixedTrafficConserved) {
+  Simulation sim(wormhole_with_packets(12));
+  sim::Rng rng{31};
+  std::uint64_t sent = 0;
+  for (Cycle c = 0; c < 3000; ++c) {
+    for (NodeId s = 0; s < 64; ++s) {
+      if (!rng.chance(0.005)) continue;
+      NodeId d = static_cast<NodeId>(rng.next_below(64));
+      if (d == s) d = (d + 1) % 64;
+      sim.send(s, d, static_cast<std::int32_t>(1 + rng.next_below(96)));
+      ++sent;
+    }
+    sim.step();
+  }
+  ASSERT_TRUE(sim.run_until_delivered(1'000'000));
+  EXPECT_EQ(sim.stats().messages_delivered, sent);
+  const auto check = verify::check_delivery(sim.network());
+  EXPECT_TRUE(check.ok()) << check.summary();
+}
+
+TEST(Segmentation, PacketizationOverheadIsSmallOnAnIdleNetwork) {
+  // The source link is the bottleneck (1 flit/cycle) either way, so
+  // packetization must cost at most a few extra head-routing latencies.
+  const std::int32_t length = 256;
+  Simulation whole(wormhole_with_packets(0));
+  whole.send(0, 4, length);  // 4 hops along x
+  ASSERT_TRUE(whole.run_until_delivered(100000));
+  Simulation packets(wormhole_with_packets(32));
+  packets.send(0, 4, length);
+  ASSERT_TRUE(packets.run_until_delivered(100000));
+  EXPECT_LE(packets.network().messages().at(0).latency(),
+            whole.network().messages().at(0).latency() + 30.0);
+}
+
+TEST(Segmentation, WorksUnderClrpForWormholeTraffic) {
+  sim::SimConfig cfg = sim::SimConfig::default_torus();
+  cfg.protocol.protocol = sim::ProtocolKind::kClrp;
+  cfg.protocol.min_circuit_message_flits = 64;  // short ones go wormhole
+  cfg.protocol.max_packet_flits = 8;
+  Simulation sim(cfg);
+  sim.send(0, 9, 32);   // wormhole, 4 packets
+  sim.send(0, 9, 128);  // circuit
+  ASSERT_TRUE(sim.run_until_delivered(100000));
+  EXPECT_EQ(sim.stats().messages_delivered, 2u);
+  EXPECT_EQ(packets_sent(sim), 4u);
+}
+
+}  // namespace
+}  // namespace wavesim::core

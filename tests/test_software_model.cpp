@@ -1,0 +1,117 @@
+// Software messaging-layer model and circuit end-point buffers (paper
+// sections 1-2): send overhead delays wormhole messages, the first message
+// on a circuit pays buffer allocation, oversize messages pay a
+// re-allocation penalty -- unless CARP sized the buffers for the set.
+#include <gtest/gtest.h>
+
+#include "core/simulation.hpp"
+
+namespace wavesim::core {
+namespace {
+
+sim::SimConfig base(sim::ProtocolKind protocol) {
+  sim::SimConfig cfg = sim::SimConfig::default_torus();
+  cfg.protocol.protocol = protocol;
+  if (protocol == sim::ProtocolKind::kWormholeOnly) {
+    cfg.router.wave_switches = 0;
+  }
+  return cfg;
+}
+
+double one_message_latency(const sim::SimConfig& cfg, std::int32_t length) {
+  Simulation sim(cfg);
+  sim.send(0, 27, length);
+  EXPECT_TRUE(sim.run_until_delivered(100000));
+  return sim.network().messages().at(0).latency();
+}
+
+TEST(SoftwareModel, ValidationRejectsNegatives) {
+  sim::SimConfig cfg = base(sim::ProtocolKind::kClrp);
+  cfg.software.wormhole_send_overhead = -1;
+  EXPECT_THROW(Simulation{cfg}, std::invalid_argument);
+  cfg = base(sim::ProtocolKind::kClrp);
+  cfg.software.clrp_initial_buffer_flits = 0;
+  EXPECT_THROW(Simulation{cfg}, std::invalid_argument);
+}
+
+TEST(SoftwareModel, WormholeOverheadAddsToLatency) {
+  sim::SimConfig cfg = base(sim::ProtocolKind::kWormholeOnly);
+  const double bare = one_message_latency(cfg, 32);
+  cfg.software.wormhole_send_overhead = 200;
+  const double loaded = one_message_latency(cfg, 32);
+  EXPECT_NEAR(loaded, bare + 200.0, 2.0);
+}
+
+TEST(SoftwareModel, CircuitFirstVsReuseOverhead) {
+  sim::SimConfig cfg = base(sim::ProtocolKind::kClrp);
+  cfg.software.circuit_first_send_overhead = 150;
+  cfg.software.circuit_reuse_send_overhead = 10;
+  Simulation sim(cfg);
+  sim.send(0, 27, 32);
+  ASSERT_TRUE(sim.run_until_delivered(100000));
+  sim.send(0, 27, 32);
+  ASSERT_TRUE(sim.run_until_delivered(100000));
+  const auto& log = sim.network().messages();
+  // First message pays setup + 150 cycles of buffer allocation; the
+  // second only 10 cycles of reuse overhead.
+  EXPECT_GT(log.at(0).latency(), 150.0);
+  EXPECT_LT(log.at(1).latency(), 80.0);
+}
+
+TEST(SoftwareModel, ClrpPaysReallocForOversizeMessages) {
+  sim::SimConfig cfg = base(sim::ProtocolKind::kClrp);
+  cfg.software.clrp_initial_buffer_flits = 64;
+  cfg.software.buffer_realloc_penalty = 300;
+  Simulation sim(cfg);
+  sim.send(0, 27, 32);  // fits: no penalty
+  ASSERT_TRUE(sim.run_until_delivered(100000));
+  const double small = sim.network().messages().at(0).latency();
+  sim.send(0, 27, 128);  // exceeds 64: re-allocation
+  ASSERT_TRUE(sim.run_until_delivered(100000));
+  const double big = sim.network().messages().at(1).latency();
+  EXPECT_GT(big, small + 290.0);  // dominated by the 300-cycle penalty
+  EXPECT_EQ(sim.stats().buffer_reallocs, 1u);
+  // The buffer grew: an equal-size follow-up pays no penalty.
+  sim.send(0, 27, 128);
+  ASSERT_TRUE(sim.run_until_delivered(100000));
+  EXPECT_EQ(sim.stats().buffer_reallocs, 1u);
+  EXPECT_LT(sim.network().messages().at(2).latency(), big - 250.0);
+}
+
+TEST(SoftwareModel, CarpSizedBuffersAvoidRealloc) {
+  sim::SimConfig cfg = base(sim::ProtocolKind::kCarp);
+  cfg.software.clrp_initial_buffer_flits = 16;
+  cfg.software.buffer_realloc_penalty = 300;
+  Simulation sim(cfg);
+  // The "compiler" declares the longest message of the set: 256 flits.
+  ASSERT_TRUE(sim.establish_circuit(0, 27, /*max_message_flits=*/256));
+  sim.run(300);
+  sim.send(0, 27, 256);
+  ASSERT_TRUE(sim.run_until_delivered(100000));
+  EXPECT_EQ(sim.stats().buffer_reallocs, 0u);
+}
+
+TEST(SoftwareModel, CarpUnsizedFallsBackToSpeculative) {
+  sim::SimConfig cfg = base(sim::ProtocolKind::kCarp);
+  cfg.software.clrp_initial_buffer_flits = 16;
+  cfg.software.buffer_realloc_penalty = 300;
+  Simulation sim(cfg);
+  ASSERT_TRUE(sim.establish_circuit(0, 27));  // no size hint
+  sim.run(300);
+  sim.send(0, 27, 256);
+  ASSERT_TRUE(sim.run_until_delivered(100000));
+  EXPECT_EQ(sim.stats().buffer_reallocs, 1u);
+}
+
+TEST(SoftwareModel, OverheadsDefaultToZero) {
+  // The model must be inert unless configured: latency identical with a
+  // default SoftwareConfig and an explicit all-zero one.
+  sim::SimConfig cfg = base(sim::ProtocolKind::kClrp);
+  const double a = one_message_latency(cfg, 64);
+  cfg.software = sim::SoftwareConfig{};
+  const double b = one_message_latency(cfg, 64);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace wavesim::core

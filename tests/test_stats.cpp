@@ -1,0 +1,140 @@
+#include "sim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace wavesim::sim {
+namespace {
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(OnlineStats, SingleValue) {
+  OnlineStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(OnlineStats, KnownMoments) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // classic population-variance example
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStats, MergeMatchesSequential) {
+  OnlineStats a;
+  OnlineStats b;
+  OnlineStats all;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i) * 10.0;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a;
+  a.add(1.0);
+  a.add(2.0);
+  OnlineStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.5);
+}
+
+TEST(Sample, EmptyPercentileIsZero) {
+  Sample s;
+  EXPECT_EQ(s.percentile(50), 0.0);
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(Sample, PercentilesOfKnownData) {
+  Sample s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.median(), 50.0);
+  EXPECT_DOUBLE_EQ(s.percentile(90), 90.0);
+  EXPECT_DOUBLE_EQ(s.percentile(99), 99.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+}
+
+TEST(Sample, AddAfterPercentileStillCorrect) {
+  Sample s;
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.median(), 5.0);
+  s.add(1.0);
+  s.add(9.0);
+  EXPECT_DOUBLE_EQ(s.median(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Sample, PercentileClamped) {
+  Sample s;
+  s.add(1.0);
+  s.add(2.0);
+  EXPECT_DOUBLE_EQ(s.percentile(-10), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(200), 2.0);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(0.0, 0.0, 10), std::invalid_argument);
+  EXPECT_THROW(Histogram(1.0, 0.0, 10), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, BinsAndOverflow) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-1.0);   // underflow
+  h.add(0.0);    // bin 0
+  h.add(0.99);   // bin 0
+  h.add(5.0);    // bin 5
+  h.add(9.999);  // bin 9
+  h.add(10.0);   // overflow (hi is exclusive)
+  h.add(50.0);   // overflow
+  EXPECT_EQ(h.total(), 7u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(5), 1u);
+  EXPECT_EQ(h.bin_count(9), 1u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(5), 5.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(5), 6.0);
+}
+
+TEST(Histogram, RenderMentionsCounts) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(1.5);
+  h.add(1.6);
+  const auto text = h.render();
+  EXPECT_NE(text.find('#'), std::string::npos);
+  EXPECT_NE(text.find('2'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wavesim::sim

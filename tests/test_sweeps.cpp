@@ -1,0 +1,178 @@
+// Parameterized analytic-model checks: the simulator's measured numbers
+// must track closed-form expectations as single knobs sweep.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/simulation.hpp"
+#include "sim/rng.hpp"
+#include "verify/delivery.hpp"
+
+namespace wavesim {
+namespace {
+
+// ---------------------------------------------------------------- window
+
+class WindowSweep : public ::testing::TestWithParam<std::int32_t> {};
+
+TEST_P(WindowSweep, CircuitThroughputMatchesWindowOverRtt) {
+  // One long transfer on a fixed 8-hop circuit: effective bandwidth is
+  // min(circuit bw, window / round-trip).
+  const std::int32_t window = GetParam();
+  sim::SimConfig cfg = sim::SimConfig::default_torus();
+  cfg.protocol.protocol = sim::ProtocolKind::kClrp;
+  cfg.router.circuit_window = window;
+  core::Simulation sim(cfg);
+  const NodeId src = sim.topology().node_of({0, 0});
+  const NodeId dest = sim.topology().node_of({4, 4});  // 8 hops
+  // Warm the circuit so the measured message is a pure hit.
+  sim.send(src, dest, 8);
+  ASSERT_TRUE(sim.run_until_delivered(100000));
+  const std::int32_t length = 512;
+  const MessageId id = sim.send(src, dest, length);
+  ASSERT_TRUE(sim.run_until_delivered(200000));
+  const double latency = sim.network().messages().at(id).latency();
+
+  const double pipe = std::ceil(8.0 / 4.0) + 1;  // DataPlane::pipe_latency
+  const double bw = std::min(4.0, window / (2.0 * pipe));
+  const double expected = length / bw + pipe;
+  EXPECT_NEAR(latency, expected, expected * 0.25 + 8.0)
+      << "window " << window;
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, WindowSweep,
+                         ::testing::Values(1, 2, 4, 8, 16, 32, 64));
+
+// ----------------------------------------------------------- wave factor
+
+class WaveFactorSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(WaveFactorSweep, HitLatencyScalesInverselyWithFactor) {
+  const double factor = GetParam();
+  sim::SimConfig cfg = sim::SimConfig::default_torus();
+  cfg.protocol.protocol = sim::ProtocolKind::kClrp;
+  cfg.router.wave_clock_factor = factor;
+  cfg.router.circuit_window = 256;  // never the limiter
+  core::Simulation sim(cfg);
+  const NodeId src = 0;
+  const NodeId dest = 36;
+  sim.send(src, dest, 8);
+  ASSERT_TRUE(sim.run_until_delivered(100000));
+  const std::int32_t length = 256;
+  const MessageId id = sim.send(src, dest, length);
+  ASSERT_TRUE(sim.run_until_delivered(200000));
+  const double latency = sim.network().messages().at(id).latency();
+  const double pipe = std::ceil(8.0 / factor) + 1;
+  const double expected = length / factor + pipe;
+  EXPECT_NEAR(latency, expected, expected * 0.1 + 6.0) << "factor " << factor;
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, WaveFactorSweep,
+                         ::testing::Values(1.0, 2.0, 4.0, 8.0));
+
+TEST(VirtualCircuits, BehaveLikeFactorOne) {
+  sim::SimConfig virt = sim::SimConfig::default_torus();
+  virt.protocol.protocol = sim::ProtocolKind::kClrp;
+  virt.router.virtual_circuits = true;
+  EXPECT_DOUBLE_EQ(virt.circuit_flits_per_cycle(), 1.0);
+  sim::SimConfig phys = virt;
+  phys.router.virtual_circuits = false;
+
+  auto hit_latency = [](const sim::SimConfig& cfg) {
+    core::Simulation sim(cfg);
+    sim.send(0, 36, 8);
+    EXPECT_TRUE(sim.run_until_delivered(100000));
+    const MessageId id = sim.send(0, 36, 128);
+    EXPECT_TRUE(sim.run_until_delivered(100000));
+    return sim.network().messages().at(id).latency();
+  };
+  const double v = hit_latency(virt);
+  const double p = hit_latency(phys);
+  EXPECT_GT(v, 3.0 * p);  // ~4x serialization difference
+}
+
+// ------------------------------------------------ control-flit hop cost
+
+class ControlHopSweep : public ::testing::TestWithParam<std::int32_t> {};
+
+TEST_P(ControlHopSweep, SetupLatencyScalesWithControlHopCycles) {
+  // An unloaded 8-hop setup costs ~2 * hops * control_hop_cycles (probe
+  // out, ack back) before the transfer starts.
+  const std::int32_t hop_cycles = GetParam();
+  sim::SimConfig cfg = sim::SimConfig::default_torus();
+  cfg.protocol.protocol = sim::ProtocolKind::kClrp;
+  cfg.router.control_hop_cycles = hop_cycles;
+  core::Simulation sim(cfg);
+  const MessageId id = sim.send(0, 36, 8);  // 8 hops, tiny payload
+  ASSERT_TRUE(sim.run_until_delivered(200000));
+  const double latency = sim.network().messages().at(id).latency();
+  const double setup = 2.0 * 8.0 * hop_cycles;
+  EXPECT_NEAR(latency, setup + 6.0, setup * 0.3 + 8.0)
+      << "hop cycles " << hop_cycles;
+}
+
+INSTANTIATE_TEST_SUITE_P(HopCosts, ControlHopSweep,
+                         ::testing::Values(1, 2, 4, 8));
+
+// ------------------------------------------------- wormhole buffer depth
+
+struct DepthCase {
+  std::int32_t depth;
+  std::int32_t vcs;
+};
+
+class DepthSweep : public ::testing::TestWithParam<DepthCase> {};
+
+TEST_P(DepthSweep, DeliveryAndConservationAcrossBufferGeometries) {
+  sim::SimConfig cfg = sim::SimConfig::wormhole_baseline();
+  cfg.router.vc_buffer_depth = GetParam().depth;
+  cfg.router.wormhole_vcs = GetParam().vcs;
+  core::Simulation sim(cfg);
+  sim::Rng rng{42};
+  std::uint64_t sent = 0;
+  for (Cycle c = 0; c < 1500; ++c) {
+    for (NodeId s = 0; s < 64; ++s) {
+      if (!rng.chance(0.004)) continue;
+      NodeId d = static_cast<NodeId>(rng.next_below(64));
+      if (d == s) d = (d + 1) % 64;
+      sim.send(s, d, static_cast<std::int32_t>(2 + rng.next_below(30)));
+      ++sent;
+    }
+    sim.step();
+  }
+  ASSERT_TRUE(sim.run_until_delivered(1'000'000));
+  EXPECT_EQ(sim.stats().messages_delivered, sent);
+  const auto check = verify::check_delivery(sim.network());
+  EXPECT_TRUE(check.ok()) << check.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, DepthSweep,
+    ::testing::Values(DepthCase{1, 2}, DepthCase{2, 2}, DepthCase{8, 2},
+                      DepthCase{4, 4}, DepthCase{1, 8}, DepthCase{16, 3}),
+    [](const ::testing::TestParamInfo<DepthCase>& param_info) {
+      return "depth" + std::to_string(param_info.param.depth) + "vcs" +
+             std::to_string(param_info.param.vcs);
+    });
+
+// ----------------------------------------------------- deeper pipelines
+
+class PipelineSweep : public ::testing::TestWithParam<std::int32_t> {};
+
+TEST_P(PipelineSweep, WormholeLatencyGrowsWithPerHopCost) {
+  sim::SimConfig cfg = sim::SimConfig::wormhole_baseline();
+  cfg.router.wormhole_pipeline_latency = GetParam();
+  core::Simulation sim(cfg);
+  const MessageId id = sim.send(0, 4, 16);  // 4 hops
+  ASSERT_TRUE(sim.run_until_delivered(100000));
+  const double latency = sim.network().messages().at(id).latency();
+  // Head pays ~(pipeline + 2 allocation cycles) per hop + serialization.
+  const double expected = 4.0 * (GetParam() + 2) + 16.0 + GetParam();
+  EXPECT_NEAR(latency, expected, expected * 0.35) << "pipeline " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Pipelines, PipelineSweep,
+                         ::testing::Values(1, 2, 4, 8));
+
+}  // namespace
+}  // namespace wavesim

@@ -1,0 +1,66 @@
+// Technology timing model: the wave clock factor derivation (paper
+// section 2's Spice result) and its injection into SimConfig.
+#include "sim/technology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/config.hpp"
+
+namespace wavesim::sim {
+namespace {
+
+TEST(Technology, DefaultReproducesThePaper4x) {
+  TechnologyModel tech;
+  EXPECT_TRUE(tech.valid());
+  EXPECT_DOUBLE_EQ(tech.base_period_ns(), 8.0);
+  EXPECT_DOUBLE_EQ(tech.wave_period_ns(), 2.0);
+  EXPECT_DOUBLE_EQ(tech.wave_clock_factor(), 4.0);
+}
+
+TEST(Technology, MemoryBandwidthCapsTheWaveClock) {
+  TechnologyModel tech;
+  tech.memory_cycle_ns = 4.0;  // slow memory dominates the wave path
+  EXPECT_DOUBLE_EQ(tech.wave_period_ns(), 4.0);
+  EXPECT_DOUBLE_EQ(tech.wave_clock_factor(), 2.0);
+}
+
+TEST(Technology, SkewErodesTheGain) {
+  TechnologyModel fast;
+  TechnologyModel skewed;
+  skewed.wire_skew_ns = 2.0;  // badly matched wires
+  EXPECT_LT(skewed.wave_clock_factor(), fast.wave_clock_factor());
+}
+
+TEST(Technology, RemovingBufferAndRoutingIsTheWholePoint) {
+  // If the wave path had to keep the routing + buffering stages, the
+  // factor would collapse to ~1: the gain comes from removing them.
+  TechnologyModel tech;
+  const double hypothetical_wave =
+      tech.base_period_ns() /
+      (tech.base_period_ns() + tech.wire_skew_ns + tech.latch_setup_ns);
+  EXPECT_LT(hypothetical_wave, 1.0);
+  EXPECT_GT(tech.wave_clock_factor(), 3.0);
+}
+
+TEST(Technology, ApplyToConfig) {
+  SimConfig cfg = SimConfig::default_torus();
+  TechnologyModel tech;
+  tech.switch_delay_ns = 1.0;
+  tech.wire_skew_ns = 0.3;
+  tech.latch_setup_ns = 0.2;  // path 1.5 = memory floor
+  cfg.apply_technology(tech);
+  // base 4 + 1 + 2.5 = 7.5 ns; wave = max(1.5, memory 1.5) = 1.5 ns.
+  EXPECT_DOUBLE_EQ(cfg.router.wave_clock_factor, 5.0);
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(Technology, InvalidModelRejected) {
+  SimConfig cfg = SimConfig::default_torus();
+  TechnologyModel bad;
+  bad.memory_cycle_ns = 0.0;
+  EXPECT_FALSE(bad.valid());
+  EXPECT_THROW(cfg.apply_technology(bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wavesim::sim

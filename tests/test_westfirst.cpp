@@ -1,0 +1,133 @@
+// West-first turn-model routing: candidate structure, deadlock freedom by
+// CDG acyclicity with a single VC, and end-to-end delivery.
+#include "routing/westfirst.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/simulation.hpp"
+#include "routing/cdg.hpp"
+#include "sim/rng.hpp"
+
+namespace wavesim::route {
+namespace {
+
+using topo::KAryNCube;
+
+TEST(WestFirst, RejectsUnsupportedTopologies) {
+  KAryNCube torus({4, 4}, true);
+  EXPECT_THROW(WestFirstRouting(torus, 1), std::invalid_argument);
+  KAryNCube cube({4, 4, 4}, false);
+  EXPECT_THROW(WestFirstRouting(cube, 1), std::invalid_argument);
+  KAryNCube mesh({4, 4}, false);
+  EXPECT_NO_THROW(WestFirstRouting(mesh, 1));
+}
+
+TEST(WestFirst, GoesWestDeterministically) {
+  KAryNCube mesh({8, 8}, false);
+  WestFirstRouting wf(mesh, 2);
+  // Destination is west and north: only west offered until x resolves.
+  const auto cands = wf.route(mesh.node_of({5, 2}), kInvalidPort, kInvalidVc,
+                              mesh.node_of({2, 6}));
+  ASSERT_EQ(cands.size(), 2u);  // one port x two VCs
+  for (const auto& c : cands) {
+    EXPECT_EQ(c.port, KAryNCube::port_of(0, false));
+    EXPECT_TRUE(c.escape);
+  }
+}
+
+TEST(WestFirst, AdaptiveAmongEastNorthSouth) {
+  KAryNCube mesh({8, 8}, false);
+  WestFirstRouting wf(mesh, 1);
+  const auto cands = wf.route(mesh.node_of({2, 2}), kInvalidPort, kInvalidVc,
+                              mesh.node_of({5, 6}));
+  // East and north are both minimal: both offered.
+  ASSERT_EQ(cands.size(), 2u);
+  std::set<PortId> ports{cands[0].port, cands[1].port};
+  EXPECT_TRUE(ports.count(KAryNCube::port_of(0, true)));
+  EXPECT_TRUE(ports.count(KAryNCube::port_of(1, true)));
+}
+
+TEST(WestFirst, NeverTurnsIntoWest) {
+  // Property over all pairs: once the x offset is resolved or eastward,
+  // west is never offered.
+  KAryNCube mesh({6, 6}, false);
+  WestFirstRouting wf(mesh, 1);
+  for (NodeId s = 0; s < mesh.num_nodes(); ++s) {
+    for (NodeId d = 0; d < mesh.num_nodes(); ++d) {
+      if (s == d) continue;
+      const auto off = mesh.min_offsets(s, d);
+      for (const auto& c : wf.route(s, kInvalidPort, kInvalidVc, d)) {
+        if (off[0] >= 0) {
+          EXPECT_NE(c.port, KAryNCube::port_of(0, false));
+        }
+      }
+    }
+  }
+}
+
+TEST(WestFirst, CdgAcyclicWithOneVc) {
+  KAryNCube mesh({5, 5}, false);
+  WestFirstRouting wf(mesh, 1);
+  const auto full = build_cdg(mesh, wf, 1, /*escape_only=*/false);
+  EXPECT_GT(full.num_edges(), 0);
+  EXPECT_TRUE(full.acyclic());
+  const auto escape = build_cdg(mesh, wf, 1, /*escape_only=*/true);
+  EXPECT_TRUE(escape.acyclic());
+}
+
+TEST(WestFirst, PathsAreMinimal) {
+  KAryNCube mesh({6, 6}, false);
+  WestFirstRouting wf(mesh, 1);
+  sim::Rng rng{5};
+  for (int trial = 0; trial < 400; ++trial) {
+    const NodeId s = static_cast<NodeId>(rng.next_below(mesh.num_nodes()));
+    NodeId d = static_cast<NodeId>(rng.next_below(mesh.num_nodes()));
+    if (s == d) continue;
+    NodeId cur = s;
+    std::int32_t hops = 0;
+    while (cur != d) {
+      const auto cands = wf.route(cur, kInvalidPort, kInvalidVc, d);
+      ASSERT_FALSE(cands.empty());
+      cur = mesh.neighbor(cur, cands[rng.next_below(cands.size())].port);
+      ASSERT_NE(cur, kInvalidNode);
+      ASSERT_LE(++hops, mesh.distance(s, d));
+    }
+  }
+}
+
+TEST(WestFirst, EndToEndDeliveryOnMesh) {
+  sim::SimConfig cfg;
+  cfg.topology.radix = {6, 6};
+  cfg.topology.torus = false;
+  cfg.router.routing = sim::RoutingKind::kWestFirst;
+  cfg.router.wormhole_vcs = 2;
+  cfg.router.wave_switches = 0;
+  cfg.protocol.protocol = sim::ProtocolKind::kWormholeOnly;
+  core::Simulation sim(cfg);
+  sim::Rng rng{17};
+  int sent = 0;
+  for (int i = 0; i < 120; ++i) {
+    const NodeId s = static_cast<NodeId>(rng.next_below(36));
+    NodeId d = static_cast<NodeId>(rng.next_below(36));
+    if (d == s) d = (d + 1) % 36;
+    sim.send(s, d, static_cast<std::int32_t>(4 + rng.next_below(28)));
+    ++sent;
+    sim.run(5);
+  }
+  ASSERT_TRUE(sim.run_until_delivered(500000));
+  EXPECT_EQ(sim.stats().messages_delivered, static_cast<std::uint64_t>(sent));
+}
+
+TEST(WestFirst, ConfigValidation) {
+  sim::SimConfig cfg = sim::SimConfig::default_torus();
+  cfg.router.routing = sim::RoutingKind::kWestFirst;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);  // torus
+  cfg.topology.torus = false;
+  EXPECT_NO_THROW(cfg.validate());
+  cfg.topology.radix = {4, 4, 4};
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);  // 3-D
+  EXPECT_STREQ(sim::to_string(sim::RoutingKind::kWestFirst), "west-first");
+}
+
+}  // namespace
+}  // namespace wavesim::route

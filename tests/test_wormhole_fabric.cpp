@@ -1,0 +1,273 @@
+// Integration tests of the network-level wormhole plane: end-to-end
+// delivery, flit ordering, backpressure, contention, and conservation.
+#include "wormhole/fabric.hpp"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <map>
+#include <set>
+
+#include "routing/routing.hpp"
+#include "sim/rng.hpp"
+
+namespace wavesim::wh {
+namespace {
+
+using topo::KAryNCube;
+
+/// Minimal injection driver: queues messages per node, streams their flits
+/// into free injection VCs, and records deliveries.
+class Harness {
+ public:
+  Harness(std::vector<std::int32_t> radix, bool torus,
+          sim::RoutingKind kind = sim::RoutingKind::kDimensionOrder,
+          std::int32_t vcs = 2, std::int32_t depth = 4)
+      : topo_(std::move(radix), torus),
+        routing_(route::make_routing(kind, topo_, vcs)),
+        fabric_(topo_, *routing_,
+                FabricParams{RouterParams{vcs, depth}, /*link_latency=*/2}) {
+    fabric_.set_delivery_handler([this](NodeId node, const Flit& flit) {
+      auto& got = received_[flit.msg];
+      EXPECT_EQ(flit.seq, static_cast<std::int32_t>(got.size()))
+          << "out-of-order flit within message " << flit.msg;
+      EXPECT_EQ(flit.dest, node) << "misdelivered flit";
+      got.push_back(flit.seq);
+      if (flit.tail) completed_.insert(flit.msg);
+    });
+    streams_.resize(topo_.num_nodes());
+    pending_.resize(topo_.num_nodes());
+  }
+
+  MessageId send(NodeId src, NodeId dest, std::int32_t length) {
+    const MessageId id = next_id_++;
+    pending_[src].push_back(Msg{id, dest, length});
+    sent_.insert(id);
+    return id;
+  }
+
+  void step() {
+    // Start pending messages on free injection VCs; feed active streams.
+    for (NodeId n = 0; n < topo_.num_nodes(); ++n) {
+      auto& streams = streams_[n];
+      if (streams.empty()) streams.resize(fabric_.num_vcs());
+      for (VcId v = 0; v < fabric_.num_vcs(); ++v) {
+        auto& s = streams[v];
+        if (s.remaining == 0 && !pending_[n].empty()) {
+          const Msg m = pending_[n].front();
+          pending_[n].pop_front();
+          s = Stream{m.id, m.dest, m.length, m.length, cycle_};
+        }
+        while (s.remaining > 0 && fabric_.can_inject(n, v)) {
+          const std::int32_t seq = s.length - s.remaining;
+          fabric_.inject(n, v, make_flit(s.id, n, s.dest, seq, s.length,
+                                         s.created));
+          --s.remaining;
+        }
+      }
+    }
+    fabric_.step(cycle_);
+    ++cycle_;
+  }
+
+  /// Steps until all sent messages completed; fails the test on timeout.
+  void run_to_completion(Cycle max_cycles = 100000) {
+    while (completed_.size() < sent_.size() && cycle_ < max_cycles) step();
+    EXPECT_EQ(completed_.size(), sent_.size())
+        << "timeout: " << sent_.size() - completed_.size()
+        << " messages undelivered after " << cycle_ << " cycles";
+  }
+
+  const KAryNCube& topo() const { return topo_; }
+  Fabric& fabric() { return fabric_; }
+  Cycle cycle() const { return cycle_; }
+  bool complete(MessageId id) const { return completed_.count(id) != 0; }
+  const std::map<MessageId, std::vector<std::int32_t>>& received() const {
+    return received_;
+  }
+
+ private:
+  struct Msg {
+    MessageId id;
+    NodeId dest;
+    std::int32_t length;
+  };
+  struct Stream {
+    MessageId id = kInvalidMessage;
+    NodeId dest = kInvalidNode;
+    std::int32_t length = 0;
+    std::int32_t remaining = 0;
+    Cycle created = 0;
+  };
+
+  KAryNCube topo_;
+  std::unique_ptr<route::RoutingAlgorithm> routing_;
+  Fabric fabric_;
+  std::vector<std::deque<Msg>> pending_;
+  std::vector<std::vector<Stream>> streams_;
+  std::map<MessageId, std::vector<std::int32_t>> received_;
+  std::set<MessageId> completed_;
+  std::set<MessageId> sent_;
+  MessageId next_id_ = 1;
+  Cycle cycle_ = 0;
+};
+
+TEST(Fabric, SingleMessageDelivered) {
+  Harness h({4, 4}, false);
+  const auto id = h.send(h.topo().node_of({0, 0}), h.topo().node_of({3, 3}), 8);
+  h.run_to_completion();
+  EXPECT_TRUE(h.complete(id));
+  EXPECT_EQ(h.received().at(id).size(), 8u);
+}
+
+TEST(Fabric, SingleFlitMessage) {
+  Harness h({4, 4}, true);
+  const auto id = h.send(0, 5, 1);
+  h.run_to_completion();
+  EXPECT_TRUE(h.complete(id));
+}
+
+TEST(Fabric, MessageToSelfNeighborhood) {
+  Harness h({4, 4}, true);
+  // One-hop message.
+  const auto id = h.send(h.topo().node_of({1, 1}), h.topo().node_of({2, 1}), 4);
+  h.run_to_completion();
+  EXPECT_TRUE(h.complete(id));
+}
+
+TEST(Fabric, LatencyScalesWithDistanceAndLength) {
+  Harness near({8, 8}, true);
+  const auto a = near.send(near.topo().node_of({0, 0}),
+                           near.topo().node_of({1, 0}), 4);
+  near.run_to_completion();
+  const Cycle near_cycles = near.cycle();
+  EXPECT_TRUE(near.complete(a));
+
+  Harness far({8, 8}, true);
+  const auto b = far.send(far.topo().node_of({0, 0}),
+                          far.topo().node_of({4, 4}), 4);
+  far.run_to_completion();
+  EXPECT_TRUE(far.complete(b));
+  EXPECT_GT(far.cycle(), near_cycles);
+}
+
+TEST(Fabric, TorusWrapRouteDelivers) {
+  Harness h({8, 8}, true);
+  // 7 -> 1 in x wraps through the dateline (distance 2 via wrap).
+  const auto id = h.send(h.topo().node_of({7, 0}), h.topo().node_of({1, 0}), 16);
+  h.run_to_completion();
+  EXPECT_TRUE(h.complete(id));
+}
+
+TEST(Fabric, ManyToOneHotspotAllDelivered) {
+  Harness h({4, 4}, true);
+  const NodeId hot = h.topo().node_of({2, 2});
+  for (NodeId n = 0; n < h.topo().num_nodes(); ++n) {
+    if (n != hot) h.send(n, hot, 6);
+  }
+  h.run_to_completion();
+}
+
+TEST(Fabric, AllToAllPairsDelivered) {
+  Harness h({3, 3}, true);
+  for (NodeId s = 0; s < h.topo().num_nodes(); ++s) {
+    for (NodeId d = 0; d < h.topo().num_nodes(); ++d) {
+      if (s != d) h.send(s, d, 3);
+    }
+  }
+  h.run_to_completion();
+}
+
+TEST(Fabric, LongMessagesInterleaveWithoutLoss) {
+  Harness h({4, 4}, true);
+  sim::Rng rng{99};
+  for (int i = 0; i < 40; ++i) {
+    const NodeId s = static_cast<NodeId>(rng.next_below(16));
+    NodeId d = static_cast<NodeId>(rng.next_below(16));
+    if (d == s) d = (d + 1) % 16;
+    h.send(s, d, 32);
+  }
+  h.run_to_completion(300000);
+}
+
+TEST(Fabric, AdaptiveRoutingDeliversEverything) {
+  Harness h({4, 4}, true, sim::RoutingKind::kDuatoAdaptive, /*vcs=*/3);
+  sim::Rng rng{7};
+  for (int i = 0; i < 60; ++i) {
+    const NodeId s = static_cast<NodeId>(rng.next_below(16));
+    NodeId d = static_cast<NodeId>(rng.next_below(16));
+    if (d == s) d = (d + 1) % 16;
+    h.send(s, d, 8);
+  }
+  h.run_to_completion(300000);
+}
+
+TEST(Fabric, FlitConservation) {
+  Harness h({4, 4}, true);
+  h.send(0, 10, 16);
+  h.send(3, 12, 16);
+  for (int i = 0; i < 20; ++i) h.step();
+  Fabric& f = h.fabric();
+  EXPECT_EQ(static_cast<std::int64_t>(f.flits_injected()),
+            f.flits_in_flight() + static_cast<std::int64_t>(f.flits_delivered()));
+  h.run_to_completion();
+  EXPECT_EQ(f.flits_injected(), f.flits_delivered());
+  EXPECT_EQ(f.flits_in_flight(), 0);
+}
+
+TEST(Fabric, DeterministicAcrossRuns) {
+  auto run = [] {
+    Harness h({4, 4}, true);
+    sim::Rng rng{5};
+    for (int i = 0; i < 30; ++i) {
+      const NodeId s = static_cast<NodeId>(rng.next_below(16));
+      NodeId d = static_cast<NodeId>(rng.next_below(16));
+      if (d == s) d = (d + 1) % 16;
+      h.send(s, d, 5);
+    }
+    h.run_to_completion();
+    return std::make_pair(h.cycle(), h.fabric().link_flit_hops());
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a, b);
+}
+
+TEST(Fabric, BackpressurePropagatesToSource) {
+  // Fill a destination-bound path with a long message and verify a second
+  // message through the same column is slowed but still delivered.
+  Harness h({8}, false, sim::RoutingKind::kDimensionOrder, /*vcs=*/1);
+  const auto big = h.send(h.topo().node_of({0}), h.topo().node_of({7}), 64);
+  const auto small = h.send(h.topo().node_of({1}), h.topo().node_of({7}), 4);
+  h.run_to_completion();
+  EXPECT_TRUE(h.complete(big));
+  EXPECT_TRUE(h.complete(small));
+}
+
+TEST(Fabric, LinkUtilizationCounters) {
+  Harness h({4, 4}, false);
+  // 3 hops east from (0,0) to (3,0): the links along row 0 carry all 16
+  // flits; unrelated links carry none.
+  h.send(h.topo().node_of({0, 0}), h.topo().node_of({3, 0}), 16);
+  h.run_to_completion();
+  Fabric& f = h.fabric();
+  const PortId east = KAryNCube::port_of(0, true);
+  EXPECT_EQ(f.link_flits(h.topo().node_of({0, 0}), east), 16u);
+  EXPECT_EQ(f.link_flits(h.topo().node_of({1, 0}), east), 16u);
+  EXPECT_EQ(f.link_flits(h.topo().node_of({2, 0}), east), 16u);
+  EXPECT_EQ(f.link_flits(h.topo().node_of({0, 1}), east), 0u);
+  EXPECT_GT(f.max_link_utilization(h.cycle()), 0.0);
+  EXPECT_LE(f.max_link_utilization(h.cycle()), 1.0);
+  EXPECT_EQ(f.max_link_utilization(0), 0.0);
+}
+
+TEST(Fabric, RejectsBadLinkLatency) {
+  KAryNCube t({4, 4}, false);
+  auto dor = route::make_routing(sim::RoutingKind::kDimensionOrder, t, 2);
+  EXPECT_THROW(
+      Fabric(t, *dor, FabricParams{RouterParams{2, 4}, /*link_latency=*/0}),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wavesim::wh
