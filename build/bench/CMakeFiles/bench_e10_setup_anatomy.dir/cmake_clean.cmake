@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_setup_anatomy.dir/bench_e10_setup_anatomy.cpp.o"
+  "CMakeFiles/bench_e10_setup_anatomy.dir/bench_e10_setup_anatomy.cpp.o.d"
+  "bench_e10_setup_anatomy"
+  "bench_e10_setup_anatomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_setup_anatomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

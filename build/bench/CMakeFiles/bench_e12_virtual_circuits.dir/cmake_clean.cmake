@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_virtual_circuits.dir/bench_e12_virtual_circuits.cpp.o"
+  "CMakeFiles/bench_e12_virtual_circuits.dir/bench_e12_virtual_circuits.cpp.o.d"
+  "bench_e12_virtual_circuits"
+  "bench_e12_virtual_circuits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_virtual_circuits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

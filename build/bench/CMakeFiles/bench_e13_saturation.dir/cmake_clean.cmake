@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e13_saturation.dir/bench_e13_saturation.cpp.o"
+  "CMakeFiles/bench_e13_saturation.dir/bench_e13_saturation.cpp.o.d"
+  "bench_e13_saturation"
+  "bench_e13_saturation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e13_saturation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

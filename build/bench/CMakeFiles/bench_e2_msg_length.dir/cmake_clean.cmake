@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_msg_length.dir/bench_e2_msg_length.cpp.o"
+  "CMakeFiles/bench_e2_msg_length.dir/bench_e2_msg_length.cpp.o.d"
+  "bench_e2_msg_length"
+  "bench_e2_msg_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_msg_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

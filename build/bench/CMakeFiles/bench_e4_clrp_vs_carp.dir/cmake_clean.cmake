@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_clrp_vs_carp.dir/bench_e4_clrp_vs_carp.cpp.o"
+  "CMakeFiles/bench_e4_clrp_vs_carp.dir/bench_e4_clrp_vs_carp.cpp.o.d"
+  "bench_e4_clrp_vs_carp"
+  "bench_e4_clrp_vs_carp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_clrp_vs_carp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

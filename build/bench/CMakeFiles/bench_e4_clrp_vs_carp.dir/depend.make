@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e4_clrp_vs_carp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_replacement.dir/bench_e5_replacement.cpp.o"
+  "CMakeFiles/bench_e5_replacement.dir/bench_e5_replacement.cpp.o.d"
+  "bench_e5_replacement"
+  "bench_e5_replacement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_replacement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

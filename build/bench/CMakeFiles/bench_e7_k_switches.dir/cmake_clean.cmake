@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_k_switches.dir/bench_e7_k_switches.cpp.o"
+  "CMakeFiles/bench_e7_k_switches.dir/bench_e7_k_switches.cpp.o.d"
+  "bench_e7_k_switches"
+  "bench_e7_k_switches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_k_switches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_wormhole_baseline.dir/bench_e9_wormhole_baseline.cpp.o"
+  "CMakeFiles/bench_e9_wormhole_baseline.dir/bench_e9_wormhole_baseline.cpp.o.d"
+  "bench_e9_wormhole_baseline"
+  "bench_e9_wormhole_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_wormhole_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

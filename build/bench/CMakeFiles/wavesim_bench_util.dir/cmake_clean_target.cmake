@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libwavesim_bench_util.a"
+)

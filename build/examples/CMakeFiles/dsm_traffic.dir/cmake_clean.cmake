@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_traffic.dir/dsm_traffic.cpp.o"
+  "CMakeFiles/dsm_traffic.dir/dsm_traffic.cpp.o.d"
+  "dsm_traffic"
+  "dsm_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/message_timeline.dir/message_timeline.cpp.o"
+  "CMakeFiles/message_timeline.dir/message_timeline.cpp.o.d"
+  "message_timeline"
+  "message_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/message_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

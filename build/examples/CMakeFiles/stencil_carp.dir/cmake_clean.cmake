@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stencil_carp.dir/stencil_carp.cpp.o"
+  "CMakeFiles/stencil_carp.dir/stencil_carp.cpp.o.d"
+  "stencil_carp"
+  "stencil_carp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stencil_carp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

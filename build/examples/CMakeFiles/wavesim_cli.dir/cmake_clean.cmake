@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavesim_cli.dir/wavesim_cli.cpp.o"
+  "CMakeFiles/wavesim_cli.dir/wavesim_cli.cpp.o.d"
+  "wavesim_cli"
+  "wavesim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavesim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/circuit.cpp" "src/CMakeFiles/wavesim_core.dir/core/circuit.cpp.o" "gcc" "src/CMakeFiles/wavesim_core.dir/core/circuit.cpp.o.d"
+  "/root/repo/src/core/circuit_cache.cpp" "src/CMakeFiles/wavesim_core.dir/core/circuit_cache.cpp.o" "gcc" "src/CMakeFiles/wavesim_core.dir/core/circuit_cache.cpp.o.d"
+  "/root/repo/src/core/control_plane.cpp" "src/CMakeFiles/wavesim_core.dir/core/control_plane.cpp.o" "gcc" "src/CMakeFiles/wavesim_core.dir/core/control_plane.cpp.o.d"
+  "/root/repo/src/core/data_plane.cpp" "src/CMakeFiles/wavesim_core.dir/core/data_plane.cpp.o" "gcc" "src/CMakeFiles/wavesim_core.dir/core/data_plane.cpp.o.d"
+  "/root/repo/src/core/instrumentation.cpp" "src/CMakeFiles/wavesim_core.dir/core/instrumentation.cpp.o" "gcc" "src/CMakeFiles/wavesim_core.dir/core/instrumentation.cpp.o.d"
+  "/root/repo/src/core/network.cpp" "src/CMakeFiles/wavesim_core.dir/core/network.cpp.o" "gcc" "src/CMakeFiles/wavesim_core.dir/core/network.cpp.o.d"
+  "/root/repo/src/core/node_interface.cpp" "src/CMakeFiles/wavesim_core.dir/core/node_interface.cpp.o" "gcc" "src/CMakeFiles/wavesim_core.dir/core/node_interface.cpp.o.d"
+  "/root/repo/src/core/protocols.cpp" "src/CMakeFiles/wavesim_core.dir/core/protocols.cpp.o" "gcc" "src/CMakeFiles/wavesim_core.dir/core/protocols.cpp.o.d"
+  "/root/repo/src/core/simulation.cpp" "src/CMakeFiles/wavesim_core.dir/core/simulation.cpp.o" "gcc" "src/CMakeFiles/wavesim_core.dir/core/simulation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wavesim_wormhole.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wavesim_pcs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wavesim_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wavesim_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wavesim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

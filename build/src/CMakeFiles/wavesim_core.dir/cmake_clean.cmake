@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavesim_core.dir/core/circuit.cpp.o"
+  "CMakeFiles/wavesim_core.dir/core/circuit.cpp.o.d"
+  "CMakeFiles/wavesim_core.dir/core/circuit_cache.cpp.o"
+  "CMakeFiles/wavesim_core.dir/core/circuit_cache.cpp.o.d"
+  "CMakeFiles/wavesim_core.dir/core/control_plane.cpp.o"
+  "CMakeFiles/wavesim_core.dir/core/control_plane.cpp.o.d"
+  "CMakeFiles/wavesim_core.dir/core/data_plane.cpp.o"
+  "CMakeFiles/wavesim_core.dir/core/data_plane.cpp.o.d"
+  "CMakeFiles/wavesim_core.dir/core/instrumentation.cpp.o"
+  "CMakeFiles/wavesim_core.dir/core/instrumentation.cpp.o.d"
+  "CMakeFiles/wavesim_core.dir/core/network.cpp.o"
+  "CMakeFiles/wavesim_core.dir/core/network.cpp.o.d"
+  "CMakeFiles/wavesim_core.dir/core/node_interface.cpp.o"
+  "CMakeFiles/wavesim_core.dir/core/node_interface.cpp.o.d"
+  "CMakeFiles/wavesim_core.dir/core/protocols.cpp.o"
+  "CMakeFiles/wavesim_core.dir/core/protocols.cpp.o.d"
+  "CMakeFiles/wavesim_core.dir/core/simulation.cpp.o"
+  "CMakeFiles/wavesim_core.dir/core/simulation.cpp.o.d"
+  "libwavesim_core.a"
+  "libwavesim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavesim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

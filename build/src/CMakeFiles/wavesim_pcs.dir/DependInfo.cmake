@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pcs/history.cpp" "src/CMakeFiles/wavesim_pcs.dir/pcs/history.cpp.o" "gcc" "src/CMakeFiles/wavesim_pcs.dir/pcs/history.cpp.o.d"
+  "/root/repo/src/pcs/mbm.cpp" "src/CMakeFiles/wavesim_pcs.dir/pcs/mbm.cpp.o" "gcc" "src/CMakeFiles/wavesim_pcs.dir/pcs/mbm.cpp.o.d"
+  "/root/repo/src/pcs/probe.cpp" "src/CMakeFiles/wavesim_pcs.dir/pcs/probe.cpp.o" "gcc" "src/CMakeFiles/wavesim_pcs.dir/pcs/probe.cpp.o.d"
+  "/root/repo/src/pcs/registers.cpp" "src/CMakeFiles/wavesim_pcs.dir/pcs/registers.cpp.o" "gcc" "src/CMakeFiles/wavesim_pcs.dir/pcs/registers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wavesim_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wavesim_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wavesim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

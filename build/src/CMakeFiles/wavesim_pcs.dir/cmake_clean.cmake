@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavesim_pcs.dir/pcs/history.cpp.o"
+  "CMakeFiles/wavesim_pcs.dir/pcs/history.cpp.o.d"
+  "CMakeFiles/wavesim_pcs.dir/pcs/mbm.cpp.o"
+  "CMakeFiles/wavesim_pcs.dir/pcs/mbm.cpp.o.d"
+  "CMakeFiles/wavesim_pcs.dir/pcs/probe.cpp.o"
+  "CMakeFiles/wavesim_pcs.dir/pcs/probe.cpp.o.d"
+  "CMakeFiles/wavesim_pcs.dir/pcs/registers.cpp.o"
+  "CMakeFiles/wavesim_pcs.dir/pcs/registers.cpp.o.d"
+  "libwavesim_pcs.a"
+  "libwavesim_pcs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavesim_pcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

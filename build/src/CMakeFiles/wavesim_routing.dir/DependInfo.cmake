@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/cdg.cpp" "src/CMakeFiles/wavesim_routing.dir/routing/cdg.cpp.o" "gcc" "src/CMakeFiles/wavesim_routing.dir/routing/cdg.cpp.o.d"
+  "/root/repo/src/routing/dor.cpp" "src/CMakeFiles/wavesim_routing.dir/routing/dor.cpp.o" "gcc" "src/CMakeFiles/wavesim_routing.dir/routing/dor.cpp.o.d"
+  "/root/repo/src/routing/duato.cpp" "src/CMakeFiles/wavesim_routing.dir/routing/duato.cpp.o" "gcc" "src/CMakeFiles/wavesim_routing.dir/routing/duato.cpp.o.d"
+  "/root/repo/src/routing/negfirst.cpp" "src/CMakeFiles/wavesim_routing.dir/routing/negfirst.cpp.o" "gcc" "src/CMakeFiles/wavesim_routing.dir/routing/negfirst.cpp.o.d"
+  "/root/repo/src/routing/routing.cpp" "src/CMakeFiles/wavesim_routing.dir/routing/routing.cpp.o" "gcc" "src/CMakeFiles/wavesim_routing.dir/routing/routing.cpp.o.d"
+  "/root/repo/src/routing/westfirst.cpp" "src/CMakeFiles/wavesim_routing.dir/routing/westfirst.cpp.o" "gcc" "src/CMakeFiles/wavesim_routing.dir/routing/westfirst.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wavesim_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wavesim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavesim_routing.dir/routing/cdg.cpp.o"
+  "CMakeFiles/wavesim_routing.dir/routing/cdg.cpp.o.d"
+  "CMakeFiles/wavesim_routing.dir/routing/dor.cpp.o"
+  "CMakeFiles/wavesim_routing.dir/routing/dor.cpp.o.d"
+  "CMakeFiles/wavesim_routing.dir/routing/duato.cpp.o"
+  "CMakeFiles/wavesim_routing.dir/routing/duato.cpp.o.d"
+  "CMakeFiles/wavesim_routing.dir/routing/negfirst.cpp.o"
+  "CMakeFiles/wavesim_routing.dir/routing/negfirst.cpp.o.d"
+  "CMakeFiles/wavesim_routing.dir/routing/routing.cpp.o"
+  "CMakeFiles/wavesim_routing.dir/routing/routing.cpp.o.d"
+  "CMakeFiles/wavesim_routing.dir/routing/westfirst.cpp.o"
+  "CMakeFiles/wavesim_routing.dir/routing/westfirst.cpp.o.d"
+  "libwavesim_routing.a"
+  "libwavesim_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavesim_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

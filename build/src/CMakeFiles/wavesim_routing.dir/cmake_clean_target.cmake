@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwavesim_routing.a"
+)

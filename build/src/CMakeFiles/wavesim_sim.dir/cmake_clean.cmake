@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavesim_sim.dir/sim/config.cpp.o"
+  "CMakeFiles/wavesim_sim.dir/sim/config.cpp.o.d"
+  "CMakeFiles/wavesim_sim.dir/sim/log.cpp.o"
+  "CMakeFiles/wavesim_sim.dir/sim/log.cpp.o.d"
+  "CMakeFiles/wavesim_sim.dir/sim/rng.cpp.o"
+  "CMakeFiles/wavesim_sim.dir/sim/rng.cpp.o.d"
+  "CMakeFiles/wavesim_sim.dir/sim/stats.cpp.o"
+  "CMakeFiles/wavesim_sim.dir/sim/stats.cpp.o.d"
+  "libwavesim_sim.a"
+  "libwavesim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavesim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavesim_topology.dir/topology/coord.cpp.o"
+  "CMakeFiles/wavesim_topology.dir/topology/coord.cpp.o.d"
+  "CMakeFiles/wavesim_topology.dir/topology/topology.cpp.o"
+  "CMakeFiles/wavesim_topology.dir/topology/topology.cpp.o.d"
+  "libwavesim_topology.a"
+  "libwavesim_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavesim_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavesim_verify.dir/verify/delivery.cpp.o"
+  "CMakeFiles/wavesim_verify.dir/verify/delivery.cpp.o.d"
+  "CMakeFiles/wavesim_verify.dir/verify/fsck.cpp.o"
+  "CMakeFiles/wavesim_verify.dir/verify/fsck.cpp.o.d"
+  "CMakeFiles/wavesim_verify.dir/verify/watchdog.cpp.o"
+  "CMakeFiles/wavesim_verify.dir/verify/watchdog.cpp.o.d"
+  "libwavesim_verify.a"
+  "libwavesim_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavesim_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavesim_workload.dir/workload/generator.cpp.o"
+  "CMakeFiles/wavesim_workload.dir/workload/generator.cpp.o.d"
+  "CMakeFiles/wavesim_workload.dir/workload/size_dist.cpp.o"
+  "CMakeFiles/wavesim_workload.dir/workload/size_dist.cpp.o.d"
+  "CMakeFiles/wavesim_workload.dir/workload/trace.cpp.o"
+  "CMakeFiles/wavesim_workload.dir/workload/trace.cpp.o.d"
+  "CMakeFiles/wavesim_workload.dir/workload/traffic.cpp.o"
+  "CMakeFiles/wavesim_workload.dir/workload/traffic.cpp.o.d"
+  "libwavesim_workload.a"
+  "libwavesim_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavesim_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

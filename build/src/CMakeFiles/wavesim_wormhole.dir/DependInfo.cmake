@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wormhole/allocator.cpp" "src/CMakeFiles/wavesim_wormhole.dir/wormhole/allocator.cpp.o" "gcc" "src/CMakeFiles/wavesim_wormhole.dir/wormhole/allocator.cpp.o.d"
+  "/root/repo/src/wormhole/fabric.cpp" "src/CMakeFiles/wavesim_wormhole.dir/wormhole/fabric.cpp.o" "gcc" "src/CMakeFiles/wavesim_wormhole.dir/wormhole/fabric.cpp.o.d"
+  "/root/repo/src/wormhole/input_unit.cpp" "src/CMakeFiles/wavesim_wormhole.dir/wormhole/input_unit.cpp.o" "gcc" "src/CMakeFiles/wavesim_wormhole.dir/wormhole/input_unit.cpp.o.d"
+  "/root/repo/src/wormhole/router.cpp" "src/CMakeFiles/wavesim_wormhole.dir/wormhole/router.cpp.o" "gcc" "src/CMakeFiles/wavesim_wormhole.dir/wormhole/router.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wavesim_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wavesim_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wavesim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavesim_wormhole.dir/wormhole/allocator.cpp.o"
+  "CMakeFiles/wavesim_wormhole.dir/wormhole/allocator.cpp.o.d"
+  "CMakeFiles/wavesim_wormhole.dir/wormhole/fabric.cpp.o"
+  "CMakeFiles/wavesim_wormhole.dir/wormhole/fabric.cpp.o.d"
+  "CMakeFiles/wavesim_wormhole.dir/wormhole/input_unit.cpp.o"
+  "CMakeFiles/wavesim_wormhole.dir/wormhole/input_unit.cpp.o.d"
+  "CMakeFiles/wavesim_wormhole.dir/wormhole/router.cpp.o"
+  "CMakeFiles/wavesim_wormhole.dir/wormhole/router.cpp.o.d"
+  "libwavesim_wormhole.a"
+  "libwavesim_wormhole.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavesim_wormhole.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

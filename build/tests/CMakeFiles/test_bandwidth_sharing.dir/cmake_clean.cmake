@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bandwidth_sharing.dir/test_bandwidth_sharing.cpp.o"
+  "CMakeFiles/test_bandwidth_sharing.dir/test_bandwidth_sharing.cpp.o.d"
+  "test_bandwidth_sharing"
+  "test_bandwidth_sharing.pdb"
+  "test_bandwidth_sharing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bandwidth_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_data_plane.dir/test_data_plane.cpp.o"
+  "CMakeFiles/test_data_plane.dir/test_data_plane.cpp.o.d"
+  "test_data_plane"
+  "test_data_plane.pdb"
+  "test_data_plane[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_data_plane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_deadlock_livelock.dir/test_deadlock_livelock.cpp.o"
+  "CMakeFiles/test_deadlock_livelock.dir/test_deadlock_livelock.cpp.o.d"
+  "test_deadlock_livelock"
+  "test_deadlock_livelock.pdb"
+  "test_deadlock_livelock[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_deadlock_livelock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

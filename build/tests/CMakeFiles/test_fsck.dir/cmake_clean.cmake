@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fsck.dir/test_fsck.cpp.o"
+  "CMakeFiles/test_fsck.dir/test_fsck.cpp.o.d"
+  "test_fsck"
+  "test_fsck.pdb"
+  "test_fsck[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fsck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

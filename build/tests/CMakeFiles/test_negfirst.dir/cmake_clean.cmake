@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_negfirst.dir/test_negfirst.cpp.o"
+  "CMakeFiles/test_negfirst.dir/test_negfirst.cpp.o.d"
+  "test_negfirst"
+  "test_negfirst.pdb"
+  "test_negfirst[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_negfirst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

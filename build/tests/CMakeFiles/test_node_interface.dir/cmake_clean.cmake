@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_node_interface.dir/test_node_interface.cpp.o"
+  "CMakeFiles/test_node_interface.dir/test_node_interface.cpp.o.d"
+  "test_node_interface"
+  "test_node_interface.pdb"
+  "test_node_interface[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_node_interface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

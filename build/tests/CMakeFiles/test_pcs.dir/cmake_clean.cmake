@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pcs.dir/test_pcs.cpp.o"
+  "CMakeFiles/test_pcs.dir/test_pcs.cpp.o.d"
+  "test_pcs"
+  "test_pcs.pdb"
+  "test_pcs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pcs_only.dir/test_pcs_only.cpp.o"
+  "CMakeFiles/test_pcs_only.dir/test_pcs_only.cpp.o.d"
+  "test_pcs_only"
+  "test_pcs_only.pdb"
+  "test_pcs_only[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pcs_only.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

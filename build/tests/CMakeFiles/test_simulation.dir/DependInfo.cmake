@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_simulation.cpp" "tests/CMakeFiles/test_simulation.dir/test_simulation.cpp.o" "gcc" "tests/CMakeFiles/test_simulation.dir/test_simulation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wavesim_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wavesim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wavesim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wavesim_wormhole.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wavesim_pcs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wavesim_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wavesim_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wavesim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

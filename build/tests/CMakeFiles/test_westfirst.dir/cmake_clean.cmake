@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_westfirst.dir/test_westfirst.cpp.o"
+  "CMakeFiles/test_westfirst.dir/test_westfirst.cpp.o.d"
+  "test_westfirst"
+  "test_westfirst.pdb"
+  "test_westfirst[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_westfirst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

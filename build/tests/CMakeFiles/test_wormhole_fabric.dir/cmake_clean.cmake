@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wormhole_fabric.dir/test_wormhole_fabric.cpp.o"
+  "CMakeFiles/test_wormhole_fabric.dir/test_wormhole_fabric.cpp.o.d"
+  "test_wormhole_fabric"
+  "test_wormhole_fabric.pdb"
+  "test_wormhole_fabric[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wormhole_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

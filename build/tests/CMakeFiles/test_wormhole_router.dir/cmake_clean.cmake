@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wormhole_router.dir/test_wormhole_router.cpp.o"
+  "CMakeFiles/test_wormhole_router.dir/test_wormhole_router.cpp.o.d"
+  "test_wormhole_router"
+  "test_wormhole_router.pdb"
+  "test_wormhole_router[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wormhole_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

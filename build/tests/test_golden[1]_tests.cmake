@@ -1,0 +1,3 @@
+add_test([=[Golden.ClrpWorkingSetScenario]=]  /root/repo/build/tests/test_golden [==[--gtest_filter=Golden.ClrpWorkingSetScenario]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[Golden.ClrpWorkingSetScenario]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  test_golden_TESTS Golden.ClrpWorkingSetScenario)
