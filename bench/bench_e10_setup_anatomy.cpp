@@ -67,16 +67,21 @@ Row run_point(sim::ClrpVariant variant) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Cli cli("E10", "CLRP setup anatomy: full protocol vs simplifications");
+  if (!cli.parse(argc, argv)) return cli.exit_code();
+  return cli.run([&] {
   bench::banner("E10", "CLRP setup anatomy: full protocol vs simplifications",
                 "8x8 torus, k=2, cache 4 entries vs working set 6 (p=0.8), "
                 "48-flit messages, load 0.15");
-  const std::vector<sim::ClrpVariant> variants{
+  std::vector<sim::ClrpVariant> variants{
       sim::ClrpVariant::kFull, sim::ClrpVariant::kForceFirst,
       sim::ClrpVariant::kSingleSwitch};
+  if (cli.quick()) variants = {sim::ClrpVariant::kFull};
   std::vector<Row> rows(variants.size());
   bench::parallel_for(variants.size(),
-                      [&](std::size_t i) { rows[i] = run_point(variants[i]); });
+                      [&](std::size_t i) { rows[i] = run_point(variants[i]); },
+                      cli.threads());
 
   bench::Table table({"variant", "setup-ok", "probes/setup", "force-waits",
                       "release-reqs", "fallback", "mean-lat"});
@@ -88,7 +93,7 @@ int main() {
                    bench::fmt_int(r.release_requests),
                    bench::fmt_pct(r.fallback_share), bench::fmt(r.mean, 1)});
   }
-  table.print("e10_setup_anatomy");
+  cli.report(table, "e10_setup_anatomy");
   std::printf("\nExpected shape: the variants trade probe work against "
               "teardown pressure --\nforce-first spends the fewest probes "
               "per setup (it never searches politely)\nat the cost of more "
@@ -96,5 +101,6 @@ int main() {
               "first. The paper (section 3.1): the optimal variant is "
               "workload-\nand-k dependent, 'it can only be tuned by using "
               "traces from real applications'.\n");
-  return 0;
+  return true;
+  });
 }

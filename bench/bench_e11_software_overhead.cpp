@@ -64,28 +64,44 @@ Row run_point(sim::ProtocolKind protocol, bool multicomputer) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Cli cli("E11", "software messaging-layer overhead");
+  if (!cli.parse(argc, argv)) return cli.exit_code();
+  return cli.run([&] {
   bench::banner("E11", "software messaging-layer overhead",
                 "8x8 torus, working-set traffic (2 dests, p=0.9), bimodal "
                 "8/128-flit messages, load 0.10; multicomputer regime adds "
                 "a 250-cycle software send path that circuits amortize");
   bench::Table table({"regime", "protocol", "mean-lat", "p99", "reallocs"});
+  struct Case {
+    bool multicomputer;
+    sim::ProtocolKind protocol;
+  };
+  std::vector<Case> cases;
   for (const bool multicomputer : {false, true}) {
     for (const auto protocol :
          {sim::ProtocolKind::kWormholeOnly, sim::ProtocolKind::kClrp,
           sim::ProtocolKind::kCarp}) {
-      const Row row = run_point(protocol, multicomputer);
-      table.add_row({multicomputer ? "multicomputer" : "DSM",
-                     sim::to_string(protocol), bench::fmt(row.mean, 1),
-                     bench::fmt(row.p99, 1), bench::fmt_int(row.reallocs)});
+      if (cli.quick() && protocol == sim::ProtocolKind::kCarp) continue;
+      cases.push_back({multicomputer, protocol});
     }
   }
-  table.print("e11_software_overhead");
+  std::vector<Row> rows(cases.size());
+  bench::parallel_for(cases.size(), [&](std::size_t i) {
+    rows[i] = run_point(cases[i].protocol, cases[i].multicomputer);
+  }, cli.threads());
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    table.add_row({cases[i].multicomputer ? "multicomputer" : "DSM",
+                   sim::to_string(cases[i].protocol), bench::fmt(rows[i].mean, 1),
+                   bench::fmt(rows[i].p99, 1), bench::fmt_int(rows[i].reallocs)});
+  }
+  cli.report(table, "e11_software_overhead");
   std::printf("\nExpected shape: in the DSM regime the wave gain is the "
               "hardware gain; in the\nmulticomputer regime wormhole "
               "latency is dominated by the software send path\nwhile CLRP "
               "amortizes it across circuit reuse -- the paper's argument "
               "that\nbetter hardware support (pre-allocated buffers) beats "
               "a faster router alone.\n");
-  return 0;
+  return true;
+  });
 }

@@ -41,27 +41,37 @@ Row run_point(bool circuits, bool virtual_circuits, std::int32_t length) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Cli cli("E12", "physical vs virtual circuits (wave-pipelining ablation)");
+  if (!cli.parse(argc, argv)) return cli.exit_code();
+  return cli.run([&] {
   bench::banner("E12", "physical vs virtual circuits (wave-pipelining ablation)",
                 "8x8 torus, CLRP, working-set traffic (2 dests, p=0.9), "
                 "load 0.12; 'virtual' keeps circuit reuse but clocks the "
                 "circuit at the base rate");
-  for (const std::int32_t length : {16, 128}) {
+  struct Variant {
+    const char* name;
+    bool circuits;
+    bool virt;
+  };
+  const std::vector<Variant> variants{{"wormhole", false, false},
+                                      {"virtual-circuits", true, true},
+                                      {"physical-circuits", true, false}};
+  std::vector<std::int32_t> lengths{16, 128};
+  if (cli.quick()) lengths = {16};
+  for (const std::int32_t length : lengths) {
     std::printf("\n[%d-flit messages]\n", length);
     bench::Table table({"transport", "mean-lat", "p99", "throughput"});
-    struct Variant {
-      const char* name;
-      bool circuits;
-      bool virt;
-    };
-    for (const Variant v : {Variant{"wormhole", false, false},
-                            Variant{"virtual-circuits", true, true},
-                            Variant{"physical-circuits", true, false}}) {
-      const Row row = run_point(v.circuits, v.virt, length);
-      table.add_row({v.name, bench::fmt(row.mean, 1), bench::fmt(row.p99, 1),
-                     bench::fmt(row.throughput, 3)});
+    std::vector<Row> rows(variants.size());
+    bench::parallel_for(variants.size(), [&](std::size_t i) {
+      rows[i] = run_point(variants[i].circuits, variants[i].virt, length);
+    }, cli.threads());
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+      table.add_row({variants[i].name, bench::fmt(rows[i].mean, 1),
+                     bench::fmt(rows[i].p99, 1),
+                     bench::fmt(rows[i].throughput, 3)});
     }
-    table.print(length == 16 ? "e12_virtual_short" : "e12_virtual_long");
+    cli.report(table, length == 16 ? "e12_virtual_short" : "e12_virtual_long");
   }
   std::printf("\nExpected shape: for long messages virtual circuits already "
               "beat wormhole\n(routing and contention removed, setup "
@@ -71,5 +81,6 @@ int main() {
               "faster\nclock of *physical* circuits is what keeps them "
               "competitive, which is why\nthe paper pairs circuit reuse "
               "with wave pipelining rather than using\nvirtual circuits.\n");
-  return 0;
+  return true;
+  });
 }

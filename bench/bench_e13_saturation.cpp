@@ -39,33 +39,45 @@ Row run_point(const Variant& v, std::int32_t length) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Cli cli("E13", "saturation throughput per router configuration");
+  if (!cli.parse(argc, argv)) return cli.exit_code();
+  return cli.run([&] {
   bench::banner("E13", "saturation throughput per router configuration",
                 "8x8 torus, uniform traffic, binary search for the largest "
                 "offered load that drains with mean latency <= 5x the "
                 "uncongested reference");
-  const std::vector<Variant> variants{
+  std::vector<Variant> variants{
       {"wormhole (w=2)", sim::ProtocolKind::kWormholeOnly, 0, false},
       {"wave k=1 CLRP", sim::ProtocolKind::kClrp, 1, false},
       {"wave k=2 CLRP", sim::ProtocolKind::kClrp, 2, false},
       {"wave k=4 CLRP", sim::ProtocolKind::kClrp, 4, false},
       {"PCS-only k=2", sim::ProtocolKind::kClrp, 2, true},
   };
-  for (const std::int32_t length : {32, 128}) {
+  if (cli.quick()) {
+    variants = {{"wormhole (w=2)", sim::ProtocolKind::kWormholeOnly, 0, false},
+                {"wave k=2 CLRP", sim::ProtocolKind::kClrp, 2, false}};
+  }
+  std::vector<std::int32_t> lengths{32, 128};
+  if (cli.quick()) lengths = {32};
+  for (const std::int32_t length : lengths) {
     std::printf("\n[%d-flit messages]\n", length);
     bench::Table table({"router", "saturation-load", "latency-at-load",
                         "points"});
     std::vector<Row> rows(variants.size());
     bench::parallel_for(variants.size(), [&](std::size_t i) {
       rows[i] = run_point(variants[i], length);
-    });
+    }, cli.threads());
     for (std::size_t i = 0; i < variants.size(); ++i) {
+      bench::require(rows[i].result.points_probed > 0,
+                     "E13: saturation search probed no points");
       table.add_row({variants[i].name,
                      bench::fmt(rows[i].result.load, 3),
                      bench::fmt(rows[i].result.latency_at_load, 1),
                      bench::fmt_int(rows[i].result.points_probed)});
     }
-    table.print(length == 32 ? "e13_saturation_short" : "e13_saturation_long");
+    cli.report(table,
+               length == 32 ? "e13_saturation_short" : "e13_saturation_long");
   }
   std::printf("\nExpected shape: every wave configuration saturates later "
               "than wormhole, with\nthe margin growing for long messages; "
@@ -73,5 +85,6 @@ int main() {
               "traffic; the PCS-only router trades the wormhole safety\n"
               "net for simplicity and saturates earlier than the hybrid at "
               "equal k.\n");
-  return 0;
+  return true;
+  });
 }

@@ -43,7 +43,10 @@ Point run_point(std::int32_t radix, sim::ProtocolKind protocol,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Cli cli("E14", "scalability with network size (multi-chip argument)");
+  if (!cli.parse(argc, argv)) return cli.exit_code();
+  return cli.run([&] {
   bench::banner("E14", "scalability with network size (multi-chip argument)",
                 "r x r torus sweep at fixed load 0.12, working-set traffic "
                 "(3 dests, p=0.85), 64-flit messages; 'grown k' scales the "
@@ -52,7 +55,8 @@ int main() {
     std::int32_t radix;
     std::int32_t grown_k;
   };
-  const std::vector<Size> sizes{{4, 1}, {8, 2}, {16, 4}};
+  std::vector<Size> sizes{{4, 1}, {8, 2}, {16, 4}};
+  if (cli.quick()) sizes = {{4, 1}, {8, 2}};
   bench::Table table({"torus", "avg-dist", "wormhole", "wave k=2",
                       "wave k=r/4", "hit k=2", "hit k=r/4"});
   std::vector<Point> wh(sizes.size()), fixed(sizes.size()), grown(sizes.size());
@@ -63,7 +67,7 @@ int main() {
       case 1: fixed[i / 3] = run_point(sz.radix, sim::ProtocolKind::kClrp, 2); break;
       case 2: grown[i / 3] = run_point(sz.radix, sim::ProtocolKind::kClrp, sz.grown_k); break;
     }
-  });
+  }, cli.threads());
   for (std::size_t i = 0; i < sizes.size(); ++i) {
     auto cell = [](const Point& p) {
       return (p.saturated ? "sat " : "") + bench::fmt(p.mean, 1);
@@ -75,11 +79,12 @@ int main() {
                    bench::fmt_pct(fixed[i].hit_rate),
                    bench::fmt_pct(grown[i].hit_rate)});
   }
-  table.print("e14_scalability");
+  cli.report(table, "e14_scalability");
   std::printf("\nExpected shape: wormhole latency grows with the average "
               "distance (r/2);\nwave latency grows far more slowly, and "
               "growing k with the network keeps\nthe circuit supply -- and "
               "hence the hit rate -- from eroding at scale,\nwhich is the "
               "paper's multi-chip scalability argument.\n");
-  return 0;
+  return true;
+  });
 }

@@ -5,8 +5,6 @@
 // and lifts saturation throughput substantially for long messages. The
 // expected shape: the CLRP curve sits well below wormhole at every load
 // and saturates later.
-#include <mutex>
-
 #include "bench_util.hpp"
 #include "core/simulation.hpp"
 #include "workload/generator.hpp"
@@ -47,12 +45,16 @@ Point run_point(sim::ProtocolKind protocol, double load) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Cli cli("E1", "latency vs offered load (wormhole vs wave/CLRP)");
+  if (!cli.parse(argc, argv)) return cli.exit_code();
+  return cli.run([&] {
   bench::banner("E1", "latency vs offered load (wormhole vs wave/CLRP)",
                 "8x8 torus, uniform traffic, 128-flit messages, w=2 VCs, "
                 "k=2 wave switches, wave clock x4");
-  const std::vector<double> loads{0.05, 0.10, 0.15, 0.20, 0.30,
-                                  0.40, 0.50, 0.60};
+  std::vector<double> loads{0.05, 0.10, 0.15, 0.20, 0.30,
+                            0.40, 0.50, 0.60};
+  if (cli.quick()) loads = {0.05, 0.15};
   std::vector<Point> wormhole(loads.size());
   std::vector<Point> wave(loads.size());
   bench::parallel_for(loads.size() * 2, [&](std::size_t i) {
@@ -62,7 +64,7 @@ int main() {
     } else {
       wave[li] = run_point(sim::ProtocolKind::kClrp, loads[li]);
     }
-  });
+  }, cli.threads());
 
   bench::Table table({"load", "wh-mean", "wh-p99", "wh-thru", "wave-mean",
                       "wave-p99", "wave-thru", "speedup"});
@@ -79,8 +81,9 @@ int main() {
                    bench::fmt(v.throughput, 3),
                    bench::fmt(w.mean / (v.mean > 0 ? v.mean : 1), 2) + "x"});
   }
-  table.print("e1_latency_load");
+  cli.report(table, "e1_latency_load");
   std::printf("\n'sat' marks points past saturation (drain cap hit); their "
               "latencies are lower bounds.\n");
-  return 0;
+  return true;
+  });
 }

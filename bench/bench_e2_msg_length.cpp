@@ -20,7 +20,8 @@ using namespace wavesim;
 double wormhole_latency(std::int32_t length, NodeId src, NodeId dest) {
   core::Simulation sim(sim::SimConfig::wormhole_baseline());
   sim.send(src, dest, length);
-  sim.run_until_delivered(1'000'000);
+  bench::require(sim.run_until_delivered(1'000'000),
+                 "E2: wormhole reference message did not deliver");
   return sim.network().messages().at(0).latency();
 }
 
@@ -31,10 +32,12 @@ std::pair<double, double> wave_latency(std::int32_t length, NodeId src,
   config.protocol.protocol = sim::ProtocolKind::kClrp;
   core::Simulation sim(config);
   sim.send(src, dest, length);
-  sim.run_until_delivered(1'000'000);
+  bench::require(sim.run_until_delivered(1'000'000),
+                 "E2: cold wave message did not deliver");
   const double cold = sim.network().messages().at(0).latency();
   sim.send(src, dest, length);
-  sim.run_until_delivered(1'000'000);
+  bench::require(sim.run_until_delivered(1'000'000),
+                 "E2: warm wave message did not deliver");
   const double hit = sim.network().messages().at(1).latency();
   return {cold, hit};
 }
@@ -60,7 +63,10 @@ double loaded_latency(sim::ProtocolKind protocol, std::int32_t length) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Cli cli("E2", "message-length sensitivity (the >=128-flit, >3x claim)");
+  if (!cli.parse(argc, argv)) return cli.exit_code();
+  return cli.run([&] {
   bench::banner("E2", "message-length sensitivity (the >=128-flit, >3x claim)",
                 "unloaded columns: single message (0,0)->(4,4), 8 hops; "
                 "loaded column: uniform traffic at 0.25 flits/node/cycle "
@@ -69,7 +75,8 @@ int main() {
   const NodeId src = topo.node_of({0, 0});
   const NodeId dest = topo.node_of({4, 4});
 
-  const std::vector<std::int32_t> lengths{8, 16, 32, 64, 128, 256, 512};
+  std::vector<std::int32_t> lengths{8, 16, 32, 64, 128, 256, 512};
+  if (cli.quick()) lengths = {8, 128};
   std::vector<double> wh_loaded(lengths.size());
   std::vector<double> wave_loaded(lengths.size());
   bench::parallel_for(lengths.size() * 2, [&](std::size_t i) {
@@ -80,7 +87,7 @@ int main() {
     } else {
       wave_loaded[li] = loaded_latency(sim::ProtocolKind::kClrp, lengths[li]);
     }
-  });
+  }, cli.threads());
 
   bench::Table table({"flits", "wormhole", "wave-noreuse", "wave-reuse",
                       "gain-noreuse", "gain-reuse", "gain-loaded"});
@@ -94,10 +101,11 @@ int main() {
                    bench::fmt(wh / hit, 2) + "x",
                    bench::fmt(wh_loaded[i] / wave_loaded[i], 2) + "x"});
   }
-  table.print("e2_msg_length");
+  cli.report(table, "e2_msg_length");
   std::printf("\nExpected shape: the unloaded no-reuse gain grows with "
               "length (setup amortizes);\nunder load the gain exceeds 3x "
               "for >=128-flit messages even without reuse,\nwhile reuse "
               "(gain-reuse) is what rescues short messages.\n");
-  return 0;
+  return true;
+  });
 }

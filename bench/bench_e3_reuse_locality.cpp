@@ -49,13 +49,18 @@ Row run_point(double p_in_set) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Cli cli("E3", "circuit reuse vs temporal locality (short messages)");
+  if (!cli.parse(argc, argv)) return cli.exit_code();
+  return cli.run([&] {
   bench::banner("E3", "circuit reuse vs temporal locality (short messages)",
                 "8x8 torus, k=4, 16-flit messages, load 0.10, working set of 2 "
                 "destinations per node, locality p swept");
-  const std::vector<double> ps{0.0, 0.25, 0.5, 0.75, 0.9, 1.0};
+  std::vector<double> ps{0.0, 0.25, 0.5, 0.75, 0.9, 1.0};
+  if (cli.quick()) ps = {0.0, 0.9};
   std::vector<Row> rows(ps.size());
-  bench::parallel_for(ps.size(), [&](std::size_t i) { rows[i] = run_point(ps[i]); });
+  bench::parallel_for(ps.size(), [&](std::size_t i) { rows[i] = run_point(ps[i]); },
+                      cli.threads());
 
   bench::Table table({"locality-p", "cache-hit", "clrp-mean", "clrp-p99",
                       "wormhole-mean", "clrp/wormhole"});
@@ -66,10 +71,11 @@ int main() {
                    bench::fmt(r.wormhole_mean, 1),
                    bench::fmt(r.mean / r.wormhole_mean, 2)});
   }
-  table.print("e3_reuse_locality");
+  cli.report(table, "e3_reuse_locality");
   std::printf("\nExpected shape: at low locality CLRP pays setups it never "
               "amortizes\n(ratio near or above 1); as p grows the hit rate "
               "climbs and the ratio drops\nwell below 1 -- reuse is what "
               "makes circuits pay for short messages.\n");
-  return 0;
+  return true;
+  });
 }

@@ -49,36 +49,51 @@ Row run_trace(sim::ProtocolKind protocol, const load::Trace& trace) {
   return row;
 }
 
-void run_app(const char* name, const char* csv, const load::Trace& trace) {
+void run_app(bench::Cli& cli, const char* name, const char* csv,
+             const load::Trace& trace) {
   std::printf("\n[%s]\n", name);
   bench::Table table(
       {"protocol", "mean-lat", "p99", "makespan", "circuit-share"});
-  for (const auto protocol :
-       {sim::ProtocolKind::kWormholeOnly, sim::ProtocolKind::kClrp,
-        sim::ProtocolKind::kCarp}) {
-    const Row row = run_trace(protocol, trace);
-    table.add_row({sim::to_string(protocol), bench::fmt(row.mean, 1),
+  std::vector<Row> rows(3);
+  const std::vector<sim::ProtocolKind> protocols{
+      sim::ProtocolKind::kWormholeOnly, sim::ProtocolKind::kClrp,
+      sim::ProtocolKind::kCarp};
+  bench::parallel_for(protocols.size(), [&](std::size_t i) {
+    rows[i] = run_trace(protocols[i], trace);
+  }, cli.threads());
+  for (std::size_t i = 0; i < protocols.size(); ++i) {
+    const Row& row = rows[i];
+    bench::require(row.mean > 0.0,
+                   std::string("E4: no traffic delivered under ") +
+                       sim::to_string(protocols[i]));
+    table.add_row({sim::to_string(protocols[i]), bench::fmt(row.mean, 1),
                    bench::fmt(row.p99, 1), bench::fmt_int(row.makespan),
                    bench::fmt_pct(row.circuit_share)});
   }
-  table.print(csv);
+  cli.report(table, csv);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Cli cli("E4", "CLRP vs CARP on compiler-visible workloads");
+  if (!cli.parse(argc, argv)) return cli.exit_code();
+  return cli.run([&] {
   bench::banner("E4", "CLRP vs CARP on compiler-visible workloads",
                 "8x8 torus; stencil: 6 iterations x 64-flit halos to 4 "
                 "neighbors; master/worker: 4 rounds, 4-flit requests, "
                 "64-flit chunks");
   topo::KAryNCube topo({8, 8}, true);
-  run_app("5-point stencil", "e4_stencil",
-          load::make_stencil_trace(topo, 6, 64, 300, /*carp=*/true));
-  run_app("master/worker", "e4_master_worker",
-          load::make_master_worker_trace(topo, topo.node_of({4, 4}), 4, 4, 64,
-                                         800, /*carp=*/true));
+  const std::int32_t iterations = cli.quick() ? 2 : 6;
+  const std::int32_t rounds = cli.quick() ? 2 : 4;
+  run_app(cli, "5-point stencil", "e4_stencil",
+          load::make_stencil_trace(topo, iterations, 64, 300, /*carp=*/true));
+  run_app(cli, "master/worker", "e4_master_worker",
+          load::make_master_worker_trace(topo, topo.node_of({4, 4}), rounds, 4,
+                                         64, 800, /*carp=*/true));
   std::printf("\nExpected shape: CARP matches or beats CLRP mean latency "
               "(setup prefetched\noff the critical path) and both beat "
               "wormhole decisively on these\nlocality-heavy apps.\n");
-  return 0;
+  return true;
+  });
 }

@@ -47,16 +47,22 @@ Row run_point(sim::ReplacementPolicy policy) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Cli cli("E5", "circuit-cache replacement policy ablation");
+  if (!cli.parse(argc, argv)) return cli.exit_code();
+  return cli.run([&] {
   bench::banner("E5", "circuit-cache replacement policy ablation",
                 "8x8 torus, CLRP, k=4, cache 3 entries/node vs skewed working set "
                 "of 6 (skew 0.6), locality 0.9, 32-flit messages, load 0.08");
-  const std::vector<sim::ReplacementPolicy> policies{
+  std::vector<sim::ReplacementPolicy> policies{
       sim::ReplacementPolicy::kLru, sim::ReplacementPolicy::kLfu,
       sim::ReplacementPolicy::kFifo, sim::ReplacementPolicy::kRandom};
+  if (cli.quick()) policies = {sim::ReplacementPolicy::kLru,
+                               sim::ReplacementPolicy::kRandom};
   std::vector<Row> rows(policies.size());
   bench::parallel_for(policies.size(),
-                      [&](std::size_t i) { rows[i] = run_point(policies[i]); });
+                      [&](std::size_t i) { rows[i] = run_point(policies[i]); },
+                      cli.threads());
 
   bench::Table table(
       {"policy", "cache-hit", "mean-lat", "evictions", "teardowns"});
@@ -67,9 +73,10 @@ int main() {
                    bench::fmt_int(rows[i].evictions),
                    bench::fmt_int(rows[i].teardowns)});
   }
-  table.print("e5_replacement");
+  cli.report(table, "e5_replacement");
   std::printf("\nExpected shape: recency/frequency-aware policies (LRU/LFU) "
               "hold the hot set\nbetter than FIFO/random, showing higher hit"
               " rates and lower latency.\n");
-  return 0;
+  return true;
+  });
 }

@@ -46,13 +46,18 @@ Row run_point(std::int32_t m) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Cli cli("E6", "MB-m misroute budget sweep");
+  if (!cli.parse(argc, argv)) return cli.exit_code();
+  return cli.run([&] {
   bench::banner("E6", "MB-m misroute budget sweep",
                 "8x8 torus, CLRP, k=1 (contended), uniform traffic, 64-flit "
                 "messages, load 0.12; m = 0..4");
-  const std::vector<std::int32_t> ms{0, 1, 2, 3, 4};
+  std::vector<std::int32_t> ms{0, 1, 2, 3, 4};
+  if (cli.quick()) ms = {0, 2};
   std::vector<Row> rows(ms.size());
-  bench::parallel_for(ms.size(), [&](std::size_t i) { rows[i] = run_point(ms[i]); });
+  bench::parallel_for(ms.size(), [&](std::size_t i) { rows[i] = run_point(ms[i]); },
+                      cli.threads());
 
   bench::Table table({"m", "probe-success", "backtracks/probe",
                       "misroutes/probe", "fallback-share", "setup-msg-lat"});
@@ -64,9 +69,10 @@ int main() {
                    bench::fmt_pct(r.fallback_share),
                    bench::fmt(r.setup_msg_latency, 1)});
   }
-  table.print("e6_mbm_sweep");
+  cli.report(table, "e6_mbm_sweep");
   std::printf("\nExpected shape: probe success rises with m while the "
               "wormhole-fallback share\nfalls; the price is more misroutes "
               "(longer probes and circuits).\n");
-  return 0;
+  return true;
+  });
 }

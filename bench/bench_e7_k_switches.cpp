@@ -44,7 +44,10 @@ Row run_point(std::int32_t k, bool split) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Cli cli("E7", "wave-switch count k and channel splitting");
+  if (!cli.parse(argc, argv)) return cli.exit_code();
+  return cli.run([&] {
   bench::banner("E7", "wave-switch count k and channel splitting",
                 "8x8 torus, CLRP, working-set traffic (4 dests, p=0.85), "
                 "64-flit messages, load 0.15");
@@ -52,12 +55,13 @@ int main() {
     std::int32_t k;
     bool split;
   };
-  const std::vector<Config> configs{{1, false}, {2, false}, {4, false},
-                                    {2, true},  {4, true}};
+  std::vector<Config> configs{{1, false}, {2, false}, {4, false},
+                              {2, true},  {4, true}};
+  if (cli.quick()) configs = {{1, false}, {2, true}};
   std::vector<Row> rows(configs.size());
   bench::parallel_for(configs.size(), [&](std::size_t i) {
     rows[i] = run_point(configs[i].k, configs[i].split);
-  });
+  }, cli.threads());
 
   bench::Table table({"k", "channels", "circuit-bw", "mean-lat", "throughput",
                       "cache-hit", "fallback"});
@@ -71,10 +75,11 @@ int main() {
                    bench::fmt_pct(rows[i].hit_rate),
                    bench::fmt_pct(rows[i].fallback_share)});
   }
-  table.print("e7_k_switches");
+  cli.report(table, "e7_k_switches");
   std::printf("\nExpected shape: more full-width switches -> more coexisting"
               " circuits ->\nhigher hit rates and lower latency (the paper's "
               "multi-chip scalability\nargument); splitting claws those "
               "gains back by cutting circuit bandwidth.\n");
-  return 0;
+  return true;
+  });
 }

@@ -41,23 +41,31 @@ std::string cell(const Point& p) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Cli cli("E9", "wormhole substrate baselines (VCs, adaptive routing)");
+  if (!cli.parse(argc, argv)) return cli.exit_code();
+  return cli.run([&] {
   bench::banner("E9", "wormhole substrate baselines (VCs, adaptive routing)",
                 "8x8 torus, wormhole only, 32-flit messages; cells are "
                 "mean-latency / delivered-throughput");
 
   std::printf("\n(a) virtual channels vs offered load, DOR routing\n");
-  const std::vector<std::int32_t> vc_counts{2, 3, 4, 8};
-  const std::vector<double> loads{0.10, 0.20, 0.30, 0.40};
+  std::vector<std::int32_t> vc_counts{2, 3, 4, 8};
+  std::vector<double> loads{0.10, 0.20, 0.30, 0.40};
+  if (cli.quick()) {
+    vc_counts = {2, 4};
+    loads = {0.10, 0.20};
+  }
   std::vector<Point> grid(vc_counts.size() * loads.size());
   bench::parallel_for(grid.size(), [&](std::size_t i) {
     const auto vi = i / loads.size();
     const auto li = i % loads.size();
     grid[i] = run_point(vc_counts[vi], sim::RoutingKind::kDimensionOrder,
                         "uniform", loads[li]);
-  });
-  bench::Table vc_table({"vcs", "load 0.10", "load 0.20", "load 0.30",
-                         "load 0.40"});
+  }, cli.threads());
+  std::vector<std::string> vc_header{"vcs"};
+  for (const double load : loads) vc_header.push_back("load " + bench::fmt(load, 2));
+  bench::Table vc_table(vc_header);
   for (std::size_t vi = 0; vi < vc_counts.size(); ++vi) {
     std::vector<std::string> row{bench::fmt_int(vc_counts[vi])};
     for (std::size_t li = 0; li < loads.size(); ++li) {
@@ -65,12 +73,13 @@ int main() {
     }
     vc_table.add_row(row);
   }
-  vc_table.print("e9_vc_sweep");
+  cli.report(vc_table, "e9_vc_sweep");
 
   std::printf("\n(b) DOR vs Duato fully-adaptive (3 VCs), load 0.20\n");
   bench::Table rt_table({"pattern", "dor", "duato"});
-  const std::vector<std::string> patterns{"uniform", "transpose", "tornado",
-                                          "hotspot"};
+  std::vector<std::string> patterns{"uniform", "transpose", "tornado",
+                                    "hotspot"};
+  if (cli.quick()) patterns = {"uniform", "tornado"};
   std::vector<Point> dor(patterns.size());
   std::vector<Point> duato(patterns.size());
   bench::parallel_for(patterns.size() * 2, [&](std::size_t i) {
@@ -82,14 +91,15 @@ int main() {
       duato[pi] = run_point(3, sim::RoutingKind::kDuatoAdaptive, patterns[pi],
                             0.20);
     }
-  });
+  }, cli.threads());
   for (std::size_t pi = 0; pi < patterns.size(); ++pi) {
     rt_table.add_row({patterns[pi], cell(dor[pi]), cell(duato[pi])});
   }
-  rt_table.print("e9_routing");
+  cli.report(rt_table, "e9_routing");
 
   std::printf("\nExpected shape: (a) more VCs sustain higher load before "
               "saturation;\n(b) adaptive routing wins on adversarial "
               "patterns (tornado/transpose),\nroughly ties on uniform.\n");
-  return 0;
+  return true;
+  });
 }

@@ -1,11 +1,14 @@
 #include "bench_util.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <cstdlib>
 #include <cinttypes>
 #include <exception>
+#include <stdexcept>
 #include <thread>
+
+#include "harness/runner.hpp"
+#include "sim/build_info.hpp"
 
 namespace wavesim::bench {
 
@@ -82,6 +85,21 @@ void Table::print(const std::string& csv_name) const {
   for (const auto& row : rows_) print_row(row);
 }
 
+sim::JsonValue Table::to_json(const std::string& name) const {
+  sim::JsonValue header = sim::JsonValue::array();
+  for (const auto& cell : header_) header.push_back(cell);
+  sim::JsonValue rows = sim::JsonValue::array();
+  for (const auto& row : rows_) {
+    sim::JsonValue cells = sim::JsonValue::array();
+    for (const auto& cell : row) cells.push_back(cell);
+    rows.push_back(std::move(cells));
+  }
+  return sim::JsonValue::object()
+      .set("name", name)
+      .set("header", std::move(header))
+      .set("rows", std::move(rows));
+}
+
 std::string fmt(double value, int precision) {
   char buf[64];
   std::snprintf(buf, sizeof buf, "%.*f", precision, value);
@@ -100,32 +118,126 @@ std::string fmt_pct(double fraction, int precision) {
   return buf;
 }
 
+void require(bool ok, const std::string& message) {
+  if (!ok) throw std::runtime_error(message);
+}
+
+// -------------------------------------------------------------------- Cli
+
+Cli::Cli(std::string experiment, std::string title)
+    : experiment_(std::move(experiment)), title_(std::move(title)),
+      start_(std::chrono::steady_clock::now()) {}
+
+void Cli::add_int_flag(std::string flag, std::int64_t* target,
+                       std::string help) {
+  int_flags_.push_back({std::move(flag), target, std::move(help)});
+}
+
+bool Cli::parse(int argc, char** argv) {
+  auto need = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "%s: missing value for %s\n", experiment_.c_str(),
+                   argv[i]);
+      exit_code_ = 2;
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  auto find_int_flag = [&](const std::string& arg) -> const IntFlag* {
+    for (const IntFlag& f : int_flags_) {
+      if (f.flag == arg) return &f;
+    }
+    return nullptr;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "%s -- %s\n\n"
+          "  --json <path>   write metrics as JSON (schema wavesim.bench.v1)\n"
+          "  --threads N     worker threads for the sweep (default: all cores)\n"
+          "  --quick         tiny parameters for CI smoke runs\n"
+          "  --help          this text\n",
+          experiment_.c_str(), title_.c_str());
+      for (const IntFlag& f : int_flags_) {
+        std::printf("  %-15s %s\n", (f.flag + " N").c_str(), f.help.c_str());
+      }
+      exit_code_ = 0;
+      return false;
+    } else if (const IntFlag* f = find_int_flag(arg); f != nullptr) {
+      const char* v = need(i);
+      if (v == nullptr) return false;
+      *f->target = std::strtoll(v, nullptr, 10);
+    } else if (arg == "--json") {
+      const char* v = need(i);
+      if (v == nullptr) return false;
+      json_path_ = v;
+    } else if (arg == "--threads") {
+      const char* v = need(i);
+      if (v == nullptr) return false;
+      const long parsed = std::strtol(v, nullptr, 10);
+      if (parsed < 0) {
+        std::fprintf(stderr, "%s: --threads must be >= 0\n", experiment_.c_str());
+        exit_code_ = 2;
+        return false;
+      }
+      threads_ = static_cast<unsigned>(parsed);
+    } else if (arg == "--quick") {
+      quick_ = true;
+    } else {
+      std::fprintf(stderr, "%s: unknown flag %s (try --help)\n",
+                   experiment_.c_str(), arg.c_str());
+      exit_code_ = 2;
+      return false;
+    }
+  }
+  return true;
+}
+
+void Cli::report(const Table& table, const std::string& name) {
+  table.print(name);
+  tables_.push_back(table.to_json(name));
+}
+
+void Cli::note(const std::string& key, sim::JsonValue value) {
+  extra_.set(key, std::move(value));
+}
+
+int Cli::finish(bool ok) {
+  if (!json_path_.empty()) {
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+            .count();
+    sim::JsonValue doc =
+        sim::JsonValue::object()
+            .set("schema", "wavesim.bench.v1")
+            .set("experiment", experiment_)
+            .set("title", title_)
+            .set("generated_by", sim::git_describe())
+            .set("threads", harness::resolve_threads(threads_))
+            .set("host_threads", std::thread::hardware_concurrency())
+            .set("quick", quick_)
+            .set("ok", ok)
+            .set("wall_seconds", wall)
+            .set("tables", std::move(tables_));
+    if (extra_.size() > 0) doc.set("extra", std::move(extra_));
+    if (!sim::write_json_file(doc, json_path_)) ok = false;
+  }
+  return ok ? 0 : 1;
+}
+
+int Cli::run(const std::function<bool()>& body) {
+  try {
+    return finish(body());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: error: %s\n", experiment_.c_str(), e.what());
+    return 1;
+  }
+}
+
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
                   unsigned threads) {
-  if (n == 0) return;
-  unsigned workers = threads != 0 ? threads : std::thread::hardware_concurrency();
-  workers = std::max(1u, std::min<unsigned>(workers, n));
-  std::atomic<std::size_t> next{0};
-  std::atomic<bool> failed{false};
-  std::exception_ptr error;
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (unsigned w = 0; w < workers; ++w) {
-    pool.emplace_back([&] {
-      for (;;) {
-        const std::size_t i = next.fetch_add(1);
-        if (i >= n || failed.load()) return;
-        try {
-          fn(i);
-        } catch (...) {
-          if (!failed.exchange(true)) error = std::current_exception();
-          return;
-        }
-      }
-    });
-  }
-  for (auto& t : pool) t.join();
-  if (error) std::rethrow_exception(error);
+  harness::run_indexed(n, fn, threads);
 }
 
 }  // namespace wavesim::bench

@@ -10,6 +10,9 @@
 #include <string>
 
 #include "core/simulation.hpp"
+#include "harness/sweep.hpp"
+#include "sim/build_info.hpp"
+#include "sim/json.hpp"
 #include "verify/delivery.hpp"
 #include "workload/generator.hpp"
 
@@ -38,6 +41,9 @@ struct Options {
   bool virtual_circuits = false;
   std::int32_t max_packet = 0;
   bool histogram = false;
+  std::string json_path;
+  std::int32_t replicas = 1;
+  unsigned threads = 0;
 };
 
 void usage() {
@@ -64,7 +70,10 @@ void usage() {
       "  --pcs-only          no wormhole fallback (paper's k=1/w=0 router)\n"
       "  --virtual           virtual circuits (base clock; ablation)\n"
       "  --max-packet N      wormhole segmentation limit (default off)\n"
-      "  --hist              print an ASCII latency histogram\n");
+      "  --hist              print an ASCII latency histogram\n"
+      "  --json PATH         write the statistics as JSON\n"
+      "  --replicas N        run N seeds and merge (wavesim.sweep.v1 export)\n"
+      "  --threads N         worker threads for --replicas (0 = all cores)\n");
 }
 
 bool parse(int argc, char** argv, Options& opt) {
@@ -98,6 +107,9 @@ bool parse(int argc, char** argv, Options& opt) {
     else if (arg == "--virtual") opt.virtual_circuits = true;
     else if (arg == "--max-packet") opt.max_packet = std::atoi(need(i));
     else if (arg == "--hist") opt.histogram = true;
+    else if (arg == "--json") opt.json_path = need(i);
+    else if (arg == "--replicas") opt.replicas = std::atoi(need(i));
+    else if (arg == "--threads") opt.threads = static_cast<unsigned>(std::atoi(need(i)));
     else {
       std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg.c_str());
       std::exit(2);
@@ -162,6 +174,51 @@ int main(int argc, char** argv) {
   try {
     const sim::SimConfig cfg = build_config(opt);
     cfg.validate();
+
+    if (opt.replicas > 1) {
+      // Multi-seed mode: run the same point `replicas` times through the
+      // sweep harness (deterministic seeding, parallel workers) and print
+      // the merged statistics instead of one run's.
+      harness::SweepPoint point;
+      point.label = opt.topo + "/" + opt.protocol + "@" + opt.pattern;
+      point.config = cfg;
+      point.pattern = opt.pattern;
+      point.message_flits = opt.length;
+      point.offered_load = opt.load;
+      point.warmup = opt.warmup;
+      point.measure = opt.cycles;
+      point.drain_cap = 40 * (opt.warmup + opt.cycles) + 1'000'000;
+      harness::SweepOptions options;
+      options.base_seed = opt.seed;
+      options.replicas = opt.replicas;
+      options.threads = opt.threads;
+      const harness::SweepResult result = harness::run_sweep({point}, options);
+      const harness::PointSummary& p = result.points.front();
+      std::printf("merged %d replicas of %s (base seed %llu, %u thread(s), "
+                  "%.2fs)\n",
+                  p.replicas, point.label.c_str(),
+                  static_cast<unsigned long long>(opt.seed),
+                  result.threads_used, result.wall_seconds);
+      std::printf("messages   offered %llu, delivered %llu, saturated "
+                  "replicas %d\n",
+                  static_cast<unsigned long long>(p.messages_offered),
+                  static_cast<unsigned long long>(p.messages_delivered),
+                  p.saturated_replicas);
+      std::printf("latency    mean %.2f +/- %.2f  p95 %.1f  p99 %.1f  "
+                  "max %.0f\n",
+                  p.metrics.latency_mean.mean(),
+                  p.metrics.latency_mean.stddev(),
+                  p.metrics.latency_p95.mean(), p.metrics.latency_p99.mean(),
+                  p.metrics.latency_max.max());
+      std::printf("throughput %.4f +/- %.4f flits/node/cycle\n",
+                  p.metrics.throughput.mean(), p.metrics.throughput.stddev());
+      if (!opt.json_path.empty() &&
+          !sim::write_json_file(harness::to_json(result), opt.json_path)) {
+        return 2;
+      }
+      return p.saturated_replicas == 0 ? 0 : 1;
+    }
+
     core::Simulation sim(cfg);
     auto pattern = load::make_traffic(opt.pattern, sim.topology(),
                                       sim::Rng{opt.seed * 31 + 7});
@@ -220,6 +277,20 @@ int main(int argc, char** argv) {
     }
     const auto check = verify::check_delivery(sim.network());
     std::printf("invariants %s\n", check.ok() ? "ok" : check.summary().c_str());
+    if (!opt.json_path.empty()) {
+      sim::JsonValue doc =
+          sim::JsonValue::object()
+              .set("schema", "wavesim.run.v1")
+              .set("generated_by", sim::git_describe())
+              .set("pattern", opt.pattern)
+              .set("message_flits", opt.length)
+              .set("offered_load", opt.load)
+              .set("seed", opt.seed)
+              .set("drained", result.drained)
+              .set("invariants_ok", check.ok())
+              .set("stats", harness::stats_to_json(s));
+      if (!sim::write_json_file(doc, opt.json_path)) return 2;
+    }
     return check.ok() && result.drained ? 0 : 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

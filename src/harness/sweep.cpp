@@ -1,0 +1,206 @@
+#include "harness/sweep.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "harness/runner.hpp"
+#include "sim/build_info.hpp"
+#include "sim/rng.hpp"
+#include "workload/generator.hpp"
+#include "workload/size_dist.hpp"
+#include "workload/traffic.hpp"
+
+namespace wavesim::harness {
+
+std::uint64_t derive_seed(std::uint64_t base_seed, std::size_t point_index,
+                          std::int32_t replica) noexcept {
+  // Three chained SplitMix64 rounds, folding one input per round. The
+  // mixing constants are SplitMix64's own; any fixed odd constants work.
+  std::uint64_t state = base_seed ^ 0x6a09e667f3bcc909ULL;
+  std::uint64_t h = sim::splitmix64(state);
+  state = h ^ (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(point_index) + 1));
+  h = sim::splitmix64(state);
+  state = h ^ (0xbf58476d1ce4e5b9ULL * (static_cast<std::uint64_t>(replica) + 1));
+  return sim::splitmix64(state);
+}
+
+namespace {
+
+/// Raw outcome of one (point, replica) task, written into its own slot.
+struct ReplicaOutcome {
+  core::SimulationStats stats;
+  bool drained = true;
+};
+
+ReplicaOutcome run_one(const SweepPoint& point, std::uint64_t seed) {
+  sim::SimConfig config = point.config;
+  config.seed = seed;
+  core::Simulation sim(config);
+  std::uint64_t stream = seed;
+  const std::uint64_t pattern_seed = sim::splitmix64(stream);
+  const std::uint64_t workload_seed = sim::splitmix64(stream);
+  auto pattern =
+      load::make_traffic(point.pattern, sim.topology(), sim::Rng{pattern_seed});
+  load::FixedSize sizes(point.message_flits);
+  const auto r =
+      load::run_open_loop(sim, *pattern, sizes, point.offered_load,
+                          point.warmup, point.measure, point.drain_cap,
+                          workload_seed);
+  return ReplicaOutcome{r.stats, r.drained};
+}
+
+}  // namespace
+
+SweepResult run_sweep(const std::vector<SweepPoint>& points,
+                      const SweepOptions& options) {
+  for (const auto& point : points) point.config.validate();
+  const std::int32_t replicas = options.replicas > 0 ? options.replicas : 1;
+  const std::size_t n = points.size() * static_cast<std::size_t>(replicas);
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<ReplicaOutcome> outcomes(n);
+  const unsigned threads =
+      n > 0 ? std::min<unsigned>(resolve_threads(options.threads),
+                                 static_cast<unsigned>(n))
+            : 1;
+  run_indexed(
+      n,
+      [&](std::size_t i) {
+        const std::size_t pi = i / static_cast<std::size_t>(replicas);
+        const auto ri = static_cast<std::int32_t>(
+            i % static_cast<std::size_t>(replicas));
+        outcomes[i] =
+            run_one(points[pi], derive_seed(options.base_seed, pi, ri));
+      },
+      threads);
+
+  // Merge serially in index order: the result is a pure function of the
+  // outcome slots, so it does not depend on worker scheduling.
+  SweepResult result;
+  result.base_seed = options.base_seed;
+  result.replicas = replicas;
+  result.threads_used = threads;
+  result.runs = n;
+  result.points.reserve(points.size());
+  for (std::size_t pi = 0; pi < points.size(); ++pi) {
+    const SweepPoint& point = points[pi];
+    PointSummary summary;
+    summary.label = point.label;
+    summary.pattern = point.pattern;
+    summary.message_flits = point.message_flits;
+    summary.offered_load = point.offered_load;
+    summary.replicas = replicas;
+    for (std::int32_t ri = 0; ri < replicas; ++ri) {
+      const ReplicaOutcome& o =
+          outcomes[pi * static_cast<std::size_t>(replicas) +
+                   static_cast<std::size_t>(ri)];
+      if (!o.drained) ++summary.saturated_replicas;
+      summary.messages_offered += o.stats.messages_offered;
+      summary.messages_delivered += o.stats.messages_delivered;
+      summary.flits_delivered += o.stats.flits_delivered;
+      MetricSummary& m = summary.metrics;
+      m.latency_mean.add(o.stats.latency_mean);
+      m.latency_p50.add(o.stats.latency_p50);
+      m.latency_p95.add(o.stats.latency_p95);
+      m.latency_p99.add(o.stats.latency_p99);
+      m.latency_max.add(o.stats.latency_max);
+      m.throughput.add(o.stats.throughput_flits_per_node_cycle);
+      m.cache_hit_rate.add(o.stats.cache_hit_rate());
+      m.setup_success_rate.add(o.stats.setup_success_rate());
+    }
+    result.points.push_back(std::move(summary));
+  }
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+namespace {
+
+sim::JsonValue metric_json(const sim::OnlineStats& s) {
+  return sim::JsonValue::object()
+      .set("count", s.count())
+      .set("mean", s.mean())
+      .set("stddev", s.stddev())
+      .set("min", s.min())
+      .set("max", s.max());
+}
+
+}  // namespace
+
+sim::JsonValue points_to_json(const SweepResult& result) {
+  sim::JsonValue points = sim::JsonValue::array();
+  for (const PointSummary& p : result.points) {
+    sim::JsonValue metrics = sim::JsonValue::object();
+    metrics.set("latency_mean", metric_json(p.metrics.latency_mean))
+        .set("latency_p50", metric_json(p.metrics.latency_p50))
+        .set("latency_p95", metric_json(p.metrics.latency_p95))
+        .set("latency_p99", metric_json(p.metrics.latency_p99))
+        .set("latency_max", metric_json(p.metrics.latency_max))
+        .set("throughput_flits_per_node_cycle", metric_json(p.metrics.throughput))
+        .set("cache_hit_rate", metric_json(p.metrics.cache_hit_rate))
+        .set("setup_success_rate", metric_json(p.metrics.setup_success_rate));
+    points.push_back(
+        sim::JsonValue::object()
+            .set("label", p.label)
+            .set("pattern", p.pattern)
+            .set("message_flits", p.message_flits)
+            .set("offered_load", p.offered_load)
+            .set("replicas", p.replicas)
+            .set("saturated_replicas", p.saturated_replicas)
+            .set("messages_offered", p.messages_offered)
+            .set("messages_delivered", p.messages_delivered)
+            .set("flits_delivered", p.flits_delivered)
+            .set("metrics", std::move(metrics)));
+  }
+  return points;
+}
+
+sim::JsonValue to_json(const SweepResult& result) {
+  return sim::JsonValue::object()
+      .set("schema", "wavesim.sweep.v1")
+      .set("generated_by", sim::git_describe())
+      .set("base_seed", result.base_seed)
+      .set("replicas", result.replicas)
+      .set("threads", result.threads_used)
+      .set("host_threads", std::thread::hardware_concurrency())
+      .set("runs", result.runs)
+      .set("wall_seconds", result.wall_seconds)
+      .set("points", points_to_json(result));
+}
+
+sim::JsonValue stats_to_json(const core::SimulationStats& stats) {
+  return sim::JsonValue::object()
+      .set("messages_offered", stats.messages_offered)
+      .set("messages_delivered", stats.messages_delivered)
+      .set("flits_delivered", stats.flits_delivered)
+      .set("latency_mean", stats.latency_mean)
+      .set("latency_p50", stats.latency_p50)
+      .set("latency_p95", stats.latency_p95)
+      .set("latency_p99", stats.latency_p99)
+      .set("latency_max", stats.latency_max)
+      .set("throughput_flits_per_node_cycle",
+           stats.throughput_flits_per_node_cycle)
+      .set("circuit_hit_count", stats.circuit_hit_count)
+      .set("circuit_setup_count", stats.circuit_setup_count)
+      .set("fallback_count", stats.fallback_count)
+      .set("wormhole_count", stats.wormhole_count)
+      .set("circuit_hit_latency", stats.circuit_hit_latency)
+      .set("circuit_setup_latency", stats.circuit_setup_latency)
+      .set("fallback_latency", stats.fallback_latency)
+      .set("wormhole_latency", stats.wormhole_latency)
+      .set("cache_hits", stats.cache_hits)
+      .set("cache_misses", stats.cache_misses)
+      .set("cache_evictions", stats.cache_evictions)
+      .set("probes_launched", stats.probes_launched)
+      .set("probes_succeeded", stats.probes_succeeded)
+      .set("probes_failed", stats.probes_failed)
+      .set("probe_backtracks", stats.probe_backtracks)
+      .set("probe_misroutes", stats.probe_misroutes)
+      .set("release_requests", stats.release_requests)
+      .set("teardowns", stats.teardowns)
+      .set("buffer_reallocs", stats.buffer_reallocs);
+}
+
+}  // namespace wavesim::harness

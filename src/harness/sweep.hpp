@@ -1,0 +1,98 @@
+// Parallel experiment-sweep harness.
+//
+// A sweep is a list of config points; each point runs `replicas`
+// independent open-loop measurements. Every (point, replica) task gets a
+// deterministic seed derived from (base_seed, point_index, replica) and
+// owns its Simulation, so tasks are embarrassingly parallel. Replica
+// results are merged serially in index order via sim::OnlineStats::merge —
+// the merged statistics are therefore bit-identical regardless of how many
+// worker threads executed the tasks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/simulation.hpp"
+#include "sim/json.hpp"
+#include "sim/stats.hpp"
+
+namespace wavesim::harness {
+
+/// One configuration point of a sweep: a simulator config plus the
+/// open-loop workload measured against it.
+struct SweepPoint {
+  std::string label;            ///< stable identifier in reports
+  sim::SimConfig config;
+  std::string pattern = "uniform";  ///< load::make_traffic name
+  std::int32_t message_flits = 64;
+  double offered_load = 0.10;   ///< flits per node per cycle
+  Cycle warmup = 2000;
+  Cycle measure = 8000;
+  Cycle drain_cap = 300'000;
+};
+
+struct SweepOptions {
+  std::uint64_t base_seed = 1;
+  std::int32_t replicas = 1;
+  unsigned threads = 0;  ///< worker count; 0 = all hardware threads
+};
+
+/// Seed of task (point_index, replica): a SplitMix64 hash of the three
+/// inputs. Stable across platforms and releases of this harness.
+std::uint64_t derive_seed(std::uint64_t base_seed, std::size_t point_index,
+                          std::int32_t replica) noexcept;
+
+/// A scalar metric aggregated across the replicas of one point.
+struct MetricSummary {
+  sim::OnlineStats latency_mean;
+  sim::OnlineStats latency_p50;
+  sim::OnlineStats latency_p95;
+  sim::OnlineStats latency_p99;
+  sim::OnlineStats latency_max;
+  sim::OnlineStats throughput;
+  sim::OnlineStats cache_hit_rate;
+  sim::OnlineStats setup_success_rate;
+};
+
+/// Merged outcome of all replicas of one sweep point.
+struct PointSummary {
+  std::string label;
+  std::string pattern;
+  std::int32_t message_flits = 0;
+  double offered_load = 0.0;
+  std::int32_t replicas = 0;
+  std::int32_t saturated_replicas = 0;  ///< replicas that hit the drain cap
+  std::uint64_t messages_offered = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t flits_delivered = 0;
+  MetricSummary metrics;
+};
+
+struct SweepResult {
+  std::vector<PointSummary> points;
+  std::uint64_t base_seed = 0;
+  std::int32_t replicas = 0;
+  unsigned threads_used = 0;
+  std::size_t runs = 0;          ///< points x replicas actually executed
+  double wall_seconds = 0.0;
+};
+
+/// Run every (point x replica) task across `options.threads` workers and
+/// merge. Throws std::invalid_argument on an invalid point config and
+/// propagates simulation exceptions.
+SweepResult run_sweep(const std::vector<SweepPoint>& points,
+                      const SweepOptions& options);
+
+/// The merged per-point statistics only — deterministic (bit-identical for
+/// a fixed base seed, independent of thread count and wall time).
+sim::JsonValue points_to_json(const SweepResult& result);
+
+/// Full export: schema id, build/host metadata, wall time, and the points.
+sim::JsonValue to_json(const SweepResult& result);
+
+/// Single-run stats as JSON (shared schema fragment; also used by the
+/// bench drivers and wavesim_cli).
+sim::JsonValue stats_to_json(const core::SimulationStats& stats);
+
+}  // namespace wavesim::harness

@@ -1,0 +1,13 @@
+#include "sim/build_info.hpp"
+
+namespace wavesim::sim {
+
+const char* git_describe() noexcept {
+#ifdef WAVESIM_GIT_DESCRIBE
+  return WAVESIM_GIT_DESCRIBE;
+#else
+  return "unknown";
+#endif
+}
+
+}  // namespace wavesim::sim

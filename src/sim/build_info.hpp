@@ -1,0 +1,10 @@
+// Build provenance baked in at configure time, for metrics metadata.
+#pragma once
+
+namespace wavesim::sim {
+
+/// `git describe --always --dirty` of the source tree at configure time,
+/// or "unknown" when git was unavailable.
+const char* git_describe() noexcept;
+
+}  // namespace wavesim::sim
