@@ -84,6 +84,23 @@ int main(int argc, char** argv) {
   cli.report(table, "e1_latency_load");
   std::printf("\n'sat' marks points past saturation (drain cap hit); their "
               "latencies are lower bounds.\n");
+
+  // Observability opt-in: rerun one representative point (CLRP at the
+  // lowest load) single-threaded with the observer attached.
+  if (cli.observability_requested()) {
+    sim::SimConfig config = sim::SimConfig::default_torus();
+    config.protocol.protocol = sim::ProtocolKind::kClrp;
+    config.seed = 42;
+    core::Simulation sim(config);
+    const auto observer = cli.observe(sim);
+    load::UniformTraffic pattern(sim.topology());
+    load::FixedSize sizes(128);
+    load::run_open_loop(sim, pattern, sizes, loads.front(),
+                        /*warmup=*/2000, /*measure=*/8000,
+                        /*drain_cap=*/250000, /*seed=*/7);
+    bench::require(cli.write_observability(*observer),
+                   "E1: failed to write trace/metrics output");
+  }
   return true;
   });
 }

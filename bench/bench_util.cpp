@@ -154,10 +154,13 @@ bool Cli::parse(int argc, char** argv) {
     if (arg == "--help" || arg == "-h") {
       std::printf(
           "%s -- %s\n\n"
-          "  --json <path>   write metrics as JSON (schema wavesim.bench.v1)\n"
-          "  --threads N     worker threads for the sweep (default: all cores)\n"
-          "  --quick         tiny parameters for CI smoke runs\n"
-          "  --help          this text\n",
+          "  --json <path>     write metrics as JSON (schema wavesim.bench.v1)\n"
+          "  --threads N       worker threads for the sweep (default: all cores)\n"
+          "  --quick           tiny parameters for CI smoke runs\n"
+          "  --trace <path>    Perfetto trace of one representative run\n"
+          "  --metrics <path>  its counters/histograms (wavesim.metrics.v1)\n"
+          "  --sample-every N  gauge sampling period for the observed run\n"
+          "  --help            this text\n",
           experiment_.c_str(), title_.c_str());
       for (const IntFlag& f : int_flags_) {
         std::printf("  %-15s %s\n", (f.flag + " N").c_str(), f.help.c_str());
@@ -172,6 +175,18 @@ bool Cli::parse(int argc, char** argv) {
       const char* v = need(i);
       if (v == nullptr) return false;
       json_path_ = v;
+    } else if (arg == "--trace") {
+      const char* v = need(i);
+      if (v == nullptr) return false;
+      trace_path_ = v;
+    } else if (arg == "--metrics") {
+      const char* v = need(i);
+      if (v == nullptr) return false;
+      metrics_path_ = v;
+    } else if (arg == "--sample-every") {
+      const char* v = need(i);
+      if (v == nullptr) return false;
+      sample_every_ = std::strtoll(v, nullptr, 10);
     } else if (arg == "--threads") {
       const char* v = need(i);
       if (v == nullptr) return false;
@@ -203,7 +218,35 @@ void Cli::note(const std::string& key, sim::JsonValue value) {
   extra_.set(key, std::move(value));
 }
 
+std::unique_ptr<obs::Observer> Cli::observe(core::Simulation& sim) const {
+  if (!observability_requested()) return nullptr;
+  obs::ObserverOptions options;
+  options.trace = !trace_path_.empty();
+  options.metrics = !metrics_path_.empty();
+  options.sample_every =
+      sample_every_ > 0 ? static_cast<Cycle>(sample_every_) : 0;
+  return std::make_unique<obs::Observer>(sim, options);
+}
+
+bool Cli::write_observability(const obs::Observer& observer) {
+  bool ok = true;
+  if (!trace_path_.empty()) {
+    ok = sim::write_json_file(observer.trace_json(), trace_path_) && ok;
+  }
+  if (!metrics_path_.empty()) {
+    ok = sim::write_json_file(observer.metrics_json(), metrics_path_) && ok;
+  }
+  observability_written_ = true;
+  return ok;
+}
+
 int Cli::finish(bool ok) {
+  if (observability_requested() && !observability_written_) {
+    std::fprintf(stderr,
+                 "%s: warning: --trace/--metrics/--sample-every given but "
+                 "this driver recorded no observed run\n",
+                 experiment_.c_str());
+  }
   if (!json_path_.empty()) {
     const double wall =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)

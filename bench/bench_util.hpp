@@ -7,9 +7,11 @@
 #include <chrono>
 #include <cstdio>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "obs/observer.hpp"
 #include "sim/json.hpp"
 
 namespace wavesim::bench {
@@ -49,12 +51,18 @@ std::string fmt_pct(double fraction, int precision = 1);
 void require(bool ok, const std::string& message);
 
 /// Common command-line surface of every bench_e* driver:
-///   --json <path>   write a wavesim.bench.v1 metrics file
-///   --threads N     worker threads for parallel_for (0/default = all cores)
-///   --quick         shrink the experiment for CI smoke runs
-///   --help          usage
+///   --json <path>     write a wavesim.bench.v1 metrics file
+///   --threads N       worker threads for parallel_for (0/default = all cores)
+///   --quick           shrink the experiment for CI smoke runs
+///   --trace <path>    record one representative run as wavesim.trace.v1
+///   --metrics <path>  record its counters/histograms as wavesim.metrics.v1
+///   --sample-every N  gauge sampling period for the observed run
+///   --help            usage
 /// After parse(), report() both prints a table and records it for export;
 /// finish(ok) writes the JSON file and maps ok to the process exit code.
+/// A driver supports --trace/--metrics by attaching observe(sim) to one
+/// representative (single-threaded) run and calling write_observability()
+/// when it completes; drivers that never do warn at finish().
 class Cli {
  public:
   Cli(std::string experiment, std::string title);
@@ -71,6 +79,21 @@ class Cli {
   unsigned threads() const noexcept { return threads_; }
   bool quick() const noexcept { return quick_; }
   bool json_enabled() const noexcept { return !json_path_.empty(); }
+
+  /// True when --trace, --metrics, or --sample-every was given.
+  bool observability_requested() const noexcept {
+    return !trace_path_.empty() || !metrics_path_.empty() || sample_every_ > 0;
+  }
+
+  /// Attach an Observer (per the observability flags) to one
+  /// representative simulation. Returns nullptr when no flag was given.
+  /// The caller keeps the Observer alive for the run, then passes it to
+  /// write_observability().
+  std::unique_ptr<obs::Observer> observe(core::Simulation& sim) const;
+
+  /// Write the trace/metrics files requested on the command line from an
+  /// observer returned by observe(). Returns false if a write failed.
+  bool write_observability(const obs::Observer& observer);
 
   /// Print the table (CSV side effect included) and record it for JSON
   /// export under `name`.
@@ -98,6 +121,10 @@ class Cli {
   std::string experiment_;
   std::string title_;
   std::string json_path_;
+  std::string trace_path_;
+  std::string metrics_path_;
+  std::int64_t sample_every_ = 0;
+  bool observability_written_ = false;
   std::vector<IntFlag> int_flags_;
   unsigned threads_ = 0;
   bool quick_ = false;

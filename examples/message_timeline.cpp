@@ -3,18 +3,24 @@
 // showing exactly where a cold (setup-paying) send spends its cycles
 // compared to a warm circuit hit and a wormhole-only send.
 //
-//   $ ./message_timeline
+//   $ ./message_timeline [--trace PATH]
+//
+// With --trace, the same events are also exported as a Chrome/Perfetto
+// trace (wavesim.trace.v1) covering every run in the program.
 #include <cstdio>
+#include <cstring>
 #include <vector>
 
 #include "core/simulation.hpp"
+#include "obs/trace.hpp"
+#include "sim/json.hpp"
 
 namespace {
 
 using namespace wavesim;
 
 void run_and_print(const char* title, sim::ProtocolKind protocol,
-                   int sends) {
+                   int sends, obs::TraceRecorder* recorder) {
   sim::SimConfig config = sim::SimConfig::default_torus();
   config.protocol.protocol = protocol;
   if (protocol == sim::ProtocolKind::kWormholeOnly) {
@@ -22,7 +28,10 @@ void run_and_print(const char* title, sim::ProtocolKind protocol,
   }
   core::Simulation sim(config);
   std::vector<core::Event> events;
-  sim.set_event_sink([&](const core::Event& e) { events.push_back(e); });
+  sim.set_event_sink([&](const core::Event& e) {
+    events.push_back(e);
+    if (recorder != nullptr) recorder->on_event(e);
+  });
 
   std::printf("\n--- %s ---\n", title);
   for (int i = 0; i < sends; ++i) {
@@ -44,13 +53,30 @@ void run_and_print(const char* title, sim::ProtocolKind protocol,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const char* trace_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: message_timeline [--trace PATH]\n");
+      return 2;
+    }
+  }
+  obs::TraceRecorder recorder(1u << 12);
+  obs::TraceRecorder* rec = trace_path != nullptr ? &recorder : nullptr;
+
   std::printf("Lifecycle of 96-flit messages (0,0) -> (4,4) on an 8x8 torus.\n"
               "CLRP: the first message pays probe + ack setup; the second "
               "rides the\ncached circuit immediately.\n");
   run_and_print("CLRP, two messages to the same destination",
-                sim::ProtocolKind::kClrp, 2);
+                sim::ProtocolKind::kClrp, 2, rec);
   run_and_print("wormhole only, one message",
-                sim::ProtocolKind::kWormholeOnly, 1);
+                sim::ProtocolKind::kWormholeOnly, 1, rec);
+  if (trace_path != nullptr) {
+    if (!sim::write_json_file(recorder.to_json(64), trace_path)) return 2;
+    std::printf("\ntrace written to %s (load in ui.perfetto.dev)\n",
+                trace_path);
+  }
   return 0;
 }

@@ -11,6 +11,7 @@
 
 #include "core/simulation.hpp"
 #include "harness/sweep.hpp"
+#include "obs/observer.hpp"
 #include "sim/build_info.hpp"
 #include "sim/json.hpp"
 #include "verify/delivery.hpp"
@@ -42,6 +43,9 @@ struct Options {
   std::int32_t max_packet = 0;
   bool histogram = false;
   std::string json_path;
+  std::string trace_path;    ///< wavesim.trace.v1 (Perfetto-loadable)
+  std::string metrics_path;  ///< wavesim.metrics.v1
+  Cycle sample_every = 0;    ///< gauge sampling period; 0 = off
   std::int32_t replicas = 1;
   unsigned threads = 0;
 };
@@ -72,6 +76,10 @@ void usage() {
       "  --max-packet N      wormhole segmentation limit (default off)\n"
       "  --hist              print an ASCII latency histogram\n"
       "  --json PATH         write the statistics as JSON\n"
+      "  --trace PATH        write a Chrome/Perfetto trace (wavesim.trace.v1)\n"
+      "  --metrics PATH      write counters + histograms (wavesim.metrics.v1)\n"
+      "  --sample-every N    sample gauge time series every N cycles\n"
+      "                      (default 0 = off; adds samples to --metrics)\n"
       "  --replicas N        run N seeds and merge (wavesim.sweep.v1 export)\n"
       "  --threads N         worker threads for --replicas (0 = all cores)\n");
 }
@@ -108,6 +116,9 @@ bool parse(int argc, char** argv, Options& opt) {
     else if (arg == "--max-packet") opt.max_packet = std::atoi(need(i));
     else if (arg == "--hist") opt.histogram = true;
     else if (arg == "--json") opt.json_path = need(i);
+    else if (arg == "--trace") opt.trace_path = need(i);
+    else if (arg == "--metrics") opt.metrics_path = need(i);
+    else if (arg == "--sample-every") opt.sample_every = std::strtoull(need(i), nullptr, 10);
     else if (arg == "--replicas") opt.replicas = std::atoi(need(i));
     else if (arg == "--threads") opt.threads = static_cast<unsigned>(std::atoi(need(i)));
     else {
@@ -179,6 +190,11 @@ int main(int argc, char** argv) {
       // Multi-seed mode: run the same point `replicas` times through the
       // sweep harness (deterministic seeding, parallel workers) and print
       // the merged statistics instead of one run's.
+      if (!opt.trace_path.empty() || !opt.metrics_path.empty()) {
+        std::fprintf(stderr,
+                     "warning: --trace/--metrics apply to single runs only; "
+                     "ignored with --replicas\n");
+      }
       harness::SweepPoint point;
       point.label = opt.topo + "/" + opt.protocol + "@" + opt.pattern;
       point.config = cfg;
@@ -220,6 +236,19 @@ int main(int argc, char** argv) {
     }
 
     core::Simulation sim(cfg);
+
+    // Observability attaches before the first cycle so traces cover the
+    // whole run; it is read-only, so stats stay bit-identical either way.
+    std::unique_ptr<obs::Observer> observer;
+    if (!opt.trace_path.empty() || !opt.metrics_path.empty() ||
+        opt.sample_every > 0) {
+      obs::ObserverOptions obs_opt;
+      obs_opt.trace = !opt.trace_path.empty();
+      obs_opt.metrics = !opt.metrics_path.empty();
+      obs_opt.sample_every = opt.sample_every;
+      observer = std::make_unique<obs::Observer>(sim, obs_opt);
+    }
+
     auto pattern = load::make_traffic(opt.pattern, sim.topology(),
                                       sim::Rng{opt.seed * 31 + 7});
     load::FixedSize sizes(opt.length);
@@ -288,8 +317,21 @@ int main(int argc, char** argv) {
               .set("seed", opt.seed)
               .set("drained", result.drained)
               .set("invariants_ok", check.ok())
+              .set("watchdog_verdict", verify::to_string(result.watchdog_verdict))
+              .set("stalled_for", result.max_stalled)
               .set("stats", harness::stats_to_json(s));
       if (!sim::write_json_file(doc, opt.json_path)) return 2;
+    }
+    if (observer != nullptr) {
+      observer->detach();
+      if (!opt.trace_path.empty() &&
+          !sim::write_json_file(observer->trace_json(), opt.trace_path)) {
+        return 2;
+      }
+      if (!opt.metrics_path.empty() &&
+          !sim::write_json_file(observer->metrics_json(), opt.metrics_path)) {
+        return 2;
+      }
     }
     return check.ok() && result.drained ? 0 : 1;
   } catch (const std::exception& e) {

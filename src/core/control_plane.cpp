@@ -15,9 +15,10 @@ using topo::KAryNCube;
 
 ControlPlane::ControlPlane(const topo::KAryNCube& topology,
                            CircuitTable& circuits, wh::LinkGate& gate,
-                           const ControlPlaneParams& params)
+                           const ControlPlaneParams& params,
+                           const Instrumentation* instrumentation)
     : topology_(topology), circuits_(circuits), gate_(gate), params_(params),
-      registers_(topology, params.num_switches) {
+      instr_(instrumentation), registers_(topology, params.num_switches) {
   if (params.num_switches < 1 || params.max_misroutes < 0 ||
       params.hop_cycles < 1) {
     throw std::invalid_argument("ControlPlane: bad params");
@@ -200,6 +201,10 @@ void ControlPlane::step_probe(ActiveProbe& ap, Cycle now) {
       if (decision.misroute) {
         ++ap.probe.misroutes;
         ++stats_.probe_misroutes;
+        if (instr_ != nullptr) {
+          instr_->emit(now, EventKind::kMisrouted, ap.node, kInvalidMessage,
+                       ap.probe.circuit);
+        }
       }
       rec.path.push_back(decision.port);
       ap.waiting = false;
@@ -249,6 +254,10 @@ void ControlPlane::step_probe(ActiveProbe& ap, Cycle now) {
                             : KAryNCube::opposite(ap.stack.back().out_port);
       ap.ready_at = now + params_.hop_cycles;
       ++stats_.probe_backtracks;
+      if (instr_ != nullptr) {
+        instr_->emit(now, EventKind::kBacktracked, ap.node, kInvalidMessage,
+                     ap.probe.circuit);
+      }
       return;
     }
   }

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/circuit.hpp"
+#include "core/instrumentation.hpp"
 #include "pcs/history.hpp"
 #include "pcs/mbm.hpp"
 #include "pcs/probe.hpp"
@@ -68,8 +69,12 @@ struct TeardownDone {
 
 class ControlPlane {
  public:
+  /// `instrumentation` may be nullptr (no event emission). When supplied
+  /// it must outlive the plane; probe backtracks and misroutes are
+  /// reported through it.
   ControlPlane(const topo::KAryNCube& topology, CircuitTable& circuits,
-               wh::LinkGate& gate, const ControlPlaneParams& params);
+               wh::LinkGate& gate, const ControlPlaneParams& params,
+               const Instrumentation* instrumentation = nullptr);
 
   std::int32_t num_switches() const noexcept { return params_.num_switches; }
 
@@ -171,6 +176,7 @@ class ControlPlane {
   CircuitTable& circuits_;
   wh::LinkGate& gate_;
   ControlPlaneParams params_;
+  const Instrumentation* instr_ = nullptr;
   pcs::RegisterFile registers_;
   pcs::HistoryStore history_;
   std::map<ProbeId, ActiveProbe> probes_;

@@ -14,6 +14,10 @@ const char* to_string(EventKind kind) noexcept {
     case EventKind::kTeardownStarted: return "teardown-started";
     case EventKind::kEvicted: return "evicted";
     case EventKind::kReleaseDemanded: return "release-demanded";
+    case EventKind::kBacktracked: return "backtracked";
+    case EventKind::kMisrouted: return "misrouted";
+    case EventKind::kForceTeardown: return "force-teardown";
+    case EventKind::kFallbackWormhole: return "fallback-wormhole";
   }
   return "?";
 }

@@ -3,6 +3,7 @@
 // trace capture without any cost when unused.
 #pragma once
 
+#include <cstddef>
 #include <functional>
 
 #include "sim/types.hpp"
@@ -20,7 +21,14 @@ enum class EventKind : std::uint8_t {
   kTeardownStarted,     ///< source began releasing a circuit
   kEvicted,             ///< cache replacement displaced a circuit
   kReleaseDemanded,     ///< a release request reached the circuit's source
+  kBacktracked,         ///< a probe retreated one hop (MB-m search)
+  kMisrouted,           ///< a probe advanced on a non-minimal port
+  kForceTeardown,       ///< a release demand actually tore the circuit down
+  kFallbackWormhole,    ///< message diverted to the S0 wormhole plane
 };
+
+/// Number of EventKind values (dense, starting at 0).
+inline constexpr std::size_t kNumEventKinds = 14;
 
 const char* to_string(EventKind kind) noexcept;
 

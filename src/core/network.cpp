@@ -25,7 +25,8 @@ Network::Network(const sim::SimConfig& config)
         topology_, circuits_, gate_,
         ControlPlaneParams{config_.router.wave_switches,
                            config_.protocol.max_misroutes,
-                           config_.router.control_hop_cycles});
+                           config_.router.control_hop_cycles},
+        &instrumentation_);
     data_ = std::make_unique<DataPlane>(
         circuits_,
         DataPlaneParams{config_.circuit_flits_per_cycle(),

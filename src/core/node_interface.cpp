@@ -44,11 +44,12 @@ std::int32_t NodeInterface::initial_switch() const {
   return sum % control_->num_switches();
 }
 
-void NodeInterface::send_wormhole(MessageId id, MessageMode mode) {
+void NodeInterface::send_wormhole(MessageId id, MessageMode mode, Cycle now) {
   MessageRecord& rec = log_.at(id);
   rec.mode = mode;
   if (mode == MessageMode::kWormholeFallback) {
     ++stats_.fallback_messages;
+    instr_.emit(now, EventKind::kFallbackWormhole, node_, id);
   } else {
     ++stats_.wormhole_messages;
   }
@@ -78,7 +79,7 @@ void NodeInterface::submit(MessageId id, Cycle now) {
       circuits_enabled() && protocol != sim::ProtocolKind::kWormholeOnly &&
       rec.length >= config_.protocol.min_circuit_message_flits;
   if (!circuit_eligible) {
-    send_wormhole(id, MessageMode::kWormholePolicy);
+    send_wormhole(id, MessageMode::kWormholePolicy, now);
     return;
   }
 
@@ -95,7 +96,7 @@ void NodeInterface::submit(MessageId id, Cycle now) {
   if (entry != nullptr) {
     if (ds.release_urgent || ds.release_when_drained) {
       // The circuit is on its way out; don't prolong its life.
-      send_wormhole(id, MessageMode::kWormholePolicy);
+      send_wormhole(id, MessageMode::kWormholePolicy, now);
       return;
     }
     ++cache_.hits;
@@ -118,12 +119,12 @@ void NodeInterface::submit(MessageId id, Cycle now) {
       ds.retry_at = now + kPcsRetryBackoff;
     } else {
       // Every cache entry is probing or carrying a message: wormhole.
-      send_wormhole(id, MessageMode::kWormholeFallback);
+      send_wormhole(id, MessageMode::kWormholeFallback, now);
     }
     return;
   }
   // CARP: circuits appear only on explicit request.
-  send_wormhole(id, MessageMode::kWormholePolicy);
+  send_wormhole(id, MessageMode::kWormholePolicy, now);
 }
 
 bool NodeInterface::start_setup(NodeId dest, SetupSequencer::Mode mode,
@@ -194,7 +195,7 @@ void NodeInterface::abandon_setup(NodeId dest, DestState& ds, Cycle now) {
   }
   std::deque<MessageId> orphans = std::move(ds.queue);
   for (MessageId id : orphans) {
-    send_wormhole(id, MessageMode::kWormholeFallback);
+    send_wormhole(id, MessageMode::kWormholeFallback, now);
   }
 }
 
@@ -333,6 +334,8 @@ void NodeInterface::on_release_demand(const ReleaseDemand& demand, Cycle now) {
   std::deque<MessageId> orphans = std::move(ds.queue);
   ds.release_urgent = false;
   ds.release_when_drained = false;
+  instr_.emit(now, EventKind::kForceTeardown, node_, kInvalidMessage,
+              demand.circuit);
   teardown_now(dest, *entry, now);
   requeue(std::move(orphans), now);
 }
@@ -353,6 +356,8 @@ void NodeInterface::on_transfer_done(const TransferDone& done, Cycle now) {
     ds.release_urgent = false;
     std::deque<MessageId> orphans = std::move(ds.queue);
     ds.release_when_drained = false;
+    instr_.emit(now, EventKind::kForceTeardown, node_, kInvalidMessage,
+                done.circuit);
     teardown_now(done.dest, *entry, now);
     requeue(std::move(orphans), now);
     return;

@@ -100,7 +100,7 @@ class NodeInterface {
   void teardown_now(NodeId dest, CacheEntry& entry, Cycle now);
   /// Resubmit messages (used when a circuit goes away under a queue).
   void requeue(std::deque<MessageId> msgs, Cycle now);
-  void send_wormhole(MessageId id, MessageMode mode);
+  void send_wormhole(MessageId id, MessageMode mode, Cycle now);
 
   NodeId node_;
   const sim::SimConfig& config_;

@@ -9,7 +9,7 @@ bool Simulation::run_until_delivered(Cycle max_cycles) {
   const Cycle deadline = now() + max_cycles;
   while (!network_->quiescent()) {
     if (now() >= deadline) return false;
-    network_->step();
+    step();
   }
   return true;
 }
@@ -93,6 +93,7 @@ SimulationStats Simulation::stats(Cycle min_created) const {
     out.probes_launched = s.probes_launched;
     out.probes_succeeded = s.probes_succeeded;
     out.probes_failed = s.probes_failed;
+    out.probe_advances = s.probe_advances;
     out.probe_backtracks = s.probe_backtracks;
     out.probe_misroutes = s.probe_misroutes;
     out.release_requests = s.release_requests_sent;

@@ -7,6 +7,7 @@
 //   auto stats = sim.stats();
 #pragma once
 
+#include <functional>
 #include <memory>
 
 #include "core/network.hpp"
@@ -47,6 +48,7 @@ struct SimulationStats {
   std::uint64_t probes_launched = 0;
   std::uint64_t probes_succeeded = 0;
   std::uint64_t probes_failed = 0;
+  std::uint64_t probe_advances = 0;
   std::uint64_t probe_backtracks = 0;
   std::uint64_t probe_misroutes = 0;
   std::uint64_t release_requests = 0;
@@ -88,8 +90,13 @@ class Simulation {
     return network_->messages().at(id).done;
   }
 
-  void step() { network_->step(); }
-  void run(Cycle cycles) { network_->run(cycles); }
+  void step() {
+    network_->step();
+    if (step_hook_) step_hook_(network_->now());
+  }
+  void run(Cycle cycles) {
+    for (Cycle i = 0; i < cycles; ++i) step();
+  }
 
   /// Step until every offered message is delivered and the network drains.
   /// Returns false if `max_cycles` elapse first (a watchdog for the
@@ -109,11 +116,18 @@ class Simulation {
     network_->set_event_sink(std::move(sink));
   }
 
+  /// Install a per-cycle hook, called after each step with the new cycle
+  /// number (observability sampling). Empty hook = no per-cycle cost
+  /// beyond one branch. The hook must not mutate the simulation.
+  using StepHook = std::function<void(Cycle)>;
+  void set_step_hook(StepHook hook) { step_hook_ = std::move(hook); }
+
   Network& network() noexcept { return *network_; }
   const Network& network() const noexcept { return *network_; }
 
  private:
   std::unique_ptr<Network> network_;
+  StepHook step_hook_;
 };
 
 }  // namespace wavesim::core

@@ -30,6 +30,7 @@ namespace {
 struct ReplicaOutcome {
   core::SimulationStats stats;
   bool drained = true;
+  bool stuck = false;  ///< final watchdog verdict was kStuck
 };
 
 ReplicaOutcome run_one(const SweepPoint& point, std::uint64_t seed) {
@@ -46,7 +47,8 @@ ReplicaOutcome run_one(const SweepPoint& point, std::uint64_t seed) {
       load::run_open_loop(sim, *pattern, sizes, point.offered_load,
                           point.warmup, point.measure, point.drain_cap,
                           workload_seed);
-  return ReplicaOutcome{r.stats, r.drained};
+  return ReplicaOutcome{r.stats, r.drained,
+                        r.watchdog_verdict == verify::Verdict::kStuck};
 }
 
 }  // namespace
@@ -95,9 +97,20 @@ SweepResult run_sweep(const std::vector<SweepPoint>& points,
           outcomes[pi * static_cast<std::size_t>(replicas) +
                    static_cast<std::size_t>(ri)];
       if (!o.drained) ++summary.saturated_replicas;
+      if (o.stuck) ++summary.stuck_replicas;
       summary.messages_offered += o.stats.messages_offered;
       summary.messages_delivered += o.stats.messages_delivered;
       summary.flits_delivered += o.stats.flits_delivered;
+      CounterSummary& c = summary.counters;
+      c.probes_launched += o.stats.probes_launched;
+      c.probe_backtracks += o.stats.probe_backtracks;
+      c.probe_misroutes += o.stats.probe_misroutes;
+      c.teardowns += o.stats.teardowns;
+      c.fallback_count += o.stats.fallback_count;
+      c.wormhole_count += o.stats.wormhole_count;
+      c.cache_hits += o.stats.cache_hits;
+      c.cache_misses += o.stats.cache_misses;
+      c.cache_evictions += o.stats.cache_evictions;
       MetricSummary& m = summary.metrics;
       m.latency_mean.add(o.stats.latency_mean);
       m.latency_p50.add(o.stats.latency_p50);
@@ -149,9 +162,21 @@ sim::JsonValue points_to_json(const SweepResult& result) {
             .set("offered_load", p.offered_load)
             .set("replicas", p.replicas)
             .set("saturated_replicas", p.saturated_replicas)
+            .set("stuck_replicas", p.stuck_replicas)
             .set("messages_offered", p.messages_offered)
             .set("messages_delivered", p.messages_delivered)
             .set("flits_delivered", p.flits_delivered)
+            .set("counters",
+                 sim::JsonValue::object()
+                     .set("probes_launched", p.counters.probes_launched)
+                     .set("probe_backtracks", p.counters.probe_backtracks)
+                     .set("probe_misroutes", p.counters.probe_misroutes)
+                     .set("teardowns", p.counters.teardowns)
+                     .set("fallback_count", p.counters.fallback_count)
+                     .set("wormhole_count", p.counters.wormhole_count)
+                     .set("cache_hits", p.counters.cache_hits)
+                     .set("cache_misses", p.counters.cache_misses)
+                     .set("cache_evictions", p.counters.cache_evictions))
             .set("metrics", std::move(metrics)));
   }
   return points;
@@ -196,6 +221,7 @@ sim::JsonValue stats_to_json(const core::SimulationStats& stats) {
       .set("probes_launched", stats.probes_launched)
       .set("probes_succeeded", stats.probes_succeeded)
       .set("probes_failed", stats.probes_failed)
+      .set("probe_advances", stats.probe_advances)
       .set("probe_backtracks", stats.probe_backtracks)
       .set("probe_misroutes", stats.probe_misroutes)
       .set("release_requests", stats.release_requests)

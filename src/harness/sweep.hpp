@@ -55,6 +55,21 @@ struct MetricSummary {
   sim::OnlineStats setup_success_rate;
 };
 
+/// Event counters summed across the replicas of one point. These mirror
+/// the obs::MetricsRegistry counter names so sweep output and single-run
+/// metrics output can be compared directly.
+struct CounterSummary {
+  std::uint64_t probes_launched = 0;
+  std::uint64_t probe_backtracks = 0;
+  std::uint64_t probe_misroutes = 0;
+  std::uint64_t teardowns = 0;
+  std::uint64_t fallback_count = 0;
+  std::uint64_t wormhole_count = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+};
+
 /// Merged outcome of all replicas of one sweep point.
 struct PointSummary {
   std::string label;
@@ -63,9 +78,11 @@ struct PointSummary {
   double offered_load = 0.0;
   std::int32_t replicas = 0;
   std::int32_t saturated_replicas = 0;  ///< replicas that hit the drain cap
+  std::int32_t stuck_replicas = 0;      ///< watchdog said kStuck at the end
   std::uint64_t messages_offered = 0;
   std::uint64_t messages_delivered = 0;
   std::uint64_t flits_delivered = 0;
+  CounterSummary counters;
   MetricSummary metrics;
 };
 

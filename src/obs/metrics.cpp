@@ -1,0 +1,169 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace wavesim::obs {
+
+std::size_t Log2Histogram::bucket_of(std::uint64_t value) noexcept {
+  // bit_width(0) == 0, bit_width(1) == 1, bit_width(2..3) == 2, ... which
+  // is exactly "0 in bucket 0, [2^(i-1), 2^i) in bucket i".
+  return std::min<std::size_t>(std::bit_width(value), kBuckets - 1);
+}
+
+std::uint64_t Log2Histogram::bucket_lo(std::size_t i) noexcept {
+  return i == 0 ? 0 : std::uint64_t{1} << (i - 1);
+}
+
+std::uint64_t Log2Histogram::bucket_hi(std::size_t i) noexcept {
+  if (i == 0) return 0;
+  if (i >= kBuckets - 1) return ~std::uint64_t{0};
+  return (std::uint64_t{1} << i) - 1;
+}
+
+void Log2Histogram::add(std::uint64_t value) noexcept {
+  ++counts_[bucket_of(value)];
+  ++count_;
+  sum_ += value;
+  min_ = count_ == 1 ? value : std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void Log2Histogram::merge(const Log2Histogram& other) noexcept {
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
+  min_ = count_ == 0 ? other.min_ : std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+sim::JsonValue Log2Histogram::to_json() const {
+  sim::JsonValue buckets = sim::JsonValue::array();
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (counts_[i] == 0) continue;
+    buckets.push_back(sim::JsonValue::object()
+                          .set("lo", bucket_lo(i))
+                          .set("hi", bucket_hi(i))
+                          .set("count", counts_[i]));
+  }
+  return sim::JsonValue::object()
+      .set("count", count_)
+      .set("sum", sum_)
+      .set("min", min())
+      .set("max", max_)
+      .set("mean", mean())
+      .set("buckets", std::move(buckets));
+}
+
+void MetricsRegistry::on_event(const core::Event& event) {
+  ++counters_[static_cast<std::size_t>(event.kind)];
+  switch (event.kind) {
+    case core::EventKind::kSubmitted:
+      if (event.msg != kInvalidMessage) submitted_at_[event.msg] = event.at;
+      break;
+    case core::EventKind::kProbeLaunched:
+      // First attempt only: retries on other switches belong to the same
+      // end-to-end setup, whose latency the paper's anatomy cares about.
+      if (event.circuit != kInvalidCircuit) {
+        probe_started_at_.emplace(event.circuit, event.at);
+      }
+      break;
+    case core::EventKind::kCircuitEstablished:
+      if (auto it = probe_started_at_.find(event.circuit);
+          it != probe_started_at_.end()) {
+        setup_.add(event.at - it->second);
+        probe_started_at_.erase(it);
+      }
+      break;
+    case core::EventKind::kSetupAbandoned:
+      probe_started_at_.erase(event.circuit);
+      break;
+    case core::EventKind::kTransferStarted:
+      if (event.msg != kInvalidMessage) {
+        transfer_started_at_[event.msg] = event.at;
+      }
+      break;
+    case core::EventKind::kDelivered: {
+      if (auto it = submitted_at_.find(event.msg); it != submitted_at_.end()) {
+        injection_.add(event.at - it->second);
+        submitted_at_.erase(it);
+      }
+      if (auto it = transfer_started_at_.find(event.msg);
+          it != transfer_started_at_.end()) {
+        network_.add(event.at - it->second);
+        transfer_started_at_.erase(it);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+namespace {
+
+sim::JsonValue samples_to_json(const std::vector<GaugeSample>& samples) {
+  // Column-major header + row arrays keep the time series compact. The
+  // utilization columns depend on k, taken from the first sample.
+  const std::size_t util_cols =
+      samples.empty() ? 0 : samples.front().switch_utilization.size();
+  sim::JsonValue columns = sim::JsonValue::array();
+  for (const char* name : {"cycle", "circuits_live", "messages_in_flight",
+                           "flits_in_flight"}) {
+    columns.push_back(name);
+  }
+  for (std::size_t s = 0; s < util_cols; ++s) {
+    columns.push_back("util_s" + std::to_string(s));
+  }
+  columns.push_back("watchdog_verdict");
+  columns.push_back("stalled_for");
+
+  sim::JsonValue rows = sim::JsonValue::array();
+  for (const GaugeSample& g : samples) {
+    sim::JsonValue row = sim::JsonValue::array();
+    row.push_back(g.cycle);
+    row.push_back(g.circuits_live);
+    row.push_back(g.messages_in_flight);
+    row.push_back(g.flits_in_flight);
+    for (std::size_t s = 0; s < util_cols; ++s) {
+      row.push_back(s < g.switch_utilization.size()
+                        ? g.switch_utilization[s]
+                        : 0.0);
+    }
+    row.push_back(g.watchdog_verdict);
+    row.push_back(g.stalled_for);
+    rows.push_back(std::move(row));
+  }
+  return sim::JsonValue::object()
+      .set("columns", std::move(columns))
+      .set("rows", std::move(rows));
+}
+
+}  // namespace
+
+sim::JsonValue MetricsRegistry::to_json(const sim::JsonValue& extra_counters,
+                                        Cycle sample_every) const {
+  sim::JsonValue counters = sim::JsonValue::object();
+  for (std::size_t i = 0; i < core::kNumEventKinds; ++i) {
+    counters.set(core::to_string(static_cast<core::EventKind>(i)),
+                 counters_[i]);
+  }
+  if (extra_counters.is_object()) {
+    for (const auto& [key, value] : extra_counters.members()) {
+      counters.set(key, value);
+    }
+  }
+  return sim::JsonValue::object()
+      .set("schema", "wavesim.metrics.v1")
+      .set("sample_every", sample_every)
+      .set("counters", std::move(counters))
+      .set("histograms",
+           sim::JsonValue::object()
+               .set("setup_latency", setup_.to_json())
+               .set("network_latency", network_.to_json())
+               .set("injection_to_delivery", injection_.to_json()))
+      .set("samples", samples_to_json(samples_));
+}
+
+}  // namespace wavesim::obs

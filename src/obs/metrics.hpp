@@ -1,0 +1,122 @@
+// Metrics registry: fixed-bucket log2 histograms, monotonic event
+// counters, and a periodic gauge sampler, exported as the
+// `wavesim.metrics.v1` JSON schema.
+//
+// The registry consumes core::Instrumentation events (via obs::Observer or
+// directly through on_event) and derives three latency histograms:
+//   setup_latency          first probe launch -> circuit established
+//   network_latency        transfer start    -> delivery (circuit messages)
+//   injection_to_delivery  submission        -> delivery (every message)
+// All latencies are in cycles. Everything here is deterministic: no wall
+// clock, no RNG, insertion-ordered JSON.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/instrumentation.hpp"
+#include "sim/json.hpp"
+
+namespace wavesim::obs {
+
+/// Histogram over unsigned values with power-of-two bucket boundaries:
+/// bucket 0 holds the value 0, bucket i >= 1 holds [2^(i-1), 2^i - 1].
+/// Values are clamped into the last bucket, so the bucket counts always
+/// sum to count() (no separate overflow bin).
+class Log2Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void add(std::uint64_t value) noexcept;
+  void merge(const Log2Histogram& other) noexcept;
+
+  std::uint64_t count() const noexcept { return count_; }
+  std::uint64_t sum() const noexcept { return sum_; }
+  std::uint64_t min() const noexcept { return count_ ? min_ : 0; }
+  std::uint64_t max() const noexcept { return max_; }
+  double mean() const noexcept {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_)
+                  : 0.0;
+  }
+
+  /// Bucket index a value falls into.
+  static std::size_t bucket_of(std::uint64_t value) noexcept;
+  /// Inclusive lower bound of bucket i.
+  static std::uint64_t bucket_lo(std::size_t i) noexcept;
+  /// Inclusive upper bound of bucket i.
+  static std::uint64_t bucket_hi(std::size_t i) noexcept;
+  std::uint64_t bucket_count(std::size_t i) const { return counts_.at(i); }
+
+  /// {"count", "sum", "min", "max", "mean", "buckets": [{lo,hi,count}...]}
+  /// Only non-empty buckets are serialized; their counts sum to "count".
+  sim::JsonValue to_json() const;
+
+ private:
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+/// One gauge snapshot taken by the sampler (obs::Observer fills these from
+/// the live network once every `sample_every` cycles).
+struct GaugeSample {
+  Cycle cycle = 0;
+  std::uint64_t circuits_live = 0;
+  std::uint64_t messages_in_flight = 0;  ///< submitted - delivered
+  std::int64_t flits_in_flight = 0;      ///< wormhole plane occupancy
+  /// Link/channel utilization per switch class: index 0 is the S0 wormhole
+  /// plane (flit-hops per channel-cycle since the previous sample), index
+  /// i >= 1 is wave switch S_i (fraction of channels busy right now).
+  std::vector<double> switch_utilization;
+  std::string watchdog_verdict;  ///< verify::to_string(poll())
+  Cycle stalled_for = 0;
+};
+
+/// Event-driven counters plus the derived latency histograms and the gauge
+/// time series. The registry never touches the network itself; gauges are
+/// appended by the caller.
+class MetricsRegistry {
+ public:
+  void on_event(const core::Event& event);
+  void add_sample(GaugeSample sample) {
+    samples_.push_back(std::move(sample));
+  }
+
+  std::uint64_t counter(core::EventKind kind) const {
+    return counters_.at(static_cast<std::size_t>(kind));
+  }
+  const Log2Histogram& setup_latency() const noexcept { return setup_; }
+  const Log2Histogram& network_latency() const noexcept { return network_; }
+  const Log2Histogram& injection_to_delivery() const noexcept {
+    return injection_;
+  }
+  std::size_t num_samples() const noexcept { return samples_.size(); }
+  std::uint64_t messages_in_flight() const noexcept {
+    return counter(core::EventKind::kSubmitted) -
+           counter(core::EventKind::kDelivered);
+  }
+
+  /// The full `wavesim.metrics.v1` document. `extra_counters` (may be
+  /// empty) is merged into the "counters" object — the Observer passes
+  /// network counters that are not event-derived (cache hits, probe moves).
+  sim::JsonValue to_json(const sim::JsonValue& extra_counters,
+                         Cycle sample_every) const;
+
+ private:
+  std::array<std::uint64_t, core::kNumEventKinds> counters_{};
+  Log2Histogram setup_;
+  Log2Histogram network_;
+  Log2Histogram injection_;
+  std::vector<GaugeSample> samples_;
+  // Open intervals, erased on completion: bounded by in-flight work.
+  std::unordered_map<MessageId, Cycle> submitted_at_;
+  std::unordered_map<MessageId, Cycle> transfer_started_at_;
+  std::unordered_map<CircuitId, Cycle> probe_started_at_;
+};
+
+}  // namespace wavesim::obs

@@ -1,0 +1,120 @@
+#include "obs/observer.hpp"
+
+#include <stdexcept>
+
+#include "pcs/registers.hpp"
+#include "sim/build_info.hpp"
+
+namespace wavesim::obs {
+
+Observer::Observer(core::Simulation& sim, const ObserverOptions& options)
+    : sim_(sim), options_(options) {
+  if (options_.trace) {
+    trace_ = std::make_unique<TraceRecorder>(options_.trace_capacity);
+  }
+  if (options_.metrics || options_.sample_every > 0) {
+    metrics_ = std::make_unique<MetricsRegistry>();
+  }
+  if (trace_ != nullptr || metrics_ != nullptr) {
+    sim_.set_event_sink([this](const core::Event& e) {
+      if (trace_ != nullptr) trace_->on_event(e);
+      if (metrics_ != nullptr) metrics_->on_event(e);
+    });
+    attached_ = true;
+  }
+  if (options_.sample_every > 0) {
+    watchdog_ = std::make_unique<verify::ProgressWatchdog>(
+        sim_.network(), options_.watchdog_patience);
+    const topo::KAryNCube& topo = sim_.topology();
+    for (NodeId n = 0; n < topo.num_nodes(); ++n) {
+      for (PortId p = 0; p < topo.num_ports(); ++p) {
+        if (topo.has_neighbor(n, p)) ++s0_channels_;
+      }
+    }
+    last_sample_cycle_ = sim_.now();
+    next_sample_ = sim_.now() + options_.sample_every;
+    sim_.set_step_hook([this](Cycle now) {
+      if (now >= next_sample_) {
+        sample();
+        next_sample_ = now + options_.sample_every;
+      }
+    });
+    attached_ = true;
+  }
+}
+
+Observer::~Observer() { detach(); }
+
+void Observer::detach() {
+  if (!attached_) return;
+  sim_.set_event_sink({});
+  sim_.set_step_hook({});
+  attached_ = false;
+}
+
+void Observer::sample() {
+  if (metrics_ == nullptr || watchdog_ == nullptr) return;
+  const core::Network& net = sim_.network();
+  GaugeSample g;
+  g.cycle = sim_.now();
+  g.circuits_live = net.circuits().active();
+  g.messages_in_flight = metrics_->messages_in_flight();
+  g.flits_in_flight = net.fabric().flits_in_flight();
+
+  // S0: flit-hops per channel-cycle since the previous sample.
+  const std::uint64_t hops = net.fabric().link_flit_hops();
+  const Cycle elapsed = g.cycle - last_sample_cycle_;
+  g.switch_utilization.push_back(
+      elapsed > 0 && s0_channels_ > 0
+          ? static_cast<double>(hops - last_s0_hops_) /
+                (static_cast<double>(s0_channels_) *
+                 static_cast<double>(elapsed))
+          : 0.0);
+  last_s0_hops_ = hops;
+  last_sample_cycle_ = g.cycle;
+
+  // S_1..S_k: fraction of wired channels currently owned by a circuit.
+  if (const core::ControlPlane* cp = net.control_plane();
+      cp != nullptr && s0_channels_ > 0) {
+    for (std::int32_t s = 0; s < cp->num_switches(); ++s) {
+      std::int64_t busy = 0;
+      for (NodeId n = 0; n < sim_.topology().num_nodes(); ++n) {
+        busy += cp->registers(n, s).count(pcs::ChannelStatus::kBusyCircuit);
+      }
+      g.switch_utilization.push_back(static_cast<double>(busy) /
+                                     static_cast<double>(s0_channels_));
+    }
+  }
+
+  g.watchdog_verdict = verify::to_string(watchdog_->poll());
+  g.stalled_for = watchdog_->stalled_for();
+  metrics_->add_sample(std::move(g));
+}
+
+sim::JsonValue Observer::trace_json() const {
+  if (trace_ == nullptr) {
+    throw std::logic_error("Observer: tracing was not enabled");
+  }
+  return trace_->to_json(sim_.topology().num_nodes());
+}
+
+sim::JsonValue Observer::metrics_json() const {
+  if (metrics_ == nullptr) {
+    throw std::logic_error("Observer: metrics were not enabled");
+  }
+  // Network counters that have no instrumentation event of their own.
+  const core::SimulationStats stats = sim_.stats();
+  sim::JsonValue extra =
+      sim::JsonValue::object()
+          .set("probe_moves", stats.probe_advances + stats.probe_backtracks)
+          .set("cache_hits", stats.cache_hits)
+          .set("cache_misses", stats.cache_misses)
+          .set("cache_evictions", stats.cache_evictions)
+          .set("buffer_reallocs", stats.buffer_reallocs);
+  sim::JsonValue doc = metrics_->to_json(extra, options_.sample_every);
+  doc.set("generated_by", sim::git_describe());
+  if (trace_ != nullptr) doc.set("trace_events_dropped", trace_->dropped());
+  return doc;
+}
+
+}  // namespace wavesim::obs

@@ -1,0 +1,75 @@
+// Observer: attaches a TraceRecorder and/or MetricsRegistry to a live
+// core::Simulation. It installs the instrumentation sink (fan-out to both
+// consumers) and, when `sample_every > 0`, a step hook that snapshots the
+// gauge state of the network every N cycles — channel utilization per
+// switch class (S0 wormhole plane and each wave switch S_1..S_k), live
+// circuits, messages in flight, and the progress-watchdog verdict.
+//
+// The observer is strictly read-only with respect to the simulation:
+// attaching it does not change any simulated outcome, so a run with
+// observability on is bit-identical to one with it off. With neither
+// trace nor metrics requested, construct no Observer at all — the
+// simulator then pays nothing (empty sink, empty hook).
+//
+// Lifetime: the Simulation must outlive the Observer; the destructor
+// detaches the sink and hook it installed.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/simulation.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "verify/watchdog.hpp"
+
+namespace wavesim::obs {
+
+struct ObserverOptions {
+  bool trace = false;                    ///< record a wavesim.trace.v1 trace
+  std::size_t trace_capacity = 1u << 20; ///< ring-buffer bound (events)
+  bool metrics = false;                  ///< counters + latency histograms
+  Cycle sample_every = 0;                ///< gauge sampling period; 0 = off
+  Cycle watchdog_patience = 20'000;      ///< cycles of no movement => stuck
+};
+
+class Observer {
+ public:
+  Observer(core::Simulation& sim, const ObserverOptions& options);
+  ~Observer();
+
+  Observer(const Observer&) = delete;
+  Observer& operator=(const Observer&) = delete;
+
+  const ObserverOptions& options() const noexcept { return options_; }
+  const TraceRecorder* trace() const noexcept { return trace_.get(); }
+  const MetricsRegistry* metrics() const noexcept { return metrics_.get(); }
+
+  /// Take one gauge snapshot now (also called by the step hook).
+  void sample();
+
+  /// wavesim.trace.v1 document (throws std::logic_error without trace).
+  sim::JsonValue trace_json() const;
+  /// wavesim.metrics.v1 document, enriched with build metadata and the
+  /// network counters that are not event-derived (cache hit/miss, probe
+  /// moves). Throws std::logic_error without metrics.
+  sim::JsonValue metrics_json() const;
+
+  /// Remove the sink/hook this observer installed. Idempotent; called by
+  /// the destructor. After detaching, recorded data remains exportable.
+  void detach();
+
+ private:
+  core::Simulation& sim_;
+  ObserverOptions options_;
+  std::unique_ptr<TraceRecorder> trace_;
+  std::unique_ptr<MetricsRegistry> metrics_;
+  std::unique_ptr<verify::ProgressWatchdog> watchdog_;
+  Cycle next_sample_ = 0;
+  std::int64_t s0_channels_ = 0;       ///< wired unidirectional links
+  std::uint64_t last_s0_hops_ = 0;     ///< link_flit_hops at last sample
+  Cycle last_sample_cycle_ = 0;
+  bool attached_ = false;
+};
+
+}  // namespace wavesim::obs

@@ -1,0 +1,216 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <unordered_set>
+
+#include "sim/build_info.hpp"
+
+namespace wavesim::obs {
+
+namespace {
+
+using core::Event;
+using core::EventKind;
+
+sim::JsonValue base_record(const char* name, const char* phase,
+                           const Event& e) {
+  return sim::JsonValue::object()
+      .set("name", name)
+      .set("ph", phase)
+      .set("ts", e.at)
+      .set("pid", 0)
+      .set("tid", e.node);
+}
+
+sim::JsonValue args_of(const Event& e) {
+  sim::JsonValue args = sim::JsonValue::object();
+  if (e.msg != kInvalidMessage) args.set("msg", e.msg);
+  if (e.circuit != kInvalidCircuit) args.set("circuit", e.circuit);
+  return args;
+}
+
+/// Async record (ph b/n/e): needs a category and an id to correlate.
+sim::JsonValue async_record(const std::string& name, const char* phase,
+                            const char* category, std::int64_t id,
+                            const Event& e) {
+  return sim::JsonValue::object()
+      .set("name", name)
+      .set("cat", category)
+      .set("ph", phase)
+      .set("id", id)
+      .set("ts", e.at)
+      .set("pid", 0)
+      .set("tid", e.node)
+      .set("args", args_of(e));
+}
+
+sim::JsonValue instant_record(const Event& e) {
+  return base_record(core::to_string(e.kind), "i", e)
+      .set("s", "t")  // thread scope
+      .set("args", args_of(e));
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(std::size_t capacity) {
+  if (capacity < 1) {
+    throw std::invalid_argument("TraceRecorder: capacity < 1");
+  }
+  ring_.resize(capacity);
+}
+
+void TraceRecorder::on_event(const core::Event& event) {
+  if (size_ < ring_.size()) {
+    ring_[(head_ + size_) % ring_.size()] = event;
+    ++size_;
+    return;
+  }
+  // Full: overwrite the oldest slot and advance the head.
+  ring_[head_] = event;
+  head_ = (head_ + 1) % ring_.size();
+  ++dropped_;
+}
+
+std::vector<core::Event> TraceRecorder::events() const {
+  std::vector<core::Event> out;
+  out.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+sim::JsonValue TraceRecorder::to_json(std::int32_t num_nodes) const {
+  std::vector<core::Event> evs = events();
+  // Delivery events carry the (earlier) arrival cycle, so raw recording
+  // order is not time-sorted; the exported trace is. Stable to keep the
+  // within-cycle emission order deterministic.
+  std::stable_sort(evs.begin(), evs.end(),
+                   [](const Event& a, const Event& b) { return a.at < b.at; });
+
+  sim::JsonValue records = sim::JsonValue::array();
+  records.push_back(sim::JsonValue::object()
+                        .set("name", "process_name")
+                        .set("ph", "M")
+                        .set("pid", 0)
+                        .set("tid", 0)
+                        .set("args", sim::JsonValue::object().set(
+                                         "name", "wavesim network")));
+  for (NodeId n = 0; n < num_nodes; ++n) {
+    records.push_back(
+        sim::JsonValue::object()
+            .set("name", "thread_name")
+            .set("ph", "M")
+            .set("pid", 0)
+            .set("tid", n)
+            .set("args", sim::JsonValue::object().set(
+                             "name", "node " + std::to_string(n))));
+  }
+
+  // Span bookkeeping: async begins only once per id, ends only for open
+  // spans (the ring may have dropped a begin or an end).
+  std::unordered_set<std::int64_t> open_msgs;
+  std::unordered_set<std::int64_t> open_circuits;
+  for (const Event& e : evs) {
+    switch (e.kind) {
+      case EventKind::kSubmitted:
+        if (e.msg != kInvalidMessage && open_msgs.insert(e.msg).second) {
+          records.push_back(async_record("msg " + std::to_string(e.msg), "b",
+                                         "msg", e.msg, e));
+        }
+        break;
+      case EventKind::kDelivered:
+        if (e.msg != kInvalidMessage && open_msgs.erase(e.msg) > 0) {
+          records.push_back(async_record("msg " + std::to_string(e.msg), "e",
+                                         "msg", e.msg, e));
+        }
+        break;
+      case EventKind::kTransferStarted:
+      case EventKind::kTransferCompleted:
+      case EventKind::kFallbackWormhole:
+        if (e.msg != kInvalidMessage && open_msgs.count(e.msg) > 0) {
+          records.push_back(async_record(core::to_string(e.kind), "n", "msg",
+                                         e.msg, e));
+        } else {
+          records.push_back(instant_record(e));
+        }
+        break;
+      case EventKind::kProbeLaunched:
+        if (e.circuit != kInvalidCircuit) {
+          if (open_circuits.insert(e.circuit).second) {
+            records.push_back(async_record(
+                "circuit " + std::to_string(e.circuit), "b", "circuit",
+                e.circuit, e));
+          } else {
+            // Retry on another switch within the same setup.
+            records.push_back(async_record(core::to_string(e.kind), "n",
+                                           "circuit", e.circuit, e));
+          }
+        }
+        break;
+      case EventKind::kCircuitEstablished:
+        if (e.circuit != kInvalidCircuit &&
+            open_circuits.count(e.circuit) > 0) {
+          records.push_back(async_record(core::to_string(e.kind), "n",
+                                         "circuit", e.circuit, e));
+        }
+        break;
+      case EventKind::kSetupAbandoned:
+      case EventKind::kTeardownStarted:
+        if (e.circuit != kInvalidCircuit &&
+            open_circuits.erase(e.circuit) > 0) {
+          records.push_back(async_record(
+              "circuit " + std::to_string(e.circuit), "e", "circuit",
+              e.circuit, e));
+        }
+        records.push_back(instant_record(e));
+        break;
+      case EventKind::kEvicted:
+      case EventKind::kReleaseDemanded:
+      case EventKind::kBacktracked:
+      case EventKind::kMisrouted:
+      case EventKind::kForceTeardown:
+        records.push_back(instant_record(e));
+        break;
+    }
+  }
+  // Close spans left open at capture end so viewers render them.
+  // (Sorted order means "the last timestamp seen" is the trace end.)
+  if (!evs.empty()) {
+    Event end = evs.back();
+    std::vector<std::int64_t> leftover_msgs(open_msgs.begin(),
+                                            open_msgs.end());
+    std::vector<std::int64_t> leftover_circuits(open_circuits.begin(),
+                                                open_circuits.end());
+    std::sort(leftover_msgs.begin(), leftover_msgs.end());
+    std::sort(leftover_circuits.begin(), leftover_circuits.end());
+    for (const std::int64_t id : leftover_msgs) {
+      end.msg = id;
+      end.circuit = kInvalidCircuit;
+      records.push_back(
+          async_record("msg " + std::to_string(id), "e", "msg", id, end));
+    }
+    end.msg = kInvalidMessage;
+    for (const std::int64_t id : leftover_circuits) {
+      end.circuit = id;
+      records.push_back(async_record("circuit " + std::to_string(id), "e",
+                                     "circuit", id, end));
+    }
+  }
+
+  return sim::JsonValue::object()
+      .set("traceEvents", std::move(records))
+      .set("displayTimeUnit", "ms")
+      .set("otherData",
+           sim::JsonValue::object()
+               .set("schema", "wavesim.trace.v1")
+               .set("generated_by", sim::git_describe())
+               .set("time_unit", "cycles")
+               .set("events_recorded", size_)
+               .set("events_dropped", dropped_)
+               .set("capacity", ring_.size()));
+}
+
+}  // namespace wavesim::obs

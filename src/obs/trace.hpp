@@ -1,0 +1,55 @@
+// Trace recorder: captures core::Instrumentation events into a bounded
+// ring buffer and exports them as Chrome trace-event JSON (the
+// `wavesim.trace.v1` schema), loadable in Perfetto (ui.perfetto.dev) and
+// chrome://tracing.
+//
+// Mapping: one async span per message (cat "msg": submitted -> delivered,
+// with async-instant milestones in between), one async span per circuit
+// (cat "circuit": probe launch -> teardown / abandon), and thread-scoped
+// instant events for the per-node occurrences (evictions, release
+// demands, backtracks, misroutes, fallbacks). pid 0 is the whole network;
+// tid is the node id. Timestamps are cycles, written in the "ts"
+// microsecond field verbatim.
+//
+// Recording is O(1) per event (one ring-buffer write); all span
+// bookkeeping happens at export time. When the buffer is full the oldest
+// event is dropped and counted.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/instrumentation.hpp"
+#include "sim/json.hpp"
+
+namespace wavesim::obs {
+
+class TraceRecorder {
+ public:
+  /// `capacity` bounds the ring buffer (events). Must be >= 1.
+  explicit TraceRecorder(std::size_t capacity = 1u << 20);
+
+  void on_event(const core::Event& event);
+
+  std::size_t size() const noexcept { return size_; }
+  std::size_t capacity() const noexcept { return ring_.size(); }
+  std::uint64_t dropped() const noexcept { return dropped_; }
+
+  /// Events in recording order, oldest first (ring unrolled).
+  std::vector<core::Event> events() const;
+
+  /// Full Chrome-trace JSON object: {"traceEvents": [...], "otherData":
+  /// {"schema": "wavesim.trace.v1", ...}}. Events are emitted in
+  /// nondecreasing-timestamp order. `num_nodes` > 0 adds thread-name
+  /// metadata records for nodes [0, num_nodes).
+  sim::JsonValue to_json(std::int32_t num_nodes = 0) const;
+
+ private:
+  std::vector<core::Event> ring_;
+  std::size_t head_ = 0;  ///< index of the oldest event
+  std::size_t size_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace wavesim::obs

@@ -1,5 +1,6 @@
 #include "workload/generator.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "workload/traffic.hpp"
@@ -37,15 +38,42 @@ ExperimentResult run_open_loop(core::Simulation& sim, TrafficPattern& pattern,
                                SizeDist& sizes, double offered_load,
                                Cycle warmup, Cycle measure, Cycle drain_cap,
                                std::uint64_t seed) {
+  // The watchdog is read-only: polling it does not perturb the run, so
+  // results stay bit-identical to a run without it.
+  constexpr Cycle kPollEvery = 512;
+  verify::ProgressWatchdog watchdog(sim.network(), 20'000);
+  ExperimentResult result;
+  auto poll = [&] {
+    result.watchdog_verdict = watchdog.poll();
+    result.max_stalled = std::max(result.max_stalled, watchdog.stalled_for());
+  };
+
   OpenLoopGenerator gen(sim, pattern, sizes, offered_load, sim::Rng{seed});
-  for (Cycle c = 0; c < warmup; ++c) gen.tick();
+  for (Cycle c = 0; c < warmup; ++c) {
+    gen.tick();
+    if ((c + 1) % kPollEvery == 0) poll();
+  }
   const Cycle cut = sim.now();
   const std::uint64_t offered_before = gen.offered_messages();
-  for (Cycle c = 0; c < measure; ++c) gen.tick();
+  for (Cycle c = 0; c < measure; ++c) {
+    gen.tick();
+    if ((c + 1) % kPollEvery == 0) poll();
+  }
 
-  ExperimentResult result;
   result.offered_messages = gen.offered_messages() - offered_before;
-  result.drained = sim.run_until_delivered(drain_cap);
+  // Drain: same stepping as Simulation::run_until_delivered, with
+  // periodic watchdog polls folded in.
+  const Cycle deadline = sim.now() + drain_cap;
+  result.drained = true;
+  while (!sim.network().quiescent()) {
+    if (sim.now() >= deadline) {
+      result.drained = false;
+      break;
+    }
+    sim.step();
+    if (sim.now() % kPollEvery == 0) poll();
+  }
+  poll();
   result.stats = sim.stats(cut);
   result.cycles_total = sim.now();
   return result;

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "core/simulation.hpp"
+#include "verify/watchdog.hpp"
 #include "workload/size_dist.hpp"
 #include "workload/traffic.hpp"
 
@@ -43,6 +44,10 @@ struct ExperimentResult {
   std::uint64_t offered_messages = 0;
   bool drained = true;  ///< false if the drain cap was hit (saturation)
   Cycle cycles_total = 0;
+  /// Last progress-watchdog verdict (polled every 512 cycles throughout
+  /// warmup, measurement, and drain).
+  verify::Verdict watchdog_verdict = verify::Verdict::kIdle;
+  Cycle max_stalled = 0;  ///< longest no-movement stretch observed
 };
 
 ExperimentResult run_open_loop(core::Simulation& sim, TrafficPattern& pattern,

@@ -1,0 +1,298 @@
+// Observability layer: log2 histograms (boundaries, clamping, merge), the
+// trace ring buffer (overflow drops oldest), trace JSON structure
+// (schema, monotonic timestamps, round-trip through the JSON parser),
+// event-order invariants per message, and the zero-perturbation guarantee
+// (a run with observers attached is bit-identical to one without).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/simulation.hpp"
+#include "harness/sweep.hpp"
+#include "obs/metrics.hpp"
+#include "obs/observer.hpp"
+#include "obs/trace.hpp"
+#include "sim/json.hpp"
+#include "workload/generator.hpp"
+
+namespace wavesim::obs {
+namespace {
+
+sim::SimConfig clrp() {
+  sim::SimConfig cfg = sim::SimConfig::default_torus();
+  cfg.protocol.protocol = sim::ProtocolKind::kClrp;
+  return cfg;
+}
+
+// ------------------------------------------------------------- histogram
+
+TEST(Log2Histogram, BucketBoundaries) {
+  // Bucket 0 holds the value 0; bucket i >= 1 holds [2^(i-1), 2^i - 1].
+  EXPECT_EQ(Log2Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(Log2Histogram::bucket_of(1), 1u);
+  EXPECT_EQ(Log2Histogram::bucket_of(2), 2u);
+  EXPECT_EQ(Log2Histogram::bucket_of(3), 2u);
+  EXPECT_EQ(Log2Histogram::bucket_of(4), 3u);
+  EXPECT_EQ(Log2Histogram::bucket_of(1023), 10u);
+  EXPECT_EQ(Log2Histogram::bucket_of(1024), 11u);
+  for (std::size_t i = 0; i < Log2Histogram::kBuckets; ++i) {
+    EXPECT_EQ(Log2Histogram::bucket_of(Log2Histogram::bucket_lo(i)), i);
+    if (i + 1 < Log2Histogram::kBuckets) {
+      EXPECT_EQ(Log2Histogram::bucket_of(Log2Histogram::bucket_hi(i)), i);
+      EXPECT_EQ(Log2Histogram::bucket_hi(i) + 1,
+                Log2Histogram::bucket_lo(i + 1));
+    }
+  }
+  // The largest representable value clamps into the last bucket.
+  EXPECT_EQ(Log2Histogram::bucket_of(~std::uint64_t{0}),
+            Log2Histogram::kBuckets - 1);
+}
+
+TEST(Log2Histogram, CountsSumAndStats) {
+  Log2Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  for (std::uint64_t v : {0ull, 1ull, 1ull, 7ull, 100ull, ~0ull}) h.add(v);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), ~std::uint64_t{0});
+  std::uint64_t bucket_total = 0;
+  for (std::size_t i = 0; i < Log2Histogram::kBuckets; ++i) {
+    bucket_total += h.bucket_count(i);
+  }
+  EXPECT_EQ(bucket_total, h.count());  // the CI schema check relies on this
+  EXPECT_EQ(h.bucket_count(1), 2u);    // the two 1s
+  EXPECT_EQ(h.bucket_count(Log2Histogram::kBuckets - 1), 1u);
+}
+
+TEST(Log2Histogram, MergeMatchesSequentialAdds) {
+  Log2Histogram a, b, both;
+  for (std::uint64_t v : {3ull, 9ull, 200ull}) { a.add(v); both.add(v); }
+  for (std::uint64_t v : {0ull, 5ull}) { b.add(v); both.add(v); }
+  a.merge(b);
+  EXPECT_EQ(a.count(), both.count());
+  EXPECT_EQ(a.sum(), both.sum());
+  EXPECT_EQ(a.min(), both.min());
+  EXPECT_EQ(a.max(), both.max());
+  for (std::size_t i = 0; i < Log2Histogram::kBuckets; ++i) {
+    EXPECT_EQ(a.bucket_count(i), both.bucket_count(i)) << "bucket " << i;
+  }
+  // Merging an empty histogram changes nothing.
+  const std::uint64_t before = a.count();
+  a.merge(Log2Histogram{});
+  EXPECT_EQ(a.count(), before);
+  EXPECT_EQ(a.min(), both.min());
+}
+
+TEST(Log2Histogram, JsonBucketsSumToCount) {
+  Log2Histogram h;
+  for (std::uint64_t v = 0; v < 300; ++v) h.add(v);
+  const sim::JsonValue j = h.to_json();
+  EXPECT_EQ(j.at("count").as_int(), 300);
+  std::int64_t total = 0;
+  for (const auto& b : j.at("buckets").elements()) {
+    total += b.at("count").as_int();
+    EXPECT_LE(b.at("lo").as_number(), b.at("hi").as_number());
+  }
+  EXPECT_EQ(total, 300);
+}
+
+// ------------------------------------------------------------ ring buffer
+
+core::Event event_at(Cycle at) {
+  return core::Event{at, core::EventKind::kSubmitted, 0,
+                     static_cast<MessageId>(at), kInvalidCircuit};
+}
+
+TEST(TraceRecorder, RejectsZeroCapacity) {
+  EXPECT_THROW(TraceRecorder(0), std::invalid_argument);
+}
+
+TEST(TraceRecorder, RingOverflowDropsOldest) {
+  TraceRecorder rec(4);
+  for (Cycle c = 0; c < 6; ++c) rec.on_event(event_at(c));
+  EXPECT_EQ(rec.size(), 4u);
+  EXPECT_EQ(rec.capacity(), 4u);
+  EXPECT_EQ(rec.dropped(), 2u);
+  const auto evs = rec.events();
+  ASSERT_EQ(evs.size(), 4u);
+  EXPECT_EQ(evs.front().at, 2u);  // 0 and 1 were displaced
+  EXPECT_EQ(evs.back().at, 5u);
+  for (std::size_t i = 1; i < evs.size(); ++i) {
+    EXPECT_LT(evs[i - 1].at, evs[i].at);
+  }
+}
+
+TEST(TraceRecorder, DropCountSurfacesInJson) {
+  TraceRecorder rec(2);
+  for (Cycle c = 0; c < 5; ++c) rec.on_event(event_at(c));
+  const sim::JsonValue j = rec.to_json();
+  EXPECT_EQ(j.at("otherData").at("events_dropped").as_int(), 3);
+  EXPECT_EQ(j.at("otherData").at("events_recorded").as_int(), 2);
+  EXPECT_EQ(j.at("otherData").at("capacity").as_int(), 2);
+}
+
+// --------------------------------------------------------------- metrics
+
+TEST(MetricsRegistry, CountersAndOpenIntervals) {
+  using core::EventKind;
+  MetricsRegistry m;
+  m.on_event({10, EventKind::kSubmitted, 0, 1});
+  m.on_event({12, EventKind::kProbeLaunched, 0, kInvalidMessage, 5});
+  m.on_event({15, EventKind::kProbeLaunched, 0, kInvalidMessage, 5});  // retry
+  m.on_event({20, EventKind::kCircuitEstablished, 0, kInvalidMessage, 5});
+  m.on_event({21, EventKind::kTransferStarted, 0, 1});
+  m.on_event({30, EventKind::kDelivered, 36, 1});
+  EXPECT_EQ(m.counter(EventKind::kSubmitted), 1u);
+  EXPECT_EQ(m.counter(EventKind::kProbeLaunched), 2u);
+  EXPECT_EQ(m.messages_in_flight(), 0u);
+  // Setup latency is measured from the FIRST probe attempt.
+  EXPECT_EQ(m.setup_latency().count(), 1u);
+  EXPECT_EQ(m.setup_latency().sum(), 8u);
+  EXPECT_EQ(m.network_latency().sum(), 9u);
+  EXPECT_EQ(m.injection_to_delivery().sum(), 20u);
+}
+
+TEST(MetricsRegistry, JsonHasSchemaAndMergedCounters) {
+  MetricsRegistry m;
+  m.on_event({1, core::EventKind::kSubmitted, 0, 1});
+  GaugeSample g;
+  g.cycle = 4;
+  g.switch_utilization = {0.5, 0.25};
+  g.watchdog_verdict = "progressing";
+  m.add_sample(g);
+  const sim::JsonValue extra =
+      sim::JsonValue::object().set("cache_hits", 17);
+  const sim::JsonValue j = m.to_json(extra, 4);
+  EXPECT_EQ(j.at("schema").as_string(), "wavesim.metrics.v1");
+  EXPECT_EQ(j.at("counters").at("submitted").as_int(), 1);
+  EXPECT_EQ(j.at("counters").at("cache_hits").as_int(), 17);
+  EXPECT_EQ(j.at("samples").at("rows").size(), 1u);
+  // One column per sample field: 4 scalars + 2 utils + verdict + stall.
+  EXPECT_EQ(j.at("samples").at("columns").size(), 8u);
+}
+
+// ---------------------------------------------------- end-to-end observer
+
+TEST(Observer, TraceJsonRoundTripsAndIsMonotonic) {
+  core::Simulation sim(clrp());
+  ObserverOptions opt;
+  opt.trace = true;
+  opt.metrics = true;
+  opt.sample_every = 8;  // short runs still get >= 1 gauge sample
+  Observer observer(sim, opt);
+  sim.send(0, 27, 64);
+  sim.send(3, 40, 64);
+  ASSERT_TRUE(sim.run_until_delivered(100000));
+
+  const std::string text = observer.trace_json().dump(2);
+  const sim::JsonValue j = sim::JsonValue::parse(text);  // round-trip
+  EXPECT_EQ(j.at("otherData").at("schema").as_string(), "wavesim.trace.v1");
+  const auto& events = j.at("traceEvents").elements();
+  ASSERT_FALSE(events.empty());
+  std::int64_t last_ts = -1;
+  std::size_t spans_begun = 0;
+  for (const auto& e : events) {
+    const std::string ph = e.at("ph").as_string();
+    if (ph == "M") continue;  // metadata records carry no timestamp order
+    EXPECT_GE(e.at("ts").as_int(), last_ts) << "timestamps must not regress";
+    last_ts = e.at("ts").as_int();
+    if (ph == "b") ++spans_begun;
+  }
+  EXPECT_GE(spans_begun, 2u);  // at least one span per message
+
+  const sim::JsonValue metrics = sim::JsonValue::parse(
+      observer.metrics_json().dump(2));
+  EXPECT_EQ(metrics.at("schema").as_string(), "wavesim.metrics.v1");
+  EXPECT_EQ(metrics.at("counters").at("delivered").as_int(), 2);
+  EXPECT_GE(metrics.at("samples").at("rows").size(), 1u);
+}
+
+TEST(Observer, EventOrderInvariantsPerMessage) {
+  core::Simulation sim(clrp());
+  ObserverOptions opt;
+  opt.trace = true;
+  Observer observer(sim, opt);
+  load::UniformTraffic pattern(sim.topology());
+  load::FixedSize sizes(32);
+  load::run_open_loop(sim, pattern, sizes, /*offered_load=*/0.05,
+                      /*warmup=*/200, /*measure=*/600,
+                      /*drain_cap=*/100000, /*seed=*/9);
+
+  struct Times {
+    Cycle submitted = kCycleMax;
+    Cycle started = kCycleMax;
+    Cycle delivered = kCycleMax;
+  };
+  std::map<MessageId, Times> by_msg;
+  for (const core::Event& e : observer.trace()->events()) {
+    if (e.msg == kInvalidMessage) continue;
+    Times& t = by_msg[e.msg];
+    switch (e.kind) {
+      case core::EventKind::kSubmitted: t.submitted = e.at; break;
+      case core::EventKind::kTransferStarted: t.started = e.at; break;
+      case core::EventKind::kDelivered: t.delivered = e.at; break;
+      default: break;
+    }
+  }
+  ASSERT_FALSE(by_msg.empty());
+  std::size_t checked = 0;
+  for (const auto& [id, t] : by_msg) {
+    if (t.delivered == kCycleMax) continue;  // still in flight at capture end
+    ASSERT_NE(t.submitted, kCycleMax) << "msg " << id;
+    EXPECT_LE(t.submitted, t.delivered) << "msg " << id;
+    if (t.started != kCycleMax) {
+      EXPECT_LE(t.submitted, t.started) << "msg " << id;
+      EXPECT_LE(t.started, t.delivered) << "msg " << id;
+    }
+    ++checked;
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(Observer, AttachedRunIsBitIdenticalToPlainRun) {
+  auto run = [](bool observed) {
+    core::Simulation sim(clrp());
+    std::unique_ptr<Observer> observer;
+    if (observed) {
+      ObserverOptions opt;
+      opt.trace = true;
+      opt.metrics = true;
+      opt.sample_every = 128;
+      observer = std::make_unique<Observer>(sim, opt);
+    }
+    load::UniformTraffic pattern(sim.topology());
+    load::FixedSize sizes(64);
+    const auto r = load::run_open_loop(sim, pattern, sizes, 0.08,
+                                       /*warmup=*/300, /*measure=*/1000,
+                                       /*drain_cap=*/100000, /*seed=*/3);
+    return harness::stats_to_json(r.stats).dump() + "@" +
+           std::to_string(sim.now());
+  };
+  // Observability must be strictly read-only: identical stats, identical
+  // final cycle, byte-for-byte identical export.
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(Observer, DetachStopsRecording) {
+  core::Simulation sim(clrp());
+  ObserverOptions opt;
+  opt.trace = true;
+  Observer observer(sim, opt);
+  sim.send(0, 27, 32);
+  ASSERT_TRUE(sim.run_until_delivered(100000));
+  observer.detach();
+  const std::size_t frozen = observer.trace()->size();
+  sim.send(0, 27, 32);
+  ASSERT_TRUE(sim.run_until_delivered(100000));
+  EXPECT_EQ(observer.trace()->size(), frozen);
+  // Data recorded before the detach stays exportable.
+  EXPECT_NO_THROW(observer.trace_json());
+}
+
+}  // namespace
+}  // namespace wavesim::obs
