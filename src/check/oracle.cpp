@@ -1,0 +1,225 @@
+#include "check/oracle.hpp"
+
+#include <exception>
+#include <memory>
+#include <sstream>
+#include <unordered_map>
+
+#include "core/simulation.hpp"
+#include "sim/rng.hpp"
+#include "verify/delivery.hpp"
+#include "verify/fsck.hpp"
+#include "verify/structural.hpp"
+#include "verify/watchdog.hpp"
+#include "workload/size_dist.hpp"
+#include "workload/traffic.hpp"
+
+namespace wavesim::check {
+
+namespace {
+
+/// Event-stream livelock oracle (Theorem 3's observable shadow). MB-m
+/// restores the misroute budget when it backtracks over a misrouted hop,
+/// so the sound per-attempt invariants are:
+///   misroutes  <= m + backtracks   (each backtrack refunds at most one)
+///   backtracks <= directed channels (history forbids re-reserving a
+///                                    channel within an attempt)
+struct AttemptBudget {
+  std::uint64_t misroutes = 0;
+  std::uint64_t backtracks = 0;
+};
+
+std::unique_ptr<load::SizeDist> make_size_dist(const Scenario& s) {
+  if (s.size_dist == "uniform" && s.max_flits > s.min_flits) {
+    return std::make_unique<load::UniformSize>(s.min_flits, s.max_flits);
+  }
+  if (s.size_dist == "bimodal" && s.max_flits > s.min_flits) {
+    return std::make_unique<load::BimodalSize>(s.min_flits, s.max_flits, 0.3);
+  }
+  return std::make_unique<load::FixedSize>(s.min_flits);
+}
+
+}  // namespace
+
+std::string RunOutcome::summary() const {
+  std::ostringstream os;
+  if (ok()) {
+    os << (saturated ? "saturated" : "ok") << " (" << delivered << "/"
+       << offered << " delivered, cycle " << final_cycle << ", fp "
+       << to_hex_u64(fingerprint) << ")";
+    return os.str();
+  }
+  os << violations.size() << " violation(s):";
+  for (const auto& v : violations) os << "\n  - " << v;
+  return os.str();
+}
+
+RunOutcome run_scenario(const Scenario& scenario,
+                        const OracleOptions& options) {
+  RunOutcome out;
+  sim::SimConfig config = scenario.to_config();
+  try {
+    config.validate();
+  } catch (const std::exception& e) {
+    out.violations.push_back(std::string("config invalid: ") + e.what());
+    return out;
+  }
+
+  // Structural oracle first: a cyclic escape CDG means the deadlock-freedom
+  // precondition of Theorems 1-4 is gone, so simulating would only tell us
+  // *whether* this run happens to trigger it. Fail fast and deterministically.
+  {
+    const verify::CheckResult structural =
+        verify::check_escape_acyclic(config);
+    for (const auto& v : structural.violations) {
+      out.violations.push_back("structural: " + v);
+    }
+    if (!out.violations.empty()) return out;
+  }
+
+  core::Simulation sim(config);
+
+  // Event sink: order-sensitive fingerprint + per-attempt misroute budgets.
+  const std::uint64_t backtrack_cap =
+      static_cast<std::uint64_t>(sim.topology().num_channels());
+  const std::uint64_t misroute_cap =
+      static_cast<std::uint64_t>(scenario.max_misroutes);
+  std::uint64_t fingerprint = 0x77617665u;  // "wave"
+  std::unordered_map<CircuitId, AttemptBudget> budgets;
+  sim.set_event_sink([&](const core::Event& ev) {
+    fingerprint = sim::hash_mix(fingerprint ^ ev.at);
+    fingerprint =
+        sim::hash_mix(fingerprint ^ static_cast<std::uint64_t>(ev.kind));
+    fingerprint =
+        sim::hash_mix(fingerprint ^ static_cast<std::uint64_t>(ev.node));
+    fingerprint =
+        sim::hash_mix(fingerprint ^ static_cast<std::uint64_t>(ev.msg));
+    fingerprint =
+        sim::hash_mix(fingerprint ^ static_cast<std::uint64_t>(ev.circuit));
+    if (ev.circuit == kInvalidCircuit) return;
+    switch (ev.kind) {
+      case core::EventKind::kProbeLaunched:
+        budgets[ev.circuit] = AttemptBudget{};  // new attempt, fresh budget
+        break;
+      case core::EventKind::kMisrouted: {
+        AttemptBudget& b = budgets[ev.circuit];
+        ++b.misroutes;
+        if (b.misroutes > misroute_cap + b.backtracks &&
+            out.violations.size() < options.max_violations) {
+          std::ostringstream os;
+          os << "livelock: circuit " << ev.circuit << " took " << b.misroutes
+             << " misroutes with " << b.backtracks
+             << " backtracks in one attempt (budget m=" << misroute_cap
+             << ") at cycle " << ev.at;
+          out.violations.push_back(os.str());
+        }
+        break;
+      }
+      case core::EventKind::kBacktracked: {
+        AttemptBudget& b = budgets[ev.circuit];
+        ++b.backtracks;
+        if (b.backtracks > backtrack_cap &&
+            out.violations.size() < options.max_violations) {
+          std::ostringstream os;
+          os << "livelock: circuit " << ev.circuit << " backtracked "
+             << b.backtracks << " times in one attempt (channel count "
+             << backtrack_cap << ") at cycle " << ev.at;
+          out.violations.push_back(os.str());
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  });
+
+  // Workload streams fork deterministically from the scenario seed.
+  sim::Rng root(scenario.seed);
+  sim::Rng inject_rng = root.fork();
+  sim::Rng pattern_rng = root.fork();
+  sim::Rng carp_rng = root.fork();
+  std::unique_ptr<load::TrafficPattern> pattern;
+  try {
+    pattern = load::make_traffic(scenario.pattern, sim.topology(), pattern_rng);
+  } catch (const std::exception& e) {
+    out.violations.push_back(std::string("workload invalid: ") + e.what());
+    return out;
+  }
+  const std::unique_ptr<load::SizeDist> sizes = make_size_dist(scenario);
+  const double p_message = scenario.load / sizes->mean();
+
+  verify::ProgressWatchdog watchdog(sim.network(), options.watchdog_patience);
+  const Cycle check_every =
+      options.check_every > 0 ? options.check_every : 1024;
+  bool stuck = false;
+  auto periodic_checks = [&]() {
+    if (watchdog.poll() == verify::Verdict::kStuck &&
+        out.violations.size() < options.max_violations) {
+      std::ostringstream os;
+      os << "deadlock: no progress for " << watchdog.stalled_for()
+         << " cycles with work pending at cycle " << sim.now();
+      out.violations.push_back(os.str());
+      stuck = true;
+    }
+    const verify::CheckResult fsck =
+        verify::check_control_state(sim.network());
+    for (const auto& v : fsck.violations) {
+      if (out.violations.size() >= options.max_violations) break;
+      std::ostringstream os;
+      os << "fsck at cycle " << sim.now() << ": " << v;
+      out.violations.push_back(os.str());
+    }
+  };
+  auto abort_run = [&]() {
+    return stuck || out.violations.size() >= options.max_violations;
+  };
+
+  const std::int32_t n = sim.topology().num_nodes();
+  const bool carp = scenario.protocol == sim::ProtocolKind::kCarp;
+  for (Cycle c = 0; c < scenario.inject_cycles && !abort_run(); ++c) {
+    for (NodeId src = 0; src < n; ++src) {
+      if (!inject_rng.chance(p_message)) continue;
+      const NodeId dest = pattern->pick(src, inject_rng);
+      const std::int32_t length = sizes->sample(inject_rng);
+      if (carp && carp_rng.chance(0.3)) {
+        sim.establish_circuit(src, dest, scenario.max_flits);
+      }
+      sim.send(src, dest, length);
+      ++out.offered;
+      if (carp && carp_rng.chance(0.1)) sim.release_circuit(src, dest);
+    }
+    sim.step();
+    if (sim.now() % check_every == 0) periodic_checks();
+  }
+
+  // Drain. Hitting the cap while the watchdog still sees movement is
+  // saturation (offered > capacity), not a protocol violation.
+  const Cycle drain_deadline = sim.now() + scenario.drain_cap;
+  while (!abort_run() && !sim.network().quiescent()) {
+    if (sim.now() >= drain_deadline) {
+      out.saturated = true;
+      break;
+    }
+    sim.step();
+    if (sim.now() % check_every == 0) periodic_checks();
+  }
+
+  out.final_cycle = sim.now();
+  out.delivered = sim.network().messages_delivered();
+  out.fingerprint = fingerprint;
+
+  if (!abort_run() && !out.saturated) {
+    const auto append = [&](const verify::CheckResult& result) {
+      for (const auto& v : result.violations) {
+        if (out.violations.size() >= options.max_violations) break;
+        out.violations.push_back("post-run: " + v);
+      }
+    };
+    append(verify::check_delivery(sim.network()));
+    append(verify::check_drained(sim.network()));
+    append(verify::check_control_state(sim.network()));
+  }
+  return out;
+}
+
+}  // namespace wavesim::check

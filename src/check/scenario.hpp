@@ -1,0 +1,83 @@
+// One simcheck scenario: everything Theorems 1-4 quantify over, flattened
+// into a plain struct so it can be (a) drawn from a single 64-bit seed,
+// (b) mutated by the shrinker one field at a time, and (c) round-tripped
+// through a wavesim.repro.v1 JSON file for bit-identical replay.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "sim/json.hpp"
+
+namespace wavesim::check {
+
+/// "0x"-prefixed lowercase hex. JsonValue numbers are doubles, which cannot
+/// hold an arbitrary 64-bit seed or fingerprint exactly, so those fields
+/// travel through repro files as hex strings.
+std::string to_hex_u64(std::uint64_t value);
+
+/// Inverse of to_hex_u64 (accepts upper/lower case); false on bad input.
+bool parse_hex_u64(const std::string& text, std::uint64_t& out);
+
+struct Scenario {
+  /// Drives both generation (which values below were drawn) and execution
+  /// (traffic arrivals, destinations, message lengths, CARP call sites).
+  std::uint64_t seed = 1;
+
+  // -- topology -----------------------------------------------------------
+  std::vector<std::int32_t> radix{4, 4};
+  bool torus = true;
+
+  // -- protocol / router --------------------------------------------------
+  sim::ProtocolKind protocol = sim::ProtocolKind::kClrp;
+  sim::ClrpVariant variant = sim::ClrpVariant::kFull;
+  bool pcs_only = false;
+  sim::RoutingKind routing = sim::RoutingKind::kDimensionOrder;
+  std::int32_t wormhole_vcs = 2;
+  std::int32_t wave_switches = 1;   ///< k
+  std::int32_t max_misroutes = 1;   ///< m of MB-m
+  std::int32_t cache_entries = 2;
+  sim::ReplacementPolicy replacement = sim::ReplacementPolicy::kLru;
+  std::int32_t max_packet_flits = 0;  ///< wormhole segmentation (0 = off)
+  double link_fault_rate = 0.0;
+
+  // -- workload -----------------------------------------------------------
+  std::string pattern = "uniform";   ///< load::make_traffic name
+  std::string size_dist = "fixed";   ///< fixed | uniform | bimodal
+  std::int32_t min_flits = 16;
+  std::int32_t max_flits = 16;       ///< == min_flits for "fixed"
+  double load = 0.02;                ///< offered flits per node per cycle
+  std::uint64_t inject_cycles = 1024;
+  std::uint64_t drain_cap = 400'000;
+
+  friend bool operator==(const Scenario&, const Scenario&) = default;
+
+  /// SimConfig this scenario runs under (seeded with `seed`).
+  sim::SimConfig to_config() const;
+
+  /// Short one-line description for reports, e.g.
+  /// "4x4 torus clrp/full dor k=1 m=1 cache=2/lru uniform load=0.02".
+  std::string label() const;
+
+  /// Make the scenario self-consistent: clamps every field into its legal
+  /// range and resolves cross-field constraints (west-first needs a 2-D
+  /// mesh, bit patterns need power-of-two node counts, ...) so that
+  /// to_config().validate() always passes. Deterministic, idempotent.
+  void repair();
+
+  /// Draw a random scenario from `seed` alone (generate(s) == generate(s)
+  /// forever — the seed is the scenario's identity). Already repaired.
+  static Scenario generate(std::uint64_t seed);
+
+  /// wavesim.repro.v1 "scenario" object (field name -> value).
+  sim::JsonValue to_json() const;
+
+  /// Strict inverse of to_json: throws std::runtime_error naming the field
+  /// on a missing member, a type mismatch or an unknown enum name, so a
+  /// corrupt repro artifact is rejected instead of misinterpreted.
+  static Scenario from_json(const sim::JsonValue& value);
+};
+
+}  // namespace wavesim::check

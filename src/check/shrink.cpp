@@ -1,0 +1,101 @@
+#include "check/shrink.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+namespace wavesim::check {
+
+namespace {
+
+/// One candidate simplification. Ordered roughly by how much each removes:
+/// big structural cuts first so the expensive early runs shrink the search
+/// space fastest, cosmetic knob resets last.
+using Transform = std::function<void(Scenario&)>;
+
+std::vector<Transform> transforms() {
+  return {
+      // -- traffic volume ---------------------------------------------------
+      [](Scenario& s) {
+        s.inject_cycles = std::max<std::uint64_t>(128, s.inject_cycles / 2);
+      },
+      [](Scenario& s) { s.load /= 2; },
+      // -- topology ---------------------------------------------------------
+      [](Scenario& s) {
+        if (s.radix.size() > 1) s.radix.pop_back();
+      },
+      [](Scenario& s) {
+        auto largest = std::max_element(s.radix.begin(), s.radix.end());
+        *largest = std::max(2, *largest / 2);
+      },
+      [](Scenario& s) {
+        auto largest = std::max_element(s.radix.begin(), s.radix.end());
+        *largest = std::max(2, *largest - 1);
+      },
+      [](Scenario& s) { s.torus = false; },
+      // -- workload shape ---------------------------------------------------
+      [](Scenario& s) { s.pattern = "uniform"; },
+      [](Scenario& s) {
+        s.size_dist = "fixed";
+        s.max_flits = s.min_flits;
+      },
+      [](Scenario& s) { s.min_flits = std::max(1, s.min_flits / 2); },
+      [](Scenario& s) { s.link_fault_rate = 0.0; },
+      [](Scenario& s) { s.max_packet_flits = 0; },
+      // -- protocol ---------------------------------------------------------
+      [](Scenario& s) { s.pcs_only = false; },
+      [](Scenario& s) { s.variant = sim::ClrpVariant::kFull; },
+      // Keep every transform idempotent-or-strictly-reducing so the greedy
+      // fixpoint terminates (CLRP<->wormhole would oscillate otherwise).
+      [](Scenario& s) {
+        if (s.protocol == sim::ProtocolKind::kCarp) {
+          s.protocol = sim::ProtocolKind::kClrp;
+        }
+      },
+      [](Scenario& s) { s.protocol = sim::ProtocolKind::kWormholeOnly; },
+      [](Scenario& s) { s.wave_switches = 1; },
+      [](Scenario& s) {
+        s.max_misroutes = std::max(0, s.max_misroutes - 1);
+      },
+      [](Scenario& s) { s.cache_entries = 1; },
+      [](Scenario& s) { s.replacement = sim::ReplacementPolicy::kLru; },
+      // -- router -----------------------------------------------------------
+      [](Scenario& s) {
+        s.wormhole_vcs = std::max(1, s.wormhole_vcs - 1);
+      },
+      [](Scenario& s) { s.routing = sim::RoutingKind::kDimensionOrder; },
+  };
+}
+
+}  // namespace
+
+ShrinkResult shrink(const Scenario& scenario, const RunOutcome& outcome,
+                    const ShrinkOptions& options) {
+  ShrinkResult result;
+  result.scenario = scenario;
+  result.outcome = outcome;
+
+  const std::vector<Transform> candidates = transforms();
+  bool improved = true;
+  while (improved && result.runs < options.max_runs) {
+    improved = false;
+    for (const Transform& t : candidates) {
+      if (result.runs >= options.max_runs) break;
+      Scenario candidate = result.scenario;
+      t(candidate);
+      candidate.repair();
+      if (candidate == result.scenario) continue;  // no-op here
+      RunOutcome candidate_outcome =
+          run_scenario(candidate, options.oracle);
+      ++result.runs;
+      if (candidate_outcome.ok()) continue;  // lost the failure; discard
+      result.scenario = candidate;
+      result.outcome = std::move(candidate_outcome);
+      ++result.accepted;
+      improved = true;
+    }
+  }
+  return result;
+}
+
+}  // namespace wavesim::check

@@ -1,0 +1,34 @@
+// Delta-debugging shrinker: given a violating scenario, greedily apply
+// simplifying transformations (smaller topology, fewer knobs, less
+// traffic) and keep any candidate that still violates, iterating to a
+// fixpoint. The result is the smallest scenario this transformation set
+// reaches that still reproduces *a* violation — ideal for triage, since a
+// 2x2 run with four messages is readable where a 6x6x2 run is not.
+#pragma once
+
+#include <cstddef>
+
+#include "check/oracle.hpp"
+#include "check/scenario.hpp"
+
+namespace wavesim::check {
+
+struct ShrinkOptions {
+  /// Hard cap on oracle runs spent shrinking one failure.
+  std::size_t max_runs = 256;
+  OracleOptions oracle;
+};
+
+struct ShrinkResult {
+  Scenario scenario;      ///< smallest still-failing scenario reached
+  RunOutcome outcome;     ///< its violations
+  std::size_t runs = 0;   ///< oracle executions spent
+  std::size_t accepted = 0;  ///< transformations that kept the failure
+};
+
+/// Precondition: run_scenario(scenario, options.oracle) reports at least
+/// one violation (the caller just observed it). Deterministic.
+ShrinkResult shrink(const Scenario& scenario, const RunOutcome& outcome,
+                    const ShrinkOptions& options = {});
+
+}  // namespace wavesim::check

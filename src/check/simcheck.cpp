@@ -1,0 +1,180 @@
+#include "check/simcheck.hpp"
+
+#include <atomic>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "harness/runner.hpp"
+#include "harness/sweep.hpp"
+
+namespace wavesim::check {
+
+namespace {
+
+constexpr const char* kSchema = "wavesim.repro.v1";
+
+sim::JsonValue outcome_to_json(const RunOutcome& outcome) {
+  sim::JsonValue violations = sim::JsonValue::array();
+  for (const auto& v : outcome.violations) violations.push_back(v);
+  return sim::JsonValue::object()
+      .set("violations", std::move(violations))
+      .set("saturated", outcome.saturated)
+      .set("offered", outcome.offered)
+      .set("delivered", outcome.delivered)
+      .set("final_cycle", outcome.final_cycle)
+      .set("fingerprint", to_hex_u64(outcome.fingerprint));
+}
+
+RunOutcome outcome_from_json(const sim::JsonValue& value) {
+  RunOutcome out;
+  const sim::JsonValue* violations = value.find("violations");
+  if (violations == nullptr || !violations->is_array()) {
+    throw std::runtime_error("wavesim.repro.v1: bad 'violations'");
+  }
+  for (const auto& v : violations->elements()) {
+    out.violations.push_back(v.as_string());
+  }
+  const sim::JsonValue* fp = value.find("fingerprint");
+  if (fp == nullptr || !fp->is_string() ||
+      !parse_hex_u64(fp->as_string(), out.fingerprint)) {
+    throw std::runtime_error("wavesim.repro.v1: bad 'fingerprint'");
+  }
+  if (const sim::JsonValue* v = value.find("saturated")) {
+    out.saturated = v->as_bool();
+  }
+  if (const sim::JsonValue* v = value.find("offered")) {
+    out.offered = static_cast<std::uint64_t>(v->as_number());
+  }
+  if (const sim::JsonValue* v = value.find("delivered")) {
+    out.delivered = static_cast<std::uint64_t>(v->as_number());
+  }
+  if (const sim::JsonValue* v = value.find("final_cycle")) {
+    out.final_cycle = static_cast<Cycle>(v->as_number());
+  }
+  return out;
+}
+
+}  // namespace
+
+Report run_simcheck(const SimcheckOptions& options) {
+  Report report;
+  report.base_seed = options.base_seed;
+  if (options.count == 0) return report;
+
+  struct Slot {
+    Scenario scenario;
+    std::optional<RunOutcome> outcome;
+  };
+  std::vector<Slot> slots(options.count);
+  std::atomic<std::size_t> failures_seen{0};
+
+  harness::ThreadPool pool(options.threads);
+  pool.for_each_index_until(options.count, [&](std::size_t i) {
+    Slot& slot = slots[i];
+    slot.scenario =
+        Scenario::generate(harness::derive_seed(options.base_seed, i, 0));
+    slot.outcome = run_scenario(slot.scenario, options.oracle);
+    if (!slot.outcome->ok()) {
+      return failures_seen.fetch_add(1) + 1 < options.max_failures;
+    }
+    return failures_seen.load() < options.max_failures;
+  });
+
+  // Early exit lets scheduling decide which tail indices ran; re-ranking by
+  // index here makes the report deterministic anyway.
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    Slot& slot = slots[i];
+    if (!slot.outcome.has_value()) continue;
+    ++report.scenarios_run;
+    if (slot.outcome->saturated) ++report.saturated;
+    if (slot.outcome->ok() || report.failures.size() >= options.max_failures) {
+      continue;
+    }
+    Failure failure;
+    failure.index = i;
+    failure.original = slot.scenario;
+    failure.original_outcome = *slot.outcome;
+    failure.shrunk = slot.scenario;
+    failure.shrunk_outcome = std::move(*slot.outcome);
+    report.failures.push_back(std::move(failure));
+  }
+
+  if (options.shrink_failures) {
+    for (Failure& failure : report.failures) {
+      ShrinkResult shrunk =
+          shrink(failure.original, failure.original_outcome, options.shrink);
+      failure.shrunk = std::move(shrunk.scenario);
+      failure.shrunk_outcome = std::move(shrunk.outcome);
+      failure.shrink_runs = shrunk.runs;
+      failure.shrink_accepted = shrunk.accepted;
+    }
+  }
+  return report;
+}
+
+sim::JsonValue repro_to_json(const Failure& failure) {
+  return sim::JsonValue::object()
+      .set("schema", kSchema)
+      .set("scenario", failure.shrunk.to_json())
+      .set("outcome", outcome_to_json(failure.shrunk_outcome))
+      .set("original_scenario", failure.original.to_json())
+      .set("original_outcome", outcome_to_json(failure.original_outcome))
+      .set("shrink_runs", failure.shrink_runs)
+      .set("shrink_accepted", failure.shrink_accepted);
+}
+
+Failure repro_from_json(const sim::JsonValue& value) {
+  if (!value.is_object()) {
+    throw std::runtime_error("wavesim.repro.v1: not an object");
+  }
+  const sim::JsonValue* schema = value.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != kSchema) {
+    throw std::runtime_error("wavesim.repro.v1: missing or wrong 'schema'");
+  }
+  const sim::JsonValue* scenario = value.find("scenario");
+  if (scenario == nullptr) {
+    throw std::runtime_error("wavesim.repro.v1: missing 'scenario'");
+  }
+  Failure failure;
+  failure.shrunk = Scenario::from_json(*scenario);
+  const sim::JsonValue* outcome = value.find("outcome");
+  if (outcome == nullptr) {
+    throw std::runtime_error("wavesim.repro.v1: missing 'outcome'");
+  }
+  failure.shrunk_outcome = outcome_from_json(*outcome);
+  // The original is informative only; fall back to the shrunk scenario on
+  // older / hand-written files.
+  if (const sim::JsonValue* original = value.find("original_scenario")) {
+    failure.original = Scenario::from_json(*original);
+  } else {
+    failure.original = failure.shrunk;
+  }
+  if (const sim::JsonValue* original = value.find("original_outcome")) {
+    failure.original_outcome = outcome_from_json(*original);
+  } else {
+    failure.original_outcome = failure.shrunk_outcome;
+  }
+  if (const sim::JsonValue* v = value.find("shrink_runs")) {
+    failure.shrink_runs = static_cast<std::size_t>(v->as_number());
+  }
+  if (const sim::JsonValue* v = value.find("shrink_accepted")) {
+    failure.shrink_accepted = static_cast<std::size_t>(v->as_number());
+  }
+  return failure;
+}
+
+Failure load_repro(const std::string& path) {
+  return repro_from_json(sim::read_json_file(path));
+}
+
+std::string write_repro(const Failure& failure, const std::string& dir) {
+  std::string path = dir;
+  if (!path.empty() && path.back() != '/') path += '/';
+  path += "repro-seed-" + to_hex_u64(failure.original.seed) + ".json";
+  if (!sim::write_json_file(repro_to_json(failure), path)) return {};
+  return path;
+}
+
+}  // namespace wavesim::check

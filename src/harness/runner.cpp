@@ -1,6 +1,8 @@
 #include "harness/runner.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 
 namespace wavesim::harness {
 
@@ -71,6 +73,18 @@ void ThreadPool::for_each_index(std::size_t n,
                                 const std::function<void(std::size_t)>& fn) {
   for (std::size_t i = 0; i < n; ++i) {
     submit([&fn, i] { fn(i); });
+  }
+  wait_idle();
+}
+
+void ThreadPool::for_each_index_until(
+    std::size_t n, const std::function<bool(std::size_t)>& fn) {
+  auto stop_flag = std::make_shared<std::atomic<bool>>(false);
+  for (std::size_t i = 0; i < n; ++i) {
+    submit([&fn, stop_flag, i] {
+      if (stop_flag->load(std::memory_order_relaxed)) return;
+      if (!fn(i)) stop_flag->store(true, std::memory_order_relaxed);
+    });
   }
   wait_idle();
 }

@@ -45,6 +45,14 @@ class ThreadPool {
   /// n submit() calls + wait_idle().
   void for_each_index(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+  /// Like for_each_index, but fn returns false to request early exit:
+  /// indices not yet started are skipped (already-running tasks finish).
+  /// Which indices ran may depend on scheduling — callers needing
+  /// determinism must tolerate extra completed indices past the first
+  /// false (the scenario checker re-ranks results by index afterwards).
+  void for_each_index_until(std::size_t n,
+                            const std::function<bool(std::size_t)>& fn);
+
  private:
   void worker_loop(std::stop_token stop);
 

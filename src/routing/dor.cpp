@@ -17,6 +17,16 @@ std::int32_t first_unresolved_dim(const std::vector<std::int32_t>& offsets) {
 std::int32_t torus_vc_class(const topo::KAryNCube& topology, NodeId node,
                             NodeId dest, std::int32_t dim, bool positive) {
   if (!topology.torus()) return 0;
+#ifdef WAVESIM_MUTATE_ESCAPE
+  // Mutation smoke build: pretend no segment ever crosses the dateline.
+  // Every torus ring of radix >= 4 then has a cyclic escape CDG, which
+  // simcheck's structural oracle must detect and shrink.
+  (void)node;
+  (void)dest;
+  (void)dim;
+  (void)positive;
+  return 0;
+#else
   const std::int32_t c = topology.coord_of(node)[dim];
   const std::int32_t t = topology.coord_of(dest)[dim];
   // Class 1 on the pre-wraparound segment, class 0 once the remaining
@@ -24,6 +34,7 @@ std::int32_t torus_vc_class(const topo::KAryNCube& topology, NodeId node,
   // dimension is still being routed.
   if (positive) return c < t ? 0 : 1;
   return c > t ? 0 : 1;
+#endif
 }
 
 }  // namespace detail

@@ -44,6 +44,43 @@ const char* to_string(ClrpVariant variant) noexcept {
   return "?";
 }
 
+namespace {
+
+/// Match `name` against to_string over every enumerator in [first, last].
+template <typename Enum>
+bool match_enum(const std::string& name, Enum first, Enum last,
+                Enum& out) noexcept {
+  for (int v = static_cast<int>(first); v <= static_cast<int>(last); ++v) {
+    const Enum candidate = static_cast<Enum>(v);
+    if (name == to_string(candidate)) {
+      out = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool from_string(const std::string& name, RoutingKind& out) noexcept {
+  return match_enum(name, RoutingKind::kDimensionOrder,
+                    RoutingKind::kNegativeFirst, out);
+}
+
+bool from_string(const std::string& name, ReplacementPolicy& out) noexcept {
+  return match_enum(name, ReplacementPolicy::kLru, ReplacementPolicy::kRandom,
+                    out);
+}
+
+bool from_string(const std::string& name, ProtocolKind& out) noexcept {
+  return match_enum(name, ProtocolKind::kWormholeOnly, ProtocolKind::kCarp,
+                    out);
+}
+
+bool from_string(const std::string& name, ClrpVariant& out) noexcept {
+  return match_enum(name, ClrpVariant::kFull, ClrpVariant::kSingleSwitch, out);
+}
+
 void SimConfig::validate() const {
   auto fail = [](const std::string& why) {
     throw std::invalid_argument("SimConfig: " + why);

@@ -42,6 +42,14 @@ const char* to_string(ReplacementPolicy policy) noexcept;
 const char* to_string(ProtocolKind kind) noexcept;
 const char* to_string(ClrpVariant variant) noexcept;
 
+/// Inverses of to_string (exact match); return false on an unknown name,
+/// leaving `out` untouched. Used by the scenario/replay loaders, which must
+/// reject corrupt input instead of guessing.
+bool from_string(const std::string& name, RoutingKind& out) noexcept;
+bool from_string(const std::string& name, ReplacementPolicy& out) noexcept;
+bool from_string(const std::string& name, ProtocolKind& out) noexcept;
+bool from_string(const std::string& name, ClrpVariant& out) noexcept;
+
 struct TopologyConfig {
   /// Radix per dimension, e.g. {8, 8} for an 8x8 grid. Size = #dimensions.
   std::vector<std::int32_t> radix{8, 8};

@@ -211,6 +211,17 @@ class Parser {
   }
 
   JsonValue parse_value() {
+    // The parser recurses once per nesting level; cap the depth so a
+    // hostile input ("[[[[..." ) fails cleanly instead of overflowing the
+    // stack.
+    if (depth_ >= kMaxDepth) error("nesting too deep");
+    ++depth_;
+    JsonValue v = parse_value_inner();
+    --depth_;
+    return v;
+  }
+
+  JsonValue parse_value_inner() {
     switch (peek()) {
       case '{': return parse_object();
       case '[': return parse_array();
@@ -229,6 +240,7 @@ class Parser {
     for (;;) {
       if (peek() != '"') error("expected string key");
       std::string key = parse_string();
+      if (obj.find(key) != nullptr) error("duplicate object key");
       expect(':');
       obj.set(key, parse_value());
       const char c = peek();
@@ -321,17 +333,38 @@ class Parser {
       if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
       if (!digits()) error("bad number");
     }
-    return JsonValue(std::stod(text_.substr(start, pos_ - start)));
+    try {
+      return JsonValue(std::stod(text_.substr(start, pos_ - start)));
+    } catch (const std::out_of_range&) {  // e.g. "1e999999"
+      error("number out of range");
+    }
   }
 
+  static constexpr int kMaxDepth = 256;
   const std::string& text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace
 
 JsonValue JsonValue::parse(const std::string& text) {
   return Parser(text).parse_document();
+}
+
+JsonValue read_json_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    throw std::runtime_error("cannot read " + path);
+  }
+  std::string text;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  const bool truncated = std::ferror(f) != 0;
+  std::fclose(f);
+  if (truncated) throw std::runtime_error("read error on " + path);
+  return JsonValue::parse(text);
 }
 
 bool write_json_file(const JsonValue& value, const std::string& path) {

@@ -88,4 +88,7 @@ class JsonValue {
 /// Returns false (and reports to stderr) when the file cannot be written.
 bool write_json_file(const JsonValue& value, const std::string& path);
 
+/// Read and parse `path`; throws std::runtime_error on I/O or parse errors.
+JsonValue read_json_file(const std::string& path);
+
 }  // namespace wavesim::sim

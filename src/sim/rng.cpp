@@ -20,6 +20,10 @@ std::uint64_t splitmix64(std::uint64_t& state) noexcept {
   return z ^ (z >> 31);
 }
 
+std::uint64_t hash_mix(std::uint64_t value) noexcept {
+  return splitmix64(value);
+}
+
 Rng::Rng(std::uint64_t seed) noexcept {
   // Never allow the all-zero state xoshiro cannot leave.
   std::uint64_t sm = seed;

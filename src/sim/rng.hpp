@@ -14,6 +14,12 @@ namespace wavesim::sim {
 /// SplitMix64 step; used for seeding and for cheap stateless hashing.
 std::uint64_t splitmix64(std::uint64_t& state) noexcept;
 
+/// Stateless 64-bit mixer (one SplitMix64 step of a copy of `value`).
+/// Used to derive independent child seeds and to fold values into
+/// order-sensitive fingerprints: mix(h ^ x) chains have full avalanche, so
+/// a single swapped event flips the final digest.
+std::uint64_t hash_mix(std::uint64_t value) noexcept;
+
 class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;

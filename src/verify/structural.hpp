@@ -1,0 +1,20 @@
+// Static (pre-simulation) deadlock-freedom check: the escape-channel CDG
+// of the configured wormhole routing algorithm must be acyclic (Dally &
+// Seitz for deterministic algorithms, Duato's theorem for adaptive ones —
+// see routing/cdg.hpp). The scenario checker runs this oracle on every
+// generated configuration before spending any cycles simulating it, so a
+// routing-layer regression is caught structurally and instantly.
+#pragma once
+
+#include "sim/config.hpp"
+#include "verify/delivery.hpp"
+
+namespace wavesim::verify {
+
+/// Build the routing algorithm `config` selects and check that its escape
+/// subnetwork's channel-dependency graph is acyclic. On a violation the
+/// result names the algorithm, the cycle length and the first few channels
+/// of the cycle. Throws std::invalid_argument on an invalid config.
+CheckResult check_escape_acyclic(const sim::SimConfig& config);
+
+}  // namespace wavesim::verify

@@ -175,5 +175,136 @@ TEST(CircuitCache, TouchUpdatesReplaceAccounting) {
   EXPECT_EQ(a->last_use, 9u);
 }
 
+// -- edge cases -----------------------------------------------------------
+
+TEST(CircuitCache, CapacityOneRecyclesTheSingleSlot) {
+  // The degenerate cache: every new destination evicts the previous one,
+  // and the evicted copy must carry the full replacement accounting so the
+  // caller can tear the old circuit down.
+  auto cache = make_cache(1);
+  Cycle now = 0;
+  NodeId previous = kInvalidNode;
+  for (NodeId dest = 1; dest <= 5; ++dest) {
+    std::optional<CacheEntry> evicted;
+    CacheEntry* e = cache.allocate(dest, now, &evicted);
+    ASSERT_NE(e, nullptr) << "dest " << dest;
+    if (previous == kInvalidNode) {
+      EXPECT_FALSE(evicted.has_value());
+    } else {
+      ASSERT_TRUE(evicted.has_value());
+      EXPECT_EQ(evicted->dest, previous);
+      EXPECT_EQ(evicted->uses, 1u);
+    }
+    e->ack_returned = true;
+    cache.touch(*e, ++now);
+    EXPECT_EQ(cache.valid_entries(), 1);
+    previous = dest;
+    ++now;
+  }
+  EXPECT_EQ(cache.evictions, 4u);
+}
+
+TEST(CircuitCache, SingleSwitchConfigurationKeepsSwitchIndexZero) {
+  // k = 1: there is exactly one wave switch per physical channel, so the
+  // Fig. 5 "Switch" field never needs to advance past zero and re-search
+  // starts where the hit left off.
+  auto cache = make_cache(2);
+  CacheEntry* e = cache.allocate(9, 0, nullptr);
+  EXPECT_EQ(e->initial_switch, 0);
+  EXPECT_EQ(e->switch_index, 0);
+  e->ack_returned = true;
+  std::optional<CacheEntry> evicted;
+  cache.allocate(10, 1, &evicted)->probing = true;
+  EXPECT_FALSE(evicted.has_value());
+  // A fresh allocation over the k=1 entry starts at switch 0 again.
+  std::optional<CacheEntry> displaced;
+  CacheEntry* f = cache.allocate(11, 2, &displaced);
+  ASSERT_NE(f, nullptr);
+  ASSERT_TRUE(displaced.has_value());
+  EXPECT_EQ(displaced->dest, 9);
+  EXPECT_EQ(f->switch_index, 0);
+}
+
+TEST(CircuitCache, MidEstablishmentEntrySurvivesEvictionPressure) {
+  // An entry whose probe is still in flight is the oldest and least used,
+  // i.e. the preferred victim under every policy -- yet it must never be
+  // displaced, or the returning ack would reference a recycled slot.
+  for (const auto policy :
+       {sim::ReplacementPolicy::kLru, sim::ReplacementPolicy::kLfu,
+        sim::ReplacementPolicy::kFifo, sim::ReplacementPolicy::kRandom}) {
+    auto cache = make_cache(2, policy);
+    CacheEntry* establishing = cache.allocate(1, 0, nullptr);
+    establishing->probing = true;  // mid-establishment
+    CacheEntry* done = cache.allocate(2, 5, nullptr);
+    done->ack_returned = true;
+    cache.touch(*done, 10);
+
+    std::optional<CacheEntry> evicted;
+    CacheEntry* e = cache.allocate(3, 20, &evicted);
+    ASSERT_NE(e, nullptr);
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(evicted->dest, 2) << "policy " << static_cast<int>(policy);
+    ASSERT_NE(cache.find(1), nullptr);
+    EXPECT_TRUE(cache.find(1)->probing);
+
+    // Once the ack returns the entry becomes an ordinary citizen.
+    CacheEntry* settled = cache.find(1);
+    settled->probing = false;
+    settled->ack_returned = true;
+    std::optional<CacheEntry> second;
+    ASSERT_NE(cache.allocate(4, 30, &second), nullptr);
+    ASSERT_TRUE(second.has_value());
+  }
+}
+
+TEST(CircuitCache, TieBreakIsLowestSlotAndDeterministicAcrossRuns) {
+  // Indistinguishable candidates (same last_use / uses / created) must
+  // resolve identically on every run: the scan keeps the first (lowest
+  // index) candidate because later ones only win with a strictly better
+  // key. Identical histories therefore evict identical victims.
+  for (const auto policy :
+       {sim::ReplacementPolicy::kLru, sim::ReplacementPolicy::kLfu,
+        sim::ReplacementPolicy::kFifo}) {
+    std::vector<NodeId> victims;
+    for (int run = 0; run < 3; ++run) {
+      auto cache = make_cache(3, policy);
+      for (NodeId d : {1, 2, 3}) {
+        CacheEntry* e = cache.allocate(d, 0, nullptr);  // same created
+        e->ack_returned = true;
+        cache.touch(*e, 10);  // same last_use, same uses
+      }
+      std::optional<CacheEntry> evicted;
+      ASSERT_NE(cache.allocate(4, 20, &evicted), nullptr);
+      ASSERT_TRUE(evicted.has_value());
+      victims.push_back(evicted->dest);
+    }
+    EXPECT_EQ(victims, (std::vector<NodeId>{1, 1, 1}))
+        << "policy " << static_cast<int>(policy);
+  }
+}
+
+TEST(CircuitCache, RandomPolicyIsDeterministicGivenTheSeed) {
+  // kRandom draws from the cache's own Rng: two caches built with the same
+  // seed must produce the same victim sequence (the simulator's global
+  // determinism contract), and a different seed is allowed to differ.
+  auto evicted_sequence = [](std::uint64_t seed) {
+    CircuitCache cache(4, sim::ReplacementPolicy::kRandom, sim::Rng{seed});
+    for (NodeId d : {1, 2, 3, 4}) {
+      cache.allocate(d, 0, nullptr)->ack_returned = true;
+    }
+    std::vector<NodeId> evictees;
+    for (NodeId d = 5; d < 12; ++d) {
+      std::optional<CacheEntry> evicted;
+      CacheEntry* e = cache.allocate(d, d, &evicted);
+      if (e == nullptr) break;
+      e->ack_returned = true;
+      if (evicted.has_value()) evictees.push_back(evicted->dest);
+    }
+    return evictees;
+  };
+  EXPECT_EQ(evicted_sequence(7), evicted_sequence(7));
+  EXPECT_EQ(evicted_sequence(7).size(), 7u);
+}
+
 }  // namespace
 }  // namespace wavesim::core

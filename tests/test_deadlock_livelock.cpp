@@ -5,11 +5,14 @@
 // delivers every message.
 #include <gtest/gtest.h>
 
+#include "core/control_plane.hpp"
+#include "core/instrumentation.hpp"
 #include "core/simulation.hpp"
 #include "sim/rng.hpp"
 #include "verify/delivery.hpp"
 #include "verify/fsck.hpp"
 #include "verify/watchdog.hpp"
+#include "wormhole/link_gate.hpp"
 
 namespace wavesim {
 namespace {
@@ -220,6 +223,87 @@ TEST_P(SeedSweep, ClrpHotspotNeverWedges) {
 
 INSTANTIATE_TEST_SUITE_P(ManySeeds, SeedSweep,
                          ::testing::Range<std::uint64_t>(100, 120));
+
+// The Force-bit corner of Theorem 1: Force lets a probe wait only on a
+// channel whose circuit is *established* (and demand its release). When
+// every requested channel belongs to a circuit still being established
+// (reservation placed, ack not yet returned), even a Force probe must
+// backtrack -- waiting there could deadlock two pending setups against
+// each other. This drives that exact interleaving and asserts (a) the
+// probe backtracks (kBacktracked fires), and (b) nothing established is
+// torn down.
+TEST(ForceCorner, ForceProbeBacktracksOffPendingChannelsOnly) {
+  const topo::KAryNCube topo({4, 4}, /*torus=*/true);
+  wh::ExclusiveLinkGate gate(topo);
+  core::CircuitTable circuits;
+  core::Instrumentation instr;
+  std::vector<core::Event> events;
+  instr.set_sink([&](const core::Event& ev) { events.push_back(ev); });
+  // One switch, m = 0: the probe has no misroute escape, so the pending
+  // minimal channel is the only thing it could possibly wait on.
+  core::ControlPlane plane(topo, circuits, gate,
+                           core::ControlPlaneParams{1, 0}, &instr);
+
+  Cycle now = 0;
+  std::vector<core::ProbeResult> results;
+  const auto run = [&](int cycles) {
+    for (int i = 0; i < cycles; ++i) {
+      gate.reset();
+      plane.step(now++);
+      for (const auto& r : plane.take_probe_results()) results.push_back(r);
+      plane.take_release_demands();
+      plane.take_teardowns_done();
+    }
+  };
+
+  // An established bystander circuit off the probe's minimal path: it must
+  // survive untouched.
+  const NodeId n10 = topo.node_of({1, 0});
+  const CircuitId bystander = circuits.create(n10, topo.node_of({1, 1}), 0);
+  plane.launch_probe(bystander, /*force=*/false);
+  run(64);
+  ASSERT_EQ(circuits.at(bystander).state, core::CircuitState::kEstablished);
+
+  // Pending setup A: (1,0) -> (3,0) reserves (1,0)+x immediately, and its
+  // ack only returns to (1,0) several hops later -- a window in which the
+  // channel is busy with a circuit still being established.
+  const CircuitId pending = circuits.create(n10, topo.node_of({3, 0}), 0);
+  plane.launch_probe(pending, /*force=*/false);
+  run(1);  // A has reserved (1,0)+x and moved on; ack far away
+
+  // Force probe B: (0,0) -> (2,0). Its only minimal port at (1,0) is the
+  // channel A holds pending. With m = 0 there is nothing else to request.
+  const CircuitId forced = circuits.create(topo.node_of({0, 0}),
+                                           topo.node_of({2, 0}), 0);
+  plane.launch_probe(forced, /*force=*/true);
+  run(64);  // everything settles
+
+  // B advanced one hop, hit the pending wall, backtracked, and failed at
+  // the source (no misroute credit) instead of waiting.
+  bool backtracked = false;
+  for (const auto& ev : events) {
+    if (ev.kind == core::EventKind::kBacktracked && ev.circuit == forced) {
+      backtracked = true;
+    }
+  }
+  EXPECT_TRUE(backtracked)
+      << "Force probe should retreat off a pending channel, not wait";
+  bool failed = false;
+  for (const auto& r : results) {
+    if (r.circuit == forced && !r.success) failed = true;
+  }
+  EXPECT_TRUE(failed) << "exhausted Force probe must report failure";
+
+  // No Force teardown of anything: the bystander is still established and
+  // the pending setup completed normally.
+  EXPECT_EQ(plane.stats().teardowns_started, 0u);
+  for (const auto& ev : events) {
+    EXPECT_NE(ev.kind, core::EventKind::kForceTeardown);
+    EXPECT_NE(ev.kind, core::EventKind::kTeardownStarted);
+  }
+  EXPECT_EQ(circuits.at(bystander).state, core::CircuitState::kEstablished);
+  EXPECT_EQ(circuits.at(pending).state, core::CircuitState::kEstablished);
+}
 
 // Faults + Force probes together: the hardest corner of Theorem 1.
 TEST(DeadlockLivelockFaults, ClrpSurvivesFaultyFabric) {

@@ -1,0 +1,113 @@
+// Malformed-input tests for the JSON parser: the repro/metrics loaders
+// feed it files a human may have hand-edited, so every bad shape must be
+// a clean std::runtime_error -- never a crash, a hang or a silent
+// misparse.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sim/json.hpp"
+
+namespace wavesim::sim {
+namespace {
+
+void expect_rejects(const std::string& text) {
+  EXPECT_THROW(JsonValue::parse(text), std::runtime_error)
+      << "accepted: " << text;
+}
+
+TEST(JsonMalformed, TruncatedInputs) {
+  expect_rejects("");
+  expect_rejects("{");
+  expect_rejects("{\"a\"");
+  expect_rejects("{\"a\":");
+  expect_rejects("{\"a\":1");
+  expect_rejects("{\"a\":1,");
+  expect_rejects("[");
+  expect_rejects("[1,");
+  expect_rejects("[1, 2");
+  expect_rejects("\"unterminated");
+  expect_rejects("\"ends in backslash\\");
+  expect_rejects("tru");
+  expect_rejects("nul");
+  expect_rejects("-");
+  expect_rejects("1.");
+  expect_rejects("2e");
+  expect_rejects("2e+");
+}
+
+TEST(JsonMalformed, BadEscapes) {
+  expect_rejects("\"\\q\"");
+  expect_rejects("\"\\x41\"");
+  expect_rejects("\"\\u12\"");       // too short
+  expect_rejects("\"\\u12zz\"");     // non-hex digits
+  expect_rejects("\"\\u\"");
+  // Good escapes still work, including \u BMP code points.
+  const JsonValue v = JsonValue::parse("\"a\\n\\t\\\"\\\\\\u0041\\u00e9\"");
+  EXPECT_EQ(v.as_string(), "a\n\t\"\\A\xc3\xa9");
+}
+
+TEST(JsonMalformed, DuplicateKeysRejected) {
+  expect_rejects("{\"a\": 1, \"a\": 2}");
+  expect_rejects("{\"a\": {\"b\": 1, \"b\": 2}}");
+  // Same key in *different* objects is fine.
+  const JsonValue v =
+      JsonValue::parse("{\"a\": {\"x\": 1}, \"b\": {\"x\": 2}}");
+  EXPECT_EQ(v.at("b").at("x").as_number(), 2.0);
+}
+
+TEST(JsonMalformed, DeepNestingCappedNotCrashing) {
+  // Far past any sane document: must throw, not overflow the stack.
+  const int deep = 200000;
+  std::string bomb(static_cast<std::size_t>(deep), '[');
+  expect_rejects(bomb);
+  // A matched-but-too-deep document fails the same way.
+  std::string matched;
+  for (int i = 0; i < 500; ++i) matched += '[';
+  for (int i = 0; i < 500; ++i) matched += ']';
+  expect_rejects(matched);
+  // Reasonable nesting (well under the cap) still parses.
+  std::string fine;
+  for (int i = 0; i < 100; ++i) fine += '[';
+  fine += "7";
+  for (int i = 0; i < 100; ++i) fine += ']';
+  EXPECT_NO_THROW(JsonValue::parse(fine));
+}
+
+TEST(JsonMalformed, NumbersOutOfRange) {
+  expect_rejects("1e999999");   // std::stod overflow must not escape
+  expect_rejects("-1e999999");
+  // Large-but-finite parses.
+  EXPECT_NO_THROW(JsonValue::parse("1e308"));
+}
+
+TEST(JsonMalformed, TrailingAndStrayCharacters) {
+  expect_rejects("{} x");
+  expect_rejects("1 2");
+  expect_rejects("[1] ]");
+  expect_rejects(",");
+  expect_rejects("{,}");
+  expect_rejects("[1,,2]");
+  expect_rejects("{\"a\" 1}");
+  expect_rejects("{1: 2}");     // non-string key
+  expect_rejects("[1; 2]");
+  expect_rejects("Infinity");
+  expect_rejects("NaN");
+}
+
+TEST(JsonMalformed, ErrorsNameTheOffset) {
+  try {
+    JsonValue::parse("[1, 2, !]");
+    FAIL() << "should have thrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("offset"), std::string::npos);
+  }
+}
+
+TEST(JsonMalformed, ReadJsonFileErrors) {
+  EXPECT_THROW(read_json_file("/nonexistent/path/x.json"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace wavesim::sim

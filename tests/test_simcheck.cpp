@@ -1,0 +1,229 @@
+// Tests for the simcheck property harness itself: scenario generation is
+// deterministic and always-valid, repro files round-trip exactly, the
+// oracle stack is reproducible, and the shrinker minimizes while
+// preserving the violation.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "check/oracle.hpp"
+#include "check/scenario.hpp"
+#include "check/shrink.hpp"
+#include "check/simcheck.hpp"
+#include "harness/sweep.hpp"
+#include "sim/json.hpp"
+
+namespace wavesim::check {
+namespace {
+
+TEST(HexU64, RoundTripsEdgeValues) {
+  for (const std::uint64_t v :
+       {0ull, 1ull, 0xdeadbeefull, ~0ull, 0x8000000000000000ull}) {
+    std::uint64_t back = 1234;
+    ASSERT_TRUE(parse_hex_u64(to_hex_u64(v), back)) << to_hex_u64(v);
+    EXPECT_EQ(back, v);
+  }
+  std::uint64_t out = 0;
+  EXPECT_FALSE(parse_hex_u64("", out));
+  EXPECT_FALSE(parse_hex_u64("42", out));          // missing 0x
+  EXPECT_FALSE(parse_hex_u64("0x", out));          // no digits
+  EXPECT_FALSE(parse_hex_u64("0xg1", out));        // bad digit
+  EXPECT_FALSE(parse_hex_u64("0x11223344556677889", out));  // > 16 digits
+}
+
+TEST(Scenario, GenerationIsDeterministic) {
+  for (std::uint64_t seed : {1ull, 42ull, 0xabcdefull}) {
+    EXPECT_EQ(Scenario::generate(seed), Scenario::generate(seed));
+  }
+  // The seed is the identity: different seeds explore different scenarios.
+  EXPECT_FALSE(Scenario::generate(1) == Scenario::generate(2));
+}
+
+TEST(Scenario, GeneratedScenariosAlwaysValidateAndRepairIsIdempotent) {
+  for (std::uint64_t seed = 0; seed < 300; ++seed) {
+    const Scenario s =
+        Scenario::generate(harness::derive_seed(7, seed, 0));
+    EXPECT_NO_THROW(s.to_config().validate()) << s.label();
+    Scenario again = s;
+    again.repair();
+    EXPECT_EQ(again, s) << "repair not idempotent for " << s.label();
+  }
+}
+
+TEST(Scenario, RepairResolvesCrossFieldConstraints) {
+  Scenario s;
+  s.radix = {5, 5, 5};           // 125 nodes: over the size cap
+  s.routing = sim::RoutingKind::kWestFirst;  // needs a 2-D mesh
+  s.torus = true;
+  s.wormhole_vcs = 0;
+  s.pattern = "bit-reversal";    // needs power-of-two node count
+  s.repair();
+  EXPECT_NO_THROW(s.to_config().validate()) << s.label();
+}
+
+TEST(Scenario, JsonRoundTripIsExact) {
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    const Scenario s =
+        Scenario::generate(harness::derive_seed(11, seed, 0));
+    // Through text, as a real repro file would travel.
+    const Scenario back =
+        Scenario::from_json(sim::JsonValue::parse(s.to_json().dump(2)));
+    EXPECT_EQ(back, s) << s.label();
+  }
+}
+
+TEST(Scenario, FromJsonRejectsCorruptDocuments) {
+  sim::JsonValue good = Scenario::generate(3).to_json();
+  EXPECT_NO_THROW(Scenario::from_json(good));
+
+  sim::JsonValue missing = good;
+  missing.set("protocol", nullptr);  // type mismatch
+  EXPECT_THROW(Scenario::from_json(missing), std::runtime_error);
+
+  sim::JsonValue bad_enum = good;
+  bad_enum.set("routing", "shortest-path-first");
+  EXPECT_THROW(Scenario::from_json(bad_enum), std::runtime_error);
+
+  sim::JsonValue bad_seed = good;
+  bad_seed.set("seed", "12345");  // not 0x-hex
+  EXPECT_THROW(Scenario::from_json(bad_seed), std::runtime_error);
+
+  EXPECT_THROW(Scenario::from_json(sim::JsonValue(1.0)), std::runtime_error);
+}
+
+Scenario small_scenario() {
+  Scenario s = Scenario::generate(5);
+  s.radix = {4, 4};
+  s.inject_cycles = 256;
+  s.repair();
+  return s;
+}
+
+TEST(Oracle, RunIsBitIdenticallyReproducible) {
+  const Scenario s = small_scenario();
+  const RunOutcome a = run_scenario(s);
+  const RunOutcome b = run_scenario(s);
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(a.offered, b.offered);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.final_cycle, b.final_cycle);
+  EXPECT_EQ(a.violations, b.violations);
+  EXPECT_TRUE(a.ok()) << a.summary();
+}
+
+TEST(Oracle, FlagsInvalidConfigInsteadOfThrowing) {
+  Scenario s;              // deliberately NOT repaired:
+  s.radix = {4, 4};
+  s.torus = true;
+  s.routing = sim::RoutingKind::kDimensionOrder;
+  s.wormhole_vcs = 1;      // torus DOR needs >= 2 VCs
+  const RunOutcome out = run_scenario(s);
+  ASSERT_FALSE(out.ok());
+  EXPECT_NE(out.violations.front().find("config invalid"), std::string::npos);
+}
+
+/// A scenario that always fails the oracle on a healthy build: the traffic
+/// pattern name is unknown, so workload construction is rejected. Because
+/// repair() leaves unknown names alone, the shrinker can minimize every
+/// other knob while the violation persists.
+Scenario always_failing_scenario() {
+  Scenario s = Scenario::generate(9);
+  s.pattern = "bogus-pattern";
+  return s;
+}
+
+TEST(Shrink, MinimizesWhilePreservingTheViolation) {
+  const Scenario original = always_failing_scenario();
+  const RunOutcome outcome = run_scenario(original);
+  ASSERT_FALSE(outcome.ok());
+
+  const ShrinkResult result = shrink(original, outcome);
+  EXPECT_FALSE(result.outcome.ok());
+  EXPECT_GT(result.runs, 0u);
+  EXPECT_GT(result.accepted, 0u);
+  // Floor values reached by the transformation chain.
+  EXPECT_EQ(result.scenario.inject_cycles, 128u);
+  EXPECT_EQ(result.scenario.radix.size(), 1u);
+  EXPECT_EQ(result.scenario.pattern, "bogus-pattern");
+  // Shrinking is deterministic.
+  const ShrinkResult again = shrink(original, outcome);
+  EXPECT_EQ(again.scenario, result.scenario);
+  EXPECT_EQ(again.runs, result.runs);
+}
+
+TEST(Simcheck, CleanRunOnHealthyBuild) {
+  SimcheckOptions options;
+  options.base_seed = 1;
+  options.count = 25;
+  const Report report = run_simcheck(options);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.scenarios_run, 25u);
+}
+
+TEST(Simcheck, ReportIsIndependentOfThreadCount) {
+  for (const unsigned threads : {1u, 4u}) {
+    SimcheckOptions options;
+    options.base_seed = 77;
+    options.count = 12;
+    options.threads = threads;
+    const Report report = run_simcheck(options);
+    EXPECT_EQ(report.scenarios_run, 12u);
+    EXPECT_TRUE(report.ok());
+  }
+}
+
+TEST(Repro, JsonRoundTripsThroughTextExactly) {
+  Failure failure;
+  failure.index = 3;
+  failure.original = always_failing_scenario();
+  failure.original_outcome = run_scenario(failure.original);
+  ShrinkResult shrunk = shrink(failure.original, failure.original_outcome);
+  failure.shrunk = shrunk.scenario;
+  failure.shrunk_outcome = shrunk.outcome;
+  failure.shrink_runs = shrunk.runs;
+  failure.shrink_accepted = shrunk.accepted;
+
+  const std::string text = repro_to_json(failure).dump(2);
+  const Failure back = repro_from_json(sim::JsonValue::parse(text));
+  EXPECT_EQ(back.shrunk, failure.shrunk);
+  EXPECT_EQ(back.original, failure.original);
+  EXPECT_EQ(back.shrunk_outcome.fingerprint,
+            failure.shrunk_outcome.fingerprint);
+  EXPECT_EQ(back.shrunk_outcome.violations,
+            failure.shrunk_outcome.violations);
+  EXPECT_EQ(back.shrink_runs, failure.shrink_runs);
+}
+
+TEST(Repro, RejectsWrongSchemaAndMissingPieces) {
+  EXPECT_THROW(repro_from_json(sim::JsonValue::parse("{}")),
+               std::runtime_error);
+  EXPECT_THROW(
+      repro_from_json(sim::JsonValue::parse("{\"schema\": \"other.v9\"}")),
+      std::runtime_error);
+  sim::JsonValue no_scenario = sim::JsonValue::object();
+  no_scenario.set("schema", "wavesim.repro.v1");
+  EXPECT_THROW(repro_from_json(no_scenario), std::runtime_error);
+}
+
+TEST(Repro, WriteAndLoadFile) {
+  Failure failure;
+  failure.original = always_failing_scenario();
+  failure.original_outcome = run_scenario(failure.original);
+  failure.shrunk = failure.original;
+  failure.shrunk_outcome = failure.original_outcome;
+
+  const char* dir = std::getenv("TMPDIR");
+  const std::string path =
+      write_repro(failure, dir != nullptr ? dir : "/tmp");
+  ASSERT_FALSE(path.empty());
+  const Failure back = load_repro(path);
+  EXPECT_EQ(back.shrunk, failure.shrunk);
+  std::remove(path.c_str());
+
+  EXPECT_THROW(load_repro("/nonexistent/repro.json"), std::runtime_error);
+  EXPECT_EQ(write_repro(failure, "/nonexistent-dir"), "");
+}
+
+}  // namespace
+}  // namespace wavesim::check
