@@ -1,0 +1,142 @@
+// ENGINE -- sharded parallel step engine: seq vs par wall time on one
+// large torus, with the bit-identity contract enforced on every leg.
+//
+// Unlike the bench_e* experiments this measures the simulator, not the
+// paper's protocols: the same CLRP run is timed under the sequential
+// stepper and under the parallel engine at several shard counts, every
+// parallel leg's full event-stream digest is required to equal the
+// sequential one, and the speedups are exported (with the host thread
+// count — the ratio is meaningless without it; on a single-core host the
+// parallel engine cannot win). This driver sweeps engines itself, so the
+// common --engine/--shards flags are not applied here.
+#include <chrono>
+
+#include "bench_util.hpp"
+#include "core/simulation.hpp"
+#include "engine/engine.hpp"
+#include "engine/pool.hpp"
+#include "harness/sweep.hpp"
+#include "sim/rng.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using namespace wavesim;
+
+struct Leg {
+  std::int32_t shards = 0;  ///< 0 = sequential stepper
+  double wall_seconds = 0.0;
+  std::string digest;       ///< stats + cycle + event fingerprint
+  Cycle cycles = 0;
+};
+
+sim::SimConfig make_config(bool quick) {
+  sim::SimConfig config;
+  const std::int32_t radix = quick ? 8 : 16;
+  config.topology.radix = {radix, radix};
+  config.topology.torus = true;
+  config.protocol.protocol = sim::ProtocolKind::kClrp;
+  config.seed = 9;
+  return config;
+}
+
+Leg run_leg(const sim::SimConfig& config, bool quick, std::int32_t shards) {
+  core::Simulation sim(config);
+  if (shards > 0) {
+    engine::EngineConfig engine_config;
+    engine_config.kind = engine::EngineKind::kPar;
+    engine_config.shards = shards;
+    sim.set_engine(
+        engine::make_engine(engine_config, sim.topology().num_nodes()));
+  }
+  std::uint64_t fingerprint = 0x77617665u;
+  sim.set_event_sink([&](const core::Event& ev) {
+    fingerprint = sim::hash_mix(fingerprint ^ ev.at);
+    fingerprint =
+        sim::hash_mix(fingerprint ^ static_cast<std::uint64_t>(ev.kind));
+    fingerprint =
+        sim::hash_mix(fingerprint ^ static_cast<std::uint64_t>(ev.node));
+    fingerprint =
+        sim::hash_mix(fingerprint ^ static_cast<std::uint64_t>(ev.msg));
+    fingerprint =
+        sim::hash_mix(fingerprint ^ static_cast<std::uint64_t>(ev.circuit));
+  });
+  load::UniformTraffic pattern(sim.topology());
+  load::FixedSize sizes(64);
+  const auto start = std::chrono::steady_clock::now();
+  const auto r = load::run_open_loop(
+      sim, pattern, sizes, /*offered_load=*/0.12,
+      /*warmup=*/quick ? 300 : 500, /*measure=*/quick ? 1500 : 4000,
+      /*drain_cap=*/300'000, /*seed=*/33);
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  Leg leg;
+  leg.shards = shards;
+  leg.wall_seconds = elapsed.count();
+  leg.cycles = sim.now();
+  leg.digest = harness::stats_to_json(r.stats).dump() + "@" +
+               std::to_string(sim.now()) + "@" + std::to_string(fingerprint);
+  return leg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Cli cli("ENGINE",
+                 "sharded parallel engine: wall time vs the sequential "
+                 "stepper, results bit-identical");
+  if (!cli.parse(argc, argv)) return cli.exit_code();
+  return cli.run([&] {
+    const bool quick = cli.quick();
+    const unsigned hw = engine::resolve_engine_threads(0);
+    bench::banner(
+        "ENGINE",
+        "sharded parallel engine: wall time vs the sequential stepper",
+        (quick ? std::string("8x8") : std::string("16x16")) +
+            " torus, CLRP, uniform load 0.12, 64-flit messages; every "
+            "parallel leg must reproduce the sequential event stream "
+            "exactly (host threads: " +
+            bench::fmt_int(hw) + ")");
+    const sim::SimConfig config = make_config(quick);
+
+    const Leg seq = run_leg(config, quick, /*shards=*/0);
+    std::vector<std::int32_t> shard_counts{2, 4, 8};
+    bench::Table table(
+        {"engine", "shards", "wall-s", "kcycles/s", "speedup", "identical"});
+    auto krate = [](const Leg& leg) {
+      return leg.wall_seconds > 0.0
+                 ? static_cast<double>(leg.cycles) / leg.wall_seconds / 1000.0
+                 : 0.0;
+    };
+    table.add_row({"seq", "-", bench::fmt(seq.wall_seconds, 3),
+                   bench::fmt(krate(seq), 1), "1.00", "-"});
+
+    sim::JsonValue points = sim::JsonValue::array();
+    double best_speedup = 0.0;
+    for (const std::int32_t shards : shard_counts) {
+      const Leg par = run_leg(config, quick, shards);
+      bench::require(par.digest == seq.digest,
+                     "parallel engine (shards=" + std::to_string(shards) +
+                         ") diverged from the sequential stepper");
+      const double speedup =
+          par.wall_seconds > 0.0 ? seq.wall_seconds / par.wall_seconds : 0.0;
+      best_speedup = std::max(best_speedup, speedup);
+      table.add_row({"par", bench::fmt_int(shards),
+                     bench::fmt(par.wall_seconds, 3), bench::fmt(krate(par), 1),
+                     bench::fmt(speedup, 2), "yes"});
+      points.push_back(sim::JsonValue::object()
+                      .set("shards", shards)
+                      .set("wall_seconds", par.wall_seconds)
+                      .set("speedup", speedup)
+                      .set("identical", true));
+    }
+    cli.report(table, "engine_speedup");
+    cli.note("seq_wall_seconds", sim::JsonValue(seq.wall_seconds));
+    cli.note("engine_points", std::move(points));
+    cli.note("best_speedup", sim::JsonValue(best_speedup));
+    std::printf("\nbest speedup %.2fx on %u host thread(s); all legs "
+                "bit-identical to seq\n",
+                best_speedup, hw);
+    return true;
+  });
+}

@@ -73,6 +73,7 @@ int main(int argc, char** argv) {
   options.base_seed = static_cast<std::uint64_t>(base_seed);
   options.replicas = static_cast<std::int32_t>(replicas);
   options.threads = cli.threads();
+  options.engine = cli.engine_config();
   const harness::SweepResult result = harness::run_sweep(points, options);
 
   bench::Table table({"point", "replicas", "mean-lat", "lat-stddev", "p99",

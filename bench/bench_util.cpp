@@ -160,6 +160,9 @@ bool Cli::parse(int argc, char** argv) {
           "  --trace <path>    Perfetto trace of one representative run\n"
           "  --metrics <path>  its counters/histograms (wavesim.metrics.v1)\n"
           "  --sample-every N  gauge sampling period for the observed run\n"
+          "  --engine seq|par  step engine per simulation (default seq;\n"
+          "                    par never changes results, only wall time)\n"
+          "  --shards N        shard count for --engine par (default auto)\n"
           "  --help            this text\n",
           experiment_.c_str(), title_.c_str());
       for (const IntFlag& f : int_flags_) {
@@ -199,12 +202,48 @@ bool Cli::parse(int argc, char** argv) {
       threads_ = static_cast<unsigned>(parsed);
     } else if (arg == "--quick") {
       quick_ = true;
+    } else if (arg == "--engine" || arg.rfind("--engine=", 0) == 0) {
+      std::string text;
+      if (arg == "--engine") {
+        const char* v = need(i);
+        if (v == nullptr) return false;
+        text = v;
+      } else {
+        text = arg.substr(std::string("--engine=").size());
+      }
+      const auto kind = engine::parse_engine_kind(text);
+      if (!kind.has_value()) {
+        std::fprintf(stderr, "%s: --engine must be seq or par (got '%s')\n",
+                     experiment_.c_str(), text.c_str());
+        exit_code_ = 2;
+        return false;
+      }
+      engine_.kind = *kind;
+    } else if (arg == "--shards") {
+      const char* v = need(i);
+      if (v == nullptr) return false;
+      const long parsed = std::strtol(v, nullptr, 10);
+      if (parsed < 1) {
+        std::fprintf(stderr, "%s: --shards must be >= 1 (got %s)\n",
+                     experiment_.c_str(), v);
+        exit_code_ = 2;
+        return false;
+      }
+      engine_.shards = static_cast<std::int32_t>(parsed);
     } else {
       std::fprintf(stderr, "%s: unknown flag %s (try --help)\n",
                    experiment_.c_str(), arg.c_str());
       exit_code_ = 2;
       return false;
     }
+  }
+  if (engine_.shards > 0 && !engine_.parallel()) {
+    std::fprintf(stderr,
+                 "%s: --shards only applies to --engine par "
+                 "(the sequential engine is unsharded)\n",
+                 experiment_.c_str());
+    exit_code_ = 2;
+    return false;
   }
   return true;
 }
@@ -228,6 +267,12 @@ std::unique_ptr<obs::Observer> Cli::observe(core::Simulation& sim) const {
   return std::make_unique<obs::Observer>(sim, options);
 }
 
+void Cli::install_engine(core::Simulation& sim) const {
+  engine_installed_ = true;
+  if (!engine_.parallel()) return;
+  sim.set_engine(engine::make_engine(engine_, sim.topology().num_nodes()));
+}
+
 bool Cli::write_observability(const obs::Observer& observer) {
   bool ok = true;
   if (!trace_path_.empty()) {
@@ -247,6 +292,12 @@ int Cli::finish(bool ok) {
                  "this driver recorded no observed run\n",
                  experiment_.c_str());
   }
+  if (engine_.parallel() && !engine_installed_) {
+    std::fprintf(stderr,
+                 "%s: warning: --engine par given but this driver installed "
+                 "no step engine; runs were sequential\n",
+                 experiment_.c_str());
+  }
   if (!json_path_.empty()) {
     const double wall =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
@@ -259,6 +310,7 @@ int Cli::finish(bool ok) {
             .set("generated_by", sim::git_describe())
             .set("threads", harness::resolve_threads(threads_))
             .set("host_threads", std::thread::hardware_concurrency())
+            .set("engine", engine_.to_json())
             .set("quick", quick_)
             .set("ok", ok)
             .set("wall_seconds", wall)

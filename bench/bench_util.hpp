@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/engine.hpp"
 #include "obs/observer.hpp"
 #include "sim/json.hpp"
 
@@ -57,6 +58,8 @@ void require(bool ok, const std::string& message);
 ///   --trace <path>    record one representative run as wavesim.trace.v1
 ///   --metrics <path>  record its counters/histograms as wavesim.metrics.v1
 ///   --sample-every N  gauge sampling period for the observed run
+///   --engine seq|par  step engine for each simulation (default seq)
+///   --shards N        shard count for --engine par (default: auto)
 ///   --help            usage
 /// After parse(), report() both prints a table and records it for export;
 /// finish(ok) writes the JSON file and maps ok to the process exit code.
@@ -95,6 +98,17 @@ class Cli {
   /// observer returned by observe(). Returns false if a write failed.
   bool write_observability(const obs::Observer& observer);
 
+  /// The step engine selected by --engine/--shards (default sequential).
+  const engine::EngineConfig& engine_config() const noexcept {
+    return engine_;
+  }
+
+  /// Install the selected step engine on a simulation (no-op for seq;
+  /// results never change either way — the engine only affects wall
+  /// time). Drivers that never call this warn at finish() when a parallel
+  /// engine was requested.
+  void install_engine(core::Simulation& sim) const;
+
   /// Print the table (CSV side effect included) and record it for JSON
   /// export under `name`.
   void report(const Table& table, const std::string& name);
@@ -125,6 +139,8 @@ class Cli {
   std::string metrics_path_;
   std::int64_t sample_every_ = 0;
   bool observability_written_ = false;
+  engine::EngineConfig engine_;
+  mutable bool engine_installed_ = false;
   std::vector<IntFlag> int_flags_;
   unsigned threads_ = 0;
   bool quick_ = false;

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "core/simulation.hpp"
+#include "engine/engine.hpp"
 #include "harness/sweep.hpp"
 #include "obs/observer.hpp"
 #include "sim/build_info.hpp"
@@ -48,6 +49,9 @@ struct Options {
   Cycle sample_every = 0;    ///< gauge sampling period; 0 = off
   std::int32_t replicas = 1;
   unsigned threads = 0;
+  std::string engine = "seq";
+  std::int32_t shards = 0;  ///< auto under --engine par unless shards_given
+  bool shards_given = false;
 };
 
 void usage() {
@@ -81,7 +85,10 @@ void usage() {
       "  --sample-every N    sample gauge time series every N cycles\n"
       "                      (default 0 = off; adds samples to --metrics)\n"
       "  --replicas N        run N seeds and merge (wavesim.sweep.v1 export)\n"
-      "  --threads N         worker threads for --replicas (0 = all cores)\n");
+      "  --threads N         worker threads for --replicas (0 = all cores)\n"
+      "  --engine E          step engine: seq | par (default seq; par is\n"
+      "                      bit-identical to seq, only wall time changes)\n"
+      "  --shards N          shard count for --engine par (default: auto)\n");
 }
 
 bool parse(int argc, char** argv, Options& opt) {
@@ -121,12 +128,46 @@ bool parse(int argc, char** argv, Options& opt) {
     else if (arg == "--sample-every") opt.sample_every = std::strtoull(need(i), nullptr, 10);
     else if (arg == "--replicas") opt.replicas = std::atoi(need(i));
     else if (arg == "--threads") opt.threads = static_cast<unsigned>(std::atoi(need(i)));
+    else if (arg == "--engine") opt.engine = need(i);
+    else if (arg.rfind("--engine=", 0) == 0) opt.engine = arg.substr(9);
+    else if (arg == "--shards") {
+      opt.shards = std::atoi(need(i));
+      opt.shards_given = true;
+    }
     else {
       std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg.c_str());
       std::exit(2);
     }
   }
   return true;
+}
+
+/// Validate --engine/--shards and build the engine spec; exits 2 with a
+/// clear message on a bad combination.
+engine::EngineConfig build_engine_config(const Options& opt) {
+  engine::EngineConfig cfg;
+  const auto kind = engine::parse_engine_kind(opt.engine);
+  if (!kind.has_value()) {
+    std::fprintf(stderr, "error: --engine must be seq or par (got '%s')\n",
+                 opt.engine.c_str());
+    std::exit(2);
+  }
+  cfg.kind = *kind;
+  if (opt.shards_given) {
+    if (opt.shards < 1) {
+      std::fprintf(stderr, "error: --shards must be >= 1 (got %d)\n",
+                   opt.shards);
+      std::exit(2);
+    }
+    if (!cfg.parallel()) {
+      std::fprintf(stderr,
+                   "error: --shards only applies to --engine par "
+                   "(the sequential engine is unsharded)\n");
+      std::exit(2);
+    }
+    cfg.shards = opt.shards;
+  }
+  return cfg;
 }
 
 std::vector<std::int32_t> parse_radices(const std::string& spec) {
@@ -183,6 +224,7 @@ int main(int argc, char** argv) {
     return 0;
   }
   try {
+    const engine::EngineConfig engine_cfg = build_engine_config(opt);
     const sim::SimConfig cfg = build_config(opt);
     cfg.validate();
 
@@ -208,6 +250,7 @@ int main(int argc, char** argv) {
       options.base_seed = opt.seed;
       options.replicas = opt.replicas;
       options.threads = opt.threads;
+      options.engine = engine_cfg;
       const harness::SweepResult result = harness::run_sweep({point}, options);
       const harness::PointSummary& p = result.points.front();
       std::printf("merged %d replicas of %s (base seed %llu, %u thread(s), "
@@ -236,6 +279,10 @@ int main(int argc, char** argv) {
     }
 
     core::Simulation sim(cfg);
+    if (engine_cfg.parallel()) {
+      sim.set_engine(
+          engine::make_engine(engine_cfg, sim.topology().num_nodes()));
+    }
 
     // Observability attaches before the first cycle so traces cover the
     // whole run; it is read-only, so stats stay bit-identical either way.
@@ -315,6 +362,7 @@ int main(int argc, char** argv) {
               .set("message_flits", opt.length)
               .set("offered_load", opt.load)
               .set("seed", opt.seed)
+              .set("engine", engine_cfg.to_json(sim.topology().num_nodes()))
               .set("drained", result.drained)
               .set("invariants_ok", check.ok())
               .set("watchdog_verdict", verify::to_string(result.watchdog_verdict))

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "core/simulation.hpp"
+#include "engine/engine.hpp"
 #include "sim/rng.hpp"
 #include "verify/delivery.hpp"
 #include "verify/fsck.hpp"
@@ -78,6 +79,13 @@ RunOutcome run_scenario(const Scenario& scenario,
   }
 
   core::Simulation sim(config);
+  if (scenario.engine_shards >= 1) {
+    engine::EngineConfig engine_config;
+    engine_config.kind = engine::EngineKind::kPar;
+    engine_config.shards = scenario.engine_shards;
+    sim.set_engine(
+        engine::make_engine(engine_config, sim.topology().num_nodes()));
+  }
 
   // Event sink: order-sensitive fingerprint + per-attempt misroute budgets.
   const std::uint64_t backtrack_cap =
@@ -218,6 +226,33 @@ RunOutcome run_scenario(const Scenario& scenario,
     append(verify::check_delivery(sim.network()));
     append(verify::check_drained(sim.network()));
     append(verify::check_control_state(sim.network()));
+  }
+
+  // Equivalence oracle: the parallel engine promises bit-identical results,
+  // so a sequential re-run of the same scenario must match every observable
+  // — including the order-sensitive event fingerprint. The twin has
+  // engine_shards = 0, so the recursion terminates after one level.
+  if (scenario.engine_shards >= 1 && options.check_engine_equivalence) {
+    Scenario twin = scenario;
+    twin.engine_shards = 0;
+    const RunOutcome seq = run_scenario(twin, options);
+    if (seq.fingerprint != out.fingerprint || seq.offered != out.offered ||
+        seq.delivered != out.delivered ||
+        seq.final_cycle != out.final_cycle ||
+        seq.saturated != out.saturated ||
+        seq.violations != out.violations) {
+      std::ostringstream os;
+      os << "engine equivalence: parallel run (shards="
+         << scenario.engine_shards
+         << ") diverged from the sequential stepper: par {fp "
+         << to_hex_u64(out.fingerprint) << ", " << out.delivered << "/"
+         << out.offered << " delivered, cycle " << out.final_cycle << ", "
+         << out.violations.size() << " violation(s)} vs seq {fp "
+         << to_hex_u64(seq.fingerprint) << ", " << seq.delivered << "/"
+         << seq.offered << " delivered, cycle " << seq.final_cycle << ", "
+         << seq.violations.size() << " violation(s)}";
+      out.violations.push_back(os.str());
+    }
   }
   return out;
 }

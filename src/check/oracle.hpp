@@ -7,7 +7,12 @@
 //                 misroute budget m from the event stream (livelock,
 //                 Theorem 3), periodic control-plane fsck (I1-I6);
 //   post-run    — delivery completeness/causality/ordering/conservation,
-//                 drained-state leak check, probe-step bound.
+//                 drained-state leak check, probe-step bound;
+//   equivalence — a scenario that ran under the sharded parallel engine
+//                 (engine_shards >= 1) is re-run under the sequential
+//                 stepper and every observable (event fingerprint, offered,
+//                 delivered, final cycle, saturation, violations) must
+//                 match, so synchronization bugs surface as violations.
 //
 // The run also folds every instrumentation event into an order-sensitive
 // 64-bit fingerprint, which is what "bit-identical replay" is checked
@@ -31,6 +36,11 @@ struct OracleOptions {
   Cycle watchdog_patience = 20'000;
   /// Stop collecting after this many violations (the run aborts early).
   std::size_t max_violations = 8;
+  /// Re-run engine_shards >= 1 scenarios under the sequential stepper and
+  /// require identical outcomes (the engine's bit-identity contract).
+  /// Costs one extra sequential run per parallel scenario. Stays on while
+  /// shrinking so a minimized repro preserves an equivalence violation.
+  bool check_engine_equivalence = true;
 };
 
 struct RunOutcome {

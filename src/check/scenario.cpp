@@ -25,6 +25,7 @@ constexpr std::uint64_t kMinInject = 128;
 constexpr std::uint64_t kMaxInject = 2048;
 constexpr std::uint64_t kMinDrainCap = 50'000;
 constexpr std::uint64_t kMaxDrainCap = 1'000'000;
+constexpr std::int32_t kMaxEngineShards = 8;
 
 std::int32_t num_nodes_of(const std::vector<std::int32_t>& radix) {
   std::int32_t n = 1;
@@ -84,6 +85,7 @@ std::string Scenario::label() const {
   if (link_fault_rate > 0.0) os << " faults=" << link_fault_rate;
   os << " " << pattern << "/" << size_dist << "[" << min_flits << ","
      << max_flits << "] load=" << load << " inject=" << inject_cycles;
+  if (engine_shards >= 1) os << " engine=par:" << engine_shards;
   return os.str();
 }
 
@@ -150,6 +152,7 @@ void Scenario::repair() {
   load = clamped(load, kMinLoad, kMaxLoad);
   inject_cycles = clamped(inject_cycles, kMinInject, kMaxInject);
   drain_cap = clamped(drain_cap, kMinDrainCap, kMaxDrainCap);
+  engine_shards = clamped(engine_shards, 0, kMaxEngineShards);
 }
 
 Scenario Scenario::generate(std::uint64_t seed) {
@@ -205,6 +208,12 @@ Scenario Scenario::generate(std::uint64_t seed) {
       rng.uniform_int(static_cast<std::int64_t>(kMinInject),
                       static_cast<std::int64_t>(kMaxInject)));
   s.drain_cap = 120'000;
+  // Half the scenarios run under the parallel engine (shard count drawn
+  // too), turning every such property run into a seq/par equivalence test.
+  s.engine_shards =
+      rng.chance(0.5)
+          ? static_cast<std::int32_t>(rng.uniform_int(1, kMaxEngineShards))
+          : 0;
 
   s.repair();
   return s;
@@ -266,7 +275,8 @@ sim::JsonValue Scenario::to_json() const {
       .set("max_flits", max_flits)
       .set("load", load)
       .set("inject_cycles", inject_cycles)
-      .set("drain_cap", drain_cap);
+      .set("drain_cap", drain_cap)
+      .set("engine_shards", engine_shards);
 }
 
 namespace {
@@ -357,6 +367,7 @@ Scenario Scenario::from_json(const sim::JsonValue& value) {
   s.load = get_number(value, "load");
   s.inject_cycles = get_uint64(value, "inject_cycles");
   s.drain_cap = get_uint64(value, "drain_cap");
+  s.engine_shards = get_int32(value, "engine_shards");
   return s;
 }
 

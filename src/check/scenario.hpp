@@ -52,6 +52,13 @@ struct Scenario {
   std::uint64_t inject_cycles = 1024;
   std::uint64_t drain_cap = 400'000;
 
+  // -- execution engine -----------------------------------------------------
+  /// 0 = sequential stepper, >= 1 = sharded parallel engine with that many
+  /// shards. By the engine's bit-identity contract this must never change
+  /// the outcome; it is drawn from the seed so roughly half of all property
+  /// runs double as seq/par equivalence tests (see the oracle stack).
+  std::int32_t engine_shards = 0;
+
   friend bool operator==(const Scenario&, const Scenario&) = default;
 
   /// SimConfig this scenario runs under (seeded with `seed`).

@@ -33,6 +33,15 @@ std::vector<Transform> transforms() {
         *largest = std::max(2, *largest - 1);
       },
       [](Scenario& s) { s.torus = false; },
+      // -- engine -----------------------------------------------------------
+      // Try the sequential stepper first (a failure that survives without
+      // the engine is not a synchronization bug); otherwise walk the shard
+      // count down to find the smallest parallel configuration that still
+      // diverges. Both are strictly reducing toward engine_shards = 0.
+      [](Scenario& s) { s.engine_shards = 0; },
+      [](Scenario& s) {
+        s.engine_shards = std::max(0, s.engine_shards / 2);
+      },
       // -- workload shape ---------------------------------------------------
       [](Scenario& s) { s.pattern = "uniform"; },
       [](Scenario& s) {

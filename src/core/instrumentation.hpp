@@ -5,6 +5,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <vector>
 
 #include "sim/types.hpp"
 
@@ -40,6 +41,28 @@ struct Event {
   CircuitId circuit = kInvalidCircuit; ///< if circuit-scoped
 };
 
+/// Per-shard staging buffer for events discovered during the parallel
+/// phase of a cycle. Each shard appends to its own buffer (no sharing, no
+/// locks); the commit phase replays buffers in ascending shard order, so
+/// the sink observes the exact sequence a sequential sweep over the nodes
+/// would have produced.
+class EventBuffer {
+ public:
+  void clear() noexcept { events_.clear(); }
+  bool empty() const noexcept { return events_.empty(); }
+
+  void emit(Cycle at, EventKind kind, NodeId node,
+            MessageId msg = kInvalidMessage,
+            CircuitId circuit = kInvalidCircuit) {
+    events_.push_back(Event{at, kind, node, msg, circuit});
+  }
+
+  const std::vector<Event>& events() const noexcept { return events_; }
+
+ private:
+  std::vector<Event> events_;
+};
+
 /// Shared by the Network and its per-node interfaces. Emitting with no
 /// sink installed is a no-op.
 class Instrumentation {
@@ -53,6 +76,12 @@ class Instrumentation {
             MessageId msg = kInvalidMessage,
             CircuitId circuit = kInvalidCircuit) const {
     if (sink_) sink_(Event{at, kind, node, msg, circuit});
+  }
+
+  /// Replay a shard's staged events into the sink, in staging order.
+  void flush(const EventBuffer& buffer) const {
+    if (!sink_) return;
+    for (const Event& ev : buffer.events()) sink_(ev);
   }
 
  private:

@@ -48,15 +48,8 @@ Network::Network(const sim::SimConfig& config)
                 faulty_channels_ > 0 ? " (faulty circuit channels: " : "",
                 faulty_channels_ > 0 ? std::to_string(faulty_channels_) : "",
                 faulty_channels_ > 0 ? ")" : "");
-  fabric_.set_delivery_handler([this](NodeId, const wh::Flit& flit) {
-    // Reassembly by count: packets of a segmented message may interleave
-    // across VCs, so tail flags alone cannot signal completion.
-    MessageRecord& rec = log_.at(flit.msg);
-    if (++rec.flits_received == rec.length) {
-      log_.mark_delivered(flit.msg, now_);
-      instrumentation_.emit(now_, EventKind::kDelivered, rec.dest, flit.msg);
-    }
-  });
+  // Reassembly happens in step_shard (each message's destination node owns
+  // its record), so no fabric delivery handler is installed.
 }
 
 void Network::inject_faults() {
@@ -118,14 +111,50 @@ void Network::dispatch_events() {
   }
 }
 
-void Network::step() {
+void Network::step_begin() {
   gate_.reset();
   if (control_ != nullptr) control_->step(now_);
   if (data_ != nullptr) data_->step(now_);
   dispatch_events();
-  for (auto& ni : interfaces_) ni->pump(now_);
-  fabric_.step(now_);
+  if (config_.protocol.pcs_only) {
+    for (auto& ni : interfaces_) ni->pump_retries(now_);
+  }
+  fabric_.begin_cycle(now_);
+}
+
+void Network::step_shard(NodeId begin, NodeId end, ShardContext& ctx) {
+  ctx.clear();
+  for (NodeId n = begin; n < end; ++n) {
+    interfaces_[n]->pump_streams(now_, ctx.io);
+  }
+  fabric_.step_nodes(now_, begin, end, ctx.io);
+  // Reassembly by count: packets of a segmented message may interleave
+  // across VCs, so tail flags alone cannot signal completion. A message
+  // only ever ejects at its destination node, so its record is owned by
+  // exactly one shard.
+  const bool instrumented = instrumentation_.enabled();
+  for (const wh::EjectedFlit& e : ctx.io.ejected) {
+    MessageRecord& rec = log_.at(e.flit.msg);
+    if (++rec.flits_received == rec.length) {
+      log_.mark_delivered(e.flit.msg, now_);
+      if (instrumented) {
+        ctx.events.emit(now_, EventKind::kDelivered, rec.dest, e.flit.msg);
+      }
+    }
+  }
+}
+
+void Network::step_commit(std::span<ShardContext* const> contexts) {
+  for (ShardContext* ctx : contexts) fabric_.commit_cycle(now_, ctx->io);
+  for (ShardContext* ctx : contexts) instrumentation_.flush(ctx->events);
   ++now_;
+}
+
+void Network::step() {
+  step_begin();
+  step_shard(0, topology_.num_nodes(), scratch_ctx_);
+  ShardContext* const contexts[] = {&scratch_ctx_};
+  step_commit(contexts);
 }
 
 void Network::run(Cycle cycles) {

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/control_plane.hpp"
@@ -22,6 +23,18 @@
 #include "wormhole/fabric.hpp"
 
 namespace wavesim::core {
+
+/// Everything one shard accumulates while stepping its node range: the
+/// fabric outbox plus instrumentation events staged for the ordered flush.
+struct ShardContext {
+  wh::ShardIo io;
+  EventBuffer events;
+
+  void clear() noexcept {
+    io.clear();
+    events.clear();
+  }
+};
 
 class Network {
  public:
@@ -43,6 +56,26 @@ class Network {
 
   void step();
   void run(Cycle cycles);
+
+  // -- sharded stepping (engine seam) --------------------------------------
+  // step() is exactly step_begin + step_shard over the full node range +
+  // step_commit. A parallel engine runs step_begin, then step_shard
+  // concurrently on disjoint contiguous node ranges (one ShardContext
+  // each), then step_commit with the contexts in ascending node order.
+  // Because every cross-node effect is buffered in the context and merged
+  // in node order, the result is bit-identical to the sequential step for
+  // any shard/thread count (see docs/ENGINE.md).
+
+  /// Sequential prologue: gate reset, control/data planes, event dispatch,
+  /// PCS retry pumping, delay-line drain. All sequential id allocation
+  /// (probes, circuits) happens here.
+  void step_begin();
+  /// Parallel-safe on disjoint node ranges: wormhole injection pumping,
+  /// router pipelines and message reassembly for nodes [begin, end).
+  void step_shard(NodeId begin, NodeId end, ShardContext& ctx);
+  /// Sequential epilogue: merge shard outboxes in the given order (must be
+  /// ascending node ranges), replay staged events, advance the clock.
+  void step_commit(std::span<ShardContext* const> contexts);
 
   // -- component access ----------------------------------------------------
   const MessageLog& messages() const noexcept { return log_; }
@@ -86,6 +119,7 @@ class Network {
   MessageLog log_;
   std::vector<std::unique_ptr<NodeInterface>> interfaces_;
   sim::Rng rng_;
+  ShardContext scratch_ctx_;  ///< reused by the sequential step() path
   Cycle now_ = 0;
   std::int64_t faulty_channels_ = 0;
 };

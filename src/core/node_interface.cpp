@@ -370,28 +370,29 @@ void NodeInterface::on_transfer_done(const TransferDone& done, Cycle now) {
   try_start_transfer(done.dest, now);
 }
 
-void NodeInterface::pump(Cycle now) {
+void NodeInterface::pump_retries(Cycle now) {
   // PCS-only mode: retry failed / deferred setups after their backoff.
-  if (config_.protocol.pcs_only) {
-    for (auto& [dest, ds] : dests_) {
-      if (!ds.needs_retry || now < ds.retry_at) continue;
-      if (ds.setup.has_value() || cache_.find(dest) != nullptr) {
-        ds.needs_retry = false;
-        continue;
-      }
-      if (ds.queue.empty()) {
-        ds.needs_retry = false;
-        continue;
-      }
-      ++stats_.setup_retries;
-      if (start_setup(dest, SetupSequencer::Mode::kClrp, now)) {
-        ds.needs_retry = false;
-      } else {
-        ds.retry_at = now + kPcsRetryBackoff;
-      }
+  if (!config_.protocol.pcs_only) return;
+  for (auto& [dest, ds] : dests_) {
+    if (!ds.needs_retry || now < ds.retry_at) continue;
+    if (ds.setup.has_value() || cache_.find(dest) != nullptr) {
+      ds.needs_retry = false;
+      continue;
+    }
+    if (ds.queue.empty()) {
+      ds.needs_retry = false;
+      continue;
+    }
+    ++stats_.setup_retries;
+    if (start_setup(dest, SetupSequencer::Mode::kClrp, now)) {
+      ds.needs_retry = false;
+    } else {
+      ds.retry_at = now + kPcsRetryBackoff;
     }
   }
+}
 
+void NodeInterface::pump_streams(Cycle now, wh::ShardIo& io) {
   // Messages clear the software send path (buffer allocation, copying,
   // packetization -- paper section 1) before their flits may inject.
   const auto overhead =
@@ -412,7 +413,8 @@ void NodeInterface::pump(Cycle now) {
                      wh::make_packet_flit(s.pkt.msg, node_, s.pkt.dest, seq,
                                           s.pkt.msg_length, s.sent == 0,
                                           s.sent == s.pkt.count - 1,
-                                          s.pkt.created));
+                                          s.pkt.created),
+                     io);
       if (++s.sent == s.pkt.count) {
         s = Stream{};
         try_assign(s);

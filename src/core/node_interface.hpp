@@ -46,9 +46,14 @@ class NodeInterface {
   void on_release_demand(const ReleaseDemand& demand, Cycle now);
   void on_transfer_done(const TransferDone& done, Cycle now);
 
-  /// Per-cycle work: start message transfers on idle circuits and feed
-  /// wormhole injection buffers.
-  void pump(Cycle now);
+  /// Per-cycle work, split into a sequential and a parallel-safe half.
+  /// pump_retries touches shared protocol state (circuit table, control
+  /// plane, sequential id allocation) and must run in the sequential part
+  /// of the cycle; pump_streams touches only this node's router and
+  /// counts injections into the shard outbox, so an engine may run it
+  /// concurrently with other nodes' pump_streams.
+  void pump_retries(Cycle now);
+  void pump_streams(Cycle now, wh::ShardIo& io);
 
   const CircuitCache& cache() const noexcept { return cache_; }
 

@@ -11,6 +11,7 @@
 #include <memory>
 
 #include "core/network.hpp"
+#include "core/step_engine.hpp"
 #include "sim/stats.hpp"
 
 namespace wavesim::core {
@@ -91,7 +92,11 @@ class Simulation {
   }
 
   void step() {
-    network_->step();
+    if (engine_) {
+      engine_->step(*network_);
+    } else {
+      network_->step();
+    }
     if (step_hook_) step_hook_(network_->now());
   }
   void run(Cycle cycles) {
@@ -122,11 +127,19 @@ class Simulation {
   using StepHook = std::function<void(Cycle)>;
   void set_step_hook(StepHook hook) { step_hook_ = std::move(hook); }
 
+  /// Install a step engine (see core/step_engine.hpp); the simulation
+  /// takes ownership. nullptr restores the default sequential stepper.
+  void set_engine(std::unique_ptr<StepEngine> engine) {
+    engine_ = std::move(engine);
+  }
+  const StepEngine* engine() const noexcept { return engine_.get(); }
+
   Network& network() noexcept { return *network_; }
   const Network& network() const noexcept { return *network_; }
 
  private:
   std::unique_ptr<Network> network_;
+  std::unique_ptr<StepEngine> engine_;
   StepHook step_hook_;
 };
 

@@ -1,0 +1,100 @@
+#include "engine/engine.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/network.hpp"
+#include "engine/partition.hpp"
+#include "engine/pool.hpp"
+
+namespace wavesim::engine {
+
+const char* to_string(EngineKind kind) noexcept {
+  switch (kind) {
+    case EngineKind::kSeq:
+      return "seq";
+    case EngineKind::kPar:
+      return "par";
+  }
+  return "?";
+}
+
+std::optional<EngineKind> parse_engine_kind(const std::string& text) {
+  if (text == "seq") return EngineKind::kSeq;
+  if (text == "par") return EngineKind::kPar;
+  return std::nullopt;
+}
+
+std::int32_t EngineConfig::resolve_shards(std::int32_t num_nodes) const {
+  const std::int32_t requested =
+      shards > 0 ? shards
+                 : static_cast<std::int32_t>(resolve_engine_threads(0));
+  return clamp_shards(requested, num_nodes);
+}
+
+sim::JsonValue EngineConfig::to_json(std::int32_t num_nodes) const {
+  sim::JsonValue v = sim::JsonValue::object();
+  v.set("kind", to_string(kind));
+  if (parallel()) {
+    v.set("shards", num_nodes > 0 ? resolve_shards(num_nodes) : shards);
+  }
+  return v;
+}
+
+namespace {
+
+class SequentialEngine final : public core::StepEngine {
+ public:
+  void step(core::Network& net) override { net.step(); }
+  const char* name() const noexcept override { return "seq"; }
+};
+
+class ParallelEngine final : public core::StepEngine {
+ public:
+  ParallelEngine(std::int32_t num_nodes, std::int32_t shards,
+                 unsigned threads)
+      : ranges_(partition_nodes(num_nodes, shards)),
+        contexts_(ranges_.size()),
+        pool_(resolve_participants(ranges_.size(), threads)) {
+    context_ptrs_.reserve(contexts_.size());
+    for (core::ShardContext& ctx : contexts_) context_ptrs_.push_back(&ctx);
+  }
+
+  void step(core::Network& net) override {
+    net.step_begin();
+    const unsigned team = pool_.participants();
+    pool_.run([this, &net, team](unsigned slot) {
+      // Static slot -> shard assignment: participant p steps shards
+      // p, p + team, ... Shard results live in per-shard contexts, so
+      // the assignment (and the team size) cannot affect the outcome.
+      for (std::size_t s = slot; s < ranges_.size(); s += team) {
+        net.step_shard(ranges_[s].begin, ranges_[s].end, contexts_[s]);
+      }
+    });
+    net.step_commit(context_ptrs_);  // ascending shard order
+  }
+
+  const char* name() const noexcept override { return "par"; }
+
+ private:
+  static unsigned resolve_participants(std::size_t shards, unsigned threads) {
+    const unsigned hw = resolve_engine_threads(threads);
+    return std::max(1u, std::min(hw, static_cast<unsigned>(shards)));
+  }
+
+  std::vector<ShardRange> ranges_;
+  std::vector<core::ShardContext> contexts_;
+  std::vector<core::ShardContext*> context_ptrs_;
+  CyclePool pool_;
+};
+
+}  // namespace
+
+std::unique_ptr<core::StepEngine> make_engine(const EngineConfig& config,
+                                              std::int32_t num_nodes) {
+  if (!config.parallel()) return std::make_unique<SequentialEngine>();
+  return std::make_unique<ParallelEngine>(
+      num_nodes, config.resolve_shards(num_nodes), config.threads);
+}
+
+}  // namespace wavesim::engine

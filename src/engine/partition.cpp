@@ -1,0 +1,43 @@
+#include "engine/partition.hpp"
+
+#include <stdexcept>
+
+namespace wavesim::engine {
+
+std::int32_t clamp_shards(std::int32_t requested,
+                          std::int32_t num_nodes) noexcept {
+  if (requested < 1) return 1;
+  if (requested > num_nodes) return num_nodes > 0 ? num_nodes : 1;
+  return requested;
+}
+
+std::vector<ShardRange> partition_nodes(std::int32_t num_nodes,
+                                        std::int32_t shards) {
+  if (num_nodes < 1) {
+    throw std::invalid_argument("partition_nodes: num_nodes < 1");
+  }
+  const std::int32_t s = clamp_shards(shards, num_nodes);
+  const std::int32_t base = num_nodes / s;
+  const std::int32_t extra = num_nodes % s;
+  std::vector<ShardRange> ranges;
+  ranges.reserve(static_cast<std::size_t>(s));
+  NodeId begin = 0;
+  for (std::int32_t i = 0; i < s; ++i) {
+    const NodeId end = begin + base + (i < extra ? 1 : 0);
+    ranges.push_back(ShardRange{begin, end});
+    begin = end;
+  }
+  return ranges;
+}
+
+std::int32_t shard_of(NodeId node, std::int32_t num_nodes,
+                      std::int32_t shards) noexcept {
+  const std::int32_t s = clamp_shards(shards, num_nodes);
+  const std::int32_t base = num_nodes / s;
+  const std::int32_t extra = num_nodes % s;
+  const NodeId fat_span = static_cast<NodeId>(extra) * (base + 1);
+  if (node < fat_span) return static_cast<std::int32_t>(node / (base + 1));
+  return extra + static_cast<std::int32_t>((node - fat_span) / base);
+}
+
+}  // namespace wavesim::engine

@@ -1,0 +1,40 @@
+// Node partitioning for the sharded engine: contiguous, balanced,
+// ascending node-id ranges. Contiguity is what makes the deterministic
+// merge trivial — concatenating shard outboxes in shard order reproduces
+// the push order of a sequential sweep over node ids — and on the
+// row-major k-ary n-cube node numbering it also keeps most links
+// shard-internal (a shard is a band of consecutive rows).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace wavesim::engine {
+
+struct ShardRange {
+  NodeId begin = 0;  ///< first node id (inclusive)
+  NodeId end = 0;    ///< one past the last node id
+
+  std::int32_t size() const noexcept { return end - begin; }
+  bool operator==(const ShardRange&) const = default;
+};
+
+/// Clamp a requested shard count to [1, num_nodes] (0 and negative mean
+/// "one shard"; more shards than nodes would leave empty shards).
+std::int32_t clamp_shards(std::int32_t requested,
+                          std::int32_t num_nodes) noexcept;
+
+/// Split [0, num_nodes) into `shards` contiguous ranges whose sizes differ
+/// by at most one (the first num_nodes % shards ranges get the extra
+/// node). `shards` is clamped first; the result is never empty and covers
+/// every node exactly once, in ascending order.
+std::vector<ShardRange> partition_nodes(std::int32_t num_nodes,
+                                        std::int32_t shards);
+
+/// Which shard of partition_nodes(num_nodes, shards) owns `node`.
+std::int32_t shard_of(NodeId node, std::int32_t num_nodes,
+                      std::int32_t shards) noexcept;
+
+}  // namespace wavesim::engine

@@ -1,0 +1,81 @@
+#include "engine/pool.hpp"
+
+namespace wavesim::engine {
+
+unsigned resolve_engine_threads(unsigned requested) noexcept {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw != 0 ? hw : 1;
+}
+
+CyclePool::CyclePool(unsigned participants) {
+  if (participants < 1) participants = 1;
+  workers_.reserve(participants - 1);
+  for (unsigned slot = 1; slot < participants; ++slot) {
+    workers_.emplace_back([this, slot] { worker_loop(slot); });
+  }
+}
+
+CyclePool::~CyclePool() {
+  stop_.store(true, std::memory_order_relaxed);
+  epoch_.fetch_add(1, std::memory_order_release);
+  epoch_.notify_all();
+  // jthread joins in workers_'s destructor.
+}
+
+void CyclePool::record_error() noexcept {
+  const std::lock_guard<std::mutex> lock(error_mutex_);
+  if (!error_) error_ = std::current_exception();
+}
+
+void CyclePool::worker_loop(unsigned slot) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    epoch_.wait(seen, std::memory_order_acquire);
+    const std::uint64_t now = epoch_.load(std::memory_order_acquire);
+    if (now == seen) continue;  // spurious wake
+    seen = now;
+    if (stop_.load(std::memory_order_relaxed)) return;
+    try {
+      (*job_)(slot);
+    } catch (...) {
+      record_error();
+    }
+    done_.fetch_add(1, std::memory_order_release);
+    done_.notify_one();
+  }
+}
+
+void CyclePool::run(const std::function<void(unsigned)>& job) {
+  if (workers_.empty()) {
+    job(0);  // single participant: no synchronization at all
+    return;
+  }
+  job_ = &job;
+  done_.store(0, std::memory_order_relaxed);
+  epoch_.fetch_add(1, std::memory_order_release);
+  epoch_.notify_all();
+  try {
+    job(0);
+  } catch (...) {
+    record_error();
+  }
+  const unsigned expected = static_cast<unsigned>(workers_.size());
+  for (;;) {
+    const unsigned d = done_.load(std::memory_order_acquire);
+    if (d == expected) break;
+    done_.wait(d, std::memory_order_acquire);
+  }
+  job_ = nullptr;
+  if (error_) {
+    std::exception_ptr err;
+    {
+      const std::lock_guard<std::mutex> lock(error_mutex_);
+      err = error_;
+      error_ = nullptr;
+    }
+    std::rethrow_exception(err);
+  }
+}
+
+}  // namespace wavesim::engine

@@ -1,0 +1,61 @@
+// Cycle-synchronous worker pool for the sharded engine.
+//
+// The harness ThreadPool (mutex + condition_variable + std::function
+// queue) is built for coarse tasks — whole replica runs. The engine
+// dispatches a job every simulated cycle, where that overhead would
+// dominate, so CyclePool keeps a fixed team of participants and uses an
+// epoch counter with C++20 atomic wait/notify (futex on Linux): run()
+// publishes the job, bumps the epoch, and every worker executes its
+// participant slot once; the caller is participant 0 and then waits for
+// the done-count. With a single participant run() is a plain inline call
+// — a one-shard "parallel" run pays no synchronization at all.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wavesim::engine {
+
+class CyclePool {
+ public:
+  /// A team of `participants` >= 1, including the calling thread;
+  /// participants - 1 worker threads are spawned.
+  explicit CyclePool(unsigned participants);
+  ~CyclePool();
+
+  CyclePool(const CyclePool&) = delete;
+  CyclePool& operator=(const CyclePool&) = delete;
+
+  unsigned participants() const noexcept {
+    return static_cast<unsigned>(workers_.size()) + 1;
+  }
+
+  /// Execute job(p) once for every participant p in [0, participants()),
+  /// concurrently, and wait for all of them. The caller runs slot 0.
+  /// The first exception thrown by any slot is rethrown here after the
+  /// barrier (the remaining slots still complete their cycle).
+  void run(const std::function<void(unsigned)>& job);
+
+ private:
+  void worker_loop(unsigned slot);
+  void record_error() noexcept;
+
+  const std::function<void(unsigned)>* job_ = nullptr;
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<unsigned> done_{0};
+  std::atomic<bool> stop_{false};
+  std::mutex error_mutex_;
+  std::exception_ptr error_;
+  std::vector<std::jthread> workers_;  // last member: joins first
+};
+
+/// Clamp a requested worker count: 0 means "all hardware threads"; the
+/// result is always >= 1 even when hardware_concurrency() is unknown.
+unsigned resolve_engine_threads(unsigned requested) noexcept;
+
+}  // namespace wavesim::engine

@@ -33,10 +33,15 @@ struct ReplicaOutcome {
   bool stuck = false;  ///< final watchdog verdict was kStuck
 };
 
-ReplicaOutcome run_one(const SweepPoint& point, std::uint64_t seed) {
+ReplicaOutcome run_one(const SweepPoint& point, std::uint64_t seed,
+                       const engine::EngineConfig& engine_config) {
   sim::SimConfig config = point.config;
   config.seed = seed;
   core::Simulation sim(config);
+  if (engine_config.parallel()) {
+    sim.set_engine(
+        engine::make_engine(engine_config, sim.topology().num_nodes()));
+  }
   std::uint64_t stream = seed;
   const std::uint64_t pattern_seed = sim::splitmix64(stream);
   const std::uint64_t workload_seed = sim::splitmix64(stream);
@@ -71,8 +76,9 @@ SweepResult run_sweep(const std::vector<SweepPoint>& points,
         const std::size_t pi = i / static_cast<std::size_t>(replicas);
         const auto ri = static_cast<std::int32_t>(
             i % static_cast<std::size_t>(replicas));
-        outcomes[i] =
-            run_one(points[pi], derive_seed(options.base_seed, pi, ri));
+        outcomes[i] = run_one(points[pi],
+                              derive_seed(options.base_seed, pi, ri),
+                              options.engine);
       },
       threads);
 
@@ -81,6 +87,7 @@ SweepResult run_sweep(const std::vector<SweepPoint>& points,
   SweepResult result;
   result.base_seed = options.base_seed;
   result.replicas = replicas;
+  result.engine = options.engine;
   result.threads_used = threads;
   result.runs = n;
   result.points.reserve(points.size());
@@ -188,6 +195,7 @@ sim::JsonValue to_json(const SweepResult& result) {
       .set("generated_by", sim::git_describe())
       .set("base_seed", result.base_seed)
       .set("replicas", result.replicas)
+      .set("engine", result.engine.to_json())
       .set("threads", result.threads_used)
       .set("host_threads", std::thread::hardware_concurrency())
       .set("runs", result.runs)

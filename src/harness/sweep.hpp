@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/simulation.hpp"
+#include "engine/engine.hpp"
 #include "sim/json.hpp"
 #include "sim/stats.hpp"
 
@@ -36,6 +37,11 @@ struct SweepOptions {
   std::uint64_t base_seed = 1;
   std::int32_t replicas = 1;
   unsigned threads = 0;  ///< worker count; 0 = all hardware threads
+  /// Step engine installed on every replica's Simulation. The parallel
+  /// engine never changes results (bit-identical to seq), only wall time;
+  /// prefer engine parallelism for few large replicas and replica
+  /// parallelism (threads above) for many small ones.
+  engine::EngineConfig engine;
 };
 
 /// Seed of task (point_index, replica): a SplitMix64 hash of the three
@@ -90,6 +96,7 @@ struct SweepResult {
   std::vector<PointSummary> points;
   std::uint64_t base_seed = 0;
   std::int32_t replicas = 0;
+  engine::EngineConfig engine;  ///< step engine the replicas ran under
   unsigned threads_used = 0;
   std::size_t runs = 0;          ///< points x replicas actually executed
   double wall_seconds = 0.0;

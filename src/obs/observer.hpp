@@ -13,6 +13,12 @@
 //
 // Lifetime: the Simulation must outlive the Observer; the destructor
 // detaches the sink and hook it installed.
+//
+// Parallel engine: the sink and hook run only on the engine's calling
+// thread. Events discovered during the parallel shard phase are staged in
+// per-shard core::EventBuffers and flushed in ascending shard order at
+// commit (see docs/ENGINE.md), so the recorders need no locks and their
+// exports are byte-identical to a sequential run's.
 #pragma once
 
 #include <memory>

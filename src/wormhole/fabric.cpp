@@ -37,26 +37,48 @@ void Fabric::inject(NodeId node, VcId vc, const Flit& flit) {
   ++flits_injected_;
 }
 
-void Fabric::step(Cycle now) {
+void Fabric::inject(NodeId node, VcId vc, const Flit& flit, ShardIo& io) {
+  Router& r = router(node);
+  r.receive(r.local_port(), vc, flit);
+  ++io.injected;
+}
+
+void Fabric::begin_cycle(Cycle now) {
   if (gate_is_owned_) owned_gate_->reset();
 
-  // 1. Arrivals scheduled for this cycle enter downstream buffers; credits
-  //    return to upstream output VCs.
-  while (credit_line_.ready(now)) {
-    const Credit c = credit_line_.pop();
-    routers_[c.node]->credit_return(c.out_port, c.vc);
-  }
+  // Arrivals scheduled for this cycle leave the delay lines in push order;
+  // staging keeps that order so each node sees its arrivals in the same
+  // relative sequence a sequential drain would apply them.
+  staged_credits_.clear();
+  staged_flits_.clear();
+  while (credit_line_.ready(now)) staged_credits_.push_back(credit_line_.pop());
   while (flit_line_.ready(now)) {
-    const LinkFlit lf = flit_line_.pop();
-    routers_[lf.dest_node]->receive(lf.in_port, lf.vc, lf.flit);
+    staged_flits_.push_back(flit_line_.pop());
     last_activity_ = now;
   }
+}
 
-  // 2. Switch allocation + traversal on every router; transport the moves.
-  for (NodeId n = 0; n < topology_.num_nodes(); ++n) {
+void Fabric::step_nodes(Cycle now, NodeId begin, NodeId end, ShardIo& io) {
+  // 1. Apply this cycle's staged arrivals to the routers we own. The
+  //    staging vectors are shared but read-only during the shard phase.
+  for (const Credit& c : staged_credits_) {
+    if (c.node >= begin && c.node < end) {
+      routers_[c.node]->credit_return(c.out_port, c.vc);
+    }
+  }
+  for (const LinkFlit& lf : staged_flits_) {
+    if (lf.dest_node >= begin && lf.dest_node < end) {
+      routers_[lf.dest_node]->receive(lf.in_port, lf.vc, lf.flit);
+    }
+  }
+
+  // 2. Switch allocation + traversal; buffer the moves. Gate claims and
+  //    the per-channel counters are owner-partitioned (node n only touches
+  //    channels leaving n), so no two shards write the same location.
+  for (NodeId n = begin; n < end; ++n) {
     Router& r = *routers_[n];
     for (const SwitchMove& move : r.switch_allocate(*gate_)) {
-      last_activity_ = now;
+      io.activity = true;
       // Credit for the slot freed on the input buffer goes to the upstream
       // router (none needed for injection: the NI polls occupancy).
       if (move.in_port != r.local_port()) {
@@ -64,31 +86,52 @@ void Fabric::step(Cycle now) {
         if (upstream == kInvalidNode) {
           throw std::logic_error("Fabric: flit arrived over a missing link");
         }
-        credit_line_.push(
-            now, Credit{upstream, topo::KAryNCube::opposite(move.in_port),
-                        move.in_vc});
+        io.credits.push_back(
+            Credit{upstream, topo::KAryNCube::opposite(move.in_port),
+                   move.in_vc});
       }
       if (move.eject) {
-        ++flits_delivered_;
-        if (delivery_) delivery_(n, move.flit);
+        ++io.delivered;
+        io.ejected.push_back(EjectedFlit{n, move.flit});
       } else {
         const NodeId next = topology_.neighbor(n, move.out_port);
         if (next == kInvalidNode) {
           throw std::logic_error("Fabric: routed onto a missing link");
         }
-        ++link_flit_hops_;
+        ++io.hops;
         ++link_flits_[topology_.channel_index(n, move.out_port)];
-        flit_line_.push(now,
-                        LinkFlit{next, topo::KAryNCube::opposite(move.out_port),
-                                 move.out_vc, move.flit});
+        io.flits.push_back(
+            LinkFlit{next, topo::KAryNCube::opposite(move.out_port),
+                     move.out_vc, move.flit});
       }
     }
   }
 
   // 3. VC allocation, then 4. route computation (so a new head needs one
-  //    cycle in each stage before its first switch traversal).
-  for (auto& r : routers_) r->vc_allocate();
-  for (auto& r : routers_) r->route_compute();
+  //    cycle in each stage before its first switch traversal). Both are
+  //    router-local, so fusing them into the shard sweep is equivalent to
+  //    the sequential whole-network phases.
+  for (NodeId n = begin; n < end; ++n) routers_[n]->vc_allocate();
+  for (NodeId n = begin; n < end; ++n) routers_[n]->route_compute();
+}
+
+void Fabric::commit_cycle(Cycle now, const ShardIo& io) {
+  for (const Credit& c : io.credits) credit_line_.push(now, c);
+  for (const LinkFlit& lf : io.flits) flit_line_.push(now, lf);
+  if (delivery_) {
+    for (const EjectedFlit& e : io.ejected) delivery_(e.node, e.flit);
+  }
+  flits_delivered_ += io.delivered;
+  flits_injected_ += io.injected;
+  link_flit_hops_ += io.hops;
+  if (io.activity) last_activity_ = now;
+}
+
+void Fabric::step(Cycle now) {
+  begin_cycle(now);
+  scratch_io_.clear();
+  step_nodes(now, 0, topology_.num_nodes(), scratch_io_);
+  commit_cycle(now, scratch_io_);
 }
 
 double Fabric::max_link_utilization(Cycle elapsed) const {

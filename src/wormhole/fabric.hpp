@@ -19,6 +19,53 @@ struct FabricParams {
   Cycle link_latency = 2;
 };
 
+/// A credit returning to the upstream router's output VC.
+struct Credit {
+  NodeId node;
+  PortId out_port;
+  VcId vc;
+};
+
+/// A flit in flight on a physical link, addressed to the downstream
+/// router's input buffer.
+struct LinkFlit {
+  NodeId dest_node;
+  PortId in_port;
+  VcId vc;
+  Flit flit;
+};
+
+/// A flit that left the fabric at `node`'s ejection port this cycle.
+struct EjectedFlit {
+  NodeId node;
+  Flit flit;
+};
+
+/// Per-shard outbox for one cycle's node-local work. Every cross-node
+/// effect of stepping nodes [begin, end) is buffered here instead of
+/// touching shared state; commit_cycle() drains outboxes in ascending
+/// shard order, which — with shards covering contiguous ascending node
+/// ranges — reproduces the exact push order of a sequential sweep.
+struct ShardIo {
+  std::vector<Credit> credits;
+  std::vector<LinkFlit> flits;
+  std::vector<EjectedFlit> ejected;
+  std::uint64_t injected = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t hops = 0;
+  bool activity = false;
+
+  void clear() noexcept {
+    credits.clear();
+    flits.clear();
+    ejected.clear();
+    injected = 0;
+    delivered = 0;
+    hops = 0;
+    activity = false;
+  }
+};
+
 class Fabric {
  public:
   /// `gate` may be nullptr, in which case the fabric owns an exclusive
@@ -36,6 +83,9 @@ class Fabric {
   /// Injection-side buffer space on (local port, vc) of `node`.
   bool can_inject(NodeId node, VcId vc) const;
   void inject(NodeId node, VcId vc, const Flit& flit);
+  /// Shard-phase injection: identical to inject() but counts into the
+  /// shard's outbox instead of the shared counter.
+  void inject(NodeId node, VcId vc, const Flit& flit, ShardIo& io);
 
   /// Called once per ejected flit, in delivery order.
   using DeliveryHandler = std::function<void(NodeId node, const Flit& flit)>;
@@ -47,6 +97,28 @@ class Fabric {
   /// responsible for resetting it and stepping higher-priority traffic
   /// (the PCS control plane) first.
   void step(Cycle now);
+
+  // -- sharded stepping ----------------------------------------------------
+  // step(now) is exactly begin_cycle + step_nodes over the full node range
+  // + commit_cycle; an engine may instead call step_nodes concurrently on
+  // disjoint node ranges. step_nodes touches only state owned by its nodes
+  // (router objects, the per-source-node link counters and gate channels),
+  // so concurrent calls on disjoint ranges are race-free, and buffering all
+  // cross-node transport in ShardIo keeps the outcome independent of shard
+  // and thread count.
+
+  /// Sequential: reset the owned gate and pop this cycle's delay-line
+  /// arrivals into per-cycle staging (no router is touched yet).
+  void begin_cycle(Cycle now);
+  /// Parallel-safe on disjoint ranges: apply staged arrivals to the
+  /// routers of [begin, end), then run switch allocation, VC allocation
+  /// and route computation for those routers, buffering every cross-node
+  /// effect into `io`.
+  void step_nodes(Cycle now, NodeId begin, NodeId end, ShardIo& io);
+  /// Sequential: absorb one shard's outbox. Must be called once per shard
+  /// in ascending shard order; ejected flits are delivered to the handler
+  /// here (in node order) when one is installed.
+  void commit_cycle(Cycle now, const ShardIo& io);
 
   // -- statistics / invariants -------------------------------------------
   std::uint64_t flits_delivered() const noexcept { return flits_delivered_; }
@@ -65,18 +137,6 @@ class Fabric {
   Cycle last_activity() const noexcept { return last_activity_; }
 
  private:
-  struct Credit {
-    NodeId node;
-    PortId out_port;
-    VcId vc;
-  };
-  struct LinkFlit {
-    NodeId dest_node;
-    PortId in_port;
-    VcId vc;
-    Flit flit;
-  };
-
   const topo::KAryNCube& topology_;
   FabricParams params_;
   std::vector<std::unique_ptr<Router>> routers_;
@@ -85,6 +145,11 @@ class Fabric {
   bool gate_is_owned_;
   sim::DelayLine<LinkFlit> flit_line_;
   sim::DelayLine<Credit> credit_line_;
+  /// This cycle's delay-line arrivals, staged by begin_cycle() and read
+  /// (filtered by node ownership) from step_nodes().
+  std::vector<Credit> staged_credits_;
+  std::vector<LinkFlit> staged_flits_;
+  ShardIo scratch_io_;  ///< reused by the sequential step() path
   DeliveryHandler delivery_;
   std::uint64_t flits_delivered_ = 0;
   std::uint64_t flits_injected_ = 0;

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/simulation.hpp"
+#include "engine/engine.hpp"
 #include "harness/sweep.hpp"
 #include "obs/metrics.hpp"
 #include "obs/observer.hpp"
@@ -276,6 +277,40 @@ TEST(Observer, AttachedRunIsBitIdenticalToPlainRun) {
   // Observability must be strictly read-only: identical stats, identical
   // final cycle, byte-for-byte identical export.
   EXPECT_EQ(run(false), run(true));
+}
+
+TEST(Observer, ParallelEngineExportIsBitIdenticalToSequential) {
+  // The recorders are single-threaded by construction; under the parallel
+  // engine they stay correct because parallel-phase events are staged in
+  // per-shard buffers and flushed to the sink in shard order at commit.
+  // That merge must be invisible: trace, metrics, and stats exports are
+  // byte-for-byte the sequential ones, for any shard count.
+  auto run = [](std::int32_t shards) {
+    core::Simulation sim(clrp());
+    if (shards > 0) {
+      engine::EngineConfig cfg;
+      cfg.kind = engine::EngineKind::kPar;
+      cfg.shards = shards;
+      sim.set_engine(engine::make_engine(cfg, sim.topology().num_nodes()));
+    }
+    ObserverOptions opt;
+    opt.trace = true;
+    opt.metrics = true;
+    opt.sample_every = 128;
+    Observer observer(sim, opt);
+    load::UniformTraffic pattern(sim.topology());
+    load::FixedSize sizes(64);
+    const auto r = load::run_open_loop(sim, pattern, sizes, 0.08,
+                                       /*warmup=*/300, /*measure=*/1000,
+                                       /*drain_cap=*/100000, /*seed=*/3);
+    observer.detach();
+    return observer.trace_json().dump() + "@" +
+           observer.metrics_json().dump() + "@" +
+           harness::stats_to_json(r.stats).dump();
+  };
+  const std::string sequential = run(0);
+  EXPECT_EQ(sequential, run(4));
+  EXPECT_EQ(sequential, run(7));  // uneven shard sizes (64 nodes / 7)
 }
 
 TEST(Observer, DetachStopsRecording) {
