@@ -1,0 +1,180 @@
+// wavecheck -- static protocol verifier for the wave-switching simulator.
+//
+// Checks the statically decidable premises of the paper's Theorems 1-4
+// (deadlock and livelock freedom of CLRP/CARP over wormhole + PCS) against
+// one configuration or the whole supported design space, without running a
+// single simulation cycle. Violations come with ordered cycle witnesses.
+//
+//   wavecheck --all-configs [--json report.json]
+//   wavecheck [--radix 8x8] [--mesh|--torus] [--routing dor]
+//             [--protocol clrp] [--variant full] [--switches 2] [--vcs 2]
+//             [--misroutes 2] [--cache 8] [--json report.json] [-v]
+//
+// Exit code: 0 all checks passed, 1 at least one violation, 2 usage error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "analysis/analyze.hpp"
+
+namespace {
+
+using wavesim::analysis::CheckStatus;
+using wavesim::analysis::ConfigReport;
+
+void usage(std::FILE* out) {
+  std::fputs(
+      "usage: wavecheck [options]\n"
+      "\n"
+      "Static verifier for Theorems 1-4: checks escape-CDG acyclicity, the\n"
+      "extended wait-for graph (control + circuit + wormhole resources) and\n"
+      "the static livelock bounds of the configured protocol.\n"
+      "\n"
+      "  --all-configs        check the whole supported design space\n"
+      "  --radix RxR[xR...]   topology radix per dimension (default 8x8)\n"
+      "  --torus | --mesh     wraparound links or not (default torus)\n"
+      "  --routing NAME       dor | duato | west-first | negative-first\n"
+      "  --protocol NAME      wormhole | clrp | carp (default clrp)\n"
+      "  --variant NAME       full | force-first | single-switch\n"
+      "  --switches K         wave switches per router (default 2)\n"
+      "  --vcs W              wormhole VCs per channel (default 2)\n"
+      "  --misroutes M        MB-m misroute budget (default 2)\n"
+      "  --cache N            circuit-cache entries per node (default 8)\n"
+      "  --json PATH          write a wavesim.analysis.v1 report\n"
+      "  -v, --verbose        print every check row, not just violations\n"
+      "  -h, --help           this text\n",
+      out);
+}
+
+[[noreturn]] void die(const std::string& why) {
+  std::fprintf(stderr, "wavecheck: %s\n", why.c_str());
+  std::exit(2);
+}
+
+bool parse_radix(const std::string& text, std::vector<std::int32_t>& out) {
+  out.clear();
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t used = 0;
+    int value = 0;
+    try {
+      value = std::stoi(text.substr(pos), &used);
+    } catch (const std::exception&) {
+      return false;
+    }
+    if (used == 0 || value < 2) return false;
+    out.push_back(value);
+    pos += used;
+    if (pos < text.size()) {
+      if (text[pos] != 'x') return false;
+      ++pos;
+    }
+  }
+  return !out.empty();
+}
+
+void print_report(const ConfigReport& report, bool verbose) {
+  const bool ok = report.ok();
+  if (ok && !verbose) return;
+  std::printf("%s: %s\n", report.id.c_str(), ok ? "ok" : "VIOLATION");
+  for (const auto& row : report.rows) {
+    if (!verbose && row.status != CheckStatus::kViolation) continue;
+    std::printf("  [%-9s] %-26s %s\n", to_string(row.status), row.id.c_str(),
+                row.detail.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool all_configs = false;
+  bool verbose = false;
+  std::string json_path;
+  wavesim::sim::SimConfig config;
+
+  auto value_of = [&](int& i) -> std::string {
+    if (i + 1 >= argc) die(std::string(argv[i]) + " needs a value");
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-h" || arg == "--help") {
+      usage(stdout);
+      return 0;
+    } else if (arg == "--all-configs") {
+      all_configs = true;
+    } else if (arg == "-v" || arg == "--verbose") {
+      verbose = true;
+    } else if (arg == "--json") {
+      json_path = value_of(i);
+    } else if (arg == "--radix") {
+      if (!parse_radix(value_of(i), config.topology.radix)) {
+        die("bad --radix (want e.g. 8x8)");
+      }
+    } else if (arg == "--torus") {
+      config.topology.torus = true;
+    } else if (arg == "--mesh") {
+      config.topology.torus = false;
+    } else if (arg == "--routing") {
+      if (!from_string(value_of(i), config.router.routing)) {
+        die("unknown --routing");
+      }
+    } else if (arg == "--protocol") {
+      if (!from_string(value_of(i), config.protocol.protocol)) {
+        die("unknown --protocol");
+      }
+      if (config.protocol.protocol ==
+          wavesim::sim::ProtocolKind::kWormholeOnly) {
+        config.router.wave_switches = 0;
+      }
+    } else if (arg == "--variant") {
+      if (!from_string(value_of(i), config.protocol.clrp_variant)) {
+        die("unknown --variant");
+      }
+    } else if (arg == "--switches") {
+      config.router.wave_switches = std::atoi(value_of(i).c_str());
+    } else if (arg == "--vcs") {
+      config.router.wormhole_vcs = std::atoi(value_of(i).c_str());
+    } else if (arg == "--misroutes") {
+      config.protocol.max_misroutes = std::atoi(value_of(i).c_str());
+    } else if (arg == "--cache") {
+      config.protocol.circuit_cache_entries = std::atoi(value_of(i).c_str());
+    } else {
+      usage(stderr);
+      die("unknown option " + arg);
+    }
+  }
+
+  std::vector<ConfigReport> reports;
+  try {
+    if (all_configs) {
+      for (const auto& c : wavesim::analysis::enumerate_configs()) {
+        reports.push_back(wavesim::analysis::analyze_config(c));
+      }
+    } else {
+      reports.push_back(wavesim::analysis::analyze_config(config));
+    }
+  } catch (const std::exception& e) {
+    die(e.what());
+  }
+
+  std::size_t ok_count = 0;
+  std::size_t violations = 0;
+  for (const auto& report : reports) {
+    print_report(report, verbose);
+    if (report.ok()) ++ok_count;
+    violations += report.count(CheckStatus::kViolation);
+  }
+  std::printf("wavecheck: %zu/%zu config(s) ok, %zu violation(s)\n", ok_count,
+              reports.size(), violations);
+
+  if (!json_path.empty()) {
+    const auto doc = wavesim::analysis::report_to_json(reports);
+    if (!wavesim::sim::write_json_file(doc, json_path)) return 2;
+    std::printf("wavecheck: wrote %s\n", json_path.c_str());
+  }
+  return violations == 0 ? 0 : 1;
+}

@@ -1,0 +1,363 @@
+#include "analysis/analyze.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "routing/routing.hpp"
+#include "verify/structural.hpp"
+
+namespace wavesim::analysis {
+
+namespace {
+
+CheckRow make_row(std::string id, CheckStatus status, std::string detail) {
+  CheckRow row;
+  row.id = std::move(id);
+  row.status = status;
+  row.detail = std::move(detail);
+  return row;
+}
+
+}  // namespace
+
+const char* to_string(CheckStatus status) noexcept {
+  switch (status) {
+    case CheckStatus::kOk: return "ok";
+    case CheckStatus::kViolation: return "violation";
+    case CheckStatus::kSkipped: return "skipped";
+  }
+  return "?";
+}
+
+bool ConfigReport::ok() const noexcept {
+  return count(CheckStatus::kViolation) == 0;
+}
+
+std::size_t ConfigReport::count(CheckStatus status) const noexcept {
+  std::size_t n = 0;
+  for (const auto& row : rows) {
+    if (row.status == status) ++n;
+  }
+  return n;
+}
+
+std::string config_label(const sim::SimConfig& config) {
+  std::ostringstream os;
+  for (std::size_t d = 0; d < config.topology.radix.size(); ++d) {
+    os << (d > 0 ? "x" : "") << config.topology.radix[d];
+  }
+  os << '-' << (config.topology.torus ? "torus" : "mesh") << '/'
+     << to_string(config.router.routing) << '/'
+     << to_string(config.protocol.protocol);
+  if (config.protocol.protocol == sim::ProtocolKind::kClrp) {
+    os << '-' << to_string(config.protocol.clrp_variant);
+    if (config.protocol.pcs_only) os << "-pcsonly";
+  }
+  os << "/k" << config.router.wave_switches << "/w"
+     << config.router.wormhole_vcs << "/m" << config.protocol.max_misroutes
+     << "/c" << config.protocol.circuit_cache_entries;
+  return os.str();
+}
+
+ConfigReport analyze_config(const sim::SimConfig& config) {
+  return analyze_config(config, WaitRules::rules_for(config));
+}
+
+ConfigReport analyze_config(const sim::SimConfig& config,
+                            const WaitRules& rules) {
+  config.validate();
+  ConfigReport report;
+  report.id = config_label(config);
+  report.config = config;
+  report.rules = rules;
+
+  const topo::KAryNCube topology(config.topology.radix, config.topology.torus);
+  const auto routing = route::make_routing(config.router.routing, topology,
+                                           config.router.wormhole_vcs);
+  report.bounds = livelock_bounds(topology, config);
+  const bool has_probes =
+      config.protocol.protocol != sim::ProtocolKind::kWormholeOnly;
+  const bool has_force =
+      config.protocol.protocol == sim::ProtocolKind::kClrp;
+
+  // Theorem 2 premise (and Theorems 1/4 via the fallback): the escape
+  // subnetwork's CDG is acyclic.
+  {
+    const verify::CheckResult escape = verify::check_escape_acyclic(config);
+    CheckRow row;
+    row.id = "escape-cdg-acyclic";
+    if (escape.ok()) {
+      row.status = CheckStatus::kOk;
+      std::ostringstream os;
+      os << "escape CDG of " << routing->name() << " is acyclic";
+      row.detail = os.str();
+    } else {
+      row.status = CheckStatus::kViolation;
+      row.detail = escape.violations.front();
+      row.witness = escape.witnesses.front();
+    }
+    report.rows.push_back(std::move(row));
+  }
+
+  // Theorems 1/2: the wait-for graph over wormhole + control + circuit
+  // resources permitted by the protocol's blocking rules is acyclic.
+  {
+    const ExtendedGraph graph = build_extended_graph(
+        topology, *routing, config.router.wormhole_vcs,
+        config.router.wave_switches, rules);
+    const auto cycle = graph.find_cycle();
+    CheckRow row;
+    row.id = "wait-graph-acyclic";
+    if (cycle.empty()) {
+      std::ostringstream os;
+      os << "extended wait-for graph (" << graph.num_vertices()
+         << " vertices, " << graph.num_edges() << " edges) is acyclic";
+      row.status = CheckStatus::kOk;
+      row.detail = os.str();
+    } else {
+      row.status = CheckStatus::kViolation;
+      row.witness = graph.witness(cycle);
+      std::ostringstream os;
+      os << "extended wait-for graph has a cycle of length " << cycle.size()
+         << ": " << row.witness.describe(/*max_hops=*/12);
+      row.detail = os.str();
+    }
+    report.rows.push_back(std::move(row));
+  }
+
+  // Theorem 1 premise: probes never wait on probe-reserved channels — MB-m
+  // misroutes or backtracks. A rule-level fact of the protocol model; when
+  // the rules say otherwise the wait-graph row above also goes cyclic.
+  report.rows.push_back(
+      !has_probes
+          ? make_row("mbm-no-wait", CheckStatus::kSkipped,
+                     "no probes in the wormhole baseline")
+          : rules.probes_wait_on_control
+              ? make_row("mbm-no-wait", CheckStatus::kViolation,
+                         "rules allow probes to wait on control channels "
+                         "reserved by other probes")
+              : make_row("mbm-no-wait", CheckStatus::kOk,
+                         "MB-m probes backtrack instead of waiting; timing "
+                         "covered by simcheck MB-m event oracle"));
+
+  // Theorem 1 premise: a Force=1 probe waits only on channels of circuits
+  // that completed establishment.
+  report.rows.push_back(
+      !has_force
+          ? make_row("force-waits-only-on-acked", CheckStatus::kSkipped,
+                     has_probes ? "CARP never sets Force"
+                                : "no probes in the wormhole baseline")
+          : rules.force_waits_on_establishing
+              ? make_row("force-waits-only-on-acked", CheckStatus::kViolation,
+                         "rules allow Force to wait on circuits still being "
+                         "established")
+              : make_row("force-waits-only-on-acked", CheckStatus::kOk,
+                         "Force waits only on established circuits; "
+                         "acked-before-wait covered by simcheck fsck oracle"));
+
+  // Theorem 1 premise: release requests / teardowns are single control
+  // flits that sink unconditionally.
+  report.rows.push_back(
+      !has_probes
+          ? make_row("releases-wait-free", CheckStatus::kSkipped,
+                     "no circuits in the wormhole baseline")
+          : rules.releases_block
+              ? make_row("releases-wait-free", CheckStatus::kViolation,
+                         "rules allow release/teardown flits to block on "
+                         "control channels")
+              : make_row("releases-wait-free", CheckStatus::kOk,
+                         "releases reserve nothing; drain behavior covered "
+                         "by simcheck check_drained oracle"));
+
+  // Theorems 3/4 premise: the wormhole fallback routes minimally, so the
+  // distance-to-destination argument bounds its progress.
+  report.rows.push_back(
+      routing->minimal()
+          ? make_row("minimal-routing", CheckStatus::kOk,
+                     std::string(routing->name()) +
+                         " produces only minimal hops")
+          : make_row("minimal-routing", CheckStatus::kViolation,
+                     std::string(routing->name()) +
+                         " is non-minimal; Theorem 3's distance argument "
+                         "does not apply"));
+
+  // Theorems 3/4: static misroute/backtrack/attempt bounds. pcs_only has
+  // no attempt bound by design — honesty demands a skip, not an ok.
+  report.rows.push_back(
+      !has_probes
+          ? make_row("livelock-bounds", CheckStatus::kSkipped,
+                     "no probes in the wormhole baseline")
+          : !report.bounds.attempts_bounded
+              ? make_row("livelock-bounds", CheckStatus::kSkipped,
+                         "pcs_only retries are unbounded; delivery relies on "
+                         "retry fairness, covered by simcheck progress "
+                         "watchdog: " + report.bounds.describe())
+              : make_row("livelock-bounds", CheckStatus::kOk,
+                         report.bounds.describe() +
+                             "; enforced at runtime by the MB-m event "
+                             "oracle"));
+
+  return report;
+}
+
+std::vector<sim::SimConfig> enumerate_configs() {
+  std::vector<sim::SimConfig> configs;
+  const std::vector<std::vector<std::int32_t>> radices = {{4, 4}, {8, 8}};
+  const bool toruses[] = {false, true};
+  const sim::RoutingKind routings[] = {
+      sim::RoutingKind::kDimensionOrder, sim::RoutingKind::kDuatoAdaptive,
+      sim::RoutingKind::kWestFirst, sim::RoutingKind::kNegativeFirst};
+  struct ProtocolChoice {
+    sim::ProtocolKind protocol;
+    sim::ClrpVariant variant;
+  };
+  const ProtocolChoice protocols[] = {
+      {sim::ProtocolKind::kWormholeOnly, sim::ClrpVariant::kFull},
+      {sim::ProtocolKind::kClrp, sim::ClrpVariant::kFull},
+      {sim::ProtocolKind::kClrp, sim::ClrpVariant::kForceFirst},
+      {sim::ProtocolKind::kClrp, sim::ClrpVariant::kSingleSwitch},
+      {sim::ProtocolKind::kCarp, sim::ClrpVariant::kFull},
+  };
+  const std::int32_t switch_counts[] = {1, 2};
+  const std::int32_t misroutes[] = {0, 2};
+  const std::int32_t caches[] = {1, 8};
+
+  for (const auto& radix : radices) {
+    for (const bool torus : toruses) {
+      for (const auto routing : routings) {
+        for (const auto& proto : protocols) {
+          const bool baseline =
+              proto.protocol == sim::ProtocolKind::kWormholeOnly;
+          for (const std::int32_t k : switch_counts) {
+            for (const std::int32_t m : misroutes) {
+              for (const std::int32_t cache : caches) {
+                // The baseline has no probes, circuits or switches: k/m/
+                // cache do not exist for it, so enumerate it exactly once
+                // per (topology, routing) with k = 0.
+                if (baseline && (k != 1 || m != 0 || cache != 1)) continue;
+                sim::SimConfig config;
+                config.topology.radix = radix;
+                config.topology.torus = torus;
+                config.router.routing = routing;
+                // Satisfy every algorithm's VC floor (3 covers torus Duato).
+                config.router.wormhole_vcs =
+                    routing == sim::RoutingKind::kDuatoAdaptive ? 3 : 2;
+                config.router.wave_switches = baseline ? 0 : k;
+                config.protocol.protocol = proto.protocol;
+                config.protocol.clrp_variant = proto.variant;
+                config.protocol.max_misroutes = m;
+                config.protocol.circuit_cache_entries = cache;
+                try {
+                  config.validate();
+                } catch (const std::exception&) {
+                  continue;  // e.g. west-first on a torus
+                }
+                configs.push_back(std::move(config));
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return configs;
+}
+
+namespace {
+
+sim::JsonValue witness_to_json(const verify::CycleWitness& witness) {
+  sim::JsonValue doc = sim::JsonValue::object();
+  doc.set("graph", witness.graph);
+  sim::JsonValue hops = sim::JsonValue::array();
+  for (const auto& hop : witness.hops) {
+    sim::JsonValue h = sim::JsonValue::object();
+    h.set("vertex", static_cast<std::int64_t>(hop.vertex));
+    h.set("name", hop.name);
+    h.set("node", static_cast<std::int64_t>(hop.node));
+    h.set("port", static_cast<std::int64_t>(hop.port));
+    h.set("index", static_cast<std::int64_t>(hop.index));
+    hops.push_back(std::move(h));
+  }
+  doc.set("hops", std::move(hops));
+  return doc;
+}
+
+}  // namespace
+
+sim::JsonValue report_to_json(const std::vector<ConfigReport>& reports) {
+  sim::JsonValue doc = sim::JsonValue::object();
+  doc.set("schema", "wavesim.analysis.v1");
+  std::size_t num_ok = 0;
+  std::size_t num_violations = 0;
+  sim::JsonValue configs = sim::JsonValue::array();
+  for (const auto& report : reports) {
+    if (report.ok()) ++num_ok;
+    num_violations += report.count(CheckStatus::kViolation);
+    sim::JsonValue entry = sim::JsonValue::object();
+    entry.set("id", report.id);
+    const auto& c = report.config;
+    sim::JsonValue topo = sim::JsonValue::object();
+    sim::JsonValue radix = sim::JsonValue::array();
+    for (const auto r : c.topology.radix) {
+      radix.push_back(static_cast<std::int64_t>(r));
+    }
+    topo.set("radix", std::move(radix));
+    topo.set("torus", c.topology.torus);
+    entry.set("topology", std::move(topo));
+    entry.set("routing", to_string(c.router.routing));
+    entry.set("protocol", to_string(c.protocol.protocol));
+    if (c.protocol.protocol == sim::ProtocolKind::kClrp) {
+      entry.set("clrp_variant", to_string(c.protocol.clrp_variant));
+      entry.set("pcs_only", c.protocol.pcs_only);
+    }
+    entry.set("wave_switches",
+              static_cast<std::int64_t>(c.router.wave_switches));
+    entry.set("wormhole_vcs",
+              static_cast<std::int64_t>(c.router.wormhole_vcs));
+    entry.set("max_misroutes",
+              static_cast<std::int64_t>(c.protocol.max_misroutes));
+    entry.set("cache_entries",
+              static_cast<std::int64_t>(c.protocol.circuit_cache_entries));
+
+    sim::JsonValue rules = sim::JsonValue::object();
+    rules.set("probes_wait_on_control", report.rules.probes_wait_on_control);
+    rules.set("force_waits_on_established",
+              report.rules.force_waits_on_established);
+    rules.set("force_waits_on_establishing",
+              report.rules.force_waits_on_establishing);
+    rules.set("releases_block", report.rules.releases_block);
+    entry.set("rules", std::move(rules));
+
+    sim::JsonValue bounds = sim::JsonValue::object();
+    bounds.set("misroute_budget",
+               static_cast<std::int64_t>(report.bounds.misroute_budget));
+    bounds.set("backtrack_cap", report.bounds.backtrack_cap);
+    bounds.set("probe_step_cap", report.bounds.probe_step_cap);
+    bounds.set("attempt_cap",
+               static_cast<std::int64_t>(report.bounds.attempt_cap));
+    bounds.set("attempts_bounded", report.bounds.attempts_bounded);
+    entry.set("bounds", std::move(bounds));
+
+    sim::JsonValue rows = sim::JsonValue::array();
+    for (const auto& row : report.rows) {
+      sim::JsonValue r = sim::JsonValue::object();
+      r.set("id", row.id);
+      r.set("status", to_string(row.status));
+      r.set("detail", row.detail);
+      if (!row.witness.hops.empty()) {
+        r.set("witness", witness_to_json(row.witness));
+      }
+      rows.push_back(std::move(r));
+    }
+    entry.set("rows", std::move(rows));
+    entry.set("ok", report.ok());
+    configs.push_back(std::move(entry));
+  }
+  doc.set("num_configs", static_cast<std::int64_t>(reports.size()));
+  doc.set("num_ok", static_cast<std::int64_t>(num_ok));
+  doc.set("num_violations", static_cast<std::int64_t>(num_violations));
+  doc.set("configs", std::move(configs));
+  return doc;
+}
+
+}  // namespace wavesim::analysis

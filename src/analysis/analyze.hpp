@@ -1,0 +1,79 @@
+// Per-configuration static verification report.
+//
+// analyze_config() runs every statically checkable premise of Theorems 1-4
+// against one SimConfig and records a row per premise: the escape-CDG
+// acyclicity the wormhole fallback needs, the acyclicity of the extended
+// wait-for graph the protocol's blocking rules generate, the rule-level
+// premises themselves (probes backtrack rather than wait, Force waits only
+// on acked circuits, releases are wait-free), minimality of the wormhole
+// routing, and the static livelock bounds. Rows that cannot be decided
+// statically are reported as skipped with the runtime oracle that covers
+// them named in the detail — never silently ok. enumerate_configs() spans
+// the supported design space and wavecheck turns the reports into the
+// machine-readable wavesim.analysis.v1 JSON document.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/bounds.hpp"
+#include "analysis/extended_graph.hpp"
+#include "sim/config.hpp"
+#include "sim/json.hpp"
+#include "verify/delivery.hpp"
+
+namespace wavesim::analysis {
+
+enum class CheckStatus : std::uint8_t {
+  kOk,         ///< premise verified for this configuration
+  kViolation,  ///< premise refuted; detail + witness say how
+  kSkipped,    ///< not statically checkable here; detail names the runtime
+               ///< oracle that covers it
+};
+
+const char* to_string(CheckStatus status) noexcept;
+
+/// One premise of one theorem, checked against one configuration.
+struct CheckRow {
+  std::string id;      ///< stable machine id, e.g. "escape-cdg-acyclic"
+  CheckStatus status = CheckStatus::kSkipped;
+  std::string detail;  ///< human explanation / witness description
+  /// Cycle witness for cycle-shaped violations (empty hops otherwise).
+  verify::CycleWitness witness;
+};
+
+struct ConfigReport {
+  std::string id;  ///< stable config label, e.g. "8x8-torus/dor/clrp-full/..."
+  sim::SimConfig config;
+  WaitRules rules;
+  LivelockBounds bounds;
+  std::vector<CheckRow> rows;
+
+  bool ok() const noexcept;
+  /// Number of rows with the given status.
+  std::size_t count(CheckStatus status) const noexcept;
+};
+
+/// Stable config label used as ConfigReport::id and in CLI selection.
+std::string config_label(const sim::SimConfig& config);
+
+/// Analyze one configuration under its protocol's own blocking rules.
+/// Throws std::invalid_argument when the config fails validate().
+ConfigReport analyze_config(const sim::SimConfig& config);
+
+/// As analyze_config, but with explicit (possibly broken) rules — the hook
+/// the tests use to prove the checker is non-vacuous.
+ConfigReport analyze_config(const sim::SimConfig& config,
+                            const WaitRules& rules);
+
+/// The supported design space: {4x4, 8x8} x {mesh, torus} x every routing
+/// algorithm x every protocol/variant x k in {1, 2} x m in {0, 2} x cache
+/// in {1, 8}, with invalid combinations (validate() failures) filtered out
+/// and knobs a protocol ignores not multiplied (the wormhole baseline is
+/// enumerated once per topology/routing).
+std::vector<sim::SimConfig> enumerate_configs();
+
+/// Serialize reports as a wavesim.analysis.v1 document.
+sim::JsonValue report_to_json(const std::vector<ConfigReport>& reports);
+
+}  // namespace wavesim::analysis

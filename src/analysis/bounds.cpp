@@ -1,0 +1,45 @@
+#include "analysis/bounds.hpp"
+
+#include <sstream>
+
+namespace wavesim::analysis {
+
+std::string LivelockBounds::describe() const {
+  std::ostringstream os;
+  os << "misroutes<=" << misroute_budget << "+backtracks, backtracks<="
+     << backtrack_cap << ", steps<=" << probe_step_cap << ", attempts";
+  if (attempts_bounded) {
+    os << "<=" << attempt_cap;
+  } else {
+    os << " unbounded (pcs_only retries)";
+  }
+  return os.str();
+}
+
+LivelockBounds livelock_bounds(const topo::KAryNCube& topology,
+                               const sim::SimConfig& config) {
+  LivelockBounds bounds;
+  bounds.misroute_budget = config.protocol.max_misroutes;
+  bounds.backtrack_cap = topology.num_channels();
+  bounds.probe_step_cap = 2 * bounds.backtrack_cap;
+  const std::int32_t k = config.router.wave_switches;
+  switch (config.protocol.protocol) {
+    case sim::ProtocolKind::kWormholeOnly:
+      bounds.attempt_cap = 0;
+      break;
+    case sim::ProtocolKind::kClrp:
+      switch (config.protocol.clrp_variant) {
+        case sim::ClrpVariant::kFull: bounds.attempt_cap = 2 * k; break;
+        case sim::ClrpVariant::kForceFirst: bounds.attempt_cap = k; break;
+        case sim::ClrpVariant::kSingleSwitch: bounds.attempt_cap = 2; break;
+      }
+      break;
+    case sim::ProtocolKind::kCarp:
+      bounds.attempt_cap = k;
+      break;
+  }
+  if (config.protocol.pcs_only) bounds.attempts_bounded = false;
+  return bounds;
+}
+
+}  // namespace wavesim::analysis

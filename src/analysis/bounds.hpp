@@ -1,0 +1,58 @@
+// Static livelock bounds (Theorems 3 and 4).
+//
+// MB-m probe routing is livelock-free because every quantity a probe can
+// spend is bounded before the run starts: the misroute budget is the
+// configured m (refunded one-for-one by backtracks over misrouted hops),
+// the History Store forbids re-reserving a channel within an attempt so
+// backtracks are bounded by the number of directed channels, and each
+// protocol makes a fixed number of setup attempts before falling back to
+// wormhole delivery (whose own progress Theorem 2 guarantees). These are
+// the same invariants the runtime MB-m oracle in src/check/oracle.cpp
+// enforces per attempt on the event stream; livelock_bounds() is the
+// single source both sides derive them from.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/config.hpp"
+#include "topology/topology.hpp"
+
+namespace wavesim::analysis {
+
+struct LivelockBounds {
+  /// Misroutes a probe may hold at once (the "m" of MB-m). The runtime
+  /// invariant is misroutes <= misroute_budget + backtracks, since a
+  /// backtrack over a misrouted hop refunds that misroute.
+  std::int32_t misroute_budget = 0;
+  /// Backtracks per attempt: the History Store records every channel the
+  /// attempt reserved and forbids reserving it again, so an attempt cannot
+  /// backtrack more often than there are directed channels.
+  std::int64_t backtrack_cap = 0;
+  /// Channel traversals per attempt: each reservation is taken at most
+  /// once and released at most once, so steps <= 2 * backtrack_cap.
+  std::int64_t probe_step_cap = 0;
+  /// Setup attempts per message before the wormhole fallback (0 when the
+  /// protocol launches no probes at all). Meaningful only when
+  /// attempts_bounded.
+  std::int32_t attempt_cap = 0;
+  /// False only for pcs_only configurations, where failed setups retry
+  /// after a backoff forever instead of falling back (paper section 2's
+  /// k=1, w=0 "pure PCS" design point): delivery then relies on the
+  /// fairness of retries, not on a static attempt bound.
+  bool attempts_bounded = true;
+
+  std::string describe() const;
+
+  friend bool operator==(const LivelockBounds&, const LivelockBounds&) =
+      default;
+};
+
+/// Bounds for `config` on `topology`. CLRP kFull probes every switch twice
+/// (phase 1 Force=0, phase 2 Force=1: 2k), kForceFirst skips phase 1 (k),
+/// kSingleSwitch tries only the initial switch in each phase (2); CARP
+/// makes k Force=0 attempts and never forces.
+LivelockBounds livelock_bounds(const topo::KAryNCube& topology,
+                               const sim::SimConfig& config);
+
+}  // namespace wavesim::analysis

@@ -1,0 +1,198 @@
+#include "analysis/extended_graph.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "routing/cdg.hpp"
+#include "sim/graph.hpp"
+
+namespace wavesim::analysis {
+
+const char* to_string(Layer layer) noexcept {
+  switch (layer) {
+    case Layer::kWormhole: return "wormhole";
+    case Layer::kControl: return "control";
+    case Layer::kCircuit: return "circuit";
+  }
+  return "?";
+}
+
+WaitRules WaitRules::rules_for(const sim::SimConfig& config) {
+  WaitRules rules;
+  // Only CLRP has a Force phase (every variant reaches one); CARP probes
+  // and pcs_only retries never wait on a busy channel, and the wormhole
+  // baseline has no probes at all.
+  if (config.protocol.protocol == sim::ProtocolKind::kClrp) {
+    rules.force_waits_on_established = true;
+  }
+  return rules;
+}
+
+ExtendedGraph::ExtendedGraph(const topo::KAryNCube& topology,
+                             std::int32_t num_vcs, std::int32_t num_switches)
+    : topology_(topology), num_vcs_(num_vcs), num_switches_(num_switches) {
+  if (num_vcs < 0 || num_switches < 0) {
+    throw std::invalid_argument("ExtendedGraph: negative layer size");
+  }
+  const std::int32_t channels = topology.num_channels();
+  control_base_ = channels * num_vcs_;
+  circuit_base_ = control_base_ + channels * num_switches_;
+  adj_.resize(static_cast<std::size_t>(circuit_base_) +
+              static_cast<std::size_t>(channels) * num_switches_);
+}
+
+std::int32_t ExtendedGraph::num_vertices() const noexcept {
+  return static_cast<std::int32_t>(adj_.size());
+}
+
+std::int32_t ExtendedGraph::vertex(Layer layer, NodeId node, PortId port,
+                                   std::int32_t minor) const {
+  const std::int32_t channel = topology_.channel_index(node, port);
+  switch (layer) {
+    case Layer::kWormhole:
+      if (minor < 0 || minor >= num_vcs_) {
+        throw std::out_of_range("ExtendedGraph: VC out of range");
+      }
+      return channel * num_vcs_ + minor;
+    case Layer::kControl:
+    case Layer::kCircuit:
+      if (minor < 0 || minor >= num_switches_) {
+        throw std::out_of_range("ExtendedGraph: switch out of range");
+      }
+      return (layer == Layer::kControl ? control_base_ : circuit_base_) +
+             channel * num_switches_ + minor;
+  }
+  throw std::invalid_argument("ExtendedGraph: bad layer");
+}
+
+verify::WitnessHop ExtendedGraph::decode(std::int32_t vertex_id) const {
+  if (vertex_id < 0 || vertex_id >= num_vertices()) {
+    throw std::out_of_range("ExtendedGraph: vertex out of range");
+  }
+  Layer layer;
+  std::int32_t channel;
+  verify::WitnessHop hop;
+  hop.vertex = vertex_id;
+  if (vertex_id < control_base_) {
+    layer = Layer::kWormhole;
+    channel = vertex_id / num_vcs_;
+    hop.index = vertex_id % num_vcs_;
+  } else if (vertex_id < circuit_base_) {
+    layer = Layer::kControl;
+    channel = (vertex_id - control_base_) / num_switches_;
+    hop.index = (vertex_id - control_base_) % num_switches_;
+  } else {
+    layer = Layer::kCircuit;
+    channel = (vertex_id - circuit_base_) / num_switches_;
+    hop.index = (vertex_id - circuit_base_) % num_switches_;
+  }
+  hop.node = channel / topology_.num_ports();
+  hop.port = channel % topology_.num_ports();
+  std::ostringstream name;
+  switch (layer) {
+    case Layer::kWormhole:
+      name << "wh n" << hop.node << ":p" << hop.port << ":vc" << hop.index;
+      break;
+    case Layer::kControl:
+      name << "ctl n" << hop.node << ":p" << hop.port << ":s" << hop.index;
+      break;
+    case Layer::kCircuit:
+      name << "est n" << hop.node << ":p" << hop.port << ":s" << hop.index;
+      break;
+  }
+  hop.name = name.str();
+  return hop;
+}
+
+void ExtendedGraph::add_edge(std::int32_t from, std::int32_t to) {
+  adj_.at(from).push_back(to);
+  ++num_edges_;
+}
+
+bool ExtendedGraph::has_edge(std::int32_t from, std::int32_t to) const {
+  const auto& out = out_edges(from);
+  return std::find(out.begin(), out.end(), to) != out.end();
+}
+
+const std::vector<std::int32_t>& ExtendedGraph::out_edges(
+    std::int32_t from) const {
+  static const std::vector<std::int32_t> kEmpty;
+  if (from < 0 || from >= num_vertices()) return kEmpty;
+  return adj_[static_cast<std::size_t>(from)];
+}
+
+std::vector<std::int32_t> ExtendedGraph::find_cycle() const {
+  return sim::find_graph_cycle(adj_);
+}
+
+verify::CycleWitness ExtendedGraph::witness(
+    const std::vector<std::int32_t>& cycle) const {
+  verify::CycleWitness witness;
+  witness.graph = "extended";
+  witness.hops.reserve(cycle.size());
+  for (const std::int32_t vertex_id : cycle) {
+    witness.hops.push_back(decode(vertex_id));
+  }
+  return witness;
+}
+
+ExtendedGraph build_extended_graph(const topo::KAryNCube& topology,
+                                   const route::RoutingAlgorithm& routing,
+                                   std::int32_t num_vcs,
+                                   std::int32_t num_switches,
+                                   const WaitRules& rules) {
+  ExtendedGraph graph(topology, num_vcs, num_switches);
+
+  // Wormhole layer: the escape CDG verbatim. Its vertex layout (channel *
+  // num_vcs + vc) is identical to the extended graph's wormhole block, so
+  // edges copy over without translation.
+  if (num_vcs > 0) {
+    const auto cdg = route::build_cdg(topology, routing, num_vcs,
+                                      /*escape_only=*/true);
+    for (std::int32_t v = 0; v < cdg.num_vertices(); ++v) {
+      for (const std::int32_t to : cdg.out_edges(v)) graph.add_edge(v, to);
+    }
+  }
+
+  // Control / circuit layers. A probe that holds the control channel of
+  // switch s on link (node, port) sits at `next`; the channels it can
+  // request there are over-approximated by every live out-port (MB-m
+  // misrouting may pick any of them, and a superset of waits is sound for
+  // an acyclicity proof). A probe stays on its switch, so edges never
+  // cross switch indices.
+  for (NodeId node = 0; node < topology.num_nodes(); ++node) {
+    for (PortId port = 0; port < topology.num_ports(); ++port) {
+      const NodeId next = topology.neighbor(node, port);
+      if (next == kInvalidNode) continue;
+      for (std::int32_t s = 0; s < num_switches; ++s) {
+        const std::int32_t held_ctl =
+            graph.vertex(Layer::kControl, node, port, s);
+        const std::int32_t held_est =
+            graph.vertex(Layer::kCircuit, node, port, s);
+        for (PortId out = 0; out < topology.num_ports(); ++out) {
+          if (!topology.has_neighbor(next, out)) continue;
+          // Waiting on a circuit still in establishment is a wait on the
+          // owning probe's control reservation, so both broken rules
+          // produce the same control->control edge family.
+          if (rules.probes_wait_on_control ||
+              rules.force_waits_on_establishing) {
+            graph.add_edge(held_ctl,
+                           graph.vertex(Layer::kControl, next, out, s));
+          }
+          if (rules.force_waits_on_established) {
+            graph.add_edge(held_ctl,
+                           graph.vertex(Layer::kCircuit, next, out, s));
+          }
+          if (rules.releases_block) {
+            graph.add_edge(held_est,
+                           graph.vertex(Layer::kControl, next, out, s));
+          }
+        }
+      }
+    }
+  }
+  return graph;
+}
+
+}  // namespace wavesim::analysis

@@ -1,0 +1,134 @@
+// The extended protocol dependency graph of Theorems 1-4.
+//
+// Wave switching adds two resource layers on top of the wormhole escape
+// channels: the k single-flit control channels (one per wave switch per
+// directed link) that MB-m probes reserve hop by hop, and the k circuit
+// data channels that established circuits hold. Deadlock freedom (Theorems
+// 1 and 2) is the statement that the *wait-for* graph over all three layers
+// is acyclic; which edges that graph can contain is exactly the set of
+// blocking rules the proofs enumerate:
+//
+//   * probes never wait on control channels reserved by other probes --
+//     MB-m misroutes or backtracks instead (so no control->control edge);
+//   * a Force=1 probe may wait, but only on channels whose circuit has
+//     completed establishment (acked) -- a control->circuit edge;
+//   * it must NOT wait on a circuit still being established (that would be
+//     a wait on the owning probe's reservations: control->control edges
+//     through the establishment chain);
+//   * established circuits are released by single-flit release-request /
+//     teardown control flits that share link bandwidth but never reserve
+//     anything, so a circuit's release waits on nothing (no circuit->*
+//     edge);
+//   * the wormhole fallback rides an escape CDG that must itself be
+//     acyclic (Dally & Seitz / Duato).
+//
+// ExtendedGraph materializes the wait-for graph a given rule set permits
+// over a concrete (topology, routing, w, k) and searches it for cycles.
+// Under the protocols' actual rules the control/circuit part is bipartite
+// (control -> circuit only) and the checker proves it acyclic per config;
+// flipping any rule -- as a regression in the protocol layer effectively
+// would -- produces a cycle that is reported as an ordered witness.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "routing/routing.hpp"
+#include "sim/config.hpp"
+#include "topology/topology.hpp"
+#include "verify/delivery.hpp"
+
+namespace wavesim::analysis {
+
+/// Resource layer of an extended-graph vertex.
+enum class Layer : std::uint8_t {
+  kWormhole,  ///< S0 escape virtual channel (node, port, vc)
+  kControl,   ///< control channel of switch s on the link (node, port)
+  kCircuit,   ///< circuit data channel of switch s on the link (node, port)
+};
+
+const char* to_string(Layer layer) noexcept;
+
+/// The blocking rules the analyzed protocol can exhibit. Each true flag
+/// adds a family of wait-for edges; the defaults encode "no waiting at
+/// all" (pure backtracking, no Force). See rules_for() for the per-config
+/// derivation and the class comment for the proof-side meaning.
+struct WaitRules {
+  /// Probes wait on control channels reserved by other probes instead of
+  /// backtracking. Always false for MB-m; true models a (hypothetical)
+  /// no-backtrack PCS and makes the control layer cyclic on any topology.
+  bool probes_wait_on_control = false;
+  /// Force=1 probes park on channels held by *established* circuits until
+  /// a release request frees them (CLRP phase 2).
+  bool force_waits_on_established = false;
+  /// Force=1 probes also park on channels of circuits still being
+  /// established. The proof of Theorem 1 explicitly forbids this ("the
+  /// probe backtracks even with Force set"); true models the broken
+  /// variant and closes the control->circuit->control loop.
+  bool force_waits_on_establishing = false;
+  /// Release-request / teardown flits can block on control channels along
+  /// the circuit path instead of sinking unconditionally. Always false:
+  /// control flits of an existing circuit share link bandwidth through the
+  /// gate but never reserve; true models a blocking release protocol.
+  bool releases_block = false;
+
+  /// The rules the configured protocol actually runs under: Force applies
+  /// to CLRP only (every variant has a Force phase), never to CARP or the
+  /// wormhole baseline; everything else stays false by protocol design.
+  static WaitRules rules_for(const sim::SimConfig& config);
+
+  friend bool operator==(const WaitRules&, const WaitRules&) = default;
+};
+
+class ExtendedGraph {
+ public:
+  /// Vertex space for `topology` with `num_vcs` wormhole VCs and
+  /// `num_switches` wave switches (either count may be 0 to omit a layer).
+  ExtendedGraph(const topo::KAryNCube& topology, std::int32_t num_vcs,
+                std::int32_t num_switches);
+
+  std::int32_t num_vertices() const noexcept;
+  std::int64_t num_edges() const noexcept { return num_edges_; }
+
+  /// Vertex id of a resource. `minor` is the VC for kWormhole and the
+  /// switch index for kControl / kCircuit.
+  std::int32_t vertex(Layer layer, NodeId node, PortId port,
+                      std::int32_t minor) const;
+
+  /// Inverse of vertex(), with a printable name ("wh n5:p2:vc1",
+  /// "ctl n3:p0:s1", "est n3:p0:s1").
+  verify::WitnessHop decode(std::int32_t vertex_id) const;
+
+  void add_edge(std::int32_t from, std::int32_t to);
+  bool has_edge(std::int32_t from, std::int32_t to) const;
+  const std::vector<std::int32_t>& out_edges(std::int32_t from) const;
+
+  /// One directed cycle in vertex order (cycle[i] -> cycle[(i+1) % size]
+  /// is an edge for every i), else empty.
+  std::vector<std::int32_t> find_cycle() const;
+
+  /// Decode a cycle from find_cycle() into an ordered witness.
+  verify::CycleWitness witness(const std::vector<std::int32_t>& cycle) const;
+
+ private:
+  const topo::KAryNCube& topology_;
+  std::int32_t num_vcs_;
+  std::int32_t num_switches_;
+  std::int32_t control_base_;  ///< first control vertex id
+  std::int32_t circuit_base_;  ///< first circuit vertex id
+  std::vector<std::vector<std::int32_t>> adj_;
+  std::int64_t num_edges_ = 0;
+};
+
+/// Build the extended dependency graph of `config`'s protocol under
+/// `rules`: the escape CDG of `routing` as the wormhole layer plus every
+/// control/circuit wait-for edge the rules permit (over-approximating the
+/// requestable next hops of a probe by all live out-ports, which is sound:
+/// MB-m misrouting may request any of them).
+ExtendedGraph build_extended_graph(const topo::KAryNCube& topology,
+                                   const route::RoutingAlgorithm& routing,
+                                   std::int32_t num_vcs,
+                                   std::int32_t num_switches,
+                                   const WaitRules& rules);
+
+}  // namespace wavesim::analysis

@@ -5,12 +5,12 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "analysis/analyze.hpp"
 #include "core/simulation.hpp"
 #include "engine/engine.hpp"
 #include "sim/rng.hpp"
 #include "verify/delivery.hpp"
 #include "verify/fsck.hpp"
-#include "verify/structural.hpp"
 #include "verify/watchdog.hpp"
 #include "workload/size_dist.hpp"
 #include "workload/traffic.hpp"
@@ -66,17 +66,18 @@ RunOutcome run_scenario(const Scenario& scenario,
     return out;
   }
 
-  // Structural oracle first: a cyclic escape CDG means the deadlock-freedom
-  // precondition of Theorems 1-4 is gone, so simulating would only tell us
-  // *whether* this run happens to trigger it. Fail fast and deterministically.
-  {
-    const verify::CheckResult structural =
-        verify::check_escape_acyclic(config);
-    for (const auto& v : structural.violations) {
-      out.violations.push_back("structural: " + v);
-    }
-    if (!out.violations.empty()) return out;
+  // Static analysis first: a violated premise of Theorems 1-4 (cyclic
+  // escape CDG, cyclic extended wait-for graph, broken blocking rule)
+  // means the deadlock-freedom precondition is gone, so simulating would
+  // only tell us *whether* this run happens to trigger it. Fail fast and
+  // deterministically with the analyzer's witness-bearing detail.
+  const analysis::ConfigReport analysis_report =
+      analysis::analyze_config(config);
+  for (const auto& row : analysis_report.rows) {
+    if (row.status != analysis::CheckStatus::kViolation) continue;
+    out.violations.push_back("structural: " + row.id + ": " + row.detail);
   }
+  if (!out.violations.empty()) return out;
 
   core::Simulation sim(config);
   if (scenario.engine_shards >= 1) {
@@ -88,10 +89,12 @@ RunOutcome run_scenario(const Scenario& scenario,
   }
 
   // Event sink: order-sensitive fingerprint + per-attempt misroute budgets.
+  // The caps come from the same static bounds wavecheck reports (Theorems
+  // 3/4), so the runtime oracle and the analyzer cannot drift apart.
   const std::uint64_t backtrack_cap =
-      static_cast<std::uint64_t>(sim.topology().num_channels());
+      static_cast<std::uint64_t>(analysis_report.bounds.backtrack_cap);
   const std::uint64_t misroute_cap =
-      static_cast<std::uint64_t>(scenario.max_misroutes);
+      static_cast<std::uint64_t>(analysis_report.bounds.misroute_budget);
   std::uint64_t fingerprint = 0x77617665u;  // "wave"
   std::unordered_map<CircuitId, AttemptBudget> budgets;
   sim.set_event_sink([&](const core::Event& ev) {

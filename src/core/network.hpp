@@ -107,21 +107,29 @@ class Network {
   void dispatch_events();
   void inject_faults();
 
-  sim::SimConfig config_;
-  topo::KAryNCube topology_;
-  std::unique_ptr<route::RoutingAlgorithm> routing_;
+  // Shard-safety tags (docs/ENGINE.md, enforced by tools/shardlint.py):
+  // [shard: seq] mutated only by the sequential phases, [shard: owned]
+  // per-node / owner-partitioned and writable from step_shard for owned
+  // nodes, [shard: ro] immutable after construction.
+  sim::SimConfig config_;                             // [shard: ro]
+  topo::KAryNCube topology_;                          // [shard: ro]
+  std::unique_ptr<route::RoutingAlgorithm> routing_;  // [shard: ro]
+  /// Gate claims are owner-partitioned: router n only claims channels
+  /// leaving n, which belong to n's shard. [shard: owned]
   wh::ExclusiveLinkGate gate_;
-  CircuitTable circuits_;
-  std::unique_ptr<ControlPlane> control_;
-  std::unique_ptr<DataPlane> data_;
-  wh::Fabric fabric_;
-  Instrumentation instrumentation_;
+  CircuitTable circuits_;                  // [shard: seq]
+  std::unique_ptr<ControlPlane> control_;  // [shard: seq]
+  std::unique_ptr<DataPlane> data_;        // [shard: seq]
+  wh::Fabric fabric_;                      // [shard: owned]
+  Instrumentation instrumentation_;        // [shard: seq]
+  /// Reassembly counters are per message, and a message ejects at exactly
+  /// one node, hence one shard. [shard: owned]
   MessageLog log_;
-  std::vector<std::unique_ptr<NodeInterface>> interfaces_;
-  sim::Rng rng_;
-  ShardContext scratch_ctx_;  ///< reused by the sequential step() path
-  Cycle now_ = 0;
-  std::int64_t faulty_channels_ = 0;
+  std::vector<std::unique_ptr<NodeInterface>> interfaces_;  // [shard: owned]
+  sim::Rng rng_;  // [shard: seq]
+  ShardContext scratch_ctx_;  ///< for the sequential step() [shard: seq]
+  Cycle now_ = 0;                     // [shard: seq]
+  std::int64_t faulty_channels_ = 0;  // [shard: seq]
 };
 
 }  // namespace wavesim::core

@@ -107,18 +107,21 @@ class NodeInterface {
   void requeue(std::deque<MessageId> msgs, Cycle now);
   void send_wormhole(MessageId id, MessageMode mode, Cycle now);
 
-  NodeId node_;
-  const sim::SimConfig& config_;
-  const topo::KAryNCube& topology_;
-  MessageLog& log_;
-  CircuitTable& circuits_;
+  // Shard-safety tags (docs/ENGINE.md, enforced by tools/shardlint.py).
+  NodeId node_;                      // [shard: ro]
+  const sim::SimConfig& config_;     // [shard: ro]
+  const topo::KAryNCube& topology_;  // [shard: ro]
+  MessageLog& log_;                  // [shard: seq]
+  CircuitTable& circuits_;           // [shard: seq]
+  /// pump_streams only injects into this node's own router. [shard: owned]
   wh::Fabric& fabric_;
-  ControlPlane* control_;  ///< null when k == 0 (pure wormhole network)
-  DataPlane* data_;
-  const Instrumentation& instr_;
-  CircuitCache cache_;
+  /// Null when k == 0 (pure wormhole network). [shard: seq]
+  ControlPlane* control_;
+  DataPlane* data_;               // [shard: seq]
+  const Instrumentation& instr_;  // [shard: ro]
+  CircuitCache cache_;            // [shard: seq]
 
-  std::map<NodeId, DestState> dests_;
+  std::map<NodeId, DestState> dests_;  // [shard: seq]
 
   /// Wormhole injection: pending packets and one active stream per VC.
   /// Without segmentation a packet is the whole message; with it, packets
@@ -136,10 +139,10 @@ class NodeInterface {
     std::int32_t sent = 0;
     bool active() const noexcept { return pkt.msg != kInvalidMessage; }
   };
-  std::deque<Packet> wormhole_pending_;
-  std::vector<Stream> streams_;
+  std::deque<Packet> wormhole_pending_;  // [shard: owned]
+  std::vector<Stream> streams_;          // [shard: owned]
 
-  Stats stats_;
+  Stats stats_;  // [shard: seq]
 };
 
 }  // namespace wavesim::core

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "sim/graph.hpp"
+
 namespace wavesim::route {
 
 ChannelDependencyGraph::ChannelDependencyGraph(const topo::KAryNCube& topology,
@@ -24,44 +26,31 @@ void ChannelDependencyGraph::add_edge(std::int32_t from, std::int32_t to) {
   ++num_edges_;
 }
 
+bool ChannelDependencyGraph::has_edge(std::int32_t from,
+                                      std::int32_t to) const {
+  const auto& out = out_edges(from);
+  return std::find(out.begin(), out.end(), to) != out.end();
+}
+
+const std::vector<std::int32_t>& ChannelDependencyGraph::out_edges(
+    std::int32_t from) const {
+  static const std::vector<std::int32_t> kEmpty;
+  if (from < 0 || from >= num_vertices()) return kEmpty;
+  return adj_[static_cast<std::size_t>(from)];
+}
+
+void ChannelDependencyGraph::decode(std::int32_t vertex_id, NodeId& node,
+                                    PortId& port, VcId& vc) const noexcept {
+  vc = vertex_id % num_vcs_;
+  const std::int32_t channel = vertex_id / num_vcs_;
+  node = channel / topology_.num_ports();
+  port = channel % topology_.num_ports();
+}
+
 bool ChannelDependencyGraph::acyclic() const { return find_cycle().empty(); }
 
 std::vector<std::int32_t> ChannelDependencyGraph::find_cycle() const {
-  // Iterative DFS with tri-coloring; reconstructs the cycle on detection.
-  enum class Color : std::uint8_t { kWhite, kGray, kBlack };
-  std::vector<Color> color(adj_.size(), Color::kWhite);
-  std::vector<std::int32_t> parent(adj_.size(), -1);
-
-  for (std::int32_t root = 0; root < num_vertices(); ++root) {
-    if (color[root] != Color::kWhite) continue;
-    // Stack holds (vertex, next child index).
-    std::vector<std::pair<std::int32_t, std::size_t>> stack;
-    stack.emplace_back(root, 0);
-    color[root] = Color::kGray;
-    while (!stack.empty()) {
-      auto& [v, next] = stack.back();
-      if (next < adj_[v].size()) {
-        const std::int32_t child = adj_[v][next++];
-        if (color[child] == Color::kWhite) {
-          color[child] = Color::kGray;
-          parent[child] = v;
-          stack.emplace_back(child, 0);
-        } else if (color[child] == Color::kGray) {
-          // Cycle: walk parents from v back to child.
-          std::vector<std::int32_t> cycle{child};
-          for (std::int32_t walk = v; walk != child; walk = parent[walk]) {
-            cycle.push_back(walk);
-          }
-          std::reverse(cycle.begin(), cycle.end());
-          return cycle;
-        }
-      } else {
-        color[v] = Color::kBlack;
-        stack.pop_back();
-      }
-    }
-  }
-  return {};
+  return sim::find_graph_cycle(adj_);
 }
 
 namespace {

@@ -26,11 +26,24 @@ class ChannelDependencyGraph {
   void add_edge(std::int32_t from, std::int32_t to);
   std::int64_t num_edges() const noexcept { return num_edges_; }
 
+  /// True iff `from -> to` was added (linear in out-degree of `from`).
+  bool has_edge(std::int32_t from, std::int32_t to) const;
+
+  /// Successors of `from` in insertion order (empty for out-of-range ids).
+  const std::vector<std::int32_t>& out_edges(std::int32_t from) const;
+
   /// True iff the graph has no directed cycle (iterative DFS).
   bool acyclic() const;
 
-  /// One directed cycle (vertex list) if any exists, else empty.
+  /// One directed cycle if any exists, else empty. The returned vertices
+  /// are ordered so cycle[i] -> cycle[(i+1) % size] is an edge for every i
+  /// — they come straight out of the DFS parent chain, never reconstructed
+  /// after the fact, so a reported witness always names real edges.
   std::vector<std::int32_t> find_cycle() const;
+
+  /// Inverse of vertex(): decode a vertex id into (node, port, vc).
+  void decode(std::int32_t vertex_id, NodeId& node, PortId& port,
+              VcId& vc) const noexcept;
 
  private:
   const topo::KAryNCube& topology_;

@@ -1,0 +1,58 @@
+// Generic directed-graph cycle search, shared by the channel-dependency
+// graph (src/routing/cdg) and the extended protocol dependency graph
+// (src/analysis). Iterative tri-color DFS over adjacency lists; returns
+// one cycle as an ordered vertex list straight off the DFS parent chain,
+// so cycle[i] -> cycle[(i+1) % size] is an edge of the input for every i
+// — a caller can report it as a witness whose every consecutive pair is a
+// real edge, never reconstructed after the fact.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace wavesim::sim {
+
+/// One directed cycle of `adj` (vertices in edge order), else empty.
+inline std::vector<std::int32_t> find_graph_cycle(
+    std::span<const std::vector<std::int32_t>> adj) {
+  enum class Color : std::uint8_t { kWhite, kGray, kBlack };
+  const auto num_vertices = static_cast<std::int32_t>(adj.size());
+  std::vector<Color> color(adj.size(), Color::kWhite);
+  std::vector<std::int32_t> parent(adj.size(), -1);
+
+  for (std::int32_t root = 0; root < num_vertices; ++root) {
+    if (color[root] != Color::kWhite) continue;
+    // Stack holds (vertex, next child index).
+    std::vector<std::pair<std::int32_t, std::size_t>> stack;
+    stack.emplace_back(root, 0);
+    color[root] = Color::kGray;
+    while (!stack.empty()) {
+      auto& [v, next] = stack.back();
+      if (next < adj[v].size()) {
+        const std::int32_t child = adj[v][next++];
+        if (color[child] == Color::kWhite) {
+          color[child] = Color::kGray;
+          parent[child] = v;
+          stack.emplace_back(child, 0);
+        } else if (color[child] == Color::kGray) {
+          // Cycle: walk parents from v back to child.
+          std::vector<std::int32_t> cycle{child};
+          for (std::int32_t walk = v; walk != child; walk = parent[walk]) {
+            cycle.push_back(walk);
+          }
+          std::reverse(cycle.begin(), cycle.end());
+          return cycle;
+        }
+      } else {
+        color[v] = Color::kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace wavesim::sim

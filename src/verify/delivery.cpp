@@ -5,6 +5,20 @@
 
 namespace wavesim::verify {
 
+std::string CycleWitness::describe(std::size_t max_hops) const {
+  std::ostringstream os;
+  const std::size_t shown =
+      (max_hops == 0 || hops.size() <= max_hops) ? hops.size() : max_hops;
+  for (std::size_t i = 0; i < shown; ++i) {
+    os << hops[i].name << " -> ";
+  }
+  if (shown < hops.size()) {
+    os << "... (" << hops.size() - shown << " more) -> ";
+  }
+  if (!hops.empty()) os << hops.front().name;
+  return os.str();
+}
+
 std::string CheckResult::summary() const {
   if (ok()) return "all delivery invariants hold";
   std::ostringstream os;

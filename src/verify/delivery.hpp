@@ -7,6 +7,7 @@
 //  * conservation -- no wormhole flit was lost or duplicated.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -14,8 +15,38 @@
 
 namespace wavesim::verify {
 
+/// One hop of a dependency-cycle witness: a vertex of the graph the cycle
+/// was found in, decoded back to the physical resource it models.
+struct WitnessHop {
+  std::int32_t vertex = -1;  ///< vertex id in the graph that was checked
+  std::string name;          ///< e.g. "wh n5:p2:vc1" or "est n3:p0:s0"
+  NodeId node = kInvalidNode;
+  PortId port = kInvalidPort;
+  /// Layer-specific minor index: the VC (wormhole layer) or the switch
+  /// index (control / circuit layers).
+  std::int32_t index = -1;
+
+  friend bool operator==(const WitnessHop&, const WitnessHop&) = default;
+};
+
+/// An ordered dependency cycle: for every i, hops[i] -> hops[(i+1) % n] is
+/// an edge of the graph named by `graph`. Produced directly from the
+/// graph's own cycle search (never reconstructed after the fact), so every
+/// consecutive pair is guaranteed to be a real edge.
+struct CycleWitness {
+  std::string graph;  ///< which graph: "escape-cdg", "extended", ...
+  std::vector<WitnessHop> hops;
+
+  /// "a -> b -> c -> a" using the hop names. `max_hops` > 0 elides the
+  /// middle of longer cycles ("... (N more) ->") to keep messages bounded.
+  std::string describe(std::size_t max_hops = 0) const;
+};
+
 struct CheckResult {
   std::vector<std::string> violations;
+  /// Cycle witnesses backing cycle-shaped violations (same order as the
+  /// violations they accompany; may be empty for non-cycle violations).
+  std::vector<CycleWitness> witnesses;
   bool ok() const noexcept { return violations.empty(); }
   std::string summary() const;
 };

@@ -7,6 +7,23 @@
 
 namespace wavesim::verify {
 
+CycleWitness escape_cycle_witness(const route::ChannelDependencyGraph& graph,
+                                  const std::vector<std::int32_t>& cycle) {
+  CycleWitness witness;
+  witness.graph = "escape-cdg";
+  witness.hops.reserve(cycle.size());
+  for (const std::int32_t vertex : cycle) {
+    WitnessHop hop;
+    hop.vertex = vertex;
+    graph.decode(vertex, hop.node, hop.port, hop.index);
+    std::ostringstream name;
+    name << "wh n" << hop.node << ":p" << hop.port << ":vc" << hop.index;
+    hop.name = name.str();
+    witness.hops.push_back(std::move(hop));
+  }
+  return witness;
+}
+
 CheckResult check_escape_acyclic(const sim::SimConfig& config) {
   config.validate();
   CheckResult result;
@@ -22,20 +39,15 @@ CheckResult check_escape_acyclic(const sim::SimConfig& config) {
   const auto cycle = graph.find_cycle();
   if (cycle.empty()) return result;
 
+  CycleWitness witness = escape_cycle_witness(graph, cycle);
   std::ostringstream os;
   os << "escape-channel CDG of " << routing->name() << " ("
      << config.router.wormhole_vcs << " VCs, "
      << (config.topology.torus ? "torus" : "mesh")
-     << ") has a dependency cycle of length " << cycle.size() << ":";
-  const std::size_t shown = cycle.size() < 6 ? cycle.size() : 6;
-  const std::int32_t num_vcs = config.router.wormhole_vcs;
-  for (std::size_t i = 0; i < shown; ++i) {
-    const std::int32_t vc = cycle[i] % num_vcs;
-    const std::int32_t channel = cycle[i] / num_vcs;
-    os << " ch" << channel << ".vc" << vc;
-  }
-  if (shown < cycle.size()) os << " ...";
+     << ") has a dependency cycle of length " << cycle.size() << ": "
+     << witness.describe(/*max_hops=*/12);
   result.violations.push_back(os.str());
+  result.witnesses.push_back(std::move(witness));
   return result;
 }
 

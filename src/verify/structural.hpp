@@ -6,15 +6,28 @@
 // routing-layer regression is caught structurally and instantly.
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
 #include "sim/config.hpp"
 #include "verify/delivery.hpp"
 
+namespace wavesim::route {
+class ChannelDependencyGraph;
+}
+
 namespace wavesim::verify {
+
+/// Decode a CDG cycle (as returned by find_cycle()) into an ordered
+/// witness whose every consecutive hop pair is an edge of `graph`.
+CycleWitness escape_cycle_witness(const route::ChannelDependencyGraph& graph,
+                                  const std::vector<std::int32_t>& cycle);
 
 /// Build the routing algorithm `config` selects and check that its escape
 /// subnetwork's channel-dependency graph is acyclic. On a violation the
-/// result names the algorithm, the cycle length and the first few channels
-/// of the cycle. Throws std::invalid_argument on an invalid config.
+/// result carries the full cycle witness (CheckResult::witnesses) and the
+/// violation message names the algorithm, the cycle length and the cycle
+/// itself. Throws std::invalid_argument on an invalid config.
 CheckResult check_escape_acyclic(const sim::SimConfig& config);
 
 }  // namespace wavesim::verify

@@ -58,7 +58,10 @@ void Fabric::begin_cycle(Cycle now) {
   }
 }
 
-void Fabric::step_nodes(Cycle now, NodeId begin, NodeId end, ShardIo& io) {
+void Fabric::step_nodes(Cycle /*now*/, NodeId begin, NodeId end,
+                        ShardIo& io) {
+  // `now` is part of the engine seam's signature for symmetry with
+  // begin_cycle/commit_cycle; the shard phase itself is time-agnostic.
   // 1. Apply this cycle's staged arrivals to the routers we own. The
   //    staging vectors are shared but read-only during the shard phase.
   for (const Credit& c : staged_credits_) {

@@ -137,25 +137,29 @@ class Fabric {
   Cycle last_activity() const noexcept { return last_activity_; }
 
  private:
-  const topo::KAryNCube& topology_;
-  FabricParams params_;
-  std::vector<std::unique_ptr<Router>> routers_;
-  std::unique_ptr<ExclusiveLinkGate> owned_gate_;
+  // Shard-safety tags (docs/ENGINE.md, enforced by tools/shardlint.py).
+  const topo::KAryNCube& topology_;               // [shard: ro]
+  FabricParams params_;                           // [shard: ro]
+  std::vector<std::unique_ptr<Router>> routers_;  // [shard: owned]
+  std::unique_ptr<ExclusiveLinkGate> owned_gate_;  // [shard: seq]
+  /// Claims are owner-partitioned over source channels. [shard: owned]
   LinkGate* gate_;
-  bool gate_is_owned_;
-  sim::DelayLine<LinkFlit> flit_line_;
-  sim::DelayLine<Credit> credit_line_;
+  bool gate_is_owned_;                  // [shard: ro]
+  sim::DelayLine<LinkFlit> flit_line_;  // [shard: seq]
+  sim::DelayLine<Credit> credit_line_;  // [shard: seq]
   /// This cycle's delay-line arrivals, staged by begin_cycle() and read
-  /// (filtered by node ownership) from step_nodes().
-  std::vector<Credit> staged_credits_;
-  std::vector<LinkFlit> staged_flits_;
-  ShardIo scratch_io_;  ///< reused by the sequential step() path
-  DeliveryHandler delivery_;
-  std::uint64_t flits_delivered_ = 0;
-  std::uint64_t flits_injected_ = 0;
-  std::uint64_t link_flit_hops_ = 0;
-  std::vector<std::uint64_t> link_flits_;  ///< per unidirectional channel
-  Cycle last_activity_ = 0;
+  /// (filtered by node ownership, never written) from step_nodes().
+  std::vector<Credit> staged_credits_;  // [shard: seq]
+  std::vector<LinkFlit> staged_flits_;  // [shard: seq]
+  ShardIo scratch_io_;  ///< for the sequential step() [shard: seq]
+  DeliveryHandler delivery_;           // [shard: seq]
+  std::uint64_t flits_delivered_ = 0;  // [shard: seq]
+  std::uint64_t flits_injected_ = 0;   // [shard: seq]
+  std::uint64_t link_flit_hops_ = 0;   // [shard: seq]
+  /// Per unidirectional channel, owner-partitioned: node n only counts
+  /// channels leaving n. [shard: owned]
+  std::vector<std::uint64_t> link_flits_;
+  Cycle last_activity_ = 0;  // [shard: seq]
 };
 
 }  // namespace wavesim::wh

@@ -1,0 +1,22 @@
+# Run CMD (a ;-separated command list) and assert its exit code equals
+# EXPECTED. Used to pin CLI contracts -- e.g. every bench driver must
+# reject `--shards N` without `--engine par` with exit code 2, and
+# wavecheck must exit 1 on a violated theorem premise -- without linking a
+# test binary per driver.
+#
+#   cmake -DCMD=<exe|arg|arg...> -DEXPECTED=<code> -P check_exit.cmake
+#
+# CMD uses "|" as the argument separator: semicolons would need two layers
+# of escaping to survive the add_test -> ctest -> cmake -P round trip.
+if(NOT DEFINED CMD OR NOT DEFINED EXPECTED)
+  message(FATAL_ERROR "check_exit.cmake needs -DCMD=... and -DEXPECTED=...")
+endif()
+string(REPLACE "|" ";" CMD "${CMD}")
+execute_process(COMMAND ${CMD}
+  RESULT_VARIABLE result
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT result EQUAL "${EXPECTED}")
+  message(FATAL_ERROR "command [${CMD}] exited ${result}, expected ${EXPECTED}\n"
+    "stdout:\n${out}\nstderr:\n${err}")
+endif()

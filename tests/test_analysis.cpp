@@ -1,0 +1,370 @@
+// The static verifier (src/analysis/): extended dependency graph of
+// Theorems 1-4, witness validity, livelock bounds, design-space
+// enumeration and the wavesim.analysis.v1 report.
+//
+// The checker must be non-vacuous: for every blocking rule the theorems
+// forbid, flipping that rule alone must produce a cycle whose witness is
+// edge-by-edge real. The "runtime" direction (a mutated dateline breaks
+// the escape CDG) is tested here with a stub routing that replicates the
+// WAVESIM_MUTATE_ESCAPE mutation, and in CI against the actually mutated
+// build via wavecheck's exit code.
+#include "analysis/analyze.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "analysis/bounds.hpp"
+#include "analysis/extended_graph.hpp"
+#include "core/protocols.hpp"
+#include "routing/cdg.hpp"
+#include "verify/structural.hpp"
+
+namespace wavesim::analysis {
+namespace {
+
+using topo::KAryNCube;
+
+sim::SimConfig clrp_torus() {
+  sim::SimConfig config = sim::SimConfig::default_torus();
+  config.topology.radix = {4, 4};
+  return config;
+}
+
+/// DOR-like minimal routing that ignores the torus dateline: every hop
+/// uses VC class 0, exactly what the WAVESIM_MUTATE_ESCAPE build does to
+/// the real algorithm. Its escape CDG is cyclic on any torus ring.
+class BrokenDatelineRouting final : public route::RoutingAlgorithm {
+ public:
+  explicit BrokenDatelineRouting(const KAryNCube& topology)
+      : topology_(topology) {}
+
+  std::vector<route::RouteCandidate> route(NodeId node, PortId, VcId,
+                                           NodeId dest) const override {
+    const PortId port = topology_.minimal_ports(node, dest).front();
+    return {route::RouteCandidate{port, 0, /*escape=*/true}};
+  }
+  std::int32_t min_vcs() const noexcept override { return 1; }
+  bool minimal() const noexcept override { return true; }
+  const char* name() const noexcept override { return "broken-dateline"; }
+
+ private:
+  const KAryNCube& topology_;
+};
+
+/// Every consecutive hop pair of the witness (including the wrap-around)
+/// must be a real edge; each hop must decode back to its own vertex.
+template <typename Graph>
+void expect_valid_witness(const Graph& graph,
+                          const verify::CycleWitness& witness) {
+  ASSERT_FALSE(witness.hops.empty());
+  for (std::size_t i = 0; i < witness.hops.size(); ++i) {
+    const auto& hop = witness.hops[i];
+    const auto& next = witness.hops[(i + 1) % witness.hops.size()];
+    EXPECT_TRUE(graph.has_edge(hop.vertex, next.vertex))
+        << witness.describe() << " breaks between " << hop.name << " and "
+        << next.name;
+    EXPECT_FALSE(hop.name.empty());
+  }
+}
+
+TEST(ExtendedGraph, VertexDecodeRoundTrips) {
+  KAryNCube torus({4, 4}, true);
+  ExtendedGraph graph(torus, 2, 2);
+  EXPECT_EQ(graph.num_vertices(), torus.num_channels() * (2 + 2 + 2));
+  std::set<std::int32_t> seen;
+  for (const Layer layer :
+       {Layer::kWormhole, Layer::kControl, Layer::kCircuit}) {
+    for (NodeId n = 0; n < torus.num_nodes(); ++n) {
+      for (PortId p = 0; p < torus.num_ports(); ++p) {
+        for (std::int32_t minor = 0; minor < 2; ++minor) {
+          const std::int32_t v = graph.vertex(layer, n, p, minor);
+          EXPECT_TRUE(seen.insert(v).second) << "vertex ids collide";
+          const verify::WitnessHop hop = graph.decode(v);
+          EXPECT_EQ(hop.vertex, v);
+          EXPECT_EQ(hop.node, n);
+          EXPECT_EQ(hop.port, p);
+          EXPECT_EQ(hop.index, minor);
+        }
+      }
+    }
+  }
+  EXPECT_EQ(static_cast<std::int32_t>(seen.size()), graph.num_vertices());
+  EXPECT_THROW(graph.vertex(Layer::kWormhole, 0, 0, 2), std::out_of_range);
+  EXPECT_THROW(graph.decode(graph.num_vertices()), std::out_of_range);
+}
+
+TEST(ExtendedGraph, HopNamesCarryTheLayer) {
+  KAryNCube mesh({2, 2}, false);
+  ExtendedGraph graph(mesh, 1, 1);
+  EXPECT_EQ(graph.decode(graph.vertex(Layer::kWormhole, 1, 2, 0)).name,
+            "wh n1:p2:vc0");
+  EXPECT_EQ(graph.decode(graph.vertex(Layer::kControl, 1, 2, 0)).name,
+            "ctl n1:p2:s0");
+  EXPECT_EQ(graph.decode(graph.vertex(Layer::kCircuit, 1, 2, 0)).name,
+            "est n1:p2:s0");
+}
+
+TEST(ExtendedGraph, NormalClrpRulesAreAcyclic) {
+  const sim::SimConfig config = clrp_torus();
+  KAryNCube torus(config.topology.radix, true);
+  const auto routing = route::make_routing(config.router.routing, torus,
+                                           config.router.wormhole_vcs);
+  const auto graph =
+      build_extended_graph(torus, *routing, config.router.wormhole_vcs,
+                           config.router.wave_switches,
+                           WaitRules::rules_for(config));
+  EXPECT_GT(graph.num_edges(), 0);
+  EXPECT_TRUE(graph.find_cycle().empty());
+}
+
+// Flipping any one forbidden rule must produce a cycle with a valid
+// witness — the non-vacuity proof for the checker.
+TEST(ExtendedGraph, EachForbiddenRuleProducesAWitnessedCycle) {
+  const sim::SimConfig config = clrp_torus();
+  KAryNCube torus(config.topology.radix, true);
+  const auto routing = route::make_routing(config.router.routing, torus,
+                                           config.router.wormhole_vcs);
+  const auto broken_rules = [] {
+    WaitRules probes_wait;
+    probes_wait.probes_wait_on_control = true;
+    WaitRules force_establishing;
+    force_establishing.force_waits_on_established = true;
+    force_establishing.force_waits_on_establishing = true;
+    WaitRules releases;
+    releases.force_waits_on_established = true;
+    releases.releases_block = true;
+    return std::vector<WaitRules>{probes_wait, force_establishing, releases};
+  }();
+  for (const WaitRules& rules : broken_rules) {
+    const auto graph =
+        build_extended_graph(torus, *routing, config.router.wormhole_vcs,
+                             config.router.wave_switches, rules);
+    const auto cycle = graph.find_cycle();
+    ASSERT_FALSE(cycle.empty());
+    expect_valid_witness(graph, graph.witness(cycle));
+  }
+}
+
+TEST(ExtendedGraph, BrokenRuleViolationSurfacesInAnalyzeConfig) {
+  WaitRules rules;
+  rules.force_waits_on_established = true;
+  rules.force_waits_on_establishing = true;
+  const ConfigReport report = analyze_config(clrp_torus(), rules);
+  EXPECT_FALSE(report.ok());
+  bool wait_graph_violated = false;
+  for (const auto& row : report.rows) {
+    if (row.id == "wait-graph-acyclic" &&
+        row.status == CheckStatus::kViolation) {
+      wait_graph_violated = true;
+      EXPECT_FALSE(row.witness.hops.empty());
+      EXPECT_EQ(row.witness.graph, "extended");
+    }
+    if (row.id == "force-waits-only-on-acked") {
+      EXPECT_EQ(row.status, CheckStatus::kViolation);
+    }
+  }
+  EXPECT_TRUE(wait_graph_violated);
+}
+
+TEST(ExtendedGraph, MutatedDatelineYieldsWitnessInBothGraphs) {
+  // The WAVESIM_MUTATE_ESCAPE mutation, replicated by a stub so the
+  // normal build can exercise the witness path end to end.
+  KAryNCube torus({4, 4}, true);
+  BrokenDatelineRouting broken(torus);
+
+  const auto cdg = route::build_cdg(torus, broken, 1, /*escape_only=*/true);
+  const auto cdg_cycle = cdg.find_cycle();
+  ASSERT_FALSE(cdg_cycle.empty());
+  const verify::CycleWitness cdg_witness =
+      verify::escape_cycle_witness(cdg, cdg_cycle);
+  EXPECT_EQ(cdg_witness.graph, "escape-cdg");
+  expect_valid_witness(cdg, cdg_witness);
+
+  const auto extended = build_extended_graph(torus, broken, 1, 1,
+                                             WaitRules{});
+  const auto ext_cycle = extended.find_cycle();
+  ASSERT_FALSE(ext_cycle.empty());
+  expect_valid_witness(extended, extended.witness(ext_cycle));
+}
+
+TEST(StructuralWitness, ValidConfigsCarryNoWitness) {
+  for (const sim::SimConfig& config :
+       {sim::SimConfig::small_mesh(), sim::SimConfig::default_torus(),
+        sim::SimConfig::wormhole_baseline()}) {
+    const verify::CheckResult result = verify::check_escape_acyclic(config);
+    EXPECT_TRUE(result.ok());
+    EXPECT_TRUE(result.witnesses.empty());
+  }
+}
+
+TEST(StructuralWitness, DescribeTruncatesLongCycles) {
+  verify::CycleWitness witness;
+  witness.graph = "escape-cdg";
+  for (int i = 0; i < 6; ++i) {
+    verify::WitnessHop hop;
+    hop.vertex = i;
+    hop.name = "v" + std::to_string(i);
+    witness.hops.push_back(hop);
+  }
+  EXPECT_EQ(witness.describe(), "v0 -> v1 -> v2 -> v3 -> v4 -> v5 -> v0");
+  EXPECT_EQ(witness.describe(2), "v0 -> v1 -> ... (4 more) -> v0");
+}
+
+TEST(Bounds, MatchTheSetupSequencerExactly) {
+  // The attempt cap must equal what the protocol sequencer actually does:
+  // run each variant's sequencer to exhaustion and compare.
+  const KAryNCube torus({4, 4}, true);
+  struct Case {
+    sim::ProtocolKind protocol;
+    sim::ClrpVariant variant;
+    core::SetupSequencer::Mode mode;
+  };
+  for (const Case& c : {Case{sim::ProtocolKind::kClrp, sim::ClrpVariant::kFull,
+                             core::SetupSequencer::Mode::kClrp},
+                        Case{sim::ProtocolKind::kClrp,
+                             sim::ClrpVariant::kForceFirst,
+                             core::SetupSequencer::Mode::kClrp},
+                        Case{sim::ProtocolKind::kClrp,
+                             sim::ClrpVariant::kSingleSwitch,
+                             core::SetupSequencer::Mode::kClrp},
+                        Case{sim::ProtocolKind::kCarp, sim::ClrpVariant::kFull,
+                             core::SetupSequencer::Mode::kCarp}}) {
+    for (const std::int32_t k : {1, 2, 3}) {
+      sim::SimConfig config = sim::SimConfig::default_torus();
+      config.protocol.protocol = c.protocol;
+      config.protocol.clrp_variant = c.variant;
+      config.router.wave_switches = k;
+      const LivelockBounds bounds = livelock_bounds(torus, config);
+      core::SetupSequencer seq(c.mode, c.variant, k, 0);
+      while (seq.advance()) {
+      }
+      EXPECT_EQ(bounds.attempt_cap, seq.attempts_made())
+          << to_string(c.protocol) << "/" << to_string(c.variant)
+          << " k=" << k;
+      EXPECT_TRUE(bounds.attempts_bounded);
+    }
+  }
+}
+
+TEST(Bounds, MirrorTheRuntimeOracleCaps) {
+  // src/check/oracle.cpp derives its per-attempt caps from these bounds;
+  // the invariants it enforces are misroutes <= budget + backtracks and
+  // backtracks <= directed channel count.
+  const KAryNCube torus({8, 8}, true);
+  sim::SimConfig config = sim::SimConfig::default_torus();
+  config.protocol.max_misroutes = 3;
+  const LivelockBounds bounds = livelock_bounds(torus, config);
+  EXPECT_EQ(bounds.misroute_budget, 3);
+  EXPECT_EQ(bounds.backtrack_cap, torus.num_channels());
+  EXPECT_EQ(bounds.probe_step_cap, 2 * torus.num_channels());
+}
+
+TEST(Bounds, PcsOnlyIsHonestlyUnbounded) {
+  const KAryNCube torus({4, 4}, true);
+  sim::SimConfig config = sim::SimConfig::default_torus();
+  config.protocol.pcs_only = true;
+  const LivelockBounds bounds = livelock_bounds(torus, config);
+  EXPECT_FALSE(bounds.attempts_bounded);
+  EXPECT_NE(bounds.describe().find("unbounded"), std::string::npos);
+
+  config.topology.radix = {4, 4};
+  const ConfigReport report = analyze_config(config);
+  EXPECT_TRUE(report.ok());
+  for (const auto& row : report.rows) {
+    if (row.id == "livelock-bounds") {
+      EXPECT_EQ(row.status, CheckStatus::kSkipped);
+      EXPECT_NE(row.detail.find("watchdog"), std::string::npos);
+    }
+  }
+}
+
+TEST(Analyze, CanonicalConfigsPass) {
+  for (const sim::SimConfig& config :
+       {sim::SimConfig::small_mesh(), sim::SimConfig::default_torus(),
+        sim::SimConfig::wormhole_baseline()}) {
+    const ConfigReport report = analyze_config(config);
+    EXPECT_TRUE(report.ok()) << report.id;
+    EXPECT_EQ(report.rows.size(), 7u);
+    EXPECT_FALSE(report.id.empty());
+  }
+}
+
+TEST(Analyze, WormholeBaselineSkipsProtocolRows) {
+  const ConfigReport report =
+      analyze_config(sim::SimConfig::wormhole_baseline());
+  EXPECT_TRUE(report.ok());
+  // Honest skips, not silent oks: the baseline has no probes to check.
+  EXPECT_EQ(report.count(CheckStatus::kSkipped), 4u);
+}
+
+TEST(Analyze, EnumerationIsValidAndLabelsAreUnique) {
+  const auto configs = enumerate_configs();
+  ASSERT_GT(configs.size(), 100u);
+  std::set<std::string> labels;
+  for (const auto& config : configs) {
+    EXPECT_NO_THROW(config.validate());
+    EXPECT_TRUE(labels.insert(config_label(config)).second)
+        << "duplicate label " << config_label(config);
+  }
+  EXPECT_EQ(labels.size(), configs.size());
+}
+
+TEST(Analyze, WholeDesignSpaceIsViolationFree) {
+  for (const auto& config : enumerate_configs()) {
+    const ConfigReport report = analyze_config(config);
+    EXPECT_TRUE(report.ok()) << report.id;
+  }
+}
+
+TEST(Analyze, ReportJsonHasTheV1Schema) {
+  std::vector<ConfigReport> reports;
+  reports.push_back(analyze_config(sim::SimConfig::small_mesh()));
+  WaitRules broken;
+  broken.force_waits_on_established = true;
+  broken.force_waits_on_establishing = true;
+  reports.push_back(analyze_config(clrp_torus(), broken));
+
+  const sim::JsonValue doc = report_to_json(reports);
+  EXPECT_EQ(doc.at("schema").as_string(), "wavesim.analysis.v1");
+  EXPECT_EQ(doc.at("num_configs").as_int(), 2);
+  EXPECT_EQ(doc.at("num_ok").as_int(), 1);
+  EXPECT_GT(doc.at("num_violations").as_int(), 0);
+  const sim::JsonValue& configs = doc.at("configs");
+  ASSERT_EQ(configs.size(), 2u);
+  const sim::JsonValue& good = configs.at(std::size_t{0});
+  EXPECT_TRUE(good.at("ok").as_bool());
+  EXPECT_EQ(good.at("rows").size(), 7u);
+  EXPECT_TRUE(good.at("bounds").at("attempts_bounded").as_bool());
+  const sim::JsonValue& bad = configs.at(std::size_t{1});
+  EXPECT_FALSE(bad.at("ok").as_bool());
+  bool found_witness = false;
+  for (const auto& row : bad.at("rows").elements()) {
+    if (const sim::JsonValue* witness = row.find("witness")) {
+      found_witness = true;
+      EXPECT_EQ(witness->at("graph").as_string(), "extended");
+      EXPECT_GT(witness->at("hops").size(), 0u);
+      const auto& hop = witness->at("hops").at(std::size_t{0});
+      EXPECT_FALSE(hop.at("name").as_string().empty());
+      EXPECT_GE(hop.at("node").as_int(), 0);
+    }
+  }
+  EXPECT_TRUE(found_witness);
+
+  // Round-trip: the document must survive its own serializer/parser.
+  const sim::JsonValue reparsed = sim::JsonValue::parse(doc.dump(2));
+  EXPECT_EQ(reparsed.dump(2), doc.dump(2));
+}
+
+TEST(Analyze, RulesForConfigMatchTheProtocols) {
+  sim::SimConfig config = sim::SimConfig::default_torus();
+  EXPECT_EQ(WaitRules::rules_for(config).force_waits_on_established, true);
+  config.protocol.protocol = sim::ProtocolKind::kCarp;
+  EXPECT_EQ(WaitRules::rules_for(config), WaitRules{});
+  config.protocol.protocol = sim::ProtocolKind::kWormholeOnly;
+  config.router.wave_switches = 0;
+  EXPECT_EQ(WaitRules::rules_for(config), WaitRules{});
+}
+
+}  // namespace
+}  // namespace wavesim::analysis
