@@ -9,10 +9,12 @@
 // count — the ratio is meaningless without it; on a single-core host the
 // parallel engine cannot win). This driver sweeps engines itself, so the
 // common --engine/--shards flags are not applied here.
+#include <algorithm>
 #include <chrono>
 
 #include "bench_util.hpp"
 #include "core/simulation.hpp"
+#include "core/step_engine.hpp"
 #include "engine/engine.hpp"
 #include "engine/pool.hpp"
 #include "harness/sweep.hpp"
@@ -24,10 +26,12 @@ namespace {
 using namespace wavesim;
 
 struct Leg {
-  std::int32_t shards = 0;  ///< 0 = sequential stepper
+  std::int32_t shards = 0;   ///< 0 = sequential stepper
+  Cycle lookahead = 1;       ///< parallel engine barrier lookahead
   double wall_seconds = 0.0;
-  std::string digest;       ///< stats + cycle + event fingerprint
+  std::string digest;        ///< stats + cycle (+ event fingerprint)
   Cycle cycles = 0;
+  core::StepEngine::WindowStats windows;
 };
 
 sim::SimConfig make_config(bool quick) {
@@ -40,40 +44,60 @@ sim::SimConfig make_config(bool quick) {
   return config;
 }
 
-Leg run_leg(const sim::SimConfig& config, bool quick, std::int32_t shards) {
+sim::SimConfig make_wormhole_config(bool quick) {
+  sim::SimConfig config = make_config(quick);
+  config.protocol.protocol = sim::ProtocolKind::kWormholeOnly;
+  config.router.wave_switches = 0;
+  return config;
+}
+
+// The CLRP legs hash the full event stream into the digest; the lookahead
+// legs drop the sink (an event sink counts as instrumentation, which
+// disables the early-send fast path that lookahead exists to exercise)
+// and compare stats + final cycle instead.
+Leg run_leg(const sim::SimConfig& config, bool quick, std::int32_t shards,
+            Cycle lookahead, double offered_load, bool with_sink,
+            std::int32_t flits = 64) {
   core::Simulation sim(config);
+  const core::StepEngine* installed = nullptr;
   if (shards > 0) {
     engine::EngineConfig engine_config;
     engine_config.kind = engine::EngineKind::kPar;
     engine_config.shards = shards;
-    sim.set_engine(
-        engine::make_engine(engine_config, sim.topology().num_nodes()));
+    engine_config.lookahead = lookahead;
+    auto eng = engine::make_engine(engine_config, sim.topology().num_nodes());
+    installed = eng.get();
+    sim.set_engine(std::move(eng));
   }
   std::uint64_t fingerprint = 0x77617665u;
-  sim.set_event_sink([&](const core::Event& ev) {
-    fingerprint = sim::hash_mix(fingerprint ^ ev.at);
-    fingerprint =
-        sim::hash_mix(fingerprint ^ static_cast<std::uint64_t>(ev.kind));
-    fingerprint =
-        sim::hash_mix(fingerprint ^ static_cast<std::uint64_t>(ev.node));
-    fingerprint =
-        sim::hash_mix(fingerprint ^ static_cast<std::uint64_t>(ev.msg));
-    fingerprint =
-        sim::hash_mix(fingerprint ^ static_cast<std::uint64_t>(ev.circuit));
-  });
+  if (with_sink) {
+    sim.set_event_sink([&](const core::Event& ev) {
+      fingerprint = sim::hash_mix(fingerprint ^ ev.at);
+      fingerprint =
+          sim::hash_mix(fingerprint ^ static_cast<std::uint64_t>(ev.kind));
+      fingerprint =
+          sim::hash_mix(fingerprint ^ static_cast<std::uint64_t>(ev.node));
+      fingerprint =
+          sim::hash_mix(fingerprint ^ static_cast<std::uint64_t>(ev.msg));
+      fingerprint =
+          sim::hash_mix(fingerprint ^ static_cast<std::uint64_t>(ev.circuit));
+    });
+  }
   load::UniformTraffic pattern(sim.topology());
-  load::FixedSize sizes(64);
+  load::FixedSize sizes(flits);
   const auto start = std::chrono::steady_clock::now();
   const auto r = load::run_open_loop(
-      sim, pattern, sizes, /*offered_load=*/0.12,
+      sim, pattern, sizes, offered_load,
       /*warmup=*/quick ? 300 : 500, /*measure=*/quick ? 1500 : 4000,
       /*drain_cap=*/300'000, /*seed=*/33);
   const std::chrono::duration<double> elapsed =
       std::chrono::steady_clock::now() - start;
   Leg leg;
   leg.shards = shards;
+  leg.lookahead = lookahead;
   leg.wall_seconds = elapsed.count();
   leg.cycles = sim.now();
+  if (installed != nullptr) leg.windows = installed->window_stats();
   leg.digest = harness::stats_to_json(r.stats).dump() + "@" +
                std::to_string(sim.now()) + "@" + std::to_string(fingerprint);
   return leg;
@@ -99,22 +123,25 @@ int main(int argc, char** argv) {
             bench::fmt_int(hw) + ")");
     const sim::SimConfig config = make_config(quick);
 
-    const Leg seq = run_leg(config, quick, /*shards=*/0);
-    std::vector<std::int32_t> shard_counts{2, 4, 8};
-    bench::Table table(
-        {"engine", "shards", "wall-s", "kcycles/s", "speedup", "identical"});
     auto krate = [](const Leg& leg) {
       return leg.wall_seconds > 0.0
                  ? static_cast<double>(leg.cycles) / leg.wall_seconds / 1000.0
                  : 0.0;
     };
+
+    const Leg seq = run_leg(config, quick, /*shards=*/0, /*lookahead=*/1,
+                            /*offered_load=*/0.12, /*with_sink=*/true);
+    std::vector<std::int32_t> shard_counts{2, 4, 8};
+    bench::Table table(
+        {"engine", "shards", "wall-s", "kcycles/s", "speedup", "identical"});
     table.add_row({"seq", "-", bench::fmt(seq.wall_seconds, 3),
                    bench::fmt(krate(seq), 1), "1.00", "-"});
 
     sim::JsonValue points = sim::JsonValue::array();
     double best_speedup = 0.0;
     for (const std::int32_t shards : shard_counts) {
-      const Leg par = run_leg(config, quick, shards);
+      const Leg par = run_leg(config, quick, shards, /*lookahead=*/1,
+                              /*offered_load=*/0.12, /*with_sink=*/true);
       bench::require(par.digest == seq.digest,
                      "parallel engine (shards=" + std::to_string(shards) +
                          ") diverged from the sequential stepper");
@@ -127,12 +154,60 @@ int main(int argc, char** argv) {
       points.push_back(sim::JsonValue::object()
                       .set("shards", shards)
                       .set("wall_seconds", par.wall_seconds)
+                      .set("kcycles_per_s", krate(par))
                       .set("speedup", speedup)
                       .set("identical", true));
     }
     cli.report(table, "engine_speedup");
+
+    // Lookahead sweep: wormhole-only, sparse load, short messages, where the static
+    // window analysis can actually prove cross-shard quiet spans. No event
+    // sink here (see run_leg); identity is stats + final cycle vs seq.
+    const sim::SimConfig wh = make_wormhole_config(quick);
+    // Per-node load scaled so the whole-network message rate (and hence
+    // the cross-shard quiet-span distribution) matches across configs.
+    const double wh_load = quick ? 0.01 : 0.0025;
+    const std::int32_t wh_flits = 16;
+    const Leg wh_seq = run_leg(wh, quick, /*shards=*/0, /*lookahead=*/1,
+                               wh_load, /*with_sink=*/false, wh_flits);
+    bench::Table latable({"engine", "shards", "lookahead", "wall-s",
+                          "kcycles/s", "barriers", "cyc/barrier", "identical"});
+    latable.add_row({"seq", "-", "-", bench::fmt(wh_seq.wall_seconds, 3),
+                     bench::fmt(krate(wh_seq), 1), "-", "-", "-"});
+    sim::JsonValue lapoints = sim::JsonValue::array();
+    const std::int32_t la_shards = 4;
+    for (const Cycle lookahead : {Cycle{1}, Cycle{8}, Cycle{32}}) {
+      const Leg par =
+          run_leg(wh, quick, la_shards, lookahead, wh_load, false, wh_flits);
+      bench::require(par.digest == wh_seq.digest,
+                     "lookahead engine (L=" + std::to_string(lookahead) +
+                         ") diverged from the sequential stepper");
+      const std::uint64_t barriers = par.windows.windows;
+      const double cyc_per_barrier =
+          barriers > 0
+              ? static_cast<double>(par.windows.committed_cycles) /
+                    static_cast<double>(barriers)
+              : 0.0;
+      latable.add_row({"par", bench::fmt_int(la_shards),
+                       bench::fmt_int(lookahead),
+                       bench::fmt(par.wall_seconds, 3),
+                       bench::fmt(krate(par), 1), bench::fmt_int(barriers),
+                       bench::fmt(cyc_per_barrier, 2), "yes"});
+      lapoints.push_back(
+          sim::JsonValue::object()
+              .set("shards", la_shards)
+              .set("lookahead", static_cast<std::int64_t>(lookahead))
+              .set("wall_seconds", par.wall_seconds)
+              .set("kcycles_per_s", krate(par))
+              .set("cycles_per_barrier", cyc_per_barrier)
+              .set("identical", true));
+    }
+    cli.report(latable, "engine_lookahead");
+
     cli.note("seq_wall_seconds", sim::JsonValue(seq.wall_seconds));
+    cli.note("seq_kcycles_per_s", sim::JsonValue(krate(seq)));
     cli.note("engine_points", std::move(points));
+    cli.note("lookahead_points", std::move(lapoints));
     cli.note("best_speedup", sim::JsonValue(best_speedup));
     std::printf("\nbest speedup %.2fx on %u host thread(s); all legs "
                 "bit-identical to seq\n",

@@ -52,6 +52,8 @@ struct Options {
   std::string engine = "seq";
   std::int32_t shards = 0;  ///< auto under --engine par unless shards_given
   bool shards_given = false;
+  std::int64_t lookahead = 1;  ///< barrier lookahead for --engine par
+  bool lookahead_given = false;
 };
 
 void usage() {
@@ -88,7 +90,10 @@ void usage() {
       "  --threads N         worker threads for --replicas (0 = all cores)\n"
       "  --engine E          step engine: seq | par (default seq; par is\n"
       "                      bit-identical to seq, only wall time changes)\n"
-      "  --shards N          shard count for --engine par (default: auto)\n");
+      "  --shards N          shard count for --engine par (default: auto)\n"
+      "  --lookahead L       barrier lookahead for --engine par (default 1;\n"
+      "                      commits up to L cycles per synchronization,\n"
+      "                      bit-identical to L=1)\n");
 }
 
 bool parse(int argc, char** argv, Options& opt) {
@@ -134,6 +139,10 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.shards = std::atoi(need(i));
       opt.shards_given = true;
     }
+    else if (arg == "--lookahead") {
+      opt.lookahead = std::strtoll(need(i), nullptr, 10);
+      opt.lookahead_given = true;
+    }
     else {
       std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg.c_str());
       std::exit(2);
@@ -166,6 +175,20 @@ engine::EngineConfig build_engine_config(const Options& opt) {
       std::exit(2);
     }
     cfg.shards = opt.shards;
+  }
+  if (opt.lookahead_given) {
+    if (opt.lookahead < 1) {
+      std::fprintf(stderr, "error: --lookahead must be >= 1 (got %lld)\n",
+                   static_cast<long long>(opt.lookahead));
+      std::exit(2);
+    }
+    if (!cfg.parallel()) {
+      std::fprintf(stderr,
+                   "error: --lookahead only applies to --engine par "
+                   "(the sequential engine has no barriers to amortize)\n");
+      std::exit(2);
+    }
+    cfg.lookahead = static_cast<Cycle>(opt.lookahead);
   }
   return cfg;
 }

@@ -31,11 +31,12 @@ void ControlPlane::mark_faulty(NodeId node, std::int32_t switch_index,
 }
 
 ProbeId ControlPlane::launch_probe(CircuitId circuit, bool force) {
-  const CircuitRecord& rec = circuits_.at(circuit);
+  CircuitRecord& rec = circuits_.at(circuit);
   if (rec.state != CircuitState::kProbing) {
     throw std::logic_error("launch_probe: circuit not in probing state");
   }
   ActiveProbe ap;
+  ap.rec = &rec;
   ap.probe.id = next_probe_++;
   ap.probe.circuit = circuit;
   ap.probe.src = rec.src;
@@ -43,9 +44,26 @@ ProbeId ControlPlane::launch_probe(CircuitId circuit, bool force) {
   ap.probe.force = force;
   ap.probe.switch_index = rec.switch_index;
   ap.node = rec.src;
-  probes_.emplace(ap.probe.id, ap);
+  probes_.push_back(std::move(ap));  // ids are monotone: stays sorted
   ++stats_.probes_launched;
-  return ap.probe.id;
+  return probes_.back().probe.id;
+}
+
+bool ControlPlane::probe_active(ProbeId probe) const {
+  const auto it = std::lower_bound(
+      probes_.begin(), probes_.end(), probe,
+      [](const ActiveProbe& ap, ProbeId id) { return ap.probe.id < id; });
+  return it != probes_.end() && it->probe.id == probe;
+}
+
+void ControlPlane::erase_probe(ProbeId id) {
+  const auto it = std::lower_bound(
+      probes_.begin(), probes_.end(), id,
+      [](const ActiveProbe& ap, ProbeId want) { return ap.probe.id < want; });
+  if (it == probes_.end() || it->probe.id != id) {
+    throw std::logic_error("erase_probe: unknown probe");
+  }
+  probes_.erase(it);
 }
 
 void ControlPlane::start_teardown(CircuitId circuit) {
@@ -70,15 +88,16 @@ void ControlPlane::start_teardown(CircuitId circuit) {
   ++stats_.teardowns_started;
 }
 
-std::vector<pcs::PortView> ControlPlane::build_view(
-    const ActiveProbe& ap) const {
+const std::vector<pcs::PortView>& ControlPlane::build_view(
+    const ActiveProbe& ap) {
   const pcs::SwitchRegisters& regs =
       registers_.at(ap.node, ap.probe.switch_index);
-  std::vector<pcs::PortView> view(topology_.num_ports(),
-                                  pcs::PortView::kUnusable);
+  std::vector<pcs::PortView>& view = view_scratch_;
+  view.assign(topology_.num_ports(), pcs::PortView::kUnusable);
+  const std::uint32_t searched = history_.mask(ap.probe.id, ap.node);
   for (PortId p = 0; p < topology_.num_ports(); ++p) {
     if (!topology_.has_neighbor(ap.node, p)) continue;
-    if (history_.searched(ap.probe.id, ap.node, p)) continue;
+    if ((searched >> p) & 1u) continue;
     switch (regs.status(p)) {
       case pcs::ChannelStatus::kFree:
         view[p] = pcs::PortView::kAvailable;
@@ -122,7 +141,7 @@ void ControlPlane::finish_probe_success(ActiveProbe& ap, Cycle now) {
   }
   flits_.push_back(ack);
   history_.erase(ap.probe.id);
-  probes_.erase(ap.probe.id);
+  erase_probe(ap.probe.id);  // invalidates ap
 }
 
 void ControlPlane::fail_probe(ActiveProbe& ap) {
@@ -130,8 +149,9 @@ void ControlPlane::fail_probe(ActiveProbe& ap) {
   probe_results_.push_back(ProbeResult{ap.probe.id, ap.probe.circuit,
                                        ap.probe.src, /*success=*/false,
                                        ap.probe.switch_index});
-  history_.erase(ap.probe.id);
-  probes_.erase(ap.probe.id);
+  const ProbeId id = ap.probe.id;
+  history_.erase(id);
+  erase_probe(id);  // invalidates ap
 }
 
 void ControlPlane::request_release(ActiveProbe& ap, PortId port, Cycle now) {
@@ -173,14 +193,14 @@ void ControlPlane::step_probe(ActiveProbe& ap, Cycle now) {
   stats_.max_probe_steps = std::max(stats_.max_probe_steps, ap.steps);
 
   pcs::SwitchRegisters& here = registers_.at(ap.node, ap.probe.switch_index);
-  CircuitRecord& rec = circuits_.at(ap.probe.circuit);
+  CircuitRecord& rec = *ap.rec;
 
   if (ap.node == ap.probe.dest) {
     finish_probe_success(ap, now);
     return;
   }
 
-  const auto view = build_view(ap);
+  const auto& view = build_view(ap);
   const auto decision =
       pcs::decide(topology_, ap.node, ap.probe.dest, view, ap.arrival_port,
                   ap.probe.misroutes, params_.max_misroutes, ap.probe.force);
@@ -358,20 +378,20 @@ void ControlPlane::step(Cycle now) {
                               [](const TravelFlit& f) { return f.done; }),
                flits_.end());
 
-  // step_probe may erase the probe from the map; collect ids first.
-  std::vector<ProbeId> ids;
-  ids.reserve(probes_.size());
-  for (const auto& [id, ap] : probes_) ids.push_back(id);
-  for (ProbeId id : ids) {
-    const auto it = probes_.find(id);
-    if (it != probes_.end()) step_probe(it->second, now);
+  // Walk in ascending-id (= creation) order. step_probe only ever erases
+  // the probe it is stepping (shifting later probes down one slot), so
+  // the index advances exactly when no erase happened.
+  for (std::size_t i = 0; i < probes_.size();) {
+    const ProbeId id = probes_[i].probe.id;
+    step_probe(probes_[i], now);
+    if (i < probes_.size() && probes_[i].probe.id == id) ++i;
   }
 }
 
 std::string ControlPlane::debug_dump() const {
   std::ostringstream os;
-  for (const auto& [id, ap] : probes_) {
-    os << "probe " << id << " circuit " << ap.probe.circuit << " "
+  for (const ActiveProbe& ap : probes_) {
+    os << "probe " << ap.probe.id << " circuit " << ap.probe.circuit << " "
        << ap.probe.src << "->" << ap.probe.dest << " sw "
        << ap.probe.switch_index << (ap.probe.force ? " FORCE" : "")
        << " at node " << ap.node << " misroutes " << ap.probe.misroutes

@@ -18,7 +18,6 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <vector>
 
 #include "core/circuit.hpp"
@@ -102,9 +101,7 @@ class ControlPlane {
     return registers_.at(node, sw);
   }
   std::size_t active_probes() const noexcept { return probes_.size(); }
-  bool probe_active(ProbeId probe) const {
-    return probes_.find(probe) != probes_.end();
-  }
+  bool probe_active(ProbeId probe) const;
   std::size_t travelling_flits() const noexcept { return flits_.size(); }
   bool idle() const noexcept { return probes_.empty() && flits_.empty(); }
 
@@ -140,6 +137,10 @@ class ControlPlane {
 
   struct ActiveProbe {
     pcs::Probe probe;
+    /// The probe's circuit record. Safe to cache: CircuitTable entries
+    /// are node-stable and the record outlives the probe (a probing
+    /// circuit is never retired).
+    CircuitRecord* rec = nullptr;
     NodeId node = kInvalidNode;       ///< current location
     PortId arrival_port = kInvalidPort;  ///< input port here (src: invalid)
     std::vector<Hop> stack;           ///< reserved path back to the source
@@ -165,12 +166,13 @@ class ControlPlane {
     bool done = false;
   };
 
-  std::vector<pcs::PortView> build_view(const ActiveProbe& ap) const;
+  const std::vector<pcs::PortView>& build_view(const ActiveProbe& ap);
   void step_probe(ActiveProbe& ap, Cycle now);
   void finish_probe_success(ActiveProbe& ap, Cycle now);
   void fail_probe(ActiveProbe& ap);
   void request_release(ActiveProbe& ap, PortId port, Cycle now);
   void step_flit(TravelFlit& flit, Cycle now);
+  void erase_probe(ProbeId id);
 
   const topo::KAryNCube& topology_;
   CircuitTable& circuits_;
@@ -179,11 +181,18 @@ class ControlPlane {
   const Instrumentation* instr_ = nullptr;
   pcs::RegisterFile registers_;
   pcs::HistoryStore history_;
-  std::map<ProbeId, ActiveProbe> probes_;
+  /// Active probes in ascending id order (= creation order: ids are
+  /// handed out monotonically). Probes are few and only ever erase
+  /// themselves while being stepped, so a flat sorted vector beats a
+  /// node-based map on every per-cycle access pattern.
+  std::vector<ActiveProbe> probes_;
   std::vector<TravelFlit> flits_;
   std::vector<ProbeResult> probe_results_;
   std::vector<ReleaseDemand> release_demands_;
   std::vector<TeardownDone> teardowns_done_;
+  /// Hot-path scratch, reused across probes/cycles (never read across
+  /// calls): the MB-m port view.
+  std::vector<pcs::PortView> view_scratch_;
   ProbeId next_probe_ = 0;
   Stats stats_;
 };

@@ -55,10 +55,14 @@ void DataPlane::step(Cycle now) {
     }
     // 1. Acks arriving at the source this cycle: a flit delivered at cycle
     //    c is acknowledged at c + pipe.
-    while (t.acked < t.sent && !t.deliveries.empty() &&
-           t.deliveries.front() + t.pipe <= now) {
-      t.deliveries.erase(t.deliveries.begin());
+    while (t.acked < t.sent && t.deliveries_head < t.deliveries.size() &&
+           t.deliveries[t.deliveries_head] + t.pipe <= now) {
+      ++t.deliveries_head;
       ++t.acked;
+    }
+    if (t.deliveries_head == t.deliveries.size()) {
+      t.deliveries.clear();
+      t.deliveries_head = 0;
     }
     // 2. Inject new flits: bandwidth accumulator, window limit.
     t.send_credit += params_.flits_per_cycle;

@@ -70,8 +70,10 @@ class DataPlane {
     Cycle not_before = 0;     ///< start delay (software / re-allocation)
     Cycle pipe = 1;           ///< one-way latency in base cycles
     Cycle last_delivery = 0;
-    /// (cycle flit arrives at dest) for in-flight flits, FIFO.
+    /// (cycle flit arrives at dest) for in-flight flits; FIFO popped by
+    /// advancing `deliveries_head` (no O(n) front erase on the hot path).
     std::vector<Cycle> deliveries;
+    std::size_t deliveries_head = 0;
   };
 
   CircuitTable& circuits_;

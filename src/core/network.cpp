@@ -1,5 +1,6 @@
 #include "core/network.hpp"
 
+#include <limits>
 #include <stdexcept>
 
 #include "sim/log.hpp"
@@ -79,10 +80,53 @@ MessageId Network::send(NodeId src, NodeId dest, std::int32_t length) {
   if (length < 1) {
     throw std::invalid_argument("Network::send: length < 1");
   }
-  const MessageId id = log_.create(src, dest, length, now_);
-  instrumentation_.emit(now_, EventKind::kSubmitted, src, id);
-  interfaces_[src]->submit(id, now_);
+  return dispatch_send(src, dest, length, now_);
+}
+
+MessageId Network::dispatch_send(NodeId src, NodeId dest, std::int32_t length,
+                                 Cycle at) {
+  const MessageId id = log_.create(src, dest, length, at);
+  instrumentation_.emit(at, EventKind::kSubmitted, src, id);
+  interfaces_[src]->submit(id, at);
   return id;
+}
+
+void Network::schedule_send(NodeId src, NodeId dest, std::int32_t length,
+                            Cycle at) {
+  if (src < 0 || src >= topology_.num_nodes() || dest < 0 ||
+      dest >= topology_.num_nodes()) {
+    throw std::invalid_argument("Network::schedule_send: node out of range");
+  }
+  if (src == dest) {
+    throw std::invalid_argument("Network::schedule_send: src == dest");
+  }
+  if (length < 1) {
+    throw std::invalid_argument("Network::schedule_send: length < 1");
+  }
+  if (at < now_) {
+    throw std::invalid_argument("Network::schedule_send: cycle in the past");
+  }
+  if (sends_head_ < sends_.size() && at < sends_.back().at) {
+    throw std::invalid_argument(
+        "Network::schedule_send: cycles must be non-decreasing");
+  }
+  sends_.push_back(ScheduledSend{at, src, dest, length});
+}
+
+Cycle Network::next_scheduled_send() const noexcept {
+  return sends_head_ < sends_.size() ? sends_[sends_head_].at
+                                     : std::numeric_limits<Cycle>::max();
+}
+
+void Network::process_scheduled_sends(Cycle horizon) {
+  while (sends_head_ < sends_.size() && sends_[sends_head_].at < horizon) {
+    const ScheduledSend& s = sends_[sends_head_++];
+    dispatch_send(s.src, s.dest, s.length, s.at);
+  }
+  if (sends_head_ == sends_.size()) {
+    sends_.clear();
+    sends_head_ = 0;
+  }
 }
 
 bool Network::establish_circuit(NodeId src, NodeId dest,
@@ -107,11 +151,15 @@ void Network::dispatch_events() {
   if (data_ != nullptr) {
     for (const auto& done : data_->take_completed()) {
       interfaces_[done.src]->on_transfer_done(done, now_);
+      ++delivered_msgs_;  // each TransferDone marks exactly one message
     }
   }
 }
 
 void Network::step_begin() {
+  // Due scheduled sends first: exactly where a direct send() call before
+  // the step would have run.
+  process_scheduled_sends(now_ + 1);
   gate_.reset();
   if (control_ != nullptr) control_->step(now_);
   if (data_ != nullptr) data_->step(now_);
@@ -123,11 +171,18 @@ void Network::step_begin() {
 }
 
 void Network::step_shard(NodeId begin, NodeId end, ShardContext& ctx) {
+  step_window_shard(begin, end, ctx, now_);
+}
+
+void Network::step_window_shard(NodeId begin, NodeId end, ShardContext& ctx,
+                                Cycle at) {
   ctx.clear();
   for (NodeId n = begin; n < end; ++n) {
-    interfaces_[n]->pump_streams(now_, ctx.io);
+    // pump_streams on an interface with nothing pending is a no-op; the
+    // fabric's activity byte makes the skip a single byte test.
+    if (fabric_.ni_work(n)) interfaces_[n]->pump_streams(at, ctx.io);
   }
-  fabric_.step_nodes(now_, begin, end, ctx.io);
+  fabric_.step_nodes(at, begin, end, ctx.io);
   // Reassembly by count: packets of a segmented message may interleave
   // across VCs, so tail flags alone cannot signal completion. A message
   // only ever ejects at its destination node, so its record is owned by
@@ -136,18 +191,50 @@ void Network::step_shard(NodeId begin, NodeId end, ShardContext& ctx) {
   for (const wh::EjectedFlit& e : ctx.io.ejected) {
     MessageRecord& rec = log_.at(e.flit.msg);
     if (++rec.flits_received == rec.length) {
-      log_.mark_delivered(e.flit.msg, now_);
+      log_.mark_delivered(e.flit.msg, at);
+      ++ctx.messages_delivered;
       if (instrumented) {
-        ctx.events.emit(now_, EventKind::kDelivered, rec.dest, e.flit.msg);
+        ctx.events.emit(at, EventKind::kDelivered, rec.dest, e.flit.msg);
       }
     }
   }
 }
 
+void Network::window_advance_local(NodeId begin, NodeId end,
+                                   ShardContext& prev) {
+  gate_.reset_nodes(begin, end);
+  fabric_.commit_shard_local(begin, end, prev.io);
+}
+
 void Network::step_commit(std::span<ShardContext* const> contexts) {
   for (ShardContext* ctx : contexts) fabric_.commit_cycle(now_, ctx->io);
   for (ShardContext* ctx : contexts) instrumentation_.flush(ctx->events);
+  for (ShardContext* ctx : contexts) delivered_msgs_ += ctx->messages_delivered;
   ++now_;
+}
+
+void Network::step_commit_window(std::span<ShardContext* const> contexts,
+                                 Cycle rows) {
+  const std::size_t per_row = contexts.size() / static_cast<std::size_t>(rows);
+  std::size_t i = 0;
+  for (Cycle j = 0; j < rows; ++j) {
+    for (std::size_t s = 0; s < per_row; ++s, ++i) {
+      fabric_.commit_cycle(now_ + j, contexts[i]->io);
+    }
+  }
+  // Rows ascend and shards ascend within a row, so the staged events
+  // replay in exactly the order the sequential stepper would have
+  // emitted them.
+  for (ShardContext* ctx : contexts) instrumentation_.flush(ctx->events);
+  for (ShardContext* ctx : contexts) delivered_msgs_ += ctx->messages_delivered;
+  now_ += rows;
+}
+
+bool Network::window_ready() const {
+  if (config_.protocol.pcs_only) return false;  // per-cycle retry pumping
+  if (control_ != nullptr && !control_->idle()) return false;
+  if (data_ != nullptr && data_->active_transfers() != 0) return false;
+  return true;
 }
 
 void Network::step() {
@@ -162,12 +249,11 @@ void Network::run(Cycle cycles) {
 }
 
 std::uint64_t Network::messages_delivered() const {
-  std::uint64_t n = 0;
-  for (const auto& rec : log_.all()) n += rec.done ? 1 : 0;
-  return n;
+  return delivered_msgs_;
 }
 
 bool Network::quiescent() const {
+  if (sends_head_ < sends_.size()) return false;
   if (messages_delivered() != log_.size()) return false;
   if (fabric_.flits_in_flight() != 0) return false;
   if (control_ != nullptr && !control_->idle()) return false;

@@ -29,10 +29,14 @@ namespace wavesim::core {
 struct ShardContext {
   wh::ShardIo io;
   EventBuffer events;
+  /// Messages fully reassembled by this shard this cycle (summed into the
+  /// network's delivered counter at commit).
+  std::uint64_t messages_delivered = 0;
 
   void clear() noexcept {
     io.clear();
     events.clear();
+    messages_delivered = 0;
   }
 };
 
@@ -46,6 +50,13 @@ class Network {
 
   /// Offer a message; protocol handling starts this cycle.
   MessageId send(NodeId src, NodeId dest, std::int32_t length);
+
+  /// Queue a message to be offered at cycle `at` (>= now, non-decreasing
+  /// across calls). Equivalent to calling send() at the top of cycle
+  /// `at`: step_begin() offers every due message, in schedule order,
+  /// before anything else runs. Pre-scheduling lets workload generators
+  /// hand a lookahead engine whole spans of cycles at once.
+  void schedule_send(NodeId src, NodeId dest, std::int32_t length, Cycle at);
 
   /// CARP primitives (valid on any circuit-capable configuration).
   /// `max_message_flits` sizes the circuit's end-point buffers (0 = use
@@ -77,6 +88,55 @@ class Network {
   /// ascending node ranges), replay staged events, advance the clock.
   void step_commit(std::span<ShardContext* const> contexts);
 
+  // -- lookahead windows (engine seam, continued) ---------------------------
+  // When the sequential planes are idle, a lookahead engine may run each
+  // shard for several consecutive cycles between barriers: one
+  // step_window_shard call per (shard, local cycle), with
+  // window_advance_local between local cycles, then one
+  // step_commit_window for the whole grid. The engine is responsible for
+  // choosing a window length that provably admits no cross-shard
+  // interaction before the barrier (see src/engine/engine.cpp and
+  // docs/ENGINE.md).
+
+  /// step_shard with an explicit cycle stamp: steps nodes [begin, end)
+  /// as of cycle `at` (which may be ahead of now() inside a window).
+  void step_window_shard(NodeId begin, NodeId end, ShardContext& ctx,
+                         Cycle at);
+  /// Between two local cycles of a window: reset the gate channels and
+  /// absorb the previous cycle's shard-local transport for nodes
+  /// [begin, end). Owner-partitioned writes only; callable concurrently
+  /// on disjoint ranges.
+  void window_advance_local(NodeId begin, NodeId end, ShardContext& prev);
+  /// Barrier commit of a whole window: `contexts` holds rows * shards
+  /// entries, row-major (all shards of local cycle 0, then 1, ...), each
+  /// row committed in ascending shard order at its own cycle. Advances
+  /// the clock by `rows`.
+  void step_commit_window(std::span<ShardContext* const> contexts,
+                          Cycle rows);
+
+  /// True when nothing sequential can act between cycles: no PCS-only
+  /// retry pumping, control plane idle, data plane idle. A window may
+  /// only span cycles while this holds.
+  bool window_ready() const;
+  /// This configuration can carry circuits (submit may touch the control
+  /// plane, so scheduled sends cannot be offered early).
+  bool circuit_capable() const noexcept { return control_ != nullptr; }
+  /// An event sink is installed (events must be emitted in cycle order,
+  /// which also rules out offering scheduled sends early).
+  bool instrumentation_enabled() const noexcept {
+    return instrumentation_.enabled();
+  }
+  /// Scheduled sends may be offered ahead of their cycle (with their own
+  /// cycle stamp): nothing sequential observes the early offer.
+  bool early_send_ok() const noexcept {
+    return !circuit_capable() && !instrumentation_enabled();
+  }
+  /// Cycle of the earliest pending scheduled send (Cycle max when none).
+  Cycle next_scheduled_send() const noexcept;
+  /// Offer every scheduled send due before `horizon` now, stamped with
+  /// its own cycle. Caller must have checked early_send_ok().
+  void process_scheduled_sends(Cycle horizon);
+
   // -- component access ----------------------------------------------------
   const MessageLog& messages() const noexcept { return log_; }
   wh::Fabric& fabric() noexcept { return fabric_; }
@@ -104,8 +164,18 @@ class Network {
   }
 
  private:
+  /// A send queued by schedule_send, waiting for its cycle.
+  struct ScheduledSend {
+    Cycle at = 0;
+    NodeId src = kInvalidNode;
+    NodeId dest = kInvalidNode;
+    std::int32_t length = 0;
+  };
+
   void dispatch_events();
   void inject_faults();
+  MessageId dispatch_send(NodeId src, NodeId dest, std::int32_t length,
+                          Cycle at);
 
   // Shard-safety tags (docs/ENGINE.md, enforced by tools/shardlint.py):
   // [shard: seq] mutated only by the sequential phases, [shard: owned]
@@ -128,8 +198,16 @@ class Network {
   std::vector<std::unique_ptr<NodeInterface>> interfaces_;  // [shard: owned]
   sim::Rng rng_;  // [shard: seq]
   ShardContext scratch_ctx_;  ///< for the sequential step() [shard: seq]
+  /// Pending scheduled sends, non-decreasing `at`; a head index makes the
+  /// per-cycle drain O(due sends). [shard: seq]
+  std::vector<ScheduledSend> sends_;
+  std::size_t sends_head_ = 0;  // [shard: seq]
   Cycle now_ = 0;                     // [shard: seq]
   std::int64_t faulty_channels_ = 0;  // [shard: seq]
+  /// Running count of delivered messages (wormhole reassembly counts are
+  /// merged from shard contexts at commit; circuit deliveries count at
+  /// event dispatch), so quiescence checks are O(1). [shard: seq]
+  std::uint64_t delivered_msgs_ = 0;
 };
 
 }  // namespace wavesim::core

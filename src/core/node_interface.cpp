@@ -67,6 +67,8 @@ void NodeInterface::send_wormhole(MessageId id, MessageMode mode, Cycle now) {
     wormhole_pending_.push_back(pkt);
     ++stats_.packets_sent;
   }
+  // Flag pending injections so the step sweep pumps this node.
+  fabric_.set_ni_work(node_, true);
 }
 
 void NodeInterface::submit(MessageId id, Cycle now) {
@@ -421,6 +423,9 @@ void NodeInterface::pump_streams(Cycle now, wh::ShardIo& io) {
       }
     }
   }
+  bool live = !wormhole_pending_.empty();
+  for (const Stream& s : streams_) live = live || s.active();
+  fabric_.set_ni_work(node_, live);
 }
 
 }  // namespace wavesim::core

@@ -18,6 +18,7 @@
 
 #include "core/step_engine.hpp"
 #include "sim/json.hpp"
+#include "sim/types.hpp"
 
 namespace wavesim::engine {
 
@@ -36,6 +37,11 @@ struct EngineConfig {
   /// Parallel engine only: worker threads (including the caller). 0 =
   /// auto (min(shards, hardware threads)). Output is independent of this.
   unsigned threads = 0;
+  /// Parallel engine only: barrier lookahead in cycles (>= 1). With L > 1
+  /// the engine commits up to L cycles per synchronization whenever its
+  /// static analysis proves no cross-shard interaction can land inside
+  /// the window. Output is independent of this.
+  Cycle lookahead = 1;
 
   bool parallel() const noexcept { return kind == EngineKind::kPar; }
 
@@ -43,11 +49,12 @@ struct EngineConfig {
   std::int32_t resolve_shards(std::int32_t num_nodes) const;
 
   /// The `engine` object stamped into wavesim.run.v1 / wavesim.bench.v1 /
-  /// wavesim.sweep.v1: {"kind": "seq"} or {"kind": "par", "shards": N}.
-  /// Pass the network's node count to record the resolved shard count;
-  /// without it the requested count is recorded (0 = auto). Thread count
-  /// is deliberately omitted — it never affects output. Byte-identity
-  /// comparisons across engines must strip this one object.
+  /// wavesim.sweep.v1: {"kind": "seq"} or {"kind": "par", "shards": N}
+  /// (plus "lookahead" when > 1). Pass the network's node count to record
+  /// the resolved shard count; without it the requested count is recorded
+  /// (0 = auto). Thread count is deliberately omitted — it never affects
+  /// output. Byte-identity comparisons across engines must strip this one
+  /// object.
   sim::JsonValue to_json(std::int32_t num_nodes = -1) const;
 };
 

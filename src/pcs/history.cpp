@@ -8,7 +8,11 @@ void HistoryStore::mark(ProbeId probe, NodeId node, PortId out_port) {
   if (out_port < 0 || out_port >= 32) {
     throw std::invalid_argument("HistoryStore: port out of mask range");
   }
-  store_[probe][node] |= 1u << out_port;
+  std::vector<std::uint32_t>& row = store_[probe];
+  if (static_cast<std::size_t>(node) >= row.size()) {
+    row.resize(static_cast<std::size_t>(node) + 1, 0);
+  }
+  row[node] |= 1u << out_port;
 }
 
 bool HistoryStore::searched(ProbeId probe, NodeId node, PortId out_port) const {
@@ -18,16 +22,16 @@ bool HistoryStore::searched(ProbeId probe, NodeId node, PortId out_port) const {
 std::uint32_t HistoryStore::mask(ProbeId probe, NodeId node) const {
   const auto probe_it = store_.find(probe);
   if (probe_it == store_.end()) return 0;
-  const auto node_it = probe_it->second.find(node);
-  if (node_it == probe_it->second.end()) return 0;
-  return node_it->second;
+  const std::vector<std::uint32_t>& row = probe_it->second;
+  if (static_cast<std::size_t>(node) >= row.size()) return 0;
+  return row[node];
 }
 
 std::int64_t HistoryStore::entries(ProbeId probe) const {
   const auto probe_it = store_.find(probe);
   if (probe_it == store_.end()) return 0;
   std::int64_t total = 0;
-  for (const auto& [node, mask] : probe_it->second) {
+  for (std::uint32_t mask : probe_it->second) {
     total += __builtin_popcount(mask);
   }
   return total;

@@ -6,11 +6,15 @@
 //
 // The simulator centralizes the registers in one container keyed by probe,
 // which is behaviorally identical and makes cleanup on probe completion
-// trivial.
+// trivial. Each probe's registers are a dense per-node bitmask row (grown
+// on demand to the highest node the probe has visited), so the per-step
+// queries on the probe's hot path are a single hash lookup plus an
+// indexed load instead of two chained hashtable probes.
 #pragma once
 
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "sim/types.hpp"
 
@@ -35,8 +39,8 @@ class HistoryStore {
   std::size_t probes_tracked() const noexcept { return store_.size(); }
 
  private:
-  // probe -> (node -> searched-port bitmask)
-  std::unordered_map<ProbeId, std::unordered_map<NodeId, std::uint32_t>> store_;
+  // probe -> per-node searched-port bitmasks (index = node id).
+  std::unordered_map<ProbeId, std::vector<std::uint32_t>> store_;
 };
 
 }  // namespace wavesim::pcs

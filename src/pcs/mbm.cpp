@@ -1,26 +1,53 @@
 #include "pcs/mbm.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <stdexcept>
 
 namespace wavesim::pcs {
 
+namespace {
+
+/// Fixed-capacity minimal-port list (ports fit easily: 2 per dimension,
+/// and HistoryStore already caps ports at 32). Keeps decide() free of
+/// per-step heap allocation.
+struct MinimalPorts {
+  std::array<PortId, 32> ports;
+  std::int32_t count = 0;
+
+  bool contains(PortId p) const noexcept {
+    for (std::int32_t i = 0; i < count; ++i) {
+      if (ports[i] == p) return true;
+    }
+    return false;
+  }
+};
+
+MinimalPorts collect_minimal(const topo::KAryNCube& topology, NodeId node,
+                             NodeId dest) {
+  std::array<std::pair<std::int32_t, PortId>, 32> scored;
+  std::int32_t n = 0;
+  for (std::int32_t d = 0; d < topology.num_dims(); ++d) {
+    const std::int32_t off = topology.min_offset(node, dest, d);
+    if (off == 0) continue;
+    scored[n++] = {-std::abs(off),
+                   topo::KAryNCube::port_of(d, off > 0)};
+  }
+  std::sort(scored.begin(), scored.begin() + n);
+  MinimalPorts out;
+  out.count = n;
+  for (std::int32_t i = 0; i < n; ++i) out.ports[i] = scored[i].second;
+  return out;
+}
+
+}  // namespace
+
 std::vector<PortId> ordered_minimal_ports(const topo::KAryNCube& topology,
                                           NodeId node, NodeId dest) {
-  const auto offsets = topology.min_offsets(node, dest);
-  std::vector<std::pair<std::int32_t, PortId>> scored;
-  for (std::size_t d = 0; d < offsets.size(); ++d) {
-    if (offsets[d] == 0) continue;
-    scored.emplace_back(
-        -std::abs(offsets[d]),
-        topo::KAryNCube::port_of(static_cast<std::int32_t>(d), offsets[d] > 0));
-  }
-  std::sort(scored.begin(), scored.end());
-  std::vector<PortId> ports;
-  ports.reserve(scored.size());
-  for (const auto& [neg_mag, port] : scored) ports.push_back(port);
-  return ports;
+  const MinimalPorts minimal = collect_minimal(topology, node, dest);
+  return std::vector<PortId>(minimal.ports.begin(),
+                             minimal.ports.begin() + minimal.count);
 }
 
 MbmDecision decide(const topo::KAryNCube& topology, NodeId node, NodeId dest,
@@ -32,10 +59,11 @@ MbmDecision decide(const topo::KAryNCube& topology, NodeId node, NodeId dest,
   }
   if (node == dest) return MbmDecision{MbmAction::kDeliver, kInvalidPort, false};
 
-  const auto minimal = ordered_minimal_ports(topology, node, dest);
+  const MinimalPorts minimal = collect_minimal(topology, node, dest);
 
   // 1. A free minimal channel pair.
-  for (PortId p : minimal) {
+  for (std::int32_t i = 0; i < minimal.count; ++i) {
+    const PortId p = minimal.ports[i];
     if (view[p] == PortView::kAvailable) {
       return MbmDecision{MbmAction::kAdvance, p, false};
     }
@@ -43,7 +71,8 @@ MbmDecision decide(const topo::KAryNCube& topology, NodeId node, NodeId dest,
   // 2. Force mode: wait for a minimal channel held by an *established*
   //    circuit (CLRP will tear it down). Never wait on kBusyPending.
   if (force) {
-    for (PortId p : minimal) {
+    for (std::int32_t i = 0; i < minimal.count; ++i) {
+      const PortId p = minimal.ports[i];
       if (view[p] == PortView::kBusyEstablished) {
         return MbmDecision{MbmAction::kWaitForce, p, false};
       }
@@ -58,9 +87,7 @@ MbmDecision decide(const topo::KAryNCube& topology, NodeId node, NodeId dest,
       // output link back toward the previous node is port q itself.
       if (p == arrival_port) continue;
       // Minimal ports were already rejected above.
-      if (std::find(minimal.begin(), minimal.end(), p) != minimal.end()) {
-        continue;
-      }
+      if (minimal.contains(p)) continue;
       return MbmDecision{MbmAction::kAdvance, p, true};
     }
     // A Force probe may also wait on a non-minimal established circuit if
@@ -69,9 +96,7 @@ MbmDecision decide(const topo::KAryNCube& topology, NodeId node, NodeId dest,
       for (PortId p = 0; p < topology.num_ports(); ++p) {
         if (view[p] != PortView::kBusyEstablished) continue;
         if (p == arrival_port) continue;
-        if (std::find(minimal.begin(), minimal.end(), p) != minimal.end()) {
-          continue;
-        }
+        if (minimal.contains(p)) continue;
         // Advancing here after the wait will consume a misroute credit.
         return MbmDecision{MbmAction::kWaitForce, p, true};
       }

@@ -28,22 +28,6 @@ SwitchRegisters::OutChannel& SwitchRegisters::at(PortId out_port) {
   return out_.at(out_port);
 }
 
-ChannelStatus SwitchRegisters::status(PortId out_port) const {
-  return at(out_port).status;
-}
-
-ProbeId SwitchRegisters::reserving_probe(PortId out_port) const {
-  return at(out_port).probe;
-}
-
-CircuitId SwitchRegisters::owning_circuit(PortId out_port) const {
-  return at(out_port).circuit;
-}
-
-bool SwitchRegisters::ack_returned(PortId out_port) const {
-  return at(out_port).ack_returned;
-}
-
 void SwitchRegisters::reserve(PortId out_port, ProbeId probe, PortId in_port) {
   OutChannel& ch = at(out_port);
   if (ch.status != ChannelStatus::kFree) {
@@ -136,15 +120,6 @@ RegisterFile::RegisterFile(const topo::KAryNCube& topology,
       regs_.emplace_back(topology.num_ports());
     }
   }
-}
-
-SwitchRegisters& RegisterFile::at(NodeId node, std::int32_t switch_index) {
-  return regs_.at(static_cast<std::size_t>(node) * num_switches_ + switch_index);
-}
-
-const SwitchRegisters& RegisterFile::at(NodeId node,
-                                        std::int32_t switch_index) const {
-  return regs_.at(static_cast<std::size_t>(node) * num_switches_ + switch_index);
 }
 
 }  // namespace wavesim::pcs

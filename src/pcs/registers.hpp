@@ -37,10 +37,16 @@ class SwitchRegisters {
     return static_cast<std::int32_t>(out_.size());
   }
 
-  ChannelStatus status(PortId out_port) const;
-  ProbeId reserving_probe(PortId out_port) const;
-  CircuitId owning_circuit(PortId out_port) const;
-  bool ack_returned(PortId out_port) const;
+  // Hot-path queries (probe stepping reads these per port per cycle);
+  // inline, with the vector's own bounds check.
+  ChannelStatus status(PortId out_port) const { return out_.at(out_port).status; }
+  ProbeId reserving_probe(PortId out_port) const { return out_.at(out_port).probe; }
+  CircuitId owning_circuit(PortId out_port) const {
+    return out_.at(out_port).circuit;
+  }
+  bool ack_returned(PortId out_port) const {
+    return out_.at(out_port).ack_returned;
+  }
 
   /// Reserve the (control, data) channel pair for a searching probe.
   void reserve(PortId out_port, ProbeId probe, PortId in_port);
@@ -83,8 +89,14 @@ class RegisterFile {
   RegisterFile(const topo::KAryNCube& topology, std::int32_t num_switches);
 
   std::int32_t num_switches() const noexcept { return num_switches_; }
-  SwitchRegisters& at(NodeId node, std::int32_t switch_index);
-  const SwitchRegisters& at(NodeId node, std::int32_t switch_index) const;
+  SwitchRegisters& at(NodeId node, std::int32_t switch_index) {
+    return regs_.at(static_cast<std::size_t>(node) * num_switches_ +
+                    switch_index);
+  }
+  const SwitchRegisters& at(NodeId node, std::int32_t switch_index) const {
+    return regs_.at(static_cast<std::size_t>(node) * num_switches_ +
+                    switch_index);
+  }
 
  private:
   std::int32_t num_switches_;

@@ -1,0 +1,77 @@
+// Growable circular FIFO of timed entries, ordered by due cycle.
+//
+// The fabric keeps one ring per node and per traffic class (credits,
+// flits) instead of a global delay line: a node's arrivals are exactly
+// the due-ordered prefix of its ring, so stepping a node never scans
+// other nodes' traffic. Entries usually arrive already ordered (commits
+// run in ascending cycle order); the lookahead window commit can append
+// a bounded out-of-order tail, which push_ordered repairs with a short
+// backward insertion walk.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace wavesim::sim {
+
+/// T must expose a public `Cycle due` field. Capacity grows in powers of
+/// two and never shrinks (steady state performs no allocation).
+template <typename T>
+class InboxRing {
+ public:
+  bool empty() const noexcept { return count_ == 0; }
+  std::size_t size() const noexcept { return count_; }
+
+  const T& front() const {
+    if (count_ == 0) throw std::logic_error("InboxRing::front on empty ring");
+    return buf_[head_];
+  }
+
+  void pop_front() {
+    if (count_ == 0) throw std::logic_error("InboxRing::pop on empty ring");
+    head_ = (head_ + 1) & mask_;
+    --count_;
+  }
+
+  /// Insert keeping `due` non-decreasing from front to back. Equal dues
+  /// keep insertion order (stable), so the ascending-(cycle, shard)
+  /// commit order is preserved for simultaneous arrivals.
+  void push_ordered(const T& value) {
+    if (count_ == buf_.size()) grow();
+    std::size_t pos = (head_ + count_) & mask_;
+    buf_[pos] = value;
+    ++count_;
+    while (pos != head_) {
+      const std::size_t prev = (pos + mask_) & mask_;  // pos - 1, wrapped
+      if (buf_[prev].due <= buf_[pos].due) break;
+      std::swap(buf_[prev], buf_[pos]);
+      pos = prev;
+    }
+  }
+
+ private:
+  void grow() {
+    const std::size_t cap = buf_.empty() ? 8 : buf_.size() * 2;
+    std::vector<T> next(cap);
+    for (std::size_t i = 0; i < count_; ++i) {
+      next[i] = buf_[(head_ + i) & mask_];
+    }
+    buf_ = std::move(next);
+    head_ = 0;
+    mask_ = cap - 1;
+  }
+
+  // A ring belongs to one node: its owning shard pops (and pushes, for
+  // node-local traffic) during the shard phase; cross-shard pushes happen
+  // only in the commit phase. [shard: owned]
+  std::vector<T> buf_;
+  std::size_t mask_ = 0;  ///< capacity - 1 (power of two) [shard: owned]
+  std::size_t head_ = 0;   // [shard: owned]
+  std::size_t count_ = 0;  // [shard: owned]
+};
+
+}  // namespace wavesim::sim

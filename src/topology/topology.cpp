@@ -21,38 +21,32 @@ KAryNCube::KAryNCube(std::vector<std::int32_t> radix, bool torus)
   }
   num_nodes_ = static_cast<std::int32_t>(n);
   coords_.reserve(num_nodes_);
+  coord_flat_.reserve(static_cast<std::size_t>(num_nodes_) * radix_.size());
   for (NodeId id = 0; id < num_nodes_; ++id) {
     coords_.push_back(delinearize(id, radix_));
+    coord_flat_.insert(coord_flat_.end(), coords_.back().begin(),
+                       coords_.back().end());
   }
-}
-
-NodeId KAryNCube::neighbor(NodeId node, PortId port) const {
-  const std::int32_t d = dim_of(port);
-  if (d < 0 || d >= num_dims()) throw std::out_of_range("neighbor: bad port");
-  Coord c = coord_of(node);
-  const std::int32_t step = is_positive(port) ? 1 : -1;
-  std::int32_t v = c[d] + step;
-  if (v < 0 || v >= radix_[d]) {
-    if (!torus_) return kInvalidNode;
-    v = (v + radix_[d]) % radix_[d];
+  neighbors_.resize(static_cast<std::size_t>(num_channels()), kInvalidNode);
+  for (NodeId id = 0; id < num_nodes_; ++id) {
+    for (PortId port = 0; port < num_ports(); ++port) {
+      const std::int32_t d = dim_of(port);
+      Coord c = coords_[id];
+      std::int32_t v = c[d] + (is_positive(port) ? 1 : -1);
+      if (v < 0 || v >= radix_[d]) {
+        if (!torus_) continue;  // mesh boundary: stays kInvalidNode
+        v = (v + radix_[d]) % radix_[d];
+      }
+      c[d] = v;
+      neighbors_[channel_index(id, port)] = node_of(c);
+    }
   }
-  c[d] = v;
-  return node_of(c);
 }
 
 std::vector<std::int32_t> KAryNCube::min_offsets(NodeId from, NodeId to) const {
-  const Coord& a = coord_of(from);
-  const Coord& b = coord_of(to);
   std::vector<std::int32_t> off(radix_.size(), 0);
   for (std::size_t d = 0; d < radix_.size(); ++d) {
-    std::int32_t delta = b[d] - a[d];
-    if (torus_) {
-      const std::int32_t r = radix_[d];
-      // Normalize into (-r/2, r/2]; ties (|delta| == r/2) go positive.
-      if (delta > r / 2) delta -= r;
-      else if (delta < -(r - 1) / 2) delta += r;
-    }
-    off[d] = delta;
+    off[d] = min_offset(from, to, static_cast<std::int32_t>(d));
   }
   return off;
 }

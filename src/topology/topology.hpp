@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
 #include "sim/types.hpp"
@@ -40,7 +41,13 @@ class KAryNCube {
   NodeId node_of(const Coord& coord) const { return linearize(coord, radix_); }
 
   /// Neighbor through `port`, or kInvalidNode at a mesh boundary.
-  NodeId neighbor(NodeId node, PortId port) const;
+  /// Precomputed per channel, so this is a table load.
+  NodeId neighbor(NodeId node, PortId port) const {
+    if (port < 0 || port >= num_ports()) {
+      throw std::out_of_range("neighbor: bad port");
+    }
+    return neighbors_.at(channel_index(node, port));
+  }
   bool has_neighbor(NodeId node, PortId port) const {
     return neighbor(node, port) != kInvalidNode;
   }
@@ -48,6 +55,20 @@ class KAryNCube {
   /// Signed minimal offset from `from` to `to` along each dimension
   /// (torus picks the shorter way; exact ties go the positive way).
   std::vector<std::int32_t> min_offsets(NodeId from, NodeId to) const;
+  /// One dimension of min_offsets(), allocation-free (flat coordinate
+  /// table, no nested vector hop).
+  std::int32_t min_offset(NodeId from, NodeId to, std::int32_t dim) const {
+    const std::size_t dims = radix_.size();
+    std::int32_t delta = coord_flat_.at(to * dims + dim) -
+                         coord_flat_.at(from * dims + dim);
+    if (torus_) {
+      const std::int32_t r = radix_[dim];
+      // Normalize into (-r/2, r/2]; ties (|delta| == r/2) go positive.
+      if (delta > r / 2) delta -= r;
+      else if (delta < -(r - 1) / 2) delta += r;
+    }
+    return delta;
+  }
 
   /// Minimal hop distance.
   std::int32_t distance(NodeId from, NodeId to) const;
@@ -75,6 +96,8 @@ class KAryNCube {
   bool torus_;
   std::int32_t num_nodes_;
   std::vector<Coord> coords_;  // precomputed coordinate of every node
+  std::vector<std::int32_t> coord_flat_;  // same, node-major flat
+  std::vector<NodeId> neighbors_;  // precomputed, indexed by channel_index
 };
 
 }  // namespace wavesim::topo

@@ -23,6 +23,12 @@ class OpenLoopGenerator {
   /// Offer this cycle's messages, then step the simulation once.
   void tick();
 
+  /// Equivalent to `cycles` tick() calls (identical RNG draw order and
+  /// message sequence), but offers the whole span up front via
+  /// Network::schedule_send and advances the simulation with one run()
+  /// call — the seam that lets a lookahead engine batch barriers.
+  void run_batch(Cycle cycles);
+
   std::uint64_t offered_messages() const noexcept { return offered_; }
   double offered_load() const noexcept { return load_; }
 

@@ -1,5 +1,6 @@
 #include "wormhole/fabric.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace wavesim::wh {
@@ -9,8 +10,9 @@ Fabric::Fabric(const topo::KAryNCube& topology,
                const FabricParams& params, LinkGate* gate)
     : topology_(topology), params_(params), gate_(gate),
       gate_is_owned_(gate == nullptr),
-      flit_line_(params.link_latency),
-      credit_line_(1),
+      credit_in_(topology.num_nodes()),
+      flit_in_(topology.num_nodes()),
+      node_busy_(topology.num_nodes(), 0),
       link_flits_(topology.num_channels(), 0) {
   if (params.link_latency < 1) {
     throw std::invalid_argument("Fabric: link_latency must be >= 1");
@@ -21,8 +23,7 @@ Fabric::Fabric(const topo::KAryNCube& topology,
   }
   routers_.reserve(topology.num_nodes());
   for (NodeId n = 0; n < topology.num_nodes(); ++n) {
-    routers_.push_back(
-        std::make_unique<Router>(topology, routing, n, params.router));
+    routers_.emplace_back(topology, routing, n, params.router);
   }
 }
 
@@ -34,53 +35,55 @@ bool Fabric::can_inject(NodeId node, VcId vc) const {
 void Fabric::inject(NodeId node, VcId vc, const Flit& flit) {
   Router& r = router(node);
   r.receive(r.local_port(), vc, flit);
+  node_busy_[node] |= kNodeBusyRouter;
   ++flits_injected_;
+  ++flits_buffered_;
 }
 
 void Fabric::inject(NodeId node, VcId vc, const Flit& flit, ShardIo& io) {
   Router& r = router(node);
   r.receive(r.local_port(), vc, flit);
+  node_busy_[node] |= kNodeBusyRouter;
   ++io.injected;
 }
 
-void Fabric::begin_cycle(Cycle now) {
+void Fabric::begin_cycle(Cycle /*now*/) {
   if (gate_is_owned_) owned_gate_->reset();
-
-  // Arrivals scheduled for this cycle leave the delay lines in push order;
-  // staging keeps that order so each node sees its arrivals in the same
-  // relative sequence a sequential drain would apply them.
-  staged_credits_.clear();
-  staged_flits_.clear();
-  while (credit_line_.ready(now)) staged_credits_.push_back(credit_line_.pop());
-  while (flit_line_.ready(now)) {
-    staged_flits_.push_back(flit_line_.pop());
-    last_activity_ = now;
-  }
 }
 
-void Fabric::step_nodes(Cycle /*now*/, NodeId begin, NodeId end,
-                        ShardIo& io) {
-  // `now` is part of the engine seam's signature for symmetry with
-  // begin_cycle/commit_cycle; the shard phase itself is time-agnostic.
-  // 1. Apply this cycle's staged arrivals to the routers we own. The
-  //    staging vectors are shared but read-only during the shard phase.
-  for (const Credit& c : staged_credits_) {
-    if (c.node >= begin && c.node < end) {
-      routers_[c.node]->credit_return(c.out_port, c.vc);
-    }
-  }
-  for (const LinkFlit& lf : staged_flits_) {
-    if (lf.dest_node >= begin && lf.dest_node < end) {
-      routers_[lf.dest_node]->receive(lf.in_port, lf.vc, lf.flit);
-    }
-  }
-
-  // 2. Switch allocation + traversal; buffer the moves. Gate claims and
-  //    the per-channel counters are owner-partitioned (node n only touches
-  //    channels leaving n), so no two shards write the same location.
+void Fabric::step_nodes(Cycle now, NodeId begin, NodeId end, ShardIo& io) {
   for (NodeId n = begin; n < end; ++n) {
-    Router& r = *routers_[n];
-    for (const SwitchMove& move : r.switch_allocate(*gate_)) {
+    const std::uint8_t busy = node_busy_[n];
+    if (busy == 0) continue;  // state-identical skip: see Router::quiet()
+    Router& r = routers_[n];
+
+    // 1. Apply this cycle's arrivals — credits first, then flits, each in
+    //    ring (= sequential push) order, exactly like a sequential drain
+    //    of the old global delay lines restricted to this node.
+    auto& credits_in = credit_in_[n];
+    while (!credits_in.empty() && credits_in.front().due <= now) {
+      const Credit& c = credits_in.front().credit;
+      r.credit_return(c.out_port, c.vc);
+      credits_in.pop_front();
+    }
+    auto& flits_in = flit_in_[n];
+    while (!flits_in.empty() && flits_in.front().due <= now) {
+      const LinkFlit& lf = flits_in.front().flit;
+      r.receive(lf.in_port, lf.vc, lf.flit);
+      ++io.flit_arrivals;
+      io.activity = true;
+      flits_in.pop_front();
+    }
+
+    // 2. Switch allocation + traversal; buffer the moves. Gate claims and
+    //    the per-channel counters are owner-partitioned (node n only
+    //    touches channels leaving n), so no two shards write the same
+    //    location. Stages 2-4 are router-local, so fusing them into one
+    //    per-node pass is equivalent to the sequential whole-network
+    //    phases.
+    io.moves.clear();
+    r.switch_allocate(*gate_, io.moves);
+    for (const SwitchMove& move : io.moves) {
       io.activity = true;
       // Credit for the slot freed on the input buffer goes to the upstream
       // router (none needed for injection: the NI polls occupancy).
@@ -89,9 +92,9 @@ void Fabric::step_nodes(Cycle /*now*/, NodeId begin, NodeId end,
         if (upstream == kInvalidNode) {
           throw std::logic_error("Fabric: flit arrived over a missing link");
         }
-        io.credits.push_back(
-            Credit{upstream, topo::KAryNCube::opposite(move.in_port),
-                   move.in_vc});
+        io.credits.push_back(TimedCredit{
+            now + 1, Credit{upstream, topo::KAryNCube::opposite(move.in_port),
+                            move.in_vc}});
       }
       if (move.eject) {
         ++io.delivered;
@@ -103,31 +106,74 @@ void Fabric::step_nodes(Cycle /*now*/, NodeId begin, NodeId end,
         }
         ++io.hops;
         ++link_flits_[topology_.channel_index(n, move.out_port)];
-        io.flits.push_back(
+        io.flits.push_back(TimedFlit{
+            now + params_.link_latency,
             LinkFlit{next, topo::KAryNCube::opposite(move.out_port),
-                     move.out_vc, move.flit});
+                     move.out_vc, move.flit}});
       }
     }
-  }
 
-  // 3. VC allocation, then 4. route computation (so a new head needs one
-  //    cycle in each stage before its first switch traversal). Both are
-  //    router-local, so fusing them into the shard sweep is equivalent to
-  //    the sequential whole-network phases.
-  for (NodeId n = begin; n < end; ++n) routers_[n]->vc_allocate();
-  for (NodeId n = begin; n < end; ++n) routers_[n]->route_compute();
+    // 3. VC allocation, then 4. route computation (so a new head needs one
+    //    cycle in each stage before its first switch traversal).
+    r.vc_allocate();
+    r.route_compute();
+
+    // Recompute the activity byte (the NI bit is the interface's own).
+    node_busy_[n] =
+        static_cast<std::uint8_t>((busy & kNodeBusyNi) |
+                                  (r.quiet() ? 0 : kNodeBusyRouter) |
+                                  (credits_in.empty() && flits_in.empty()
+                                       ? 0
+                                       : kNodeBusyInbox));
+  }
 }
 
 void Fabric::commit_cycle(Cycle now, const ShardIo& io) {
-  for (const Credit& c : io.credits) credit_line_.push(now, c);
-  for (const LinkFlit& lf : io.flits) flit_line_.push(now, lf);
+  for (const TimedCredit& tc : io.credits) {
+    credit_in_[tc.credit.node].push_ordered(tc);
+    node_busy_[tc.credit.node] |= kNodeBusyInbox;
+  }
+  for (const TimedFlit& tf : io.flits) {
+    flit_in_[tf.flit.dest_node].push_ordered(tf);
+    node_busy_[tf.flit.dest_node] |= kNodeBusyInbox;
+  }
   if (delivery_) {
     for (const EjectedFlit& e : io.ejected) delivery_(e.node, e.flit);
   }
   flits_delivered_ += io.delivered;
   flits_injected_ += io.injected;
   link_flit_hops_ += io.hops;
+  flits_on_links_ += static_cast<std::int64_t>(io.hops) -
+                     static_cast<std::int64_t>(io.flit_arrivals);
+  flits_buffered_ += static_cast<std::int64_t>(io.injected) +
+                     static_cast<std::int64_t>(io.flit_arrivals) -
+                     static_cast<std::int64_t>(io.delivered) -
+                     static_cast<std::int64_t>(io.hops);
   if (io.activity) last_activity_ = now;
+}
+
+void Fabric::commit_shard_local(NodeId begin, NodeId end, ShardIo& io) {
+  auto own = [&](NodeId n) { return n >= begin && n < end; };
+  std::size_t kept = 0;
+  for (TimedCredit& tc : io.credits) {
+    if (own(tc.credit.node)) {
+      credit_in_[tc.credit.node].push_ordered(tc);
+      node_busy_[tc.credit.node] |= kNodeBusyInbox;
+    } else {
+      io.credits[kept++] = tc;
+    }
+  }
+  io.credits.resize(kept);
+  kept = 0;
+  for (TimedFlit& tf : io.flits) {
+    if (own(tf.flit.dest_node)) {
+      flit_in_[tf.flit.dest_node].push_ordered(tf);
+      node_busy_[tf.flit.dest_node] |= kNodeBusyInbox;
+    } else {
+      io.flits[kept++] = tf;
+    }
+  }
+  io.flits.resize(kept);
 }
 
 void Fabric::step(Cycle now) {
@@ -137,17 +183,18 @@ void Fabric::step(Cycle now) {
   commit_cycle(now, scratch_io_);
 }
 
+bool Fabric::any_work(NodeId begin, NodeId end) const {
+  for (NodeId n = begin; n < end; ++n) {
+    if (node_busy_[n] != 0) return true;
+  }
+  return false;
+}
+
 double Fabric::max_link_utilization(Cycle elapsed) const {
   if (elapsed == 0) return 0.0;
   std::uint64_t peak = 0;
   for (auto count : link_flits_) peak = std::max(peak, count);
   return static_cast<double>(peak) / static_cast<double>(elapsed);
-}
-
-std::int64_t Fabric::flits_in_flight() const {
-  std::int64_t total = static_cast<std::int64_t>(flit_line_.size());
-  for (const auto& r : routers_) total += r->buffered_flits();
-  return total;
 }
 
 }  // namespace wavesim::wh

@@ -1,13 +1,22 @@
 // Network-level wormhole plane: owns one Router per node plus the flit and
-// credit delay lines between them. This is both the S0 plane of the wave
+// credit links between them. This is both the S0 plane of the wave
 // router and the standalone wormhole baseline (k = 0).
+//
+// Transport is per-node: each node has a credit inbox ring and a flit
+// inbox ring ordered by due cycle, fed by the sequential commit phase (or,
+// inside a lookahead window, by the owning shard itself). A per-node
+// activity byte records whether the node has any work at all — buffered or
+// arriving flits, non-idle VCs, or pending NI injections — so the step
+// sweep skips idle nodes with a single byte load instead of running their
+// pipeline stages.
 #pragma once
 
 #include <functional>
+#include <limits>
 #include <memory>
 #include <vector>
 
-#include "sim/delay_line.hpp"
+#include "sim/inbox_ring.hpp"
 #include "wormhole/router.hpp"
 
 namespace wavesim::wh {
@@ -41,27 +50,52 @@ struct EjectedFlit {
   Flit flit;
 };
 
+/// Inbox-ring entries: a credit / flit plus the cycle it reaches its
+/// destination node.
+struct TimedCredit {
+  Cycle due;
+  Credit credit;
+};
+struct TimedFlit {
+  Cycle due;
+  LinkFlit flit;
+};
+
+/// Bits of the per-node activity byte (see node_busy()).
+inline constexpr std::uint8_t kNodeBusyRouter = 1;  ///< router not quiet
+inline constexpr std::uint8_t kNodeBusyInbox = 2;   ///< inbox ring nonempty
+inline constexpr std::uint8_t kNodeBusyNi = 4;      ///< NI has injections
+
+/// Sentinel for earliest_flit_due() when the flit inbox is empty.
+inline constexpr Cycle kNoDueFlit = std::numeric_limits<Cycle>::max();
+
 /// Per-shard outbox for one cycle's node-local work. Every cross-node
 /// effect of stepping nodes [begin, end) is buffered here instead of
 /// touching shared state; commit_cycle() drains outboxes in ascending
 /// shard order, which — with shards covering contiguous ascending node
 /// ranges — reproduces the exact push order of a sequential sweep.
 struct ShardIo {
-  std::vector<Credit> credits;
-  std::vector<LinkFlit> flits;
+  std::vector<TimedCredit> credits;
+  std::vector<TimedFlit> flits;
   std::vector<EjectedFlit> ejected;
+  /// Per-node switch-move scratch, reused across nodes (cleared before
+  /// each router's switch allocation; never read across nodes).
+  std::vector<SwitchMove> moves;
   std::uint64_t injected = 0;
   std::uint64_t delivered = 0;
-  std::uint64_t hops = 0;
+  std::uint64_t hops = 0;           ///< flits put on links this cycle
+  std::uint64_t flit_arrivals = 0;  ///< flits taken off links this cycle
   bool activity = false;
 
   void clear() noexcept {
     credits.clear();
     flits.clear();
     ejected.clear();
+    moves.clear();
     injected = 0;
     delivered = 0;
     hops = 0;
+    flit_arrivals = 0;
     activity = false;
   }
 };
@@ -77,8 +111,9 @@ class Fabric {
 
   const topo::KAryNCube& topology() const noexcept { return topology_; }
   std::int32_t num_vcs() const noexcept { return params_.router.num_vcs; }
-  Router& router(NodeId node) { return *routers_.at(node); }
-  const Router& router(NodeId node) const { return *routers_.at(node); }
+  Cycle link_latency() const noexcept { return params_.link_latency; }
+  Router& router(NodeId node) { return routers_.at(node); }
+  const Router& router(NodeId node) const { return routers_.at(node); }
 
   /// Injection-side buffer space on (local port, vc) of `node`.
   bool can_inject(NodeId node, VcId vc) const;
@@ -102,23 +137,53 @@ class Fabric {
   // step(now) is exactly begin_cycle + step_nodes over the full node range
   // + commit_cycle; an engine may instead call step_nodes concurrently on
   // disjoint node ranges. step_nodes touches only state owned by its nodes
-  // (router objects, the per-source-node link counters and gate channels),
-  // so concurrent calls on disjoint ranges are race-free, and buffering all
-  // cross-node transport in ShardIo keeps the outcome independent of shard
-  // and thread count.
+  // (routers, inbox rings, the activity bytes, the per-source-node link
+  // counters and gate channels), so concurrent calls on disjoint ranges
+  // are race-free, and buffering all cross-node transport in ShardIo keeps
+  // the outcome independent of shard and thread count.
 
-  /// Sequential: reset the owned gate and pop this cycle's delay-line
-  /// arrivals into per-cycle staging (no router is touched yet).
+  /// Sequential: reset the owned gate for the new cycle.
   void begin_cycle(Cycle now);
-  /// Parallel-safe on disjoint ranges: apply staged arrivals to the
-  /// routers of [begin, end), then run switch allocation, VC allocation
-  /// and route computation for those routers, buffering every cross-node
-  /// effect into `io`.
+  /// Parallel-safe on disjoint ranges: for every node of [begin, end) with
+  /// work, apply due inbox arrivals, then run switch allocation, VC
+  /// allocation and route computation, buffering every cross-node effect
+  /// into `io`. Nodes whose activity byte is zero are skipped unchanged.
   void step_nodes(Cycle now, NodeId begin, NodeId end, ShardIo& io);
   /// Sequential: absorb one shard's outbox. Must be called once per shard
   /// in ascending shard order; ejected flits are delivered to the handler
   /// here (in node order) when one is installed.
   void commit_cycle(Cycle now, const ShardIo& io);
+
+  // -- lookahead window support --------------------------------------------
+
+  /// Shard-local mid-window commit: move the entries of `io` destined to
+  /// nodes [begin, end) — the calling shard's own range — into their inbox
+  /// rings and drop them from `io`, leaving cross-shard entries for the
+  /// barrier commit. Owner-partitioned writes only.
+  void commit_shard_local(NodeId begin, NodeId end, ShardIo& io);
+
+  /// The per-node activity byte (kNodeBusy* bits); 0 = stepping the node
+  /// would be a no-op.
+  std::uint8_t node_busy(NodeId node) const { return node_busy_[node]; }
+  bool ni_work(NodeId node) const {
+    return (node_busy_[node] & kNodeBusyNi) != 0;
+  }
+  /// Record whether `node`'s interface has pending injections. Called by
+  /// the owning shard (or sequential phases) only.
+  void set_ni_work(NodeId node, bool work) {
+    if (work) {
+      node_busy_[node] |= kNodeBusyNi;
+    } else {
+      node_busy_[node] &= static_cast<std::uint8_t>(~kNodeBusyNi);
+    }
+  }
+  /// Any node of [begin, end) with a nonzero activity byte?
+  bool any_work(NodeId begin, NodeId end) const;
+  /// Due cycle of the earliest queued flit arrival at `node`
+  /// (kNoDueFlit when none) — lookahead horizon input.
+  Cycle earliest_flit_due(NodeId node) const {
+    return flit_in_[node].empty() ? kNoDueFlit : flit_in_[node].front().due;
+  }
 
   // -- statistics / invariants -------------------------------------------
   std::uint64_t flits_delivered() const noexcept { return flits_delivered_; }
@@ -131,26 +196,31 @@ class Fabric {
   /// Highest per-link utilization (flits per cycle) over `elapsed` cycles.
   double max_link_utilization(Cycle elapsed) const;
   /// Flits currently inside routers or on links (conservation checks).
-  std::int64_t flits_in_flight() const;
+  std::int64_t flits_in_flight() const noexcept {
+    return flits_on_links_ + flits_buffered_;
+  }
   /// Cycle of the most recent flit movement anywhere in the plane
   /// (progress watchdog input).
   Cycle last_activity() const noexcept { return last_activity_; }
 
  private:
   // Shard-safety tags (docs/ENGINE.md, enforced by tools/shardlint.py).
-  const topo::KAryNCube& topology_;               // [shard: ro]
-  FabricParams params_;                           // [shard: ro]
-  std::vector<std::unique_ptr<Router>> routers_;  // [shard: owned]
+  const topo::KAryNCube& topology_;  // [shard: ro]
+  FabricParams params_;              // [shard: ro]
+  std::vector<Router> routers_;      // [shard: owned]
   std::unique_ptr<ExclusiveLinkGate> owned_gate_;  // [shard: seq]
   /// Claims are owner-partitioned over source channels. [shard: owned]
   LinkGate* gate_;
-  bool gate_is_owned_;                  // [shard: ro]
-  sim::DelayLine<LinkFlit> flit_line_;  // [shard: seq]
-  sim::DelayLine<Credit> credit_line_;  // [shard: seq]
-  /// This cycle's delay-line arrivals, staged by begin_cycle() and read
-  /// (filtered by node ownership, never written) from step_nodes().
-  std::vector<Credit> staged_credits_;  // [shard: seq]
-  std::vector<LinkFlit> staged_flits_;  // [shard: seq]
+  bool gate_is_owned_;  // [shard: ro]
+  /// Per-node arrival rings. Pushed by the sequential commit (or by the
+  /// owning shard mid-window), popped by the owning shard. [shard: owned]
+  std::vector<sim::InboxRing<TimedCredit>> credit_in_;
+  /// [shard: owned]
+  std::vector<sim::InboxRing<TimedFlit>> flit_in_;
+  /// Activity byte per node; owner-written in the shard phase (router and
+  /// inbox bits recomputed after stepping, NI bit via set_ni_work), and
+  /// commit-written for arrival destinations. [shard: owned]
+  std::vector<std::uint8_t> node_busy_;
   ShardIo scratch_io_;  ///< for the sequential step() [shard: seq]
   DeliveryHandler delivery_;           // [shard: seq]
   std::uint64_t flits_delivered_ = 0;  // [shard: seq]
@@ -159,7 +229,11 @@ class Fabric {
   /// Per unidirectional channel, owner-partitioned: node n only counts
   /// channels leaving n. [shard: owned]
   std::vector<std::uint64_t> link_flits_;
-  Cycle last_activity_ = 0;  // [shard: seq]
+  /// Flits inside inbox rings / router buffers; maintained at commit from
+  /// the outbox counters, so flits_in_flight() is O(1). [shard: seq]
+  std::int64_t flits_on_links_ = 0;
+  std::int64_t flits_buffered_ = 0;  // [shard: seq]
+  Cycle last_activity_ = 0;          // [shard: seq]
 };
 
 }  // namespace wavesim::wh

@@ -4,24 +4,58 @@
 
 namespace wavesim::wh {
 
-InputVc::InputVc(std::int32_t capacity) : capacity_(capacity) {
+InputVc::InputVc(std::int32_t capacity)
+    : own_(static_cast<std::size_t>(capacity > 0 ? capacity : 0)),
+      capacity_(capacity) {
   if (capacity < 1) throw std::invalid_argument("InputVc: capacity < 1");
+  slots_ = own_.data();
+}
+
+InputVc::InputVc(Flit* slots, std::int32_t capacity)
+    : slots_(slots), capacity_(capacity) {
+  if (capacity < 1) throw std::invalid_argument("InputVc: capacity < 1");
+}
+
+InputVc::InputVc(InputVc&& other) noexcept
+    : slots_(other.slots_), own_(std::move(other.own_)),
+      capacity_(other.capacity_), head_(other.head_), size_(other.size_),
+      state_(other.state_), candidates_(std::move(other.candidates_)),
+      out_port_(other.out_port_), out_vc_(other.out_vc_) {
+  if (!own_.empty()) slots_ = own_.data();
+}
+
+InputVc& InputVc::operator=(InputVc&& other) noexcept {
+  slots_ = other.slots_;
+  own_ = std::move(other.own_);
+  capacity_ = other.capacity_;
+  head_ = other.head_;
+  size_ = other.size_;
+  state_ = other.state_;
+  candidates_ = std::move(other.candidates_);
+  out_port_ = other.out_port_;
+  out_vc_ = other.out_vc_;
+  if (!own_.empty()) slots_ = own_.data();
+  return *this;
 }
 
 void InputVc::push(const Flit& flit) {
   if (full()) throw std::logic_error("InputVc overflow: credit protocol bug");
-  buffer_.push_back(flit);
+  std::int32_t tail = head_ + size_;
+  if (tail >= capacity_) tail -= capacity_;
+  slots_[tail] = flit;
+  ++size_;
 }
 
 const Flit& InputVc::front() const {
-  if (buffer_.empty()) throw std::logic_error("InputVc::front on empty VC");
-  return buffer_.front();
+  if (size_ == 0) throw std::logic_error("InputVc::front on empty VC");
+  return slots_[head_];
 }
 
 Flit InputVc::pop() {
-  if (buffer_.empty()) throw std::logic_error("InputVc::pop on empty VC");
-  Flit f = buffer_.front();
-  buffer_.pop_front();
+  if (size_ == 0) throw std::logic_error("InputVc::pop on empty VC");
+  Flit f = slots_[head_];
+  if (++head_ == capacity_) head_ = 0;
+  --size_;
   return f;
 }
 
@@ -30,6 +64,15 @@ void InputVc::start_routing(std::vector<route::RouteCandidate> candidates) {
     throw std::logic_error("InputVc::start_routing while not idle");
   }
   candidates_ = std::move(candidates);
+  state_ = VcState::kRouting;
+}
+
+void InputVc::start_routing(const route::RouteCandidate* candidates,
+                            std::size_t count) {
+  if (state_ != VcState::kIdle) {
+    throw std::logic_error("InputVc::start_routing while not idle");
+  }
+  candidates_.assign(candidates, candidates + count);
   state_ = VcState::kRouting;
 }
 

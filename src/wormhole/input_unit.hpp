@@ -2,7 +2,6 @@
 // "Input queues (virtual channels)").
 #pragma once
 
-#include <deque>
 #include <vector>
 
 #include "routing/routing.hpp"
@@ -16,16 +15,26 @@ namespace wavesim::wh {
 ///   kActive    -- output VC held; flits stream through switch allocation
 enum class VcState : std::uint8_t { kIdle, kRouting, kActive };
 
+/// Fixed-capacity flit ring. The buffer lives either in the router's flat
+/// flit arena (the hot path: every VC of a router shares one contiguous
+/// allocation) or, for standalone use in tests, in a small self-owned
+/// block. Steady-state operation never allocates.
 class InputVc {
  public:
+  /// Self-owned storage (unit tests, standalone use).
   explicit InputVc(std::int32_t capacity);
+  /// Arena view over `capacity` slots at `slots` (owned by the router).
+  InputVc(Flit* slots, std::int32_t capacity);
+
+  InputVc(InputVc&& other) noexcept;
+  InputVc& operator=(InputVc&& other) noexcept;
+  InputVc(const InputVc&) = delete;
+  InputVc& operator=(const InputVc&) = delete;
 
   std::int32_t capacity() const noexcept { return capacity_; }
-  std::int32_t occupancy() const noexcept {
-    return static_cast<std::int32_t>(buffer_.size());
-  }
-  bool full() const noexcept { return occupancy() >= capacity_; }
-  bool empty() const noexcept { return buffer_.empty(); }
+  std::int32_t occupancy() const noexcept { return size_; }
+  bool full() const noexcept { return size_ >= capacity_; }
+  bool empty() const noexcept { return size_ == 0; }
 
   /// Enqueue an arriving flit. Caller must have honored credits; overflow
   /// is a simulator bug and throws.
@@ -36,6 +45,10 @@ class InputVc {
 
   VcState state() const noexcept { return state_; }
   void start_routing(std::vector<route::RouteCandidate> candidates);
+  /// Allocation-free variant: copies `count` candidates into the reused
+  /// internal storage.
+  void start_routing(const route::RouteCandidate* candidates,
+                     std::size_t count);
   const std::vector<route::RouteCandidate>& candidates() const noexcept {
     return candidates_;
   }
@@ -48,8 +61,11 @@ class InputVc {
   VcId out_vc() const noexcept { return out_vc_; }
 
  private:
+  Flit* slots_ = nullptr;
+  std::vector<Flit> own_;  ///< backing store in self-owned mode only
   std::int32_t capacity_;
-  std::deque<Flit> buffer_;
+  std::int32_t head_ = 0;
+  std::int32_t size_ = 0;
   VcState state_ = VcState::kIdle;
   std::vector<route::RouteCandidate> candidates_;
   PortId out_port_ = kInvalidPort;

@@ -9,42 +9,57 @@ Router::Router(const topo::KAryNCube& topology,
                const RouterParams& params)
     : topology_(topology), routing_(routing), node_(node), params_(params),
       network_ports_(topology.num_ports()),
-      va_arbiter_((network_ports_ + 1) * params.num_vcs) {
+      va_arbiter_((topology.num_ports() + 1) * params.num_vcs) {
   if (params.num_vcs < 1 || params.vc_buffer_depth < 1) {
     throw std::invalid_argument("Router: bad params");
   }
-  inputs_.reserve(network_ports_ + 1);
-  outputs_.reserve(network_ports_ + 1);
+  const std::int32_t total_vcs = (network_ports_ + 1) * params_.num_vcs;
+  flit_arena_.resize(static_cast<std::size_t>(total_vcs) *
+                     params_.vc_buffer_depth);
+  inputs_.reserve(total_vcs);
+  outputs_.reserve(total_vcs);
+  for (std::int32_t i = 0; i < total_vcs; ++i) {
+    inputs_.emplace_back(
+        flit_arena_.data() +
+            static_cast<std::size_t>(i) * params_.vc_buffer_depth,
+        params_.vc_buffer_depth);
+    OutputVc out;
+    // Network outputs start with a full window of downstream credits;
+    // the ejection port never blocks (delivery buffers are the NI's
+    // responsibility and are modeled as always-accepting).
+    out.credits = params_.vc_buffer_depth;
+    outputs_.push_back(out);
+  }
+  switch_arbiters_.reserve(network_ports_ + 1);
   for (PortId p = 0; p <= network_ports_; ++p) {
-    inputs_.emplace_back();
-    outputs_.emplace_back();
-    for (VcId v = 0; v < params.num_vcs; ++v) {
-      inputs_.back().emplace_back(params.vc_buffer_depth);
-      OutputVc out;
-      // Network outputs start with a full window of downstream credits;
-      // the ejection port never blocks (delivery buffers are the NI's
-      // responsibility and are modeled as always-accepting).
-      out.credits = params.vc_buffer_depth;
-      outputs_.back().push_back(out);
-    }
-    switch_arbiters_.emplace_back((network_ports_ + 1) * params.num_vcs);
+    switch_arbiters_.emplace_back(total_vcs);
+  }
+}
+
+void Router::check_port_vc(PortId port, VcId vc) const {
+  if (port < 0 || port > network_ports_ || vc < 0 || vc >= params_.num_vcs) {
+    throw std::out_of_range("Router: port/vc out of range");
   }
 }
 
 const InputVc& Router::input_vc(PortId port, VcId vc) const {
-  return inputs_.at(port).at(vc);
+  check_port_vc(port, vc);
+  return inputs_[flat(port, vc)];
 }
 
 InputVc& Router::input_vc_mut(PortId port, VcId vc) {
-  return inputs_.at(port).at(vc);
+  check_port_vc(port, vc);
+  return inputs_[flat(port, vc)];
 }
 
 Router::OutputVc& Router::output_vc(PortId port, VcId vc) {
-  return outputs_.at(port).at(vc);
+  check_port_vc(port, vc);
+  return outputs_[flat(port, vc)];
 }
 
 const Router::OutputVc& Router::output_vc(PortId port, VcId vc) const {
-  return outputs_.at(port).at(vc);
+  check_port_vc(port, vc);
+  return outputs_[flat(port, vc)];
 }
 
 bool Router::output_exists(PortId port) const {
@@ -57,11 +72,14 @@ bool Router::can_accept(PortId port, VcId vc) const {
 }
 
 void Router::receive(PortId port, VcId vc, const Flit& flit) {
-  input_vc_mut(port, vc).push(flit);
+  InputVc& in = input_vc_mut(port, vc);
+  if (in.state() == VcState::kIdle && in.empty()) ++route_pending_;
+  in.push(flit);
+  ++occupancy_;
 }
 
 void Router::credit_return(PortId out_port, VcId out_vc) {
-  auto& out = output_vc(out_port, out_vc);
+  OutputVc& out = output_vc(out_port, out_vc);
   if (out.credits >= params_.vc_buffer_depth) {
     throw std::logic_error("Router: credit overflow");
   }
@@ -76,33 +94,28 @@ bool Router::output_allocated(PortId out_port, VcId out_vc) const {
   return output_vc(out_port, out_vc).allocated;
 }
 
-std::vector<SwitchMove> Router::switch_allocate(LinkGate& gate) {
-  std::vector<SwitchMove> moves;
+void Router::switch_allocate(LinkGate& gate, std::vector<SwitchMove>& moves) {
+  if (active_vcs_ == 0) return;  // no grant possible, arbiters unmoved
   const std::int32_t vcs = params_.num_vcs;
   for (PortId out_port = 0; out_port <= network_ports_; ++out_port) {
     const bool eject = out_port == local_port();
-    bool link_claimed = false;
     switch_arbiters_[out_port].grant_first([&](std::int32_t slot) {
-      const PortId in_port = slot / vcs;
-      const VcId in_vc = slot % vcs;
-      InputVc& in = inputs_[in_port][in_vc];
+      InputVc& in = inputs_[slot];
       if (in.state() != VcState::kActive || in.out_port() != out_port) {
         return false;
       }
       if (in.empty()) return false;
-      OutputVc& out = output_vc(out_port, in.out_vc());
+      OutputVc& out = outputs_[flat(out_port, in.out_vc())];
       if (!eject && out.credits <= 0) return false;
       // One flit per physical link per cycle, shared with control VCs.
-      if (!eject && !gate.try_acquire(node_, out_port)) {
-        link_claimed = true;
-        return false;
-      }
+      if (!eject && !gate.try_acquire(node_, out_port)) return false;
       SwitchMove move;
-      move.in_port = in_port;
-      move.in_vc = in_vc;
+      move.in_port = slot / vcs;
+      move.in_vc = slot % vcs;
       move.out_port = out_port;
       move.out_vc = in.out_vc();
       move.flit = in.pop();
+      --occupancy_;
       move.eject = eject;
       if (!eject) --out.credits;
       if (move.flit.tail) {
@@ -110,90 +123,87 @@ std::vector<SwitchMove> Router::switch_allocate(LinkGate& gate) {
         out.holder_port = kInvalidPort;
         out.holder_vc = kInvalidVc;
         in.release();
+        --active_vcs_;
+        --nonidle_vcs_;
+        if (!in.empty()) ++route_pending_;  // next packet's head buffered
       }
       moves.push_back(move);
       return true;
     });
-    (void)link_claimed;
   }
+}
+
+std::vector<SwitchMove> Router::switch_allocate(LinkGate& gate) {
+  std::vector<SwitchMove> moves;
+  switch_allocate(gate, moves);
   return moves;
 }
 
+bool Router::try_allocate_vc(std::int32_t slot) {
+  InputVc& in = inputs_[slot];
+  if (in.state() != VcState::kRouting) return false;
+  for (const auto& cand : in.candidates()) {
+    if (!output_exists(cand.port)) continue;
+    OutputVc& out = outputs_[flat(cand.port, cand.vc)];
+    if (out.allocated) continue;
+    out.allocated = true;
+    out.holder_port = slot / params_.num_vcs;
+    out.holder_vc = slot % params_.num_vcs;
+    in.activate(cand.port, cand.vc);
+    --routing_vcs_;
+    ++active_vcs_;
+    return true;
+  }
+  return false;
+}
+
 void Router::vc_allocate() {
-  const std::int32_t vcs = params_.num_vcs;
-  va_arbiter_.grant_first([&](std::int32_t slot) {
-    const PortId in_port = slot / vcs;
-    const VcId in_vc = slot % vcs;
-    InputVc& in = inputs_[in_port][in_vc];
-    if (in.state() != VcState::kRouting) return false;
-    for (const auto& cand : in.candidates()) {
-      if (!output_exists(cand.port)) continue;
-      OutputVc& out = output_vc(cand.port, cand.vc);
-      if (out.allocated) continue;
-      out.allocated = true;
-      out.holder_port = in_port;
-      out.holder_vc = in_vc;
-      in.activate(cand.port, cand.vc);
-      return true;  // advance arbiter pointer past the winner
-    }
-    return false;
-  });
+  if (routing_vcs_ == 0) return;  // no grant possible, arbiter unmoved
+  va_arbiter_.grant_first(
+      [&](std::int32_t slot) { return try_allocate_vc(slot); });
   // A single grant per cycle would be too restrictive; sweep the remaining
   // VCs once more in index order so independent outputs can be claimed in
   // the same cycle (the arbiter above only rotates fairness for the first
   // grant, which is the contended one).
-  for (PortId in_port = 0; in_port <= network_ports_; ++in_port) {
-    for (VcId in_vc = 0; in_vc < vcs; ++in_vc) {
-      InputVc& in = inputs_[in_port][in_vc];
-      if (in.state() != VcState::kRouting) continue;
-      for (const auto& cand : in.candidates()) {
-        if (!output_exists(cand.port)) continue;
-        OutputVc& out = output_vc(cand.port, cand.vc);
-        if (out.allocated) continue;
-        out.allocated = true;
-        out.holder_port = in_port;
-        out.holder_vc = in_vc;
-        in.activate(cand.port, cand.vc);
-        break;
-      }
-    }
+  if (routing_vcs_ == 0) return;
+  const std::int32_t total = static_cast<std::int32_t>(inputs_.size());
+  for (std::int32_t slot = 0; slot < total; ++slot) {
+    try_allocate_vc(slot);
   }
 }
 
 void Router::route_compute() {
-  for (PortId in_port = 0; in_port <= network_ports_; ++in_port) {
-    for (VcId in_vc = 0; in_vc < params_.num_vcs; ++in_vc) {
-      InputVc& in = inputs_[in_port][in_vc];
-      if (in.state() != VcState::kIdle || in.empty()) continue;
-      const Flit& head = in.front();
-      if (!head.head) {
-        throw std::logic_error("Router: body flit at front of idle VC");
-      }
-      std::vector<route::RouteCandidate> candidates;
-      if (head.dest == node_) {
-        for (VcId v = 0; v < params_.num_vcs; ++v) {
-          candidates.push_back(
-              route::RouteCandidate{local_port(), v, /*escape=*/true});
-        }
-      } else {
-        candidates = routing_.route(
-            node_, in_port == local_port() ? kInvalidPort : in_port, in_vc,
-            head.dest);
-        if (candidates.empty()) {
-          throw std::logic_error("Router: routing returned no candidates");
-        }
-      }
-      in.start_routing(std::move(candidates));
+  if (route_pending_ == 0) return;
+  const std::int32_t total = static_cast<std::int32_t>(inputs_.size());
+  for (std::int32_t slot = 0; slot < total; ++slot) {
+    InputVc& in = inputs_[slot];
+    if (in.state() != VcState::kIdle || in.empty()) continue;
+    const Flit& head = in.front();
+    if (!head.head) {
+      throw std::logic_error("Router: body flit at front of idle VC");
     }
+    if (head.dest == node_) {
+      cand_scratch_.clear();
+      for (VcId v = 0; v < params_.num_vcs; ++v) {
+        cand_scratch_.push_back(
+            route::RouteCandidate{local_port(), v, /*escape=*/true});
+      }
+      in.start_routing(cand_scratch_.data(), cand_scratch_.size());
+    } else {
+      const PortId in_port = slot / params_.num_vcs;
+      const VcId in_vc = slot % params_.num_vcs;
+      const auto candidates = routing_.route(
+          node_, in_port == local_port() ? kInvalidPort : in_port, in_vc,
+          head.dest);
+      if (candidates.empty()) {
+        throw std::logic_error("Router: routing returned no candidates");
+      }
+      in.start_routing(candidates.data(), candidates.size());
+    }
+    --route_pending_;
+    ++routing_vcs_;
+    ++nonidle_vcs_;
   }
-}
-
-std::int64_t Router::buffered_flits() const {
-  std::int64_t total = 0;
-  for (const auto& port : inputs_) {
-    for (const auto& vc : port) total += vc.occupancy();
-  }
-  return total;
 }
 
 }  // namespace wavesim::wh

@@ -2,10 +2,17 @@
 // computation, VC allocation, and switch allocation with credit-based flow
 // control. The router is topology-agnostic beyond its own port count; the
 // Fabric moves flits and credits between routers.
+//
+// Hot-path layout: input and output VCs live in flat [port * num_vcs + vc]
+// arrays and every input buffer is a fixed ring inside one per-router flit
+// arena, so a cycle of pipeline work touches a handful of contiguous
+// allocations and performs no heap allocation (route candidates for a new
+// head are the one per-packet exception, computed by the routing
+// algorithm). Live-state counters let each pipeline stage exit immediately
+// when it has no work, and quiet() lets the fabric skip the router
+// entirely.
 #pragma once
 
-#include <functional>
-#include <optional>
 #include <vector>
 
 #include "routing/routing.hpp"
@@ -60,13 +67,24 @@ class Router {
   /// switch_allocate grants at most one flit per output port, consuming
   /// network-link bandwidth through `gate` (shared with the PCS control
   /// plane); the moves are applied internally (buffers popped, credits
-  /// decremented, tail releases) and returned for the Fabric to transport.
+  /// decremented, tail releases) and appended to `moves` for the Fabric
+  /// to transport.
+  void switch_allocate(LinkGate& gate, std::vector<SwitchMove>& moves);
+  /// Convenience wrapper returning the moves by value (tests).
   std::vector<SwitchMove> switch_allocate(LinkGate& gate);
   void vc_allocate();
   void route_compute();
 
+  /// No buffered flits and every input VC idle: a cycle of pipeline work
+  /// is a no-op and the fabric may skip this router without changing any
+  /// state (round-robin pointers only move on grants, and an all-idle
+  /// router grants nothing).
+  bool quiet() const noexcept {
+    return occupancy_ == 0 && nonidle_vcs_ == 0;
+  }
+
   /// Sum of buffered flits across all input VCs (watchdog / conservation).
-  std::int64_t buffered_flits() const;
+  std::int64_t buffered_flits() const noexcept { return occupancy_; }
 
  private:
   struct OutputVc {
@@ -76,10 +94,15 @@ class Router {
     std::int32_t credits = 0;  ///< ignored for the ejection port
   };
 
+  std::int32_t flat(PortId port, VcId vc) const noexcept {
+    return port * params_.num_vcs + vc;
+  }
+  void check_port_vc(PortId port, VcId vc) const;
   InputVc& input_vc_mut(PortId port, VcId vc);
   OutputVc& output_vc(PortId port, VcId vc);
   const OutputVc& output_vc(PortId port, VcId vc) const;
   bool output_exists(PortId port) const;
+  bool try_allocate_vc(std::int32_t slot);
 
   const topo::KAryNCube& topology_;
   const route::RoutingAlgorithm& routing_;
@@ -87,12 +110,25 @@ class Router {
   RouterParams params_;
   std::int32_t network_ports_;
 
-  /// [port][vc], port in [0, network_ports_] (last = injection).
-  std::vector<std::vector<InputVc>> inputs_;
-  /// [port][vc], port in [0, network_ports_] (last = ejection).
-  std::vector<std::vector<OutputVc>> outputs_;
+  /// Backing store for every input VC ring: VC (port, vc) owns the slice
+  /// [flat(port, vc) * depth, (flat(port, vc) + 1) * depth).
+  std::vector<Flit> flit_arena_;
+  /// [flat(port, vc)], port in [0, network_ports_] (last = injection).
+  std::vector<InputVc> inputs_;
+  /// [flat(port, vc)], port in [0, network_ports_] (last = ejection).
+  std::vector<OutputVc> outputs_;
   std::vector<RoundRobinArbiter> switch_arbiters_;  ///< one per output port
   RoundRobinArbiter va_arbiter_;                    ///< over all input VCs
+
+  // Live-state counters (maintained by the mutators above; see quiet()).
+  std::int32_t occupancy_ = 0;      ///< buffered flits across all inputs
+  std::int32_t nonidle_vcs_ = 0;    ///< inputs in kRouting or kActive
+  std::int32_t active_vcs_ = 0;     ///< inputs in kActive
+  std::int32_t routing_vcs_ = 0;    ///< inputs in kRouting
+  std::int32_t route_pending_ = 0;  ///< idle inputs with a head buffered
+
+  /// Reused candidate storage for local-delivery heads (no allocation).
+  std::vector<route::RouteCandidate> cand_scratch_;
 };
 
 }  // namespace wavesim::wh

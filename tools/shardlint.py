@@ -9,7 +9,11 @@ the sequential phases. This lint makes that contract machine-checked:
 * Every `_`-suffixed data member of the classes with a shard phase
   (core::Network, wh::Fabric, core::NodeInterface) must carry a
   `[shard: seq|owned|ro]` tag in a comment on its declaration line or the
-  comment line(s) directly above it:
+  comment line(s) directly above it. The same tagging duty applies to the
+  flat arena/SoA containers those classes relocated hot state into
+  (HEADER_TARGETS: sim::InboxRing, wh::ExclusiveLinkGate) — they are
+  header-only, so only tag presence is checked; their call sites are
+  covered through the class closure below:
     - seq:   mutated only in the sequential phases (step_begin /
              step_commit / construction); shard code may read it.
     - owned: per-node or owner-partitioned state a shard may mutate for
@@ -47,6 +51,15 @@ TARGETS = [
     ("src/wormhole/fabric.hpp", "src/wormhole/fabric.cpp", "Fabric"),
     ("src/core/node_interface.hpp", "src/core/node_interface.cpp",
      "NodeInterface"),
+]
+
+# Header-only arena/SoA containers holding state relocated out of the
+# TARGETS classes. Members must carry [shard:] tags (so a field moved into
+# a container cannot silently lose its classification); there is no
+# closure to walk — their methods run in whatever phase the caller is in.
+HEADER_TARGETS = [
+    ("src/sim/inbox_ring.hpp", "InboxRing"),
+    ("src/wormhole/link_gate.hpp", "ExclusiveLinkGate"),
 ]
 
 # Shard-phase entry points: (class, method). The closure starts here.
@@ -117,10 +130,13 @@ def parse_members(header_path, class_name):
     body, first_line = class_body(text, class_name, header_path)
     lines = body.split("\n")
     members, missing = {}, []
-    for idx, line in enumerate(lines):
+    depth = 0  # brace depth inside the class body: declarations sit at 0,
+    for idx, line in enumerate(lines):  # inline method bodies above 0
         code = line.split("//")[0]
+        at_declaration_depth = depth == 0
+        depth += code.count("{") - code.count("}")
         m = MEMBER_RE.match(code)
-        if not m or "(" in code:
+        if not m or "(" in code or not at_declaration_depth:
             continue
         name = m.group(1)
         if not name.endswith("_"):
@@ -234,6 +250,17 @@ def main():
         if not methods_by_class[cls]:
             sys.exit("shardlint: parsed no methods for %s — parser broken?"
                      % cls)
+
+    for header, cls in HEADER_TARGETS:
+        hpath = root / header
+        if not hpath.is_file():
+            sys.exit("shardlint: missing %s" % hpath)
+        members, missing = parse_members(hpath, cls)
+        if not members and not missing:
+            sys.exit("shardlint: parsed no members for %s — parser broken?"
+                     % cls)
+        errors += missing
+        members_by_class[cls] = members
 
     for cls, name in ROOTS:
         if name not in methods_by_class[cls]:

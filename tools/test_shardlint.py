@@ -1,0 +1,203 @@
+#!/usr/bin/env python3
+"""Self-test for tools/shardlint.py.
+
+Builds a miniature repository fixture in a temp directory (the same file
+layout shardlint expects) and checks the lint's three contracts:
+
+1. A clean fixture passes (exit 0).
+2. A field relocated from a linted class into an arena/SoA container
+   without carrying its [shard:] tag along is flagged (exit 1, naming
+   the member) — the regression this self-test exists for.
+3. A shard-phase write to a [shard: seq] member is flagged (exit 1).
+
+Finally the lint must pass against the real repository this file sits in.
+
+Run directly (``python3 tools/test_shardlint.py``) or via ctest
+(``shardlint_self_test``). Exit 0 = all checks pass.
+"""
+
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+TOOLS = Path(__file__).resolve().parent
+REPO = TOOLS.parent
+SHARDLINT = TOOLS / "shardlint.py"
+
+NETWORK_HPP = """
+namespace wavesim::core {
+class Network {
+ public:
+  void step_shard(int begin, int end);
+ private:
+  int counter_ = 0;       // [shard: seq]
+  int per_node_ = 0;      // [shard: owned]
+};
+}  // namespace wavesim::core
+"""
+
+NETWORK_CPP_CLEAN = """
+#include "core/network.hpp"
+namespace wavesim::core {
+void Network::step_shard(int begin, int end) {
+  per_node_ += begin + end;
+}
+}  // namespace wavesim::core
+"""
+
+NETWORK_CPP_SEQ_WRITE = """
+#include "core/network.hpp"
+namespace wavesim::core {
+void Network::step_shard(int begin, int end) {
+  counter_ += begin + end;
+}
+}  // namespace wavesim::core
+"""
+
+FABRIC_HPP = """
+namespace wavesim::wh {
+class Fabric {
+ public:
+  void step_nodes(int at);
+ private:
+  int arrivals_ = 0;  // [shard: owned]
+};
+}  // namespace wavesim::wh
+"""
+
+FABRIC_CPP = """
+#include "wormhole/fabric.hpp"
+namespace wavesim::wh {
+void Fabric::step_nodes(int at) { arrivals_ += at; }
+}  // namespace wavesim::wh
+"""
+
+NODE_IFACE_HPP = """
+namespace wavesim::core {
+class NodeInterface {
+ public:
+  void pump_streams(int at);
+ private:
+  int streams_ = 0;  // [shard: owned]
+};
+}  // namespace wavesim::core
+"""
+
+NODE_IFACE_CPP = """
+#include "core/node_interface.hpp"
+namespace wavesim::core {
+void NodeInterface::pump_streams(int at) { streams_ += at; }
+}  // namespace wavesim::core
+"""
+
+INBOX_RING_TAGGED = """
+namespace wavesim::sim {
+template <typename T>
+class InboxRing {
+ public:
+  bool empty() const noexcept { return count_ == 0; }
+ private:
+  int head_ = 0;   // [shard: owned]
+  int count_ = 0;  // [shard: owned]
+};
+}  // namespace wavesim::sim
+"""
+
+# The relocated-field regression: `count_` moved into the container
+# without its tag.
+INBOX_RING_UNTAGGED = """
+namespace wavesim::sim {
+template <typename T>
+class InboxRing {
+ public:
+  bool empty() const noexcept { return count_ == 0; }
+ private:
+  int head_ = 0;   // [shard: owned]
+  int count_ = 0;
+};
+}  // namespace wavesim::sim
+"""
+
+LINK_GATE_HPP = """
+namespace wavesim::wh {
+class ExclusiveLinkGate {
+ private:
+  int used_ = 0;  // [shard: owned]
+};
+}  // namespace wavesim::wh
+"""
+
+
+def write_fixture(root: Path, *, inbox_ring: str, network_cpp: str) -> None:
+    files = {
+        "src/core/network.hpp": NETWORK_HPP,
+        "src/core/network.cpp": network_cpp,
+        "src/wormhole/fabric.hpp": FABRIC_HPP,
+        "src/wormhole/fabric.cpp": FABRIC_CPP,
+        "src/core/node_interface.hpp": NODE_IFACE_HPP,
+        "src/core/node_interface.cpp": NODE_IFACE_CPP,
+        "src/sim/inbox_ring.hpp": inbox_ring,
+        "src/wormhole/link_gate.hpp": LINK_GATE_HPP,
+    }
+    for rel, text in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+
+
+def run_lint(root: Path) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(SHARDLINT), "--root", str(root)],
+        capture_output=True, text=True)
+
+
+def check(name: str, ok: bool, detail: str) -> bool:
+    print(f"{'ok' if ok else 'FAIL'}: {name}")
+    if not ok:
+        print(detail)
+    return ok
+
+
+def main() -> int:
+    results = []
+    with tempfile.TemporaryDirectory(prefix="shardlint-fixture-") as tmp:
+        root = Path(tmp)
+
+        write_fixture(root, inbox_ring=INBOX_RING_TAGGED,
+                      network_cpp=NETWORK_CPP_CLEAN)
+        r = run_lint(root)
+        results.append(check("clean fixture passes", r.returncode == 0,
+                             r.stdout + r.stderr))
+
+        write_fixture(root, inbox_ring=INBOX_RING_UNTAGGED,
+                      network_cpp=NETWORK_CPP_CLEAN)
+        r = run_lint(root)
+        results.append(check(
+            "relocated untagged container field is flagged",
+            r.returncode == 1 and "InboxRing::count_" in r.stdout,
+            r.stdout + r.stderr))
+        results.append(check(
+            "tagged sibling field is not flagged",
+            "InboxRing::head_" not in r.stdout, r.stdout))
+
+        write_fixture(root, inbox_ring=INBOX_RING_TAGGED,
+                      network_cpp=NETWORK_CPP_SEQ_WRITE)
+        r = run_lint(root)
+        results.append(check(
+            "shard-phase write to a seq member is flagged",
+            r.returncode == 1 and "counter_" in r.stdout,
+            r.stdout + r.stderr))
+
+    r = run_lint(REPO)
+    results.append(check("real repository is clean", r.returncode == 0,
+                         r.stdout + r.stderr))
+
+    if all(results):
+        print(f"test_shardlint: {len(results)} checks passed")
+        return 0
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
