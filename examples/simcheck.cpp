@@ -26,6 +26,7 @@ struct Options {
   unsigned threads = 0;
   std::size_t max_failures = 1;
   bool shrink = true;
+  bool faulty = false;
   std::string artifact_dir;
   std::string json_path;
   std::string replay_path;
@@ -42,6 +43,8 @@ void usage() {
       "  --threads N         worker threads (default 0 = all cores)\n"
       "  --max-failures N    stop after N failing scenarios (default 1)\n"
       "  --no-shrink         keep failures as found, skip delta debugging\n"
+      "  --faulty            force a failure storm onto every scenario\n"
+      "                      (dynamic-fault + reachability oracles)\n"
       "  --artifact-dir DIR  write each failure as a wavesim.repro.v1 file\n"
       "  --json PATH         write the run report as JSON\n"
       "  --one SEED          run the single scenario of SEED (hex ok) and\n"
@@ -76,6 +79,8 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.max_failures = static_cast<std::size_t>(parse_u64(need(i)));
     } else if (arg == "--no-shrink") {
       opt.shrink = false;
+    } else if (arg == "--faulty") {
+      opt.faulty = true;
     } else if (arg == "--artifact-dir") {
       opt.artifact_dir = need(i);
     } else if (arg == "--json") {
@@ -106,7 +111,8 @@ void print_failure(const check::Failure& failure) {
 }
 
 int run_one(const Options& opt) {
-  const check::Scenario scenario = check::Scenario::generate(opt.one_seed);
+  check::Scenario scenario = check::Scenario::generate(opt.one_seed);
+  if (opt.faulty) scenario.ensure_storm();
   std::printf("scenario %s\n  %s\n",
               check::to_hex_u64(opt.one_seed).c_str(),
               scenario.label().c_str());
@@ -155,6 +161,7 @@ int run_explore(const Options& opt) {
   options.threads = opt.threads;
   options.max_failures = opt.max_failures;
   options.shrink_failures = opt.shrink;
+  options.faulty = opt.faulty;
   const check::Report report = check::run_simcheck(options);
 
   for (const check::Failure& failure : report.failures) {

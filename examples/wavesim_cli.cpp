@@ -11,6 +11,7 @@
 
 #include "core/simulation.hpp"
 #include "engine/engine.hpp"
+#include "fault/schedule.hpp"
 #include "harness/sweep.hpp"
 #include "obs/observer.hpp"
 #include "sim/build_info.hpp"
@@ -39,6 +40,7 @@ struct Options {
   Cycle cycles = 10000;
   std::uint64_t seed = 1;
   double faults = 0.0;
+  std::string faults_file;  ///< wavesim.faults.v1 dynamic schedule
   bool pcs_only = false;
   bool virtual_circuits = false;
   std::int32_t max_packet = 0;
@@ -76,7 +78,9 @@ void usage() {
       "  --warmup N          warmup cycles (default 2000)\n"
       "  --cycles N          measured cycles (default 10000)\n"
       "  --seed N            RNG seed (default 1)\n"
-      "  --faults F          circuit-channel fault rate (default 0)\n"
+      "  --faults F|PATH     static circuit-channel fault rate (number), or\n"
+      "                      a wavesim.faults.v1 dynamic fault schedule file\n"
+      "                      (mid-run link failures/recoveries; docs/FAULTS.md)\n"
       "  --pcs-only          no wormhole fallback (paper's k=1/w=0 router)\n"
       "  --virtual           virtual circuits (base clock; ablation)\n"
       "  --max-packet N      wormhole segmentation limit (default off)\n"
@@ -122,7 +126,15 @@ bool parse(int argc, char** argv, Options& opt) {
     else if (arg == "--warmup") opt.warmup = std::strtoull(need(i), nullptr, 10);
     else if (arg == "--cycles") opt.cycles = std::strtoull(need(i), nullptr, 10);
     else if (arg == "--seed") opt.seed = std::strtoull(need(i), nullptr, 10);
-    else if (arg == "--faults") opt.faults = std::atof(need(i));
+    else if (arg == "--faults") {
+      // A plain number is the static fault rate; anything else is a
+      // wavesim.faults.v1 schedule file.
+      const char* value = need(i);
+      char* end = nullptr;
+      const double rate = std::strtod(value, &end);
+      if (end != value && *end == '\0') opt.faults = rate;
+      else opt.faults_file = value;
+    }
     else if (arg == "--pcs-only") opt.pcs_only = true;
     else if (arg == "--virtual") opt.virtual_circuits = true;
     else if (arg == "--max-packet") opt.max_packet = std::atoi(need(i));
@@ -217,6 +229,15 @@ sim::SimConfig build_config(const Options& opt) {
   cfg.router.virtual_circuits = opt.virtual_circuits;
   cfg.protocol.max_packet_flits = opt.max_packet;
   cfg.faults.link_fault_rate = opt.faults;
+  if (!opt.faults_file.empty()) {
+    // Throws std::runtime_error on I/O, parse or schema errors; main's
+    // catch maps that to exit code 2 like any flag misuse.
+    const sim::FaultConfig sched = fault::load_faults_file(opt.faults_file);
+    cfg.faults.events = sched.events;
+    cfg.faults.storm = sched.storm;
+    cfg.faults.churn = sched.churn;
+    cfg.faults.dv = sched.dv;
+  }
   cfg.seed = opt.seed;
 
   if (opt.protocol == "wormhole") cfg.protocol.protocol = sim::ProtocolKind::kWormholeOnly;
@@ -368,6 +389,23 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(s.probe_backtracks),
                   static_cast<unsigned long long>(s.probe_misroutes),
                   static_cast<unsigned long long>(s.release_requests));
+    }
+    if (s.links_failed > 0 || s.links_restored > 0) {
+      std::printf("faults     links failed %llu / restored %llu, circuits "
+                  "killed %llu (cache-invalidated %llu), transfers aborted "
+                  "%llu\n",
+                  static_cast<unsigned long long>(s.links_failed),
+                  static_cast<unsigned long long>(s.links_restored),
+                  static_cast<unsigned long long>(s.circuits_killed),
+                  static_cast<unsigned long long>(s.circuits_invalidated),
+                  static_cast<unsigned long long>(s.transfers_aborted));
+      std::printf("reachability withdrawn %llu, timeouts %llu, updates %llu "
+                  "(triggered %llu), unreachable fallbacks %llu\n",
+                  static_cast<unsigned long long>(s.routes_withdrawn),
+                  static_cast<unsigned long long>(s.route_timeouts),
+                  static_cast<unsigned long long>(s.dv_updates_sent),
+                  static_cast<unsigned long long>(s.dv_triggered_updates),
+                  static_cast<unsigned long long>(s.unreachable_fallbacks));
     }
     if (opt.histogram && s.messages_delivered > 0) {
       const double hi = s.latency_max * 1.01 + 1.0;

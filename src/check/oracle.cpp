@@ -5,9 +5,12 @@
 #include <sstream>
 #include <unordered_map>
 
+#include <algorithm>
+
 #include "analysis/analyze.hpp"
 #include "core/simulation.hpp"
 #include "engine/engine.hpp"
+#include "fault/plane.hpp"
 #include "sim/rng.hpp"
 #include "verify/delivery.hpp"
 #include "verify/fsck.hpp"
@@ -29,6 +32,33 @@ struct AttemptBudget {
   std::uint64_t misroutes = 0;
   std::uint64_t backtracks = 0;
 };
+
+/// Hop distances from `src` over the currently-alive links, by BFS. The
+/// ground truth the distance-vector tables must agree with once settled.
+std::vector<std::int32_t> bfs_over_alive(const topo::KAryNCube& topo,
+                                         const fault::FaultPlane& fp,
+                                         NodeId src) {
+  std::vector<std::int32_t> dist(
+      static_cast<std::size_t>(topo.num_nodes()), -1);
+  std::vector<NodeId> frontier{src};
+  dist[static_cast<std::size_t>(src)] = 0;
+  while (!frontier.empty()) {
+    std::vector<NodeId> next;
+    for (const NodeId node : frontier) {
+      for (PortId port = 0; port < topo.num_ports(); ++port) {
+        if (!topo.has_neighbor(node, port)) continue;
+        if (!fp.link_alive(node, port)) continue;
+        const NodeId n = topo.neighbor(node, port);
+        if (dist[static_cast<std::size_t>(n)] >= 0) continue;
+        dist[static_cast<std::size_t>(n)] =
+            dist[static_cast<std::size_t>(node)] + 1;
+        next.push_back(n);
+      }
+    }
+    frontier = std::move(next);
+  }
+  return dist;
+}
 
 std::unique_ptr<load::SizeDist> make_size_dist(const Scenario& s) {
   if (s.size_dist == "uniform" && s.max_flits > s.min_flits) {
@@ -107,6 +137,8 @@ RunOutcome run_scenario(const Scenario& scenario,
         sim::hash_mix(fingerprint ^ static_cast<std::uint64_t>(ev.msg));
     fingerprint =
         sim::hash_mix(fingerprint ^ static_cast<std::uint64_t>(ev.circuit));
+    fingerprint =
+        sim::hash_mix(fingerprint ^ static_cast<std::uint64_t>(ev.port));
     if (ev.circuit == kInvalidCircuit) return;
     switch (ev.kind) {
       case core::EventKind::kProbeLaunched:
@@ -229,6 +261,36 @@ RunOutcome run_scenario(const Scenario& scenario,
     append(verify::check_delivery(sim.network()));
     append(verify::check_drained(sim.network()));
     append(verify::check_control_state(sim.network()));
+
+    // Reachability oracle: after a clean drain the fault plane is dormant
+    // (quiescent() requires it), so every node's distance-vector table must
+    // have converged to the BFS hop distances over the links that are
+    // actually alive, capped at the RIP infinity. A stale route that
+    // survived a link failure (or a withdrawal that never un-poisoned
+    // after repair) shows up here as an exact metric mismatch.
+    if (const fault::FaultPlane* fp = sim.network().fault_plane();
+        fp != nullptr) {
+      const auto& topo = sim.topology();
+      const std::int32_t inf = fp->infinity();
+      for (NodeId src = 0;
+           src < n && out.violations.size() < options.max_violations; ++src) {
+        const std::vector<std::int32_t> dist = bfs_over_alive(topo, *fp, src);
+        for (NodeId dest = 0; dest < n; ++dest) {
+          if (dest == src) continue;
+          const std::int32_t d = dist[static_cast<std::size_t>(dest)];
+          const std::int32_t expected = d < 0 ? inf : std::min(d, inf);
+          const std::int32_t actual = fp->metric(src, dest);
+          if (actual == expected) continue;
+          if (out.violations.size() >= options.max_violations) break;
+          std::ostringstream os;
+          os << "reachability: node " << src << " route to " << dest
+             << " has metric " << actual << " but BFS over alive links says "
+             << (d < 0 ? "unreachable" : std::to_string(expected))
+             << " (infinity " << inf << ") at cycle " << sim.now();
+          out.violations.push_back(os.str());
+        }
+      }
+    }
   }
 
   // Equivalence oracle: the parallel engine promises bit-identical results,

@@ -26,6 +26,8 @@ constexpr std::uint64_t kMaxInject = 2048;
 constexpr std::uint64_t kMinDrainCap = 50'000;
 constexpr std::uint64_t kMaxDrainCap = 1'000'000;
 constexpr std::int32_t kMaxEngineShards = 8;
+constexpr double kMaxStormFraction = 0.5;
+constexpr std::uint64_t kMaxStormRepair = 20'000;
 
 std::int32_t num_nodes_of(const std::vector<std::int32_t>& radix) {
   std::int32_t n = 1;
@@ -62,6 +64,11 @@ sim::SimConfig Scenario::to_config() const {
   cfg.protocol.replacement = replacement;
   cfg.protocol.max_packet_flits = max_packet_flits;
   cfg.faults.link_fault_rate = link_fault_rate;
+  if (storm_fraction > 0.0) {
+    cfg.faults.storm.at = storm_at;
+    cfg.faults.storm.fraction = storm_fraction;
+    cfg.faults.storm.repair_after = storm_repair;
+  }
   cfg.seed = seed;
   return cfg;
 }
@@ -83,6 +90,14 @@ std::string Scenario::label() const {
   }
   if (max_packet_flits > 0) os << " seg=" << max_packet_flits;
   if (link_fault_rate > 0.0) os << " faults=" << link_fault_rate;
+  if (storm_fraction > 0.0) {
+    os << " storm=" << storm_fraction << "@" << storm_at;
+    if (storm_repair > 0) {
+      os << "/r" << storm_repair;
+    } else {
+      os << "/perm";
+    }
+  }
   os << " " << pattern << "/" << size_dist << "[" << min_flits << ","
      << max_flits << "] load=" << load << " inject=" << inject_cycles;
   if (engine_shards >= 1) os << " engine=par:" << engine_shards;
@@ -153,6 +168,24 @@ void Scenario::repair() {
   inject_cycles = clamped(inject_cycles, kMinInject, kMaxInject);
   drain_cap = clamped(drain_cap, kMinDrainCap, kMaxDrainCap);
   engine_shards = clamped(engine_shards, 0, kMaxEngineShards);
+
+  // Dynamic fault storm: needs the wormhole fallback plus circuit planes
+  // to fail, so wormhole-only and pcs_only configurations cannot carry one
+  // (see SimConfig::validate). An active storm must land inside the
+  // injection window (after it, traffic may drain before the storm ever
+  // fires). Canonical inactive form is all-zero so shrinking towards zero
+  // converges and repair stays idempotent.
+  if (protocol == sim::ProtocolKind::kWormholeOnly || pcs_only) {
+    storm_fraction = 0.0;
+  }
+  storm_fraction = clamped(storm_fraction, 0.0, kMaxStormFraction);
+  if (storm_fraction > 0.0) {
+    storm_at = clamped<std::uint64_t>(storm_at, 1, inject_cycles);
+    storm_repair = clamped<std::uint64_t>(storm_repair, 0, kMaxStormRepair);
+  } else {
+    storm_at = 0;
+    storm_repair = 0;
+  }
 }
 
 Scenario Scenario::generate(std::uint64_t seed) {
@@ -214,9 +247,42 @@ Scenario Scenario::generate(std::uint64_t seed) {
       rng.chance(0.5)
           ? static_cast<std::int32_t>(rng.uniform_int(1, kMaxEngineShards))
           : 0;
+  // A third of the scenarios get a mid-run failure storm; of those, a third
+  // never repair — permanent partitions are what the DV-vs-BFS reachability
+  // oracle (and the stale-route mutation smoke) bite on hardest.
+  if (rng.chance(1.0 / 3.0)) {
+    s.storm_fraction = 0.10 + 0.30 * rng.uniform01();
+    s.storm_at = static_cast<std::uint64_t>(
+        rng.uniform_int(static_cast<std::int64_t>(kMinInject) / 2,
+                        static_cast<std::int64_t>(kMaxInject)));
+    s.storm_repair =
+        rng.chance(1.0 / 3.0)
+            ? 0
+            : static_cast<std::uint64_t>(rng.uniform_int(500, 8'000));
+  }
 
   s.repair();
   return s;
+}
+
+void Scenario::ensure_storm() {
+  if (storm_fraction > 0.0) return;
+  if (protocol == sim::ProtocolKind::kWormholeOnly) {
+    protocol = sim::ProtocolKind::kClrp;
+  }
+  pcs_only = false;
+  // Salt differs from generate()'s so the storm draws are independent of
+  // the scenario draws even though both start from the same seed.
+  sim::Rng rng(sim::hash_mix(seed ^ 0x57a2b1a57ed11c5ULL));
+  storm_fraction = 0.10 + 0.30 * rng.uniform01();
+  storm_at = static_cast<std::uint64_t>(
+      rng.uniform_int(static_cast<std::int64_t>(kMinInject) / 2,
+                      static_cast<std::int64_t>(kMaxInject)));
+  storm_repair =
+      rng.chance(1.0 / 3.0)
+          ? 0
+          : static_cast<std::uint64_t>(rng.uniform_int(500, 8'000));
+  repair();
 }
 
 std::string to_hex_u64(std::uint64_t value) {
@@ -269,6 +335,9 @@ sim::JsonValue Scenario::to_json() const {
       .set("replacement", sim::to_string(replacement))
       .set("max_packet_flits", max_packet_flits)
       .set("link_fault_rate", link_fault_rate)
+      .set("storm_fraction", storm_fraction)
+      .set("storm_at", storm_at)
+      .set("storm_repair", storm_repair)
       .set("pattern", pattern)
       .set("size_dist", size_dist)
       .set("min_flits", min_flits)
@@ -360,6 +429,9 @@ Scenario Scenario::from_json(const sim::JsonValue& value) {
   s.replacement = get_enum<sim::ReplacementPolicy>(value, "replacement");
   s.max_packet_flits = get_int32(value, "max_packet_flits");
   s.link_fault_rate = get_number(value, "link_fault_rate");
+  s.storm_fraction = get_number(value, "storm_fraction");
+  s.storm_at = get_uint64(value, "storm_at");
+  s.storm_repair = get_uint64(value, "storm_repair");
   s.pattern = get_string(value, "pattern");
   s.size_dist = get_string(value, "size_dist");
   s.min_flits = get_int32(value, "min_flits");

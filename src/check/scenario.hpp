@@ -43,6 +43,16 @@ struct Scenario {
   std::int32_t max_packet_flits = 0;  ///< wormhole segmentation (0 = off)
   double link_fault_rate = 0.0;
 
+  // -- dynamic faults ------------------------------------------------------
+  /// Failure storm: at cycle storm_at, storm_fraction of all bidirectional
+  /// circuit links fail at once; each recovers storm_repair cycles later
+  /// (0 = permanent). Inactive when storm_fraction == 0 (then the other
+  /// two fields are canonically zero). Exercises link-down/-up handling,
+  /// circuit invalidation and the distance-vector reachability layer.
+  double storm_fraction = 0.0;
+  std::uint64_t storm_at = 0;
+  std::uint64_t storm_repair = 0;
+
   // -- workload -----------------------------------------------------------
   std::string pattern = "uniform";   ///< load::make_traffic name
   std::string size_dist = "fixed";   ///< fixed | uniform | bimodal
@@ -77,6 +87,13 @@ struct Scenario {
   /// Draw a random scenario from `seed` alone (generate(s) == generate(s)
   /// forever — the seed is the scenario's identity). Already repaired.
   static Scenario generate(std::uint64_t seed);
+
+  /// Force a dynamic failure storm onto the scenario, drawn
+  /// deterministically from the seed. Wormhole-only and pcs-only
+  /// configurations cannot carry one (repair() would zero it), so they
+  /// are first switched to plain CLRP. No-op when a storm is already
+  /// present. Backs simcheck --faulty: every scenario fault-bearing.
+  void ensure_storm();
 
   /// wavesim.repro.v1 "scenario" object (field name -> value).
   sim::JsonValue to_json() const;

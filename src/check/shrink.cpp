@@ -51,6 +51,13 @@ std::vector<Transform> transforms() {
       [](Scenario& s) { s.min_flits = std::max(1, s.min_flits / 2); },
       [](Scenario& s) { s.link_fault_rate = 0.0; },
       [](Scenario& s) { s.max_packet_flits = 0; },
+      // -- dynamic faults ---------------------------------------------------
+      // Drop the storm entirely first; otherwise weaken it (fewer links,
+      // no recovery wave). All strictly reducing toward the all-zero
+      // canonical form repair() maintains.
+      [](Scenario& s) { s.storm_fraction = 0.0; },
+      [](Scenario& s) { s.storm_fraction /= 2; },
+      [](Scenario& s) { s.storm_repair = 0; },
       // -- protocol ---------------------------------------------------------
       [](Scenario& s) { s.pcs_only = false; },
       [](Scenario& s) { s.variant = sim::ClrpVariant::kFull; },

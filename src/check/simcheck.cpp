@@ -74,6 +74,7 @@ Report run_simcheck(const SimcheckOptions& options) {
     Slot& slot = slots[i];
     slot.scenario =
         Scenario::generate(harness::derive_seed(options.base_seed, i, 0));
+    if (options.faulty) slot.scenario.ensure_storm();
     slot.outcome = run_scenario(slot.scenario, options.oracle);
     if (!slot.outcome->ok()) {
       return failures_seen.fetch_add(1) + 1 < options.max_failures;

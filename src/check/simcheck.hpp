@@ -27,6 +27,12 @@ struct SimcheckOptions {
   unsigned threads = 0;           ///< 0 = all hardware threads
   std::size_t max_failures = 1;   ///< stop exploring after this many
   bool shrink_failures = true;
+  /// Force a deterministic failure storm onto every scenario
+  /// (Scenario::ensure_storm), so a whole run exercises the dynamic-fault
+  /// machinery: link-down/-up handling, circuit invalidation, the
+  /// distance-vector reachability oracle, seq/par equivalence under
+  /// faults. The CI fault leg runs with this on.
+  bool faulty = false;
   OracleOptions oracle;
   ShrinkOptions shrink;
 };

@@ -28,6 +28,176 @@ ControlPlane::ControlPlane(const topo::KAryNCube& topology,
 void ControlPlane::mark_faulty(NodeId node, std::int32_t switch_index,
                                PortId port) {
   registers_.at(node, switch_index).mark_faulty(port);
+  if (static_faulty_.empty()) {
+    static_faulty_.assign(
+        static_cast<std::size_t>(topology_.num_nodes()) *
+            static_cast<std::size_t>(params_.num_switches) *
+            static_cast<std::size_t>(topology_.num_ports()),
+        0);
+  }
+  const std::size_t idx =
+      (static_cast<std::size_t>(node) *
+           static_cast<std::size_t>(params_.num_switches) +
+       static_cast<std::size_t>(switch_index)) *
+          static_cast<std::size_t>(topology_.num_ports()) +
+      static_cast<std::size_t>(port);
+  static_faulty_[idx] = 1;
+}
+
+bool ControlPlane::path_crosses(const CircuitRecord& rec, NodeId node,
+                                PortId port, NodeId peer, PortId back) const {
+  NodeId at = rec.src;
+  for (PortId out : rec.path) {
+    if ((at == node && out == port) || (at == peer && out == back)) {
+      return true;
+    }
+    at = topology_.neighbor(at, out);
+  }
+  return false;
+}
+
+void ControlPlane::release_path(const CircuitRecord& rec) {
+  NodeId at = rec.src;
+  for (PortId out : rec.path) {
+    pcs::SwitchRegisters& regs = registers_.at(at, rec.switch_index);
+    switch (regs.status(out)) {
+      case pcs::ChannelStatus::kReservedByProbe:
+        // Only a probing circuit owns reservations on its own path (the
+        // ack is still short of this hop). On a tearing-down circuit a
+        // Reserved hop sits in the already-released prefix and belongs to
+        // a *foreign* probe that re-acquired the channel: leave it alone
+        // (if that probe also crosses the dead link, the probe sweep
+        // above already unwound it).
+        if (rec.state == CircuitState::kProbing) regs.release_reservation(out);
+        break;
+      case pcs::ChannelStatus::kBusyCircuit:
+        if (regs.owning_circuit(out) == rec.id) regs.release_circuit(out);
+        break;
+      case pcs::ChannelStatus::kFree:
+      case pcs::ChannelStatus::kFaulty:
+        break;  // already released (teardown prefix / racing failure)
+    }
+    at = topology_.neighbor(at, out);
+  }
+}
+
+void ControlPlane::drop_flits_of(CircuitId circuit) {
+  for (TravelFlit& flit : flits_) {
+    if (flit.done || flit.circuit != circuit) continue;
+    if (flit.kind == pcs::ControlKind::kReleaseRequest) {
+      ++stats_.release_requests_discarded;
+    }
+    flit.done = true;
+  }
+}
+
+std::vector<KilledCircuit> ControlPlane::fail_link(NodeId node, PortId port) {
+  const NodeId peer = topology_.neighbor(node, port);
+  if (peer == kInvalidNode) {
+    throw std::logic_error("fail_link: no link through that port");
+  }
+  const PortId back = KAryNCube::opposite(port);
+
+  // 1. Kill every probe holding a reservation across the link: unwind its
+  //    whole reserved path and report a failed attempt, which drives the
+  //    source interface's normal retry-or-fallback machinery.
+  std::vector<ProbeId> doomed;
+  for (const ActiveProbe& ap : probes_) {
+    for (const Hop& hop : ap.stack) {
+      if ((hop.from == node && hop.out_port == port) ||
+          (hop.from == peer && hop.out_port == back)) {
+        doomed.push_back(ap.probe.id);
+        break;
+      }
+    }
+  }
+  for (ProbeId id : doomed) {
+    const auto it = std::lower_bound(
+        probes_.begin(), probes_.end(), id,
+        [](const ActiveProbe& ap, ProbeId want) { return ap.probe.id < want; });
+    ActiveProbe& ap = *it;
+    for (const Hop& hop : ap.stack) {
+      registers_.at(hop.from, ap.probe.switch_index)
+          .release_reservation(hop.out_port);
+    }
+    ap.rec->path.clear();
+    ++stats_.probes_killed;
+    fail_probe(ap);  // erases the probe
+  }
+
+  // 2. Kill every circuit whose path crosses the link. Probing circuits
+  //    whose probe just died have an empty path and are skipped; probing
+  //    circuits with an ack in flight get a failed ProbeResult (retry);
+  //    tearing-down circuits complete abruptly; established circuits are
+  //    reported to the Network for cache invalidation and recovery.
+  std::vector<KilledCircuit> killed;
+  for (CircuitId id : circuits_.active_ids()) {
+    CircuitRecord& rec = circuits_.at(id);
+    if (!path_crosses(rec, node, port, peer, back)) continue;
+    release_path(rec);
+    drop_flits_of(id);
+    ++stats_.circuits_killed;
+    switch (rec.state) {
+      case CircuitState::kProbing:
+        // The setup ack was in flight; the attempt failed after all.
+        rec.path.clear();
+        ++stats_.probes_failed;
+        probe_results_.push_back(ProbeResult{kInvalidProbe, id, rec.src,
+                                             /*success=*/false,
+                                             rec.switch_index});
+        break;
+      case CircuitState::kEstablished:
+        killed.push_back(KilledCircuit{id, rec.src, rec.dest});
+        break;
+      case CircuitState::kTearingDown:
+        rec.state = CircuitState::kDead;
+        ++stats_.teardowns_completed;
+        circuits_.retire(id);
+        break;
+      case CircuitState::kDead:
+        throw std::logic_error("fail_link: dead circuit still active");
+    }
+  }
+
+  // 3. Only now are the link's channels guaranteed free: fence them off
+  //    on every wave switch, in both directions.
+  for (std::int32_t s = 0; s < params_.num_switches; ++s) {
+    pcs::SwitchRegisters& here = registers_.at(node, s);
+    if (here.status(port) != pcs::ChannelStatus::kFaulty) {
+      here.mark_faulty(port);
+    }
+    pcs::SwitchRegisters& there = registers_.at(peer, s);
+    if (there.status(back) != pcs::ChannelStatus::kFaulty) {
+      there.mark_faulty(back);
+    }
+  }
+  return killed;
+}
+
+void ControlPlane::restore_link(NodeId node, PortId port) {
+  const NodeId peer = topology_.neighbor(node, port);
+  if (peer == kInvalidNode) {
+    throw std::logic_error("restore_link: no link through that port");
+  }
+  const PortId back = KAryNCube::opposite(port);
+  const auto statically_faulty = [&](NodeId n, std::int32_t s, PortId p) {
+    if (static_faulty_.empty()) return false;
+    const std::size_t idx =
+        (static_cast<std::size_t>(n) *
+             static_cast<std::size_t>(params_.num_switches) +
+         static_cast<std::size_t>(s)) *
+            static_cast<std::size_t>(topology_.num_ports()) +
+        static_cast<std::size_t>(p);
+    return static_faulty_[idx] != 0;
+  };
+  for (std::int32_t s = 0; s < params_.num_switches; ++s) {
+    if (!statically_faulty(node, s, port)) {
+      registers_.at(node, s).clear_faulty(port);
+    }
+    if (!statically_faulty(peer, s, back)) {
+      registers_.at(peer, s).clear_faulty(back);
+    }
+  }
 }
 
 ProbeId ControlPlane::launch_probe(CircuitId circuit, bool force) {

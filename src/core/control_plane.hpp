@@ -66,6 +66,15 @@ struct TeardownDone {
   CircuitId circuit = kInvalidCircuit;
 };
 
+/// An established circuit was killed by a dynamic link failure; its source
+/// interface must invalidate the cache entry and recover the traffic
+/// (fail_link handles probing/tearing-down circuits internally).
+struct KilledCircuit {
+  CircuitId circuit = kInvalidCircuit;
+  NodeId src = kInvalidNode;
+  NodeId dest = kInvalidNode;
+};
+
 class ControlPlane {
  public:
   /// `instrumentation` may be nullptr (no event emission). When supplied
@@ -79,6 +88,18 @@ class ControlPlane {
 
   /// Static fault injection (before any traffic).
   void mark_faulty(NodeId node, std::int32_t switch_index, PortId port);
+
+  /// Dynamic link failure: the bidirectional link leaving `node` through
+  /// `port` dies on every wave switch. Kills every probe whose reserved
+  /// path crosses it (failed ProbeResults drive the normal retry
+  /// machinery), releases and retires every circuit crossing it, drops
+  /// their in-flight control flits, and marks the channels faulty.
+  /// Returns the killed *established* circuits for the Network to
+  /// dispatch to their source interfaces.
+  std::vector<KilledCircuit> fail_link(NodeId node, PortId port);
+  /// The link recovered: its channels are selectable again (channels also
+  /// carrying a static fault stay faulty).
+  void restore_link(NodeId node, PortId port);
 
   /// Launch an MB-m probe for `circuit` (state must be kProbing) over the
   /// circuit's switch. Returns the probe id.
@@ -118,6 +139,8 @@ class ControlPlane {
     std::uint64_t teardowns_started = 0;
     std::uint64_t teardowns_completed = 0;
     std::uint64_t acks_completed = 0;
+    std::uint64_t probes_killed = 0;     ///< killed by a link failure
+    std::uint64_t circuits_killed = 0;   ///< crossing a link that failed
     /// Largest number of decision steps any single probe has taken;
     /// bounded by the finite search space (livelock-freedom, Theorem 3).
     std::uint64_t max_probe_steps = 0;
@@ -173,6 +196,12 @@ class ControlPlane {
   void request_release(ActiveProbe& ap, PortId port, Cycle now);
   void step_flit(TravelFlit& flit, Cycle now);
   void erase_probe(ProbeId id);
+  /// Release every channel `circuit` holds along its path (any mix of
+  /// reserved / busy / already-freed hops).
+  void release_path(const CircuitRecord& rec);
+  bool path_crosses(const CircuitRecord& rec, NodeId node, PortId port,
+                    NodeId peer, PortId back) const;
+  void drop_flits_of(CircuitId circuit);
 
   const topo::KAryNCube& topology_;
   CircuitTable& circuits_;
@@ -193,6 +222,9 @@ class ControlPlane {
   /// Hot-path scratch, reused across probes/cycles (never read across
   /// calls): the MB-m port view.
   std::vector<pcs::PortView> view_scratch_;
+  /// Channels statically faulted at init, per (node, switch, port):
+  /// restore_link must not heal them. Empty until the first mark_faulty.
+  std::vector<std::uint8_t> static_faulty_;
   ProbeId next_probe_ = 0;
   Stats stats_;
 };

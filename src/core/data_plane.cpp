@@ -90,6 +90,18 @@ void DataPlane::step(Cycle now) {
   }
 }
 
+MessageId DataPlane::abort_transfer(CircuitId circuit) {
+  for (auto it = transfers_.begin(); it != transfers_.end(); ++it) {
+    if (it->second.circuit != circuit) continue;
+    const MessageId msg = it->first;
+    circuits_.at(circuit).in_use = false;
+    transfers_.erase(it);
+    ++transfers_aborted_;
+    return msg;  // a circuit carries at most one message (In-use bit)
+  }
+  return kInvalidMessage;
+}
+
 std::vector<TransferDone> DataPlane::take_completed() {
   return std::exchange(completed_, {});
 }

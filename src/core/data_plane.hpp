@@ -52,8 +52,16 @@ class DataPlane {
 
   std::vector<TransferDone> take_completed();
 
+  /// The circuit died (dynamic link failure): drop its in-flight transfer,
+  /// if any, and return the carried message so the source can resend it
+  /// over the wormhole plane (kInvalidMessage when the circuit was idle).
+  /// Flits already delivered are lost with the circuit; the message only
+  /// counts as delivered when some path carries it end to end.
+  MessageId abort_transfer(CircuitId circuit);
+
   std::size_t active_transfers() const noexcept { return transfers_.size(); }
   std::uint64_t flits_delivered() const noexcept { return flits_delivered_; }
+  std::uint64_t transfers_aborted() const noexcept { return transfers_aborted_; }
 
   /// Pipe latency in base cycles for a circuit of `hops` hops.
   Cycle pipe_latency(std::int32_t hops) const;
@@ -81,6 +89,7 @@ class DataPlane {
   std::map<MessageId, Transfer> transfers_;
   std::vector<TransferDone> completed_;
   std::uint64_t flits_delivered_ = 0;
+  std::uint64_t transfers_aborted_ = 0;
 };
 
 }  // namespace wavesim::core

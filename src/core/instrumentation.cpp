@@ -18,6 +18,10 @@ const char* to_string(EventKind kind) noexcept {
     case EventKind::kMisrouted: return "misrouted";
     case EventKind::kForceTeardown: return "force-teardown";
     case EventKind::kFallbackWormhole: return "fallback-wormhole";
+    case EventKind::kLinkDown: return "link-down";
+    case EventKind::kLinkUp: return "link-up";
+    case EventKind::kCircuitInvalidated: return "circuit-invalidated";
+    case EventKind::kRouteWithdrawn: return "route-withdrawn";
   }
   return "?";
 }

@@ -26,10 +26,14 @@ enum class EventKind : std::uint8_t {
   kMisrouted,           ///< a probe advanced on a non-minimal port
   kForceTeardown,       ///< a release demand actually tore the circuit down
   kFallbackWormhole,    ///< message diverted to the S0 wormhole plane
+  kLinkDown,            ///< a circuit-plane link failed (dynamic fault)
+  kLinkUp,              ///< a failed link recovered
+  kCircuitInvalidated,  ///< a cached circuit was killed by a link failure
+  kRouteWithdrawn,      ///< the DV layer withdrew a route (metric -> inf)
 };
 
 /// Number of EventKind values (dense, starting at 0).
-inline constexpr std::size_t kNumEventKinds = 14;
+inline constexpr std::size_t kNumEventKinds = 18;
 
 const char* to_string(EventKind kind) noexcept;
 
@@ -39,6 +43,7 @@ struct Event {
   NodeId node = kInvalidNode;          ///< where the event happened
   MessageId msg = kInvalidMessage;     ///< if message-scoped
   CircuitId circuit = kInvalidCircuit; ///< if circuit-scoped
+  PortId port = kInvalidPort;          ///< if link-scoped (kLinkDown/Up)
 };
 
 /// Per-shard staging buffer for events discovered during the parallel
@@ -53,8 +58,9 @@ class EventBuffer {
 
   void emit(Cycle at, EventKind kind, NodeId node,
             MessageId msg = kInvalidMessage,
-            CircuitId circuit = kInvalidCircuit) {
-    events_.push_back(Event{at, kind, node, msg, circuit});
+            CircuitId circuit = kInvalidCircuit,
+            PortId port = kInvalidPort) {
+    events_.push_back(Event{at, kind, node, msg, circuit, port});
   }
 
   const std::vector<Event>& events() const noexcept { return events_; }
@@ -74,8 +80,9 @@ class Instrumentation {
 
   void emit(Cycle at, EventKind kind, NodeId node,
             MessageId msg = kInvalidMessage,
-            CircuitId circuit = kInvalidCircuit) const {
-    if (sink_) sink_(Event{at, kind, node, msg, circuit});
+            CircuitId circuit = kInvalidCircuit,
+            PortId port = kInvalidPort) const {
+    if (sink_) sink_(Event{at, kind, node, msg, circuit, port});
   }
 
   /// Replay a shard's staged events into the sink, in staging order.

@@ -34,12 +34,19 @@ Network::Network(const sim::SimConfig& config)
                         config_.effective_wave_factor(),
                         config_.router.circuit_window});
     inject_faults();
+    if (config_.faults.dynamic()) {
+      // Fork keeps the schedule expansion off the interfaces' rng streams
+      // only for fault-bearing runs; fault-free runs draw exactly the
+      // sequence they always did.
+      fault_ = std::make_unique<fault::FaultPlane>(config_, topology_,
+                                                   rng_.fork());
+    }
   }
   interfaces_.reserve(topology_.num_nodes());
   for (NodeId n = 0; n < topology_.num_nodes(); ++n) {
     interfaces_.push_back(std::make_unique<NodeInterface>(
         n, config_, topology_, log_, circuits_, fabric_, control_.get(),
-        data_.get(), instrumentation_, rng_.fork()));
+        data_.get(), fault_.get(), instrumentation_, rng_.fork()));
   }
   sim::log_info("network up: ", topology_.num_nodes(), " nodes, ",
                 sim::to_string(config_.protocol.protocol), ", routing ",
@@ -156,8 +163,37 @@ void Network::dispatch_events() {
   }
 }
 
+void Network::step_faults() {
+  if (fault_ == nullptr) return;
+  for (const fault::LinkChange& change : fault_->begin_cycle(now_)) {
+    if (change.down) {
+      instrumentation_.emit(now_, EventKind::kLinkDown, change.node,
+                            kInvalidMessage, kInvalidCircuit, change.port);
+      for (const KilledCircuit& k :
+           control_->fail_link(change.node, change.port)) {
+        const MessageId aborted = data_->abort_transfer(k.circuit);
+        interfaces_[k.src]->on_circuit_killed(k.circuit, k.dest, aborted,
+                                              now_);
+      }
+    } else {
+      control_->restore_link(change.node, change.port);
+      instrumentation_.emit(now_, EventKind::kLinkUp, change.node,
+                            kInvalidMessage, kInvalidCircuit, change.port);
+    }
+  }
+  if (instrumentation_.enabled()) {
+    for (const auto& [node, dest] : fault_->withdrawals()) {
+      (void)dest;
+      instrumentation_.emit(now_, EventKind::kRouteWithdrawn, node);
+    }
+  }
+}
+
 void Network::step_begin() {
-  // Due scheduled sends first: exactly where a direct send() call before
+  // Fault events apply at the cycle boundary, before anything else can
+  // observe the link (both steppers run this sequentially: bit-identical).
+  step_faults();
+  // Due scheduled sends next: exactly where a direct send() call before
   // the step would have run.
   process_scheduled_sends(now_ + 1);
   gate_.reset();
@@ -234,6 +270,9 @@ bool Network::window_ready() const {
   if (config_.protocol.pcs_only) return false;  // per-cycle retry pumping
   if (control_ != nullptr && !control_->idle()) return false;
   if (data_ != nullptr && data_->active_transfers() != 0) return false;
+  // Fault activity (adverts in flight, armed route timeouts) is sequential
+  // per-cycle work; windows may only span dormant stretches.
+  if (fault_ != nullptr && !fault_->dormant()) return false;
   return true;
 }
 
@@ -252,12 +291,22 @@ std::uint64_t Network::messages_delivered() const {
   return delivered_msgs_;
 }
 
-bool Network::quiescent() const {
+bool Network::traffic_quiescent() const {
   if (sends_head_ < sends_.size()) return false;
   if (messages_delivered() != log_.size()) return false;
   if (fabric_.flits_in_flight() != 0) return false;
   if (control_ != nullptr && !control_->idle()) return false;
   if (data_ != nullptr && data_->active_transfers() != 0) return false;
+  return true;
+}
+
+bool Network::quiescent() const {
+  if (!traffic_quiescent()) return false;
+  // Keep stepping through pending fault events and DV convergence so a
+  // drain loop witnesses recoveries scheduled after the last delivery.
+  if (fault_ != nullptr && (!fault_->exhausted() || !fault_->dormant())) {
+    return false;
+  }
   return true;
 }
 

@@ -8,6 +8,7 @@
 // traffic link priority.
 #pragma once
 
+#include <limits>
 #include <memory>
 #include <span>
 #include <vector>
@@ -17,6 +18,7 @@
 #include "core/instrumentation.hpp"
 #include "core/message.hpp"
 #include "core/node_interface.hpp"
+#include "fault/plane.hpp"
 #include "routing/routing.hpp"
 #include "sim/config.hpp"
 #include "sim/rng.hpp"
@@ -151,12 +153,26 @@ class Network {
     return *interfaces_.at(node);
   }
 
-  /// Every offered message delivered and all planes drained.
+  /// Every offered message delivered, all planes drained, the fault
+  /// schedule exhausted and the distance-vector plane dormant.
   bool quiescent() const;
+  /// quiescent() without the fault clause: all traffic is delivered and
+  /// the protocol planes are drained (the network may still be waiting on
+  /// scheduled fault events or DV convergence).
+  bool traffic_quiescent() const;
   std::uint64_t messages_delivered() const;
 
   /// Number of circuit data channels statically marked faulty.
   std::int64_t faulty_channels() const noexcept { return faulty_channels_; }
+
+  /// Dynamic fault plane (nullptr without a fault schedule).
+  const fault::FaultPlane* fault_plane() const noexcept { return fault_.get(); }
+  /// Cycle of the next scheduled fault event (Cycle max when none remain):
+  /// a lookahead window must not leap across it.
+  Cycle next_fault_event() const noexcept {
+    return fault_ != nullptr ? fault_->next_event_at()
+                             : std::numeric_limits<Cycle>::max();
+  }
 
   /// Install an event sink (timelines, debugging, trace capture).
   void set_event_sink(Instrumentation::Sink sink) {
@@ -174,6 +190,9 @@ class Network {
 
   void dispatch_events();
   void inject_faults();
+  /// Apply due dynamic fault events and advance the distance-vector plane
+  /// (first thing in the sequential prologue).
+  void step_faults();
   MessageId dispatch_send(NodeId src, NodeId dest, std::int32_t length,
                           Cycle at);
 
@@ -190,6 +209,9 @@ class Network {
   CircuitTable circuits_;                  // [shard: seq]
   std::unique_ptr<ControlPlane> control_;  // [shard: seq]
   std::unique_ptr<DataPlane> data_;        // [shard: seq]
+  /// Dynamic fault schedule + distance-vector reachability; null without a
+  /// schedule. Advanced only in step_begin. [shard: seq]
+  std::unique_ptr<fault::FaultPlane> fault_;
   wh::Fabric fabric_;                      // [shard: owned]
   Instrumentation instrumentation_;        // [shard: seq]
   /// Reassembly counters are per message, and a message ejects at exactly

@@ -24,11 +24,12 @@ NodeInterface::NodeInterface(NodeId node, const sim::SimConfig& config,
                              const topo::KAryNCube& topology, MessageLog& log,
                              CircuitTable& circuits, wh::Fabric& fabric,
                              ControlPlane* control, DataPlane* data,
+                             const fault::FaultPlane* fault,
                              const Instrumentation& instrumentation,
                              sim::Rng rng)
     : node_(node), config_(config), topology_(topology), log_(log),
       circuits_(circuits), fabric_(fabric), control_(control), data_(data),
-      instr_(instrumentation),
+      fault_(fault), instr_(instrumentation),
       cache_(config.protocol.circuit_cache_entries,
              config.protocol.replacement, rng),
       streams_(config.router.wormhole_vcs) {
@@ -109,6 +110,14 @@ void NodeInterface::submit(MessageId id, Cycle now) {
   }
 
   ++cache_.misses;
+  if (fault_ != nullptr && !fault_->reachable(node_, rec.dest) &&
+      !config_.protocol.pcs_only) {
+    // The distance-vector tables know no live circuit path: don't burn a
+    // probe, ride the (always healthy) wormhole plane while DV converges.
+    ++stats_.unreachable_fallbacks;
+    send_wormhole(id, MessageMode::kWormholeFallback, now);
+    return;
+  }
   if (protocol == sim::ProtocolKind::kClrp) {
     if (start_setup(rec.dest, SetupSequencer::Mode::kClrp, now)) {
       rec.mode = MessageMode::kCircuitAfterSetup;
@@ -245,6 +254,10 @@ void NodeInterface::requeue(std::deque<MessageId> msgs, Cycle now) {
 bool NodeInterface::establish_circuit(NodeId dest, Cycle now,
                                       std::int32_t max_message_flits) {
   if (!circuits_enabled() || dest == node_) return false;
+  if (fault_ != nullptr && !fault_->reachable(node_, dest)) {
+    ++stats_.unreachable_fallbacks;
+    return false;
+  }
   DestState& ds = dest_state(dest);
   if (ds.setup.has_value() || cache_.find(dest) != nullptr) return true;
   ds.carp_buffer_flits = max_message_flits;
@@ -370,6 +383,36 @@ void NodeInterface::on_transfer_done(const TransferDone& done, Cycle now) {
     return;
   }
   try_start_transfer(done.dest, now);
+}
+
+void NodeInterface::on_circuit_killed(CircuitId circuit, NodeId dest,
+                                      MessageId aborted, Cycle now) {
+  instr_.emit(now, EventKind::kCircuitInvalidated, node_, aborted, circuit);
+  ++stats_.circuits_invalidated;
+  DestState& ds = dest_state(dest);
+  CacheEntry* entry = cache_.find(dest);
+  if (entry != nullptr && entry->circuit == circuit) {
+    // The kill aborted any in-flight transfer, so the TransferDone that
+    // would normally unpin the entry will never arrive: release the pin
+    // here or invalidate() would (rightly) refuse to drop a live entry.
+    entry->in_use = false;
+    cache_.invalidate(*entry);
+  }
+  // Pending releases died with the circuit; don't carry them into the next
+  // setup toward this destination.
+  ds.release_urgent = false;
+  ds.release_when_drained = false;
+  circuits_.retire(circuit);
+  std::deque<MessageId> orphans = std::move(ds.queue);
+  if (aborted != kInvalidMessage) {
+    // The in-flight message lost its circuit mid-transfer: resend it whole
+    // over S0 (circuit flits never touch wormhole reassembly counters, so
+    // the delivery accounting stays exact).
+    send_wormhole(aborted, MessageMode::kWormholeFallback, now);
+  }
+  // Queued messages re-enter submit(): they re-probe over surviving links
+  // or fall back to wormhole when DV says the destination is circuit-dark.
+  requeue(std::move(orphans), now);
 }
 
 void NodeInterface::pump_retries(Cycle now) {

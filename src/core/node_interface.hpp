@@ -13,6 +13,7 @@
 #include "core/data_plane.hpp"
 #include "core/message.hpp"
 #include "core/protocols.hpp"
+#include "fault/plane.hpp"
 #include "sim/config.hpp"
 #include "wormhole/fabric.hpp"
 
@@ -20,10 +21,13 @@ namespace wavesim::core {
 
 class NodeInterface {
  public:
+  /// `fault` is the network's fault plane (nullptr when the run has no
+  /// dynamic fault schedule); the interface only reads reachability.
   NodeInterface(NodeId node, const sim::SimConfig& config,
                 const topo::KAryNCube& topology, MessageLog& log,
                 CircuitTable& circuits, wh::Fabric& fabric,
                 ControlPlane* control, DataPlane* data,
+                const fault::FaultPlane* fault,
                 const Instrumentation& instrumentation, sim::Rng rng);
 
   NodeId node() const noexcept { return node_; }
@@ -45,6 +49,11 @@ class NodeInterface {
   void on_probe_result(const ProbeResult& result, Cycle now);
   void on_release_demand(const ReleaseDemand& demand, Cycle now);
   void on_transfer_done(const TransferDone& done, Cycle now);
+  /// A dynamic link failure killed this node's established circuit toward
+  /// `dest`: invalidate the cache entry, resend the aborted in-flight
+  /// message (if any) over the wormhole plane and resubmit the queue.
+  void on_circuit_killed(CircuitId circuit, NodeId dest, MessageId aborted,
+                         Cycle now);
 
   /// Per-cycle work, split into a sequential and a parallel-safe half.
   /// pump_retries touches shared protocol state (circuit table, control
@@ -69,6 +78,8 @@ class NodeInterface {
     std::uint64_t buffer_reallocs = 0;
     std::uint64_t packets_sent = 0;
     std::uint64_t setup_retries = 0;  ///< PCS-only backoff retries
+    std::uint64_t circuits_invalidated = 0;   ///< killed by link failures
+    std::uint64_t unreachable_fallbacks = 0;  ///< DV said: no circuit path
   };
   const Stats& stats() const noexcept { return stats_; }
 
@@ -118,6 +129,9 @@ class NodeInterface {
   /// Null when k == 0 (pure wormhole network). [shard: seq]
   ControlPlane* control_;
   DataPlane* data_;               // [shard: seq]
+  /// Null without a dynamic fault schedule; reads only (the Network
+  /// advances it in the sequential prologue). [shard: ro]
+  const fault::FaultPlane* fault_;
   const Instrumentation& instr_;  // [shard: ro]
   CircuitCache cache_;            // [shard: seq]
 

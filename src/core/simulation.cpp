@@ -86,7 +86,10 @@ SimulationStats Simulation::stats(Cycle min_created) const {
     out.cache_hits += cache.hits;
     out.cache_misses += cache.misses;
     out.cache_evictions += cache.evictions;
-    out.buffer_reallocs += network_->interface(n).stats().buffer_reallocs;
+    const auto& ni = network_->interface(n).stats();
+    out.buffer_reallocs += ni.buffer_reallocs;
+    out.circuits_invalidated += ni.circuits_invalidated;
+    out.unreachable_fallbacks += ni.unreachable_fallbacks;
   }
   if (const ControlPlane* cp = network_->control_plane(); cp != nullptr) {
     const auto& s = cp->stats();
@@ -98,6 +101,21 @@ SimulationStats Simulation::stats(Cycle min_created) const {
     out.probe_misroutes = s.probe_misroutes;
     out.release_requests = s.release_requests_sent;
     out.teardowns = s.teardowns_started;
+    out.circuits_killed = s.circuits_killed;
+    out.probes_killed = s.probes_killed;
+  }
+  if (const DataPlane* dp = network_->data_plane(); dp != nullptr) {
+    out.transfers_aborted = dp->transfers_aborted();
+  }
+  if (const fault::FaultPlane* fp = network_->fault_plane(); fp != nullptr) {
+    out.links_failed = fp->counters().links_failed;
+    out.links_restored = fp->counters().links_restored;
+    const auto& dc = fp->dv().counters();
+    out.routes_withdrawn = dc.routes_withdrawn;
+    out.route_timeouts = dc.route_timeouts;
+    out.dv_updates_sent = dc.updates_sent;
+    out.dv_triggered_updates = dc.triggered_updates;
+    out.dv_adverts_dropped = dc.adverts_dropped;
   }
   return out;
 }

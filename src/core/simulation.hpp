@@ -56,6 +56,20 @@ struct SimulationStats {
   std::uint64_t teardowns = 0;
   std::uint64_t buffer_reallocs = 0;
 
+  // Dynamic faults (zeros without a fault schedule; docs/FAULTS.md).
+  std::uint64_t links_failed = 0;
+  std::uint64_t links_restored = 0;
+  std::uint64_t circuits_killed = 0;       ///< any circuit crossing a dead link
+  std::uint64_t circuits_invalidated = 0;  ///< established ones, cache evicted
+  std::uint64_t probes_killed = 0;
+  std::uint64_t transfers_aborted = 0;
+  std::uint64_t unreachable_fallbacks = 0;
+  std::uint64_t routes_withdrawn = 0;
+  std::uint64_t route_timeouts = 0;
+  std::uint64_t dv_updates_sent = 0;
+  std::uint64_t dv_triggered_updates = 0;
+  std::uint64_t dv_adverts_dropped = 0;
+
   double cache_hit_rate() const noexcept {
     const double total = static_cast<double>(cache_hits + cache_misses);
     return total > 0.0 ? static_cast<double>(cache_hits) / total : 0.0;

@@ -188,6 +188,13 @@ class ParallelEngine final : public core::StepEngine {
     const Cycle t = net.now();
     const Cycle lat = fab.link_latency();
     Cycle w = std::min<Cycle>(lookahead_, remaining);
+    // Fault events mutate the sequential planes in step_begin, so the next
+    // one needs a barrier at its cycle (step_begin at t already applied
+    // events due <= t, hence next_fault > t).
+    const Cycle next_fault = net.next_fault_event();
+    if (next_fault != std::numeric_limits<Cycle>::max()) {
+      w = std::min(w, next_fault - t);
+    }
     const Cycle first_send = net.next_scheduled_send();
     if (first_send != std::numeric_limits<Cycle>::max()) {
       // step_begin already offered sends due this cycle, so

@@ -1,0 +1,265 @@
+#include "fault/distvec.hpp"
+
+#include <algorithm>
+
+namespace wavesim::fault {
+
+DistanceVector::DistanceVector(const topo::KAryNCube& topology,
+                               const sim::DistanceVectorConfig& config,
+                               std::int32_t hop_cycles)
+    : topology_(topology), config_(config), hop_cycles_(hop_cycles),
+      num_nodes_(topology.num_nodes()) {
+  std::int32_t diameter = 0;
+  for (NodeId n = 0; n < num_nodes_; ++n) {
+    diameter = std::max(diameter, topology_.distance(0, n));
+  }
+  infinity_ = std::max(16, diameter + 2);
+  routes_.assign(static_cast<std::size_t>(num_nodes_) *
+                     static_cast<std::size_t>(num_nodes_),
+                 Route{infinity_, kInvalidPort, kCycleMax});
+  alive_.assign(static_cast<std::size_t>(topology_.num_channels()), 1);
+  dirty_.assign(routes_.size(), 0);
+  node_dirty_.assign(static_cast<std::size_t>(num_nodes_), 0);
+  min_deadline_.assign(static_cast<std::size_t>(num_nodes_), kCycleMax);
+  converge_initial();
+}
+
+void DistanceVector::converge_initial() {
+  // The network starts healthy: seed the tables with the converged state
+  // directly (synchronous Bellman-Ford) instead of spending warmup cycles
+  // on advertisements. Deadlines stay un-armed (kCycleMax) until the
+  // plane first wakes -- see refresh_deadlines().
+  for (NodeId n = 0; n < num_nodes_; ++n) {
+    routes_[route_index(n, n)] = Route{0, kInvalidPort, kCycleMax};
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (NodeId n = 0; n < num_nodes_; ++n) {
+      for (PortId p = 0; p < topology_.num_ports(); ++p) {
+        const NodeId m = topology_.neighbor(n, p);
+        if (m == kInvalidNode) continue;
+        for (NodeId d = 0; d < num_nodes_; ++d) {
+          const std::int32_t cand =
+              std::min(infinity_, routes_[route_index(m, d)].metric + 1);
+          Route& r = routes_[route_index(n, d)];
+          if (cand < r.metric) {
+            r.metric = cand;
+            r.next_port = p;
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+}
+
+void DistanceVector::mark_dirty(NodeId node, NodeId dest) {
+  dirty_[route_index(node, dest)] = 1;
+  node_dirty_[static_cast<std::size_t>(node)] = 1;
+  any_dirty_ = true;
+}
+
+void DistanceVector::withdraw(NodeId node, NodeId dest, bool timeout) {
+  Route& r = routes_[route_index(node, dest)];
+  if (r.metric >= infinity_) return;
+  r.metric = infinity_;
+  r.next_port = kInvalidPort;
+  r.deadline = kCycleMax;
+  ++counters_.routes_withdrawn;
+  if (timeout) ++counters_.route_timeouts;
+  withdrawals_.emplace_back(node, dest);
+  mark_dirty(node, dest);
+}
+
+void DistanceVector::link_down(NodeId node, PortId port, Cycle now) {
+  (void)now;
+  const NodeId peer = topology_.neighbor(node, port);
+  if (peer == kInvalidNode) return;
+  const auto fwd =
+      static_cast<std::size_t>(topology_.channel_index(node, port));
+  if (alive_[fwd] == 0) return;  // idempotent
+  const PortId back = topo::KAryNCube::opposite(port);
+  alive_[fwd] = 0;
+  alive_[static_cast<std::size_t>(topology_.channel_index(peer, back))] = 0;
+#ifdef WAVESIM_MUTATE_STALE_ROUTE
+  // Mutation smoke (docs/TESTING.md): leave every route through the dead
+  // link in place. simcheck's DV-vs-ground-truth oracle must catch the
+  // stale table.
+  return;
+#else
+  // Poison every route through the dead link at both endpoints; the
+  // resulting withdrawals go out as triggered updates this same cycle.
+  for (NodeId d = 0; d < num_nodes_; ++d) {
+    if (routes_[route_index(node, d)].next_port == port) withdraw(node, d);
+    if (routes_[route_index(peer, d)].next_port == back) withdraw(peer, d);
+  }
+#endif
+}
+
+void DistanceVector::link_up(NodeId node, PortId port, Cycle now) {
+  (void)now;
+  const NodeId peer = topology_.neighbor(node, port);
+  if (peer == kInvalidNode) return;
+  const auto fwd =
+      static_cast<std::size_t>(topology_.channel_index(node, port));
+  if (alive_[fwd] != 0) return;  // idempotent
+  const PortId back = topo::KAryNCube::opposite(port);
+  alive_[fwd] = 1;
+  alive_[static_cast<std::size_t>(topology_.channel_index(peer, back))] = 1;
+  // Reinstall the direct metric-1 routes (direct routes never expire; a
+  // later failure withdraws them explicitly).
+  Route& fwd_route = routes_[route_index(node, peer)];
+  if (fwd_route.metric > 1) {
+    fwd_route = Route{1, port, kCycleMax};
+    mark_dirty(node, peer);
+  }
+  Route& back_route = routes_[route_index(peer, node)];
+  if (back_route.metric > 1) {
+    back_route = Route{1, back, kCycleMax};
+    mark_dirty(peer, node);
+  }
+}
+
+void DistanceVector::refresh_deadlines(Cycle now) {
+  const Cycle deadline = now + timeout_cycles();
+  for (NodeId n = 0; n < num_nodes_; ++n) {
+    Cycle min_deadline = kCycleMax;
+    for (NodeId d = 0; d < num_nodes_; ++d) {
+      Route& r = routes_[route_index(n, d)];
+      if (r.metric >= 2 && r.metric < infinity_) {
+        r.deadline = deadline;
+        min_deadline = std::min(min_deadline, deadline);
+      }
+    }
+    min_deadline_[static_cast<std::size_t>(n)] = min_deadline;
+  }
+}
+
+void DistanceVector::deliver(const Advert& advert, Cycle now) {
+  const NodeId n = advert.to;
+  if (alive_[static_cast<std::size_t>(
+          topology_.channel_index(n, advert.in_port))] == 0) {
+    ++counters_.adverts_dropped;  // the link died while it was in flight
+    return;
+  }
+  Cycle& min_deadline = min_deadline_[static_cast<std::size_t>(n)];
+  for (const auto& [dest, advertised] : advert.entries) {
+    if (dest == n) continue;
+    const std::int32_t cand = std::min(infinity_, advertised + 1);
+    Route& r = routes_[route_index(n, dest)];
+    if (r.next_port == advert.in_port) {
+      // From the current next hop: adopt even if worse (it knows best),
+      // and refresh the deadline. Deliveries run before expiry each
+      // cycle, so a refresh beats a same-cycle timeout.
+      if (cand >= infinity_) {
+        withdraw(n, dest);
+        continue;
+      }
+      if (r.metric != cand) {
+        r.metric = cand;
+        mark_dirty(n, dest);
+      }
+      r.deadline = cand >= 2 ? now + timeout_cycles() : kCycleMax;
+      if (r.deadline != kCycleMax) {
+        min_deadline = std::min(min_deadline, r.deadline);
+      }
+    } else if (cand < r.metric) {
+      r.metric = cand;
+      r.next_port = advert.in_port;
+      r.deadline = cand >= 2 ? now + timeout_cycles() : kCycleMax;
+      if (r.deadline != kCycleMax) {
+        min_deadline = std::min(min_deadline, r.deadline);
+      }
+      mark_dirty(n, dest);
+    }
+  }
+}
+
+void DistanceVector::expire(Cycle now) {
+  for (NodeId n = 0; n < num_nodes_; ++n) {
+    Cycle& min_deadline = min_deadline_[static_cast<std::size_t>(n)];
+    if (min_deadline > now) continue;
+    Cycle next_min = kCycleMax;
+    for (NodeId d = 0; d < num_nodes_; ++d) {
+      Route& r = routes_[route_index(n, d)];
+      if (r.deadline == kCycleMax) continue;
+      if (r.deadline <= now) {
+        withdraw(n, d, /*timeout=*/true);
+      } else {
+        next_min = std::min(next_min, r.deadline);
+      }
+    }
+    min_deadline = next_min;
+  }
+}
+
+void DistanceVector::send_advert(NodeId node, PortId port,
+                                 const std::vector<NodeId>& dests, Cycle now,
+                                 bool triggered) {
+  const NodeId peer = topology_.neighbor(node, port);
+  Advert advert;
+  advert.deliver_at = now + static_cast<Cycle>(hop_cycles_);
+  advert.to = peer;
+  advert.in_port = topo::KAryNCube::opposite(port);
+  advert.triggered = triggered;
+  advert.entries.reserve(dests.size());
+  for (NodeId dest : dests) {
+    const Route& r = routes_[route_index(node, dest)];
+    // Split horizon with poisoned reverse: routes through this very port
+    // go out as infinity so the neighbor never routes back through us.
+    const std::int32_t metric =
+        r.next_port == port ? infinity_ : r.metric;
+    advert.entries.emplace_back(dest, metric);
+  }
+  counters_.entries_sent += advert.entries.size();
+  ++counters_.updates_sent;
+  if (triggered) ++counters_.triggered_updates;
+  in_flight_.push_back(std::move(advert));
+}
+
+void DistanceVector::send_updates(Cycle now, bool periodic) {
+  std::vector<NodeId> dests;
+  for (NodeId n = 0; n < num_nodes_; ++n) {
+    if (!periodic && node_dirty_[static_cast<std::size_t>(n)] == 0) continue;
+    dests.clear();
+    if (periodic) {
+      dests.resize(static_cast<std::size_t>(num_nodes_));
+      for (NodeId d = 0; d < num_nodes_; ++d) {
+        dests[static_cast<std::size_t>(d)] = d;
+      }
+    } else {
+      for (NodeId d = 0; d < num_nodes_; ++d) {
+        if (dirty_[route_index(n, d)] != 0) dests.push_back(d);
+      }
+    }
+    for (PortId p = 0; p < topology_.num_ports(); ++p) {
+      if (topology_.neighbor(n, p) == kInvalidNode) continue;
+      if (alive_[static_cast<std::size_t>(topology_.channel_index(n, p))] == 0)
+        continue;
+      send_advert(n, p, dests, now, /*triggered=*/!periodic);
+    }
+    for (NodeId d = 0; d < num_nodes_; ++d) dirty_[route_index(n, d)] = 0;
+    node_dirty_[static_cast<std::size_t>(n)] = 0;
+  }
+  any_dirty_ = false;
+}
+
+void DistanceVector::step(Cycle now, bool active) {
+  // Order matters and is part of the protocol contract (docs/FAULTS.md):
+  // deliveries, then expiry, then sends. A triggered refresh delivered at
+  // cycle T saves a route whose deadline is also T.
+  while (!in_flight_.empty() && in_flight_.front().deliver_at <= now) {
+    const Advert advert = std::move(in_flight_.front());
+    in_flight_.pop_front();
+    deliver(advert, now);
+  }
+  if (active) expire(now);
+  if (active && now % config_.advert_period == 0) {
+    send_updates(now, /*periodic=*/true);
+  } else if (any_dirty_) {
+    send_updates(now, /*periodic=*/false);
+  }
+}
+
+}  // namespace wavesim::fault

@@ -1,0 +1,142 @@
+// RIP-style distance-vector reachability over the S0 control plane.
+//
+// Every node keeps a route (metric, next-hop port, deadline) to every
+// destination. Routes converge through neighbor advertisements carried by
+// the never-failing control channels: full periodic advertisements while
+// the plane is active, triggered updates for changed entries, split
+// horizon with poisoned reverse, and route timeouts that withdraw entries
+// not refreshed for timeout_periods advert periods. The circuit planes
+// use the table to decide whether a destination is worth probing; the S0
+// wormhole plane never consults it (S0 never fails), so an "unreachable"
+// verdict only diverts traffic to wormhole, it never strands it.
+//
+// Everything here runs in the sequential prologue of a cycle
+// (Network::step_begin), so sequential and sharded runs are bit-identical
+// by construction. All iteration is node-ascending / port-ascending and
+// the advert queue is FIFO with a constant per-hop latency, so the update
+// order is deterministic. See docs/FAULTS.md for the protocol rules.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "sim/types.hpp"
+#include "topology/topology.hpp"
+
+namespace wavesim::fault {
+
+class DistanceVector {
+ public:
+  struct Counters {
+    std::uint64_t updates_sent = 0;      ///< advertisements (all kinds)
+    std::uint64_t triggered_updates = 0; ///< of which change-triggered
+    std::uint64_t entries_sent = 0;      ///< route entries across adverts
+    std::uint64_t adverts_dropped = 0;   ///< lost to a link dying in flight
+    std::uint64_t routes_withdrawn = 0;  ///< finite -> infinity transitions
+    std::uint64_t route_timeouts = 0;    ///< withdrawn by deadline expiry
+  };
+
+  DistanceVector(const topo::KAryNCube& topology,
+                 const sim::DistanceVectorConfig& config,
+                 std::int32_t hop_cycles);
+
+  /// Unreachable metric: max(16, diameter + 2), the RIP "infinity".
+  std::int32_t infinity() const noexcept { return infinity_; }
+
+  std::int32_t metric(NodeId src, NodeId dest) const {
+    return routes_[route_index(src, dest)].metric;
+  }
+  bool reachable(NodeId src, NodeId dest) const {
+    return metric(src, dest) < infinity_;
+  }
+  /// Dynamic liveness of the channel leaving `node` through `port`
+  /// (links fail bidirectionally, so both directions always agree).
+  bool link_alive(NodeId node, PortId port) const {
+    return alive_[static_cast<std::size_t>(
+               topology_.channel_index(node, port))] != 0;
+  }
+
+  /// The bidirectional link (node, port) died: mark both directions dead,
+  /// poison every route through it at both endpoints (triggered
+  /// withdrawals). No-op if already dead.
+  void link_down(NodeId node, PortId port, Cycle now);
+  /// The link recovered: restore liveness and the direct metric-1 routes,
+  /// trigger updates. No-op if already alive.
+  void link_up(NodeId node, PortId port, Cycle now);
+
+  /// Re-arm every learned route's deadline; called when the fault plane
+  /// wakes from dormancy (deadlines do not tick while dormant).
+  void refresh_deadlines(Cycle now);
+
+  /// One cycle: deliver due adverts, expire deadlines (active only), send
+  /// periodic (active only) and triggered advertisements.
+  void step(Cycle now, bool active);
+
+  /// True when no advertisement is in flight and no triggered update is
+  /// pending -- the table is settled.
+  bool idle() const noexcept { return in_flight_.empty() && !any_dirty_; }
+
+  const Counters& counters() const noexcept { return counters_; }
+  /// (node, dest) routes withdrawn during the last link_down/step calls of
+  /// the current cycle; cleared by begin_cycle() on the owning plane.
+  const std::vector<std::pair<NodeId, NodeId>>& withdrawals() const noexcept {
+    return withdrawals_;
+  }
+  void clear_withdrawals() { withdrawals_.clear(); }
+
+ private:
+  struct Route {
+    std::int32_t metric = 0;
+    PortId next_port = kInvalidPort;
+    Cycle deadline = kCycleMax;  ///< kCycleMax = never expires
+  };
+
+  struct Advert {
+    Cycle deliver_at = 0;
+    NodeId to = kInvalidNode;
+    PortId in_port = kInvalidPort;  ///< receiver port it arrives through
+    bool triggered = false;
+    std::vector<std::pair<NodeId, std::int32_t>> entries;  ///< dest, metric
+  };
+
+  std::size_t route_index(NodeId src, NodeId dest) const {
+    return static_cast<std::size_t>(src) *
+               static_cast<std::size_t>(num_nodes_) +
+           static_cast<std::size_t>(dest);
+  }
+  Cycle timeout_cycles() const noexcept {
+    return config_.advert_period * static_cast<Cycle>(config_.timeout_periods);
+  }
+
+  void withdraw(NodeId node, NodeId dest, bool timeout = false);
+  void mark_dirty(NodeId node, NodeId dest);
+  void deliver(const Advert& advert, Cycle now);
+  void expire(Cycle now);
+  void send_updates(Cycle now, bool periodic);
+  /// Queue one advert from `node` through `port` carrying `dests` with
+  /// split horizon + poisoned reverse applied.
+  void send_advert(NodeId node, PortId port,
+                   const std::vector<NodeId>& dests, Cycle now,
+                   bool triggered);
+  void converge_initial();
+
+  const topo::KAryNCube& topology_;
+  sim::DistanceVectorConfig config_;
+  std::int32_t hop_cycles_;
+  std::int32_t num_nodes_;
+  std::int32_t infinity_;
+  std::vector<Route> routes_;           // N x N, src-major
+  std::vector<std::uint8_t> alive_;     // per channel_index
+  std::vector<std::uint8_t> dirty_;     // N x N: changed since last advert
+  std::vector<std::uint8_t> node_dirty_;
+  bool any_dirty_ = false;
+  std::vector<Cycle> min_deadline_;     // per node, for cheap expiry scans
+  std::deque<Advert> in_flight_;        // FIFO; constant one-hop latency
+  std::vector<std::pair<NodeId, NodeId>> withdrawals_;
+  Counters counters_;
+};
+
+}  // namespace wavesim::fault

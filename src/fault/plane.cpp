@@ -1,0 +1,51 @@
+#include "fault/plane.hpp"
+
+#include <algorithm>
+
+namespace wavesim::fault {
+
+FaultPlane::FaultPlane(const sim::SimConfig& config,
+                       const topo::KAryNCube& topology, sim::Rng rng)
+    : config_(config.faults),
+      dv_(topology, config.faults.dv,
+          config.faults.dv.hop_cycles > 0 ? config.faults.dv.hop_cycles
+                                          : config.router.control_hop_cycles),
+      timeline_(expand_schedule(config.faults, topology, rng)) {}
+
+void FaultPlane::wake(Cycle now) {
+  if (!active_) {
+    active_ = true;
+    // Deadlines do not tick while dormant; re-arm them so the timeout
+    // machinery measures from this activation.
+    dv_.refresh_deadlines(now);
+  }
+  active_until_ = std::max(active_until_, now + hold_cycles());
+}
+
+std::vector<LinkChange> FaultPlane::begin_cycle(Cycle now) {
+  dv_.clear_withdrawals();
+  std::vector<LinkChange> changes;
+  while (next_ < timeline_.size() && timeline_[next_].at <= now) {
+    const sim::FaultEvent& event = timeline_[next_];
+    ++next_;
+    const bool down = event.kind == sim::FaultEventKind::kLinkDown;
+    // Overlapping sources (storm + churn + explicit events) may name the
+    // same link twice: transitions are idempotent.
+    if (dv_.link_alive(event.node, event.port) != down) continue;
+    wake(now);
+    if (down) {
+      dv_.link_down(event.node, event.port, now);
+      ++counters_.links_failed;
+    } else {
+      dv_.link_up(event.node, event.port, now);
+      ++counters_.links_restored;
+    }
+    changes.push_back(LinkChange{event.node, event.port, down});
+  }
+  const bool active_now = active_ && now <= active_until_;
+  if (active_ && now > active_until_) active_ = false;
+  dv_.step(now, active_now);
+  return changes;
+}
+
+}  // namespace wavesim::fault

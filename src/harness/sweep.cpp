@@ -118,6 +118,13 @@ SweepResult run_sweep(const std::vector<SweepPoint>& points,
       c.cache_hits += o.stats.cache_hits;
       c.cache_misses += o.stats.cache_misses;
       c.cache_evictions += o.stats.cache_evictions;
+      c.links_failed += o.stats.links_failed;
+      c.links_restored += o.stats.links_restored;
+      c.circuits_killed += o.stats.circuits_killed;
+      c.circuits_invalidated += o.stats.circuits_invalidated;
+      c.unreachable_fallbacks += o.stats.unreachable_fallbacks;
+      c.routes_withdrawn += o.stats.routes_withdrawn;
+      c.route_timeouts += o.stats.route_timeouts;
       MetricSummary& m = summary.metrics;
       m.latency_mean.add(o.stats.latency_mean);
       m.latency_p50.add(o.stats.latency_p50);
@@ -183,7 +190,16 @@ sim::JsonValue points_to_json(const SweepResult& result) {
                      .set("wormhole_count", p.counters.wormhole_count)
                      .set("cache_hits", p.counters.cache_hits)
                      .set("cache_misses", p.counters.cache_misses)
-                     .set("cache_evictions", p.counters.cache_evictions))
+                     .set("cache_evictions", p.counters.cache_evictions)
+                     .set("links_failed", p.counters.links_failed)
+                     .set("links_restored", p.counters.links_restored)
+                     .set("circuits_killed", p.counters.circuits_killed)
+                     .set("circuits_invalidated",
+                          p.counters.circuits_invalidated)
+                     .set("unreachable_fallbacks",
+                          p.counters.unreachable_fallbacks)
+                     .set("routes_withdrawn", p.counters.routes_withdrawn)
+                     .set("route_timeouts", p.counters.route_timeouts))
             .set("metrics", std::move(metrics)));
   }
   return points;
@@ -234,7 +250,21 @@ sim::JsonValue stats_to_json(const core::SimulationStats& stats) {
       .set("probe_misroutes", stats.probe_misroutes)
       .set("release_requests", stats.release_requests)
       .set("teardowns", stats.teardowns)
-      .set("buffer_reallocs", stats.buffer_reallocs);
+      .set("buffer_reallocs", stats.buffer_reallocs)
+      .set("faults", sim::JsonValue::object()
+                         .set("links_failed", stats.links_failed)
+                         .set("links_restored", stats.links_restored)
+                         .set("circuits_killed", stats.circuits_killed)
+                         .set("circuits_invalidated", stats.circuits_invalidated)
+                         .set("probes_killed", stats.probes_killed)
+                         .set("transfers_aborted", stats.transfers_aborted)
+                         .set("unreachable_fallbacks",
+                              stats.unreachable_fallbacks)
+                         .set("routes_withdrawn", stats.routes_withdrawn)
+                         .set("route_timeouts", stats.route_timeouts)
+                         .set("dv_updates_sent", stats.dv_updates_sent)
+                         .set("dv_triggered_updates", stats.dv_triggered_updates)
+                         .set("dv_adverts_dropped", stats.dv_adverts_dropped));
 }
 
 }  // namespace wavesim::harness

@@ -74,6 +74,14 @@ struct CounterSummary {
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   std::uint64_t cache_evictions = 0;
+  // Dynamic faults (zeros without a fault schedule).
+  std::uint64_t links_failed = 0;
+  std::uint64_t links_restored = 0;
+  std::uint64_t circuits_killed = 0;
+  std::uint64_t circuits_invalidated = 0;
+  std::uint64_t unreachable_fallbacks = 0;
+  std::uint64_t routes_withdrawn = 0;
+  std::uint64_t route_timeouts = 0;
 };
 
 /// Merged outcome of all replicas of one sweep point.

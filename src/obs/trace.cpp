@@ -28,6 +28,7 @@ sim::JsonValue args_of(const Event& e) {
   sim::JsonValue args = sim::JsonValue::object();
   if (e.msg != kInvalidMessage) args.set("msg", e.msg);
   if (e.circuit != kInvalidCircuit) args.set("circuit", e.circuit);
+  if (e.port != kInvalidPort) args.set("port", e.port);
   return args;
 }
 
@@ -159,6 +160,7 @@ sim::JsonValue TraceRecorder::to_json(std::int32_t num_nodes) const {
         break;
       case EventKind::kSetupAbandoned:
       case EventKind::kTeardownStarted:
+      case EventKind::kCircuitInvalidated:  // link failure closes the span
         if (e.circuit != kInvalidCircuit &&
             open_circuits.erase(e.circuit) > 0) {
           records.push_back(async_record(
@@ -172,6 +174,9 @@ sim::JsonValue TraceRecorder::to_json(std::int32_t num_nodes) const {
       case EventKind::kBacktracked:
       case EventKind::kMisrouted:
       case EventKind::kForceTeardown:
+      case EventKind::kLinkDown:
+      case EventKind::kLinkUp:
+      case EventKind::kRouteWithdrawn:
         records.push_back(instant_record(e));
         break;
     }

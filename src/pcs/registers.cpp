@@ -83,6 +83,14 @@ void SwitchRegisters::mark_faulty(PortId out_port) {
   ch.status = ChannelStatus::kFaulty;
 }
 
+void SwitchRegisters::clear_faulty(PortId out_port) {
+  OutChannel& ch = at(out_port);
+  if (ch.status != ChannelStatus::kFaulty) {
+    throw std::logic_error("clear_faulty on non-faulty channel");
+  }
+  ch = OutChannel{};
+}
+
 PortId SwitchRegisters::direct_map(PortId in_port) const {
   for (PortId p = 0; p < num_ports(); ++p) {
     const OutChannel& ch = out_[p];

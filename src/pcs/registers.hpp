@@ -59,6 +59,8 @@ class SwitchRegisters {
   /// Teardown: the pair is free again.
   void release_circuit(PortId out_port);
   void mark_faulty(PortId out_port);
+  /// Link recovery (dynamic faults): the channel pair is selectable again.
+  void clear_faulty(PortId out_port);
 
   /// Mapping queries (paper: Direct / Reverse Channel Mappings). Input and
   /// output are ports of this node; kLocalEndpoint marks circuit ends.

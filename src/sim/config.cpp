@@ -35,6 +35,16 @@ const char* to_string(ProtocolKind kind) noexcept {
   return "?";
 }
 
+const char* to_string(FaultEventKind kind) noexcept {
+  switch (kind) {
+    case FaultEventKind::kLinkDown: return "link-down";
+    case FaultEventKind::kLinkUp: return "link-up";
+    case FaultEventKind::kNodeDown: return "node-down";
+    case FaultEventKind::kNodeUp: return "node-up";
+  }
+  return "?";
+}
+
 const char* to_string(ClrpVariant variant) noexcept {
   switch (variant) {
     case ClrpVariant::kFull: return "full";
@@ -79,6 +89,11 @@ bool from_string(const std::string& name, ProtocolKind& out) noexcept {
 
 bool from_string(const std::string& name, ClrpVariant& out) noexcept {
   return match_enum(name, ClrpVariant::kFull, ClrpVariant::kSingleSwitch, out);
+}
+
+bool from_string(const std::string& name, FaultEventKind& out) noexcept {
+  return match_enum(name, FaultEventKind::kLinkDown, FaultEventKind::kNodeUp,
+                    out);
 }
 
 void SimConfig::validate() const {
@@ -136,6 +151,63 @@ void SimConfig::validate() const {
   }
   if (faults.link_fault_rate < 0.0 || faults.link_fault_rate >= 1.0) {
     fail("link_fault_rate must be in [0, 1)");
+  }
+  if (faults.dynamic()) {
+    if (router.wave_switches < 1) {
+      fail("dynamic fault schedules target the circuit planes; they need "
+           "wave_switches >= 1");
+    }
+    if (protocol.pcs_only) {
+      fail("dynamic fault schedules need the wormhole fallback; pcs_only "
+           "has none");
+    }
+    const std::int32_t nodes = num_nodes();
+    const auto dims = static_cast<std::int32_t>(topology.radix.size());
+    for (const FaultEvent& e : faults.events) {
+      if (e.node < 0 || e.node >= nodes) {
+        fail("fault event node " + std::to_string(e.node) +
+             " out of range [0, " + std::to_string(nodes) + ")");
+      }
+      const bool link_event = e.kind == FaultEventKind::kLinkDown ||
+                              e.kind == FaultEventKind::kLinkUp;
+      if (link_event) {
+        if (e.port < 0 || e.port >= 2 * dims) {
+          fail("fault event port " + std::to_string(e.port) +
+               " out of range [0, " + std::to_string(2 * dims) + ")");
+        }
+        if (!topology.torus) {
+          // Mesh boundary: the named link must actually have a neighbor.
+          const std::int32_t dim = e.port / 2;
+          std::int32_t stride = 1;
+          for (std::int32_t d = dims - 1; d > dim; --d) {
+            stride *= topology.radix[static_cast<std::size_t>(d)];
+          }
+          const std::int32_t r = topology.radix[static_cast<std::size_t>(dim)];
+          const std::int32_t c = (e.node / stride) % r;
+          const bool positive = (e.port % 2) == 0;
+          if ((positive && c == r - 1) || (!positive && c == 0)) {
+            fail("fault event targets a mesh boundary port with no link "
+                 "(node " + std::to_string(e.node) + ", port " +
+                 std::to_string(e.port) + ")");
+          }
+        }
+      }
+      if (!link_event && nodes < 2) {
+        fail("node fault events need >= 2 nodes");
+      }
+    }
+    if (faults.storm.fraction < 0.0 || faults.storm.fraction >= 1.0) {
+      fail("storm fraction must be in [0, 1)");
+    }
+    if (faults.churn.rate < 0.0 || faults.churn.rate > 1.0) {
+      fail("churn rate must be in [0, 1]");
+    }
+    if (faults.churn.rate > 0.0 && faults.churn.until <= faults.churn.from) {
+      fail("churn window must be non-empty (until > from)");
+    }
+    if (faults.dv.advert_period < 1) fail("dv advert_period must be >= 1");
+    if (faults.dv.timeout_periods < 1) fail("dv timeout_periods must be >= 1");
+    if (faults.dv.hop_cycles < 0) fail("dv hop_cycles must be >= 0");
   }
   if (software.wormhole_send_overhead < 0 ||
       software.circuit_first_send_overhead < 0 ||

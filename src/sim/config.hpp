@@ -137,12 +137,83 @@ struct SoftwareConfig {
   std::int32_t buffer_realloc_penalty = 0;
 };
 
+/// Dynamic fault event kinds (docs/FAULTS.md). Link events name the
+/// bidirectional link leaving `node` through `port`; both directions and
+/// all k circuit switches fail together. Node events fail every circuit
+/// link incident to the node (its PCS switches go down); the node itself
+/// keeps injecting/ejecting wormhole traffic.
+enum class FaultEventKind { kLinkDown, kLinkUp, kNodeDown, kNodeUp };
+
+const char* to_string(FaultEventKind kind) noexcept;
+bool from_string(const std::string& name, FaultEventKind& out) noexcept;
+
+/// One scheduled fault event, applied at the top of cycle `at` before any
+/// traffic of that cycle moves.
+struct FaultEvent {
+  Cycle at = 0;
+  FaultEventKind kind = FaultEventKind::kLinkDown;
+  NodeId node = 0;
+  PortId port = 0;  ///< ignored for node events
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+/// Failure burst: at cycle `at`, `fraction` of all bidirectional links
+/// fail at once (drawn deterministically from the run seed); each comes
+/// back `repair_after` cycles later (0 = permanent). Active iff
+/// fraction > 0.
+struct FaultStorm {
+  Cycle at = 0;
+  double fraction = 0.0;
+  Cycle repair_after = 0;
+  friend bool operator==(const FaultStorm&, const FaultStorm&) = default;
+};
+
+/// Poisson link churn over [from, until): per-cycle failure probability
+/// `rate` across the network, each failed link repaired after an
+/// exponential delay with mean `mean_repair` (0 = permanent). Active iff
+/// rate > 0.
+struct FaultChurn {
+  double rate = 0.0;
+  Cycle from = 0;
+  Cycle until = 0;
+  Cycle mean_repair = 0;
+  friend bool operator==(const FaultChurn&, const FaultChurn&) = default;
+};
+
+/// RIP-style distance-vector reachability layer parameters (triggered
+/// updates, split horizon with poisoned reverse, route timeouts). Runs
+/// over the S0 control plane, which never fails.
+struct DistanceVectorConfig {
+  /// Cycles between full periodic advertisements while the plane is
+  /// active (faults recent or updates in flight).
+  Cycle advert_period = 256;
+  /// A route not refreshed for timeout_periods * advert_period cycles is
+  /// withdrawn (metric = infinity).
+  std::int32_t timeout_periods = 3;
+  /// Per-hop latency of an advertisement; 0 = use control_hop_cycles.
+  std::int32_t hop_cycles = 0;
+  friend bool operator==(const DistanceVectorConfig&,
+                         const DistanceVectorConfig&) = default;
+};
+
 struct FaultConfig {
   /// Fraction of unidirectional circuit data channels statically marked
   /// faulty (with the paired control channel). The S0 wormhole plane stays
   /// fault-free so the wormhole fallback always works — this matches the
   /// paper's fault story, which is about MB-m probe setup resilience.
   double link_fault_rate = 0.0;
+  /// Explicit dynamic fault events, applied at cycle boundaries. Dynamic
+  /// faults also only touch the circuit planes; S0 stays healthy.
+  std::vector<FaultEvent> events;
+  FaultStorm storm;
+  FaultChurn churn;
+  DistanceVectorConfig dv;
+
+  /// True when any dynamic fault source is configured (the fault plane is
+  /// only constructed — and only costs anything — in that case).
+  bool dynamic() const noexcept {
+    return !events.empty() || storm.fraction > 0.0 || churn.rate > 0.0;
+  }
 };
 
 struct SimConfig {

@@ -38,6 +38,13 @@ ProgressWatchdog::Snapshot ProgressWatchdog::take() const {
   if (const auto* dp = network_.data_plane(); dp != nullptr) {
     s.circuit_flits = dp->flits_delivered();
   }
+  if (const auto* fp = network_.fault_plane(); fp != nullptr) {
+    const auto& fc = fp->counters();
+    const auto& dc = fp->dv().counters();
+    s.fault_events = fc.links_failed + fc.links_restored + dc.updates_sent +
+                     dc.routes_withdrawn + dc.route_timeouts +
+                     dc.adverts_dropped;
+  }
   return s;
 }
 
@@ -51,6 +58,14 @@ Verdict ProgressWatchdog::poll() {
     return Verdict::kProgressing;
   }
   if (network_.quiescent()) {
+    stalled_ = 0;
+    return Verdict::kIdle;
+  }
+  // Traffic fully drained with a dormant fault plane: the network is
+  // deliberately parked until the next scheduled fault event, which is
+  // progress-by-schedule, not a stall.
+  if (const auto* fp = network_.fault_plane();
+      fp != nullptr && fp->dormant() && network_.traffic_quiescent()) {
     stalled_ = 0;
     return Verdict::kIdle;
   }

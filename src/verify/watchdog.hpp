@@ -35,6 +35,7 @@ class ProgressWatchdog {
     std::uint64_t probe_moves = 0;
     std::uint64_t circuit_flits = 0;
     std::uint64_t control_events = 0;
+    std::uint64_t fault_events = 0;  ///< link flips + DV protocol actions
 
     friend bool operator==(const Snapshot&, const Snapshot&) = default;
   };

@@ -92,6 +92,63 @@ TEST(Scenario, FromJsonRejectsCorruptDocuments) {
   EXPECT_THROW(Scenario::from_json(sim::JsonValue(1.0)), std::runtime_error);
 }
 
+TEST(Scenario, RepairCanonicalizesStormFields) {
+  // Wormhole-only and pcs-only configurations cannot carry a dynamic
+  // storm (no circuit planes to fail / no fallback): repair zeroes it.
+  Scenario s = Scenario::generate(4);
+  s.protocol = sim::ProtocolKind::kWormholeOnly;
+  s.storm_fraction = 0.3;
+  s.storm_at = 500;
+  s.storm_repair = 100;
+  s.repair();
+  EXPECT_EQ(s.storm_fraction, 0.0);
+  EXPECT_EQ(s.storm_at, 0u);
+  EXPECT_EQ(s.storm_repair, 0u);
+
+  Scenario p = Scenario::generate(4);
+  p.protocol = sim::ProtocolKind::kClrp;
+  p.pcs_only = true;
+  p.storm_fraction = 0.3;
+  p.repair();
+  EXPECT_EQ(p.storm_fraction, 0.0);
+
+  // An active storm lands inside the injection window.
+  Scenario a = Scenario::generate(4);
+  a.protocol = sim::ProtocolKind::kClrp;
+  a.pcs_only = false;
+  a.storm_fraction = 0.2;
+  a.storm_at = 1'000'000;
+  a.repair();
+  EXPECT_GT(a.storm_fraction, 0.0);
+  EXPECT_LE(a.storm_at, a.inject_cycles);
+  EXPECT_GE(a.storm_at, 1u);
+  EXPECT_NO_THROW(a.to_config().validate()) << a.label();
+  EXPECT_GT(a.to_config().faults.storm.fraction, 0.0);
+  EXPECT_TRUE(a.to_config().faults.dynamic());
+}
+
+TEST(Scenario, GenerationDrawsStormsAndEnsureStormForcesOne) {
+  std::size_t with_storm = 0;
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    const Scenario s = Scenario::generate(harness::derive_seed(13, seed, 0));
+    if (s.storm_fraction > 0.0) ++with_storm;
+    Scenario forced = s;
+    forced.ensure_storm();
+    EXPECT_GT(forced.storm_fraction, 0.0) << s.label();
+    EXPECT_NO_THROW(forced.to_config().validate()) << forced.label();
+    // ensure_storm is deterministic and stable under re-application.
+    Scenario again = s;
+    again.ensure_storm();
+    EXPECT_EQ(again, forced);
+    again.ensure_storm();
+    EXPECT_EQ(again, forced);
+  }
+  // Roughly a third of generated scenarios carry a storm; the exact count
+  // is pinned by the seeds, the band just guards the draw probability.
+  EXPECT_GT(with_storm, 20u);
+  EXPECT_LT(with_storm, 140u);
+}
+
 Scenario small_scenario() {
   Scenario s = Scenario::generate(5);
   s.radix = {4, 4};

@@ -38,7 +38,8 @@ def extract_points(doc: dict) -> dict[str, float]:
     """Flatten a bench_engine export into {point-key: kcycles/s}.
 
     Keys are stable across runs so the baseline can be diffed by hand:
-    ``seq``, ``par-s<shards>``, ``wh-par-s<shards>-L<lookahead>``.
+    ``seq``, ``par-s<shards>``, ``wh-par-s<shards>-L<lookahead>``,
+    ``fault-seq``/``fault-par-s<shards>`` (failure-storm legs).
     """
     extra = doc["extra"]
     points: dict[str, float] = {"seq": float(extra["seq_kcycles_per_s"])}
@@ -46,6 +47,10 @@ def extract_points(doc: dict) -> dict[str, float]:
         points[f"par-s{p['shards']}"] = float(p["kcycles_per_s"])
     for p in extra.get("lookahead_points", []):
         key = f"wh-par-s{p['shards']}-L{p['lookahead']}"
+        points[key] = float(p["kcycles_per_s"])
+    for p in extra.get("fault_points", []):
+        key = ("fault-seq" if p.get("shards", 0) == 0
+               else f"fault-par-s{p['shards']}")
         points[key] = float(p["kcycles_per_s"])
     return points
 
@@ -104,6 +109,13 @@ def main() -> int:
         f"{base.get('generated_by', '?')} on "
         f"{base.get('host_threads', '?')} host thread(s)",
         "",
+    ]
+    overhead = doc["extra"].get("fault_overhead_ratio")
+    if overhead is not None:
+        lines.append(f"fault hook healthy-path overhead: {overhead:.3f}x "
+                     "(<= 1.05x gate enforced by bench_engine itself)")
+        lines.append("")
+    lines += [
         "| point | kcycles/s | baseline | ratio | verdict |",
         "|---|---|---|---|---|",
     ]
