@@ -25,6 +25,7 @@ const char* to_string(CheckStatus status) noexcept {
     case CheckStatus::kOk: return "ok";
     case CheckStatus::kViolation: return "violation";
     case CheckStatus::kSkipped: return "skipped";
+    case CheckStatus::kBoundedOut: return "bounded-out";
   }
   return "?";
 }
@@ -138,7 +139,9 @@ ConfigReport analyze_config(const sim::SimConfig& config,
                          "reserved by other probes")
               : make_row("mbm-no-wait", CheckStatus::kOk,
                          "MB-m probes backtrack instead of waiting; timing "
-                         "covered by simcheck MB-m event oracle"));
+                         "covered by simcheck MB-m event oracle and "
+                         "exhaustively by bmc-no-wait-cycle on the BMC "
+                         "slice"));
 
   // Theorem 1 premise: a Force=1 probe waits only on channels of circuits
   // that completed establishment.
@@ -153,7 +156,9 @@ ConfigReport analyze_config(const sim::SimConfig& config,
                          "established")
               : make_row("force-waits-only-on-acked", CheckStatus::kOk,
                          "Force waits only on established circuits; "
-                         "acked-before-wait covered by simcheck fsck oracle"));
+                         "acked-before-wait covered at runtime by fsck I7 "
+                         "and exhaustively by bmc-force-waits-only-on-acked "
+                         "on the BMC slice"));
 
   // Theorem 1 premise: release requests / teardowns are single control
   // flits that sink unconditionally.
@@ -167,7 +172,8 @@ ConfigReport analyze_config(const sim::SimConfig& config,
                          "control channels")
               : make_row("releases-wait-free", CheckStatus::kOk,
                          "releases reserve nothing; drain behavior covered "
-                         "by simcheck check_drained oracle"));
+                         "by simcheck check_drained oracle and exhaustively "
+                         "by bmc-teardown-drains on the BMC slice"));
 
   // Theorems 3/4 premise: the wormhole fallback routes minimally, so the
   // distance-to-destination argument bounds its progress.
@@ -191,7 +197,8 @@ ConfigReport analyze_config(const sim::SimConfig& config,
               ? make_row("livelock-bounds", CheckStatus::kSkipped,
                          "pcs_only retries are unbounded; delivery relies on "
                          "retry fairness, covered by simcheck progress "
-                         "watchdog: " + report.bounds.describe())
+                         "watchdog and by bmc-no-deadlock on the BMC "
+                         "slice: " + report.bounds.describe())
               : make_row("livelock-bounds", CheckStatus::kOk,
                          report.bounds.describe() +
                              "; enforced at runtime by the MB-m event "

@@ -25,10 +25,12 @@
 namespace wavesim::analysis {
 
 enum class CheckStatus : std::uint8_t {
-  kOk,         ///< premise verified for this configuration
-  kViolation,  ///< premise refuted; detail + witness say how
-  kSkipped,    ///< not statically checkable here; detail names the runtime
-               ///< oracle that covers it
+  kOk,          ///< premise verified for this configuration
+  kViolation,   ///< premise refuted; detail + witness say how
+  kSkipped,     ///< not statically checkable here; detail names the runtime
+                ///< oracle or BMC row that covers it
+  kBoundedOut,  ///< bounded model checking ran out of budget before either
+                ///< verifying or refuting; never counts as ok
 };
 
 const char* to_string(CheckStatus status) noexcept;

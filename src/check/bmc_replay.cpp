@@ -1,0 +1,166 @@
+#include "check/bmc_replay.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "core/simulation.hpp"
+#include "verify/delivery.hpp"
+#include "verify/fsck.hpp"
+
+namespace wavesim::check {
+
+namespace {
+
+constexpr Cycle kMaxReplayCycles = 20'000;
+constexpr std::int32_t kReplayFlits = 16;
+
+/// The launch order the schedule prescribes: kStart steps in trace order
+/// for a counterexample, plain job order for a clean replay.
+std::vector<std::int32_t> launch_order(const model::BmcReport& report) {
+  std::vector<std::int32_t> order;
+  for (const model::TraceStep& step : report.counterexample) {
+    if (step.step.kind == model::StepKind::kStart) {
+      order.push_back(step.step.job);
+    }
+  }
+  // The schedule may violate before every job launched; append the rest so
+  // the concrete run carries the same total load.
+  std::vector<bool> seen(report.jobs.size(), false);
+  for (std::int32_t j : order) seen[static_cast<std::size_t>(j)] = true;
+  for (std::size_t j = 0; j < report.jobs.size(); ++j) {
+    if (!seen[j]) order.push_back(static_cast<std::int32_t>(j));
+  }
+  return order;
+}
+
+struct SpacingOutcome {
+  bool violated = false;   ///< fsck / drain / delivery objected
+  std::string what;        ///< first objection (empty when clean)
+};
+
+/// One concrete run: inject the job set in `order`, `spacing` cycles
+/// apart, stepping under a per-cycle control-plane fsck.
+SpacingOutcome replay_once(const model::BmcReport& report,
+                           const std::vector<std::int32_t>& order,
+                           Cycle spacing) {
+  SpacingOutcome outcome;
+  core::Simulation sim(report.config);
+  const bool carp =
+      report.config.protocol.protocol == sim::ProtocolKind::kCarp;
+
+  const auto fsck = [&]() {
+    const verify::CheckResult res =
+        verify::check_control_state(sim.network());
+    if (!res.ok() && !outcome.violated) {
+      outcome.violated = true;
+      outcome.what = "fsck at cycle " + std::to_string(sim.now()) + ": " +
+                     res.violations.front();
+    }
+    return outcome.violated;
+  };
+
+  std::vector<MessageId> ids;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const model::Job& job =
+        report.jobs[static_cast<std::size_t>(order[i])];
+    if (carp) sim.establish_circuit(job.src, job.dest, kReplayFlits);
+    ids.push_back(sim.send(job.src, job.dest, kReplayFlits));
+    if (i + 1 < order.size()) {
+      for (Cycle c = 0; c < spacing; ++c) {
+        sim.step();
+        if (fsck()) return outcome;
+      }
+    }
+  }
+
+  const auto all_done = [&]() {
+    for (MessageId id : ids) {
+      if (!sim.message_done(id)) return false;
+    }
+    return true;
+  };
+
+  Cycle waited = 0;
+  while (!(all_done() && sim.network().quiescent())) {
+    if (waited++ >= kMaxReplayCycles) {
+      outcome.violated = true;
+      if (all_done()) {
+        outcome.what = "network failed to drain within " +
+                       std::to_string(kMaxReplayCycles) + " cycles";
+      } else {
+        outcome.what = "messages undelivered after " +
+                       std::to_string(kMaxReplayCycles) + " cycles";
+      }
+      return outcome;
+    }
+    sim.step();
+    if (fsck()) return outcome;
+  }
+
+  const verify::CheckResult drained = verify::check_drained(sim.network());
+  if (!drained.ok()) {
+    outcome.violated = true;
+    outcome.what = "drained-state check: " + drained.violations.front();
+  }
+  return outcome;
+}
+
+}  // namespace
+
+BmcReplayResult replay_bmc(const model::BmcReport& report) {
+  BmcReplayResult result;
+  const bool violated = !report.violated_row.empty();
+  result.mode = violated ? "counterexample" : "clean";
+  const std::vector<std::int32_t> order = launch_order(report);
+
+  // Timing is the one thing the model abstracts, so a counterexample gets
+  // several injection spacings; any one reproducing the failure confirms
+  // the schedule is realizable. A clean verdict must survive all of them.
+  const std::vector<Cycle> spacings =
+      violated ? std::vector<Cycle>{0, 2, 6, 12} : std::vector<Cycle>{0, 4};
+
+  bool any_violated = false;
+  bool all_clean = true;
+  for (Cycle spacing : spacings) {
+    const SpacingOutcome outcome = replay_once(report, order, spacing);
+    std::ostringstream line;
+    line << "spacing " << spacing << ": "
+         << (outcome.violated ? outcome.what : "clean run, drained");
+    result.log.push_back(line.str());
+    if (outcome.violated) {
+      any_violated = true;
+      all_clean = false;
+    }
+  }
+
+  std::ostringstream detail;
+  if (violated) {
+    result.agreed = any_violated;
+    if (result.agreed) {
+      detail << "concrete replay reproduces the " << report.violated_row
+             << " counterexample";
+    } else {
+      detail << "DISAGREEMENT: concrete replay stayed clean for every "
+             << "spacing despite the " << report.violated_row
+             << " counterexample";
+    }
+  } else {
+    result.agreed = all_clean;
+    if (result.agreed) {
+      detail << "concrete replay agrees: delivered, fsck-clean and drained "
+             << "for every spacing";
+    } else {
+      detail << "DISAGREEMENT: concrete replay failed although the model "
+             << "found no violation";
+    }
+  }
+  detail << " [" << result.log.front();
+  for (std::size_t i = 1; i < result.log.size(); ++i) {
+    detail << "; " << result.log[i];
+  }
+  detail << ']';
+  result.detail = detail.str();
+  return result;
+}
+
+}  // namespace wavesim::check

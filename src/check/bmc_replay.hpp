@@ -1,0 +1,44 @@
+// Model-vs-runtime cross-validation for BMC verdicts (wavecheck --bmc).
+//
+// The abstract model (src/model) and the concrete simulator share the MB-m
+// decision procedure, but the model abstracts timing. This bridge closes
+// the loop: the kStart steps of a BMC schedule become a concrete injection
+// schedule, replayed through the real Simulation under the full per-cycle
+// fsck (invariants I1-I7). The contract is agreement in both directions:
+//   * a BMC counterexample must also break the concrete oracle stack for
+//     at least one injection spacing (the abstract bug is real), and
+//   * a clean exhaustive BMC run must replay with every message delivered,
+//     no fsck violation, and a drained network (the model did not pass
+//     because it abstracted the bug away).
+// Disagreement either way is reported as a bmc-replay-agreement violation
+// and fails the wavecheck run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/bmc.hpp"
+
+namespace wavesim::check {
+
+struct BmcReplayResult {
+  /// "counterexample" or "clean".
+  std::string mode;
+  /// True when model and runtime agree (see contract above).
+  bool agreed = false;
+  /// One line per replayed spacing: what happened.
+  std::vector<std::string> log;
+  /// Summary suitable for a CheckRow detail.
+  std::string detail;
+};
+
+/// Replay `report`'s verdict through the concrete simulator. Violated
+/// reports replay the counterexample's launch schedule and expect the
+/// oracle stack to object; clean complete reports replay the same job set
+/// and expect a clean, drained run. Bounded-out reports (complete=false,
+/// no violation) replay like clean ones — the runtime cannot contradict a
+/// non-verdict, but a crash-free agreed run is still required.
+BmcReplayResult replay_bmc(const model::BmcReport& report);
+
+}  // namespace wavesim::check

@@ -226,6 +226,16 @@ bool ControlPlane::probe_active(ProbeId probe) const {
   return it != probes_.end() && it->probe.id == probe;
 }
 
+std::vector<ControlPlane::WaitingProbe> ControlPlane::waiting_probes() const {
+  std::vector<WaitingProbe> out;
+  for (const ActiveProbe& ap : probes_) {
+    if (!ap.waiting) continue;
+    out.push_back(WaitingProbe{ap.probe.id, ap.node, ap.probe.switch_index,
+                               ap.wait_port, ap.wait_was_acked});
+  }
+  return out;
+}
+
 void ControlPlane::erase_probe(ProbeId id) {
   const auto it = std::lower_bound(
       probes_.begin(), probes_.end(), id,
@@ -373,7 +383,8 @@ void ControlPlane::step_probe(ActiveProbe& ap, Cycle now) {
   const auto& view = build_view(ap);
   const auto decision =
       pcs::decide(topology_, ap.node, ap.probe.dest, view, ap.arrival_port,
-                  ap.probe.misroutes, params_.max_misroutes, ap.probe.force);
+                  ap.probe.misroutes, params_.max_misroutes, ap.probe.force,
+                  params_.mutate_force_unacked);
 
   switch (decision.action) {
     case pcs::MbmAction::kDeliver:
@@ -415,6 +426,8 @@ void ControlPlane::step_probe(ActiveProbe& ap, Cycle now) {
       ++stats_.force_waits;
       ap.waiting = true;
       ap.wait_port = decision.port;
+      ap.wait_was_acked =
+          view[decision.port] == pcs::PortView::kBusyEstablished;
       request_release(ap, decision.port, now);
       return;
     }

@@ -42,6 +42,8 @@ struct ControlPlaneParams {
   /// a teardown); the retry guarantees the wait stays finite, preserving
   /// the Theorem-1 argument.
   std::int32_t release_retry_cycles = 128;
+  /// Seeded bug plumbed through pcs::decide (see ProtocolConfig).
+  bool mutate_force_unacked = false;
 };
 
 /// Probe finished: the circuit is established (success) or the search of
@@ -123,6 +125,21 @@ class ControlPlane {
   }
   std::size_t active_probes() const noexcept { return probes_.size(); }
   bool probe_active(ProbeId probe) const;
+
+  /// One parked Force probe, for fsck invariant I7: `was_acked` records
+  /// whether the wait target's circuit had returned its ack at the moment
+  /// the probe decided to wait (re-evaluated on every re-decide). The
+  /// decision-time snapshot is what Theorem 1 constrains; the channel may
+  /// legitimately change state afterwards, between the wait and the
+  /// probe's next re-decide.
+  struct WaitingProbe {
+    ProbeId probe = kInvalidProbe;
+    NodeId node = kInvalidNode;
+    std::int32_t switch_index = 0;
+    PortId port = kInvalidPort;
+    bool was_acked = false;
+  };
+  std::vector<WaitingProbe> waiting_probes() const;
   std::size_t travelling_flits() const noexcept { return flits_.size(); }
   bool idle() const noexcept { return probes_.empty() && flits_.empty(); }
 
@@ -169,6 +186,7 @@ class ControlPlane {
     std::vector<Hop> stack;           ///< reserved path back to the source
     bool waiting = false;             ///< Force probe parked on wait_port
     PortId wait_port = kInvalidPort;
+    bool wait_was_acked = false;      ///< wait target acked at decision time
     CircuitId release_requested_for = kInvalidCircuit;
     Cycle release_requested_at = 0;
     Cycle ready_at = 0;               ///< earliest cycle of the next hop

@@ -22,12 +22,12 @@ Network::Network(const sim::SimConfig& config)
       rng_(config.seed) {
   config_.validate();
   if (config_.router.wave_switches > 0) {
-    control_ = std::make_unique<ControlPlane>(
-        topology_, circuits_, gate_,
-        ControlPlaneParams{config_.router.wave_switches,
-                           config_.protocol.max_misroutes,
-                           config_.router.control_hop_cycles},
-        &instrumentation_);
+    ControlPlaneParams cp_params{config_.router.wave_switches,
+                                 config_.protocol.max_misroutes,
+                                 config_.router.control_hop_cycles};
+    cp_params.mutate_force_unacked = config_.protocol.mutate_force_unacked;
+    control_ = std::make_unique<ControlPlane>(topology_, circuits_, gate_,
+                                              cp_params, &instrumentation_);
     data_ = std::make_unique<DataPlane>(
         circuits_,
         DataPlaneParams{config_.circuit_flits_per_cycle(),

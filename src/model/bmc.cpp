@@ -1,0 +1,271 @@
+#include "model/bmc.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace wavesim::model {
+
+namespace {
+
+using analysis::CheckRow;
+using analysis::CheckStatus;
+
+verify::CycleWitness witness_of(const std::vector<TraceStep>& trace) {
+  verify::CycleWitness witness;
+  witness.graph = "bmc-trace";
+  witness.hops.reserve(trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    verify::WitnessHop hop;
+    hop.vertex = static_cast<std::int32_t>(i);
+    hop.name = trace[i].text;
+    hop.node = trace[i].node;
+    hop.port = trace[i].port;
+    hop.index = trace[i].step.job;
+    witness.hops.push_back(std::move(hop));
+  }
+  return witness;
+}
+
+}  // namespace
+
+bool BmcReport::ok() const noexcept {
+  for (const CheckRow& row : rows) {
+    if (row.status == CheckStatus::kViolation) return false;
+  }
+  return true;
+}
+
+std::size_t BmcReport::count(CheckStatus status) const noexcept {
+  std::size_t n = 0;
+  for (const CheckRow& row : rows) {
+    if (row.status == status) ++n;
+  }
+  return n;
+}
+
+bool bmc_supported(const sim::SimConfig& config, std::string* why) {
+  const auto reject = [why](const char* reason) {
+    if (why != nullptr) *why = reason;
+    return false;
+  };
+  if (config.protocol.protocol == sim::ProtocolKind::kWormholeOnly) {
+    return reject("the wormhole baseline has no probes or circuits to model");
+  }
+  std::int64_t nodes = 1;
+  for (std::int32_t r : config.topology.radix) nodes *= r;
+  if (nodes < 2 || nodes > 4) {
+    return reject("BMC envelope is 2-4 nodes; pass e.g. --radix 3 --mesh");
+  }
+  if (config.topology.radix.size() > 2) {
+    return reject("BMC envelope allows at most 2 dimensions");
+  }
+  if (config.router.wave_switches < 1 || config.router.wave_switches > 2) {
+    return reject("BMC envelope is k in {1, 2} wave switches");
+  }
+  if (config.protocol.circuit_cache_entries > 2) {
+    return reject("BMC envelope allows at most 2 circuit-cache entries");
+  }
+  if (config.protocol.max_misroutes > 2) {
+    return reject("BMC envelope allows at most 2 misroutes");
+  }
+  if (config.faults.link_fault_rate > 0.0 || config.faults.dynamic()) {
+    return reject("BMC models a fault-free control plane");
+  }
+  return true;
+}
+
+std::vector<Job> bmc_jobs(const sim::SimConfig& config) {
+  std::int64_t nodes = 1;
+  for (std::int32_t r : config.topology.radix) nodes *= r;
+  if (config.topology.radix.size() == 2) {
+    // 2x2 mesh/torus: two crossing diagonals plus the reverse of one, so
+    // probes contend on both dimensions.
+    return {{0, 3}, {1, 2}, {3, 0}};
+  }
+  switch (nodes) {
+    case 2:
+      return {{0, 1}, {1, 0}};
+    case 3:
+      // Two jobs share a source: with cache <= 2 this exercises launch
+      // blocking and the eviction path, plus a reverse-direction conflict.
+      return {{0, 2}, {0, 1}, {2, 0}};
+    default:
+      // Ring of 4: every job goes 2 hops; the torus tie-break sends all of
+      // them the positive way, the classic cyclic-conflict pattern.
+      return {{0, 2}, {1, 3}, {2, 0}, {3, 1}};
+  }
+}
+
+BmcReport run_bmc(const sim::SimConfig& config, const BmcOptions& options) {
+  std::string why;
+  if (!bmc_supported(config, &why)) {
+    throw std::invalid_argument("run_bmc: " + why);
+  }
+
+  BmcReport report;
+  report.id = analysis::config_label(config);
+  report.config = config;
+  report.jobs = bmc_jobs(config);
+
+  ProtocolModel model(config, report.jobs);
+  Explorer explorer(model);
+  ExploreOptions eopts;
+  eopts.max_states = options.max_states;
+  eopts.max_depth = options.max_depth;
+  const ExploreResult res = explorer.explore(eopts);
+
+  report.states = res.states;
+  report.transitions = res.transitions;
+  report.depth = res.depth;
+  report.complete = res.complete;
+  report.symmetry_group = res.symmetry_group;
+  if (res.has_violation) {
+    report.counterexample = res.violation.trace;
+    report.violated_row = res.violation.row;
+  }
+
+  const bool carp = config.protocol.protocol == sim::ProtocolKind::kCarp;
+  std::ostringstream exhaustive;
+  exhaustive << "exhaustive over " << res.states << " canonical states ("
+             << res.transitions << " transitions, depth " << res.depth
+             << ", symmetry group " << res.symmetry_group << ", "
+             << report.jobs.size() << " jobs)";
+  std::ostringstream bounded;
+  bounded << "budget exhausted after " << res.states << " states / depth "
+          << res.depth << " without a violation; NOT a proof — raise "
+          << "--bmc-states/--bmc-depth";
+
+  const auto add_row = [&](const char* id, const char* skip_detail) {
+    CheckRow row;
+    row.id = id;
+    if (skip_detail != nullptr) {
+      row.status = CheckStatus::kSkipped;
+      row.detail = skip_detail;
+    } else if (res.has_violation && res.violation.row == id) {
+      row.status = CheckStatus::kViolation;
+      std::ostringstream detail;
+      detail << res.violation.detail << " (schedule of "
+             << res.violation.trace.size() << " steps)";
+      row.detail = detail.str();
+      row.witness = witness_of(res.violation.trace);
+    } else if (res.complete) {
+      row.status = CheckStatus::kOk;
+      row.detail = exhaustive.str();
+    } else if (res.has_violation) {
+      // Exploration stopped at another row's counterexample; this row was
+      // neither proven nor refuted.
+      row.status = CheckStatus::kBoundedOut;
+      row.detail = "exploration stopped at the " + res.violation.row +
+                   " counterexample before covering the state space";
+    } else {
+      row.status = CheckStatus::kBoundedOut;
+      row.detail = bounded.str();
+    }
+    report.rows.push_back(std::move(row));
+  };
+
+  add_row("bmc-force-waits-only-on-acked",
+          carp ? "CARP never sets Force, so the premise is vacuous here"
+               : nullptr);
+  add_row("bmc-no-wait-cycle", nullptr);
+  add_row("bmc-teardown-drains", nullptr);
+  add_row("bmc-no-deadlock", nullptr);
+  return report;
+}
+
+std::vector<sim::SimConfig> enumerate_bmc_configs() {
+  std::vector<sim::SimConfig> out;
+
+  struct Topo {
+    std::vector<std::int32_t> radix;
+    bool torus;
+  };
+  const std::vector<Topo> topos = {
+      {{2}, false}, {{3}, false}, {{4}, true}, {{2, 2}, false}};
+
+  const auto base = [](const Topo& t) {
+    sim::SimConfig config;
+    config.topology.radix = t.radix;
+    config.topology.torus = t.torus;
+    config.router.routing = sim::RoutingKind::kDimensionOrder;
+    config.router.wormhole_vcs = 2;
+    config.protocol.circuit_cache_entries = 1;
+    return config;
+  };
+
+  for (const Topo& t : topos) {
+    // CLRP full: the whole (k, m) corner of the envelope.
+    for (std::int32_t k : {1, 2}) {
+      for (std::int32_t m : {0, 1}) {
+        sim::SimConfig config = base(t);
+        config.protocol.protocol = sim::ProtocolKind::kClrp;
+        config.protocol.clrp_variant = sim::ClrpVariant::kFull;
+        config.router.wave_switches = k;
+        config.protocol.max_misroutes = m;
+        out.push_back(config);
+      }
+    }
+    // Variants and CARP at one representative (k, m) point each.
+    {
+      sim::SimConfig config = base(t);
+      config.protocol.protocol = sim::ProtocolKind::kClrp;
+      config.protocol.clrp_variant = sim::ClrpVariant::kForceFirst;
+      config.router.wave_switches = 1;
+      config.protocol.max_misroutes = 1;
+      out.push_back(config);
+    }
+    {
+      sim::SimConfig config = base(t);
+      config.protocol.protocol = sim::ProtocolKind::kClrp;
+      config.protocol.clrp_variant = sim::ClrpVariant::kSingleSwitch;
+      config.router.wave_switches = 2;
+      config.protocol.max_misroutes = 0;
+      out.push_back(config);
+    }
+    {
+      sim::SimConfig config = base(t);
+      config.protocol.protocol = sim::ProtocolKind::kCarp;
+      config.router.wave_switches = 1;
+      config.protocol.max_misroutes = 1;
+      out.push_back(config);
+    }
+  }
+  // Cache-pressure point: two same-source jobs against a 2-entry cache.
+  {
+    sim::SimConfig config;
+    config.topology.radix = {3};
+    config.topology.torus = false;
+    config.protocol.protocol = sim::ProtocolKind::kClrp;
+    config.protocol.clrp_variant = sim::ClrpVariant::kFull;
+    config.router.wave_switches = 1;
+    config.protocol.max_misroutes = 1;
+    config.protocol.circuit_cache_entries = 2;
+    out.push_back(config);
+  }
+  // pcs_only: unbounded retries, the deadlock row earns its keep.
+  for (const auto& radix : {std::vector<std::int32_t>{3},
+                            std::vector<std::int32_t>{4}}) {
+    sim::SimConfig config;
+    config.topology.radix = radix;
+    config.topology.torus = radix[0] == 4;
+    config.protocol.protocol = sim::ProtocolKind::kClrp;
+    config.protocol.clrp_variant = sim::ClrpVariant::kFull;
+    config.router.wave_switches = 1;
+    config.protocol.max_misroutes = 1;
+    config.protocol.circuit_cache_entries = 1;
+    config.protocol.pcs_only = true;
+    out.push_back(config);
+  }
+
+  for (const sim::SimConfig& config : out) {
+    config.validate();  // enumerations must stay inside the design space
+    std::string why;
+    if (!bmc_supported(config, &why)) {
+      throw std::logic_error("enumerate_bmc_configs: " + why);
+    }
+  }
+  return out;
+}
+
+}  // namespace wavesim::model

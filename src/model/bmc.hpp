@@ -1,0 +1,74 @@
+// Bounded model checking behind wavecheck (--bmc).
+//
+// run_bmc() explores every interleaving of a small fixed job set over one
+// configuration restricted to the BMC envelope (2-4 nodes, k <= 2, cache
+// <= 2, m <= 2, no faults) and turns the result into CheckRows in the same
+// shape the static analyzer emits, closing the rows analyze_config() must
+// skip:
+//   bmc-force-waits-only-on-acked  Theorem 1 linchpin, checked at every
+//                                  Force decision (CARP: skipped, no Force);
+//   bmc-no-wait-cycle              no wait-for cycle among parked probes in
+//                                  any reachable state;
+//   bmc-teardown-drains            a teardown only frees hops its own
+//                                  circuit acked;
+//   bmc-no-deadlock                every successor-free state is terminally
+//                                  happy (done / fallen back / idle cached
+//                                  circuit).
+// A row is kOk only when exploration was exhaustive; a budget exit yields
+// kBoundedOut, never ok. A violation carries the decoded counterexample
+// both as a CycleWitness (graph "bmc-trace", one hop per schedule step, in
+// the exact format wavecheck already prints) and as the raw trace for the
+// concrete-replay bridge (check/bmc_replay.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/analyze.hpp"
+#include "model/explorer.hpp"
+#include "model/model.hpp"
+#include "sim/config.hpp"
+
+namespace wavesim::model {
+
+struct BmcOptions {
+  std::int64_t max_states = 200000;
+  std::int32_t max_depth = 4096;
+};
+
+struct BmcReport {
+  std::string id;  ///< analysis::config_label() of the config
+  sim::SimConfig config;
+  std::vector<Job> jobs;
+  std::int64_t states = 0;
+  std::int64_t transitions = 0;
+  std::int32_t depth = 0;
+  bool complete = false;
+  std::int32_t symmetry_group = 1;
+  std::vector<analysis::CheckRow> rows;
+  /// Non-empty iff a row was violated: the full counterexample schedule.
+  std::vector<TraceStep> counterexample;
+  std::string violated_row;  ///< id of the violated row ("" if none)
+
+  bool ok() const noexcept;
+  std::size_t count(analysis::CheckStatus status) const noexcept;
+};
+
+/// True when `config` fits the abstracted model's envelope. On rejection,
+/// `why` (if non-null) gets a one-line reason.
+bool bmc_supported(const sim::SimConfig& config, std::string* why = nullptr);
+
+/// The fixed job set explored for `config` (chosen per topology so the
+/// interleavings exercise contention, the cache, and cyclic conflicts).
+std::vector<Job> bmc_jobs(const sim::SimConfig& config);
+
+/// Explore `config` and fill the report. Throws std::invalid_argument when
+/// bmc_supported() is false.
+BmcReport run_bmc(const sim::SimConfig& config, const BmcOptions& options);
+
+/// The BMC slice of the design space: every supported protocol/variant over
+/// 2-4 node lines, rings and a 2x2 mesh with k <= 2, m <= 1, cache <= 2.
+std::vector<sim::SimConfig> enumerate_bmc_configs();
+
+}  // namespace wavesim::model

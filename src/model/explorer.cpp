@@ -1,0 +1,248 @@
+#include "model/explorer.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+
+namespace wavesim::model {
+
+namespace {
+
+std::uint8_t remap_channel(std::uint8_t c,
+                           const std::vector<std::int32_t>& job_map) {
+  if (c == 0) return 0;
+  const std::int32_t job = (c - 1) / 2;
+  const std::int32_t tag = (c - 1) % 2;  // 0 = reserved, 1 = acked
+  return static_cast<std::uint8_t>(
+      1 + 2 * job_map[static_cast<std::size_t>(job)] + tag);
+}
+
+}  // namespace
+
+Explorer::Explorer(const ProtocolModel& model) : model_(model) {
+  const topo::KAryNCube& topo = model_.topology();
+  // Candidate automorphisms: translations of a 1-D ring. Anything else
+  // (meshes, multi-dim) keeps the identity only.
+  if (topo.num_dims() != 1 || !topo.torus()) return;
+  const std::int32_t n = topo.num_nodes();
+  for (std::int32_t t = 1; t < n; ++t) {
+    Perm perm;
+    perm.node_map.resize(static_cast<std::size_t>(n));
+    for (NodeId v = 0; v < n; ++v) {
+      perm.node_map[static_cast<std::size_t>(v)] = (v + t) % n;
+    }
+    if (certify(perm)) perms_.push_back(std::move(perm));
+  }
+}
+
+bool Explorer::certify(Perm& perm) const {
+  const topo::KAryNCube& topo = model_.topology();
+  const std::int32_t n = topo.num_nodes();
+  const auto pi = [&perm](NodeId v) {
+    return perm.node_map[static_cast<std::size_t>(v)];
+  };
+  // (a) neighbor commutation: pi(neighbor(v, p)) == neighbor(pi(v), p),
+  // including the no-neighbor case, for every port with ports unchanged.
+  for (NodeId v = 0; v < n; ++v) {
+    for (PortId p = 0; p < topo.num_ports(); ++p) {
+      const NodeId via = topo.neighbor(v, p);
+      const NodeId mapped = topo.neighbor(pi(v), p);
+      if (via == kInvalidNode ? mapped != kInvalidNode
+                              : mapped != pi(via)) {
+        return false;
+      }
+    }
+  }
+  // (b) minimal-offset invariance, so MB-m sees identical views (the torus
+  // tie-break "exact ties go positive" must survive the relabeling).
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = 0; b < n; ++b) {
+      for (std::int32_t d = 0; d < topo.num_dims(); ++d) {
+        if (topo.min_offset(a, b, d) != topo.min_offset(pi(a), pi(b), d)) {
+          return false;
+        }
+      }
+    }
+  }
+  // (c) the job set must map onto itself; record the bijection.
+  const std::vector<Job>& jobs = model_.jobs();
+  perm.job_map.assign(jobs.size(), -1);
+  std::vector<bool> used(jobs.size(), false);
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const Job image{pi(jobs[j].src), pi(jobs[j].dest)};
+    bool found = false;
+    for (std::size_t m = 0; m < jobs.size(); ++m) {
+      if (used[m] || !(jobs[m] == image)) continue;
+      perm.job_map[j] = static_cast<std::int32_t>(m);
+      used[m] = true;
+      found = true;
+      break;
+    }
+    if (!found) return false;
+  }
+  // (d) InitialSwitch staggering is part of the protocol, not the graph.
+  for (NodeId v = 0; v < n; ++v) {
+    if (model_.initial_switch(v) != model_.initial_switch(pi(v))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+State Explorer::apply(const Perm& perm, const State& s) const {
+  const topo::KAryNCube& topo = model_.topology();
+  const std::int32_t k = model_.num_switches();
+  State out;
+  out.channel.assign(s.channel.size(), 0);
+  for (NodeId v = 0; v < topo.num_nodes(); ++v) {
+    const NodeId pv = perm.node_map[static_cast<std::size_t>(v)];
+    for (std::int32_t sw = 0; sw < k; ++sw) {
+      for (PortId p = 0; p < topo.num_ports(); ++p) {
+        out.channel[static_cast<std::size_t>(
+            model_.channel_slot(pv, sw, p))] =
+            remap_channel(s.channel[static_cast<std::size_t>(
+                              model_.channel_slot(v, sw, p))],
+                          perm.job_map);
+      }
+    }
+  }
+  out.jobs.resize(s.jobs.size());
+  for (std::size_t j = 0; j < s.jobs.size(); ++j) {
+    JobState nj = s.jobs[j];
+    if (nj.node != kInvalidNode) {
+      nj.node = perm.node_map[static_cast<std::size_t>(nj.node)];
+    }
+    for (HopRec& hop : nj.path) {
+      hop.from = perm.node_map[static_cast<std::size_t>(hop.from)];
+    }
+    std::vector<std::uint8_t> hist(nj.history.size(), 0);
+    for (std::size_t v = 0; v < nj.history.size(); ++v) {
+      hist[static_cast<std::size_t>(perm.node_map[v])] = nj.history[v];
+    }
+    nj.history = std::move(hist);
+    out.jobs[static_cast<std::size_t>(perm.job_map[j])] = std::move(nj);
+  }
+  return out;
+}
+
+std::string Explorer::canonical(const State& s) const {
+  std::string best = model_.encode(s);
+  for (const Perm& perm : perms_) {
+    std::string alt = model_.encode(apply(perm, s));
+    if (alt < best) best = std::move(alt);
+  }
+  return best;
+}
+
+ExploreResult Explorer::explore(const ExploreOptions& opts) const {
+  ExploreResult result;
+  result.symmetry_group = symmetry_group();
+
+  struct Meta {
+    std::int64_t parent = -1;
+    TraceStep step;  ///< the step that produced this state
+  };
+  std::vector<State> reps;
+  std::vector<Meta> metas;
+  std::vector<std::int32_t> depths;
+  std::unordered_map<std::string, std::int64_t> visited;
+  std::deque<std::int64_t> frontier;
+
+  const auto trace_to = [&](std::int64_t idx) {
+    std::vector<TraceStep> trace;
+    for (std::int64_t at = idx; at > 0; at = metas[at].parent) {
+      trace.push_back(metas[at].step);
+    }
+    std::reverse(trace.begin(), trace.end());
+    return trace;
+  };
+
+  const State init = model_.initial_state();
+  visited.emplace(canonical(init), 0);
+  reps.push_back(init);
+  metas.emplace_back();
+  depths.push_back(0);
+  frontier.push_back(0);
+  result.states = 1;
+
+  bool budget_hit = false;
+  while (!frontier.empty() && !result.has_violation) {
+    const std::int64_t idx = frontier.front();
+    frontier.pop_front();
+    const std::int32_t depth = depths[idx];
+    if (depth > result.depth) result.depth = depth;
+
+    // State-level checks run on every reached state.
+    const State& s = reps[idx];
+    const std::vector<std::int32_t> cycle = model_.wait_cycle(s);
+    if (!cycle.empty()) {
+      result.has_violation = true;
+      result.violation.row = "bmc-no-wait-cycle";
+      std::ostringstream detail;
+      detail << "wait-for cycle among parked Force probes:";
+      for (std::int32_t j : cycle) {
+        const JobState& js = s.jobs[static_cast<std::size_t>(j)];
+        detail << " job" << j << "@(n" << js.node << ",p"
+               << static_cast<int>(js.wait_port) << ')';
+      }
+      result.violation.detail = detail.str();
+      result.violation.trace = trace_to(idx);
+      break;
+    }
+
+    const std::vector<Successor> succs = model_.successors(s);
+    if (succs.empty()) {
+      if (!model_.terminal_ok(s)) {
+        result.has_violation = true;
+        result.violation.row = "bmc-no-deadlock";
+        std::ostringstream detail;
+        detail << "deadlock: no enabled transition but jobs are stuck:";
+        for (std::size_t j = 0; j < s.jobs.size(); ++j) {
+          detail << " job" << j << '=' << to_string(s.jobs[j].phase);
+        }
+        result.violation.detail = detail.str();
+        result.violation.trace = trace_to(idx);
+        break;
+      }
+      continue;
+    }
+
+    if (depth >= opts.max_depth) {
+      budget_hit = true;
+      continue;
+    }
+    for (const Successor& succ : succs) {
+      ++result.transitions;
+      if (!succ.violation_row.empty()) {
+        result.has_violation = true;
+        result.violation.row = succ.violation_row;
+        result.violation.detail = succ.violation_detail;
+        result.violation.trace = trace_to(idx);
+        result.violation.trace.push_back(
+            TraceStep{succ.step, succ.text, succ.node, succ.port});
+        break;
+      }
+      std::string key = canonical(succ.state);
+      if (visited.contains(key)) continue;
+      if (result.states >= opts.max_states) {
+        budget_hit = true;
+        continue;
+      }
+      const std::int64_t nidx = static_cast<std::int64_t>(reps.size());
+      visited.emplace(std::move(key), nidx);
+      reps.push_back(succ.state);
+      metas.push_back(
+          Meta{idx, TraceStep{succ.step, succ.text, succ.node, succ.port}});
+      depths.push_back(depth + 1);
+      frontier.push_back(nidx);
+      ++result.states;
+    }
+  }
+
+  result.complete = !budget_hit && !result.has_violation;
+  return result;
+}
+
+}  // namespace wavesim::model

@@ -1,0 +1,85 @@
+// Explicit-state explorer for the abstracted protocol model.
+//
+// Plain BFS over ProtocolModel::successors() with a hashed visited set
+// keyed on a *canonical* state encoding: before hashing, a state is mapped
+// through every certified topology automorphism and the lexicographically
+// smallest encoding wins. Candidate automorphisms are the ring translations
+// of a 1-D torus; each one is certified at construction time against the
+// actual topology (neighbor commutation, min-offset invariance), the job
+// set (a src/dest bijection must exist) and the InitialSwitch staggering —
+// an uncertified candidate is simply dropped, so symmetry reduction can
+// only merge states that are genuinely indistinguishable to the protocol.
+// Meshes and multi-dimension topologies certify only the identity.
+//
+// Budgets are honest: running out of states or depth yields complete=false
+// and the caller must report bounded-out, never ok. The first violation
+// stops exploration and is decoded into a step-by-step trace by walking
+// the BFS parent pointers (sound because the queue stores the actual
+// representative states the steps were computed from).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/model.hpp"
+
+namespace wavesim::model {
+
+/// One decoded step of a counterexample schedule.
+struct TraceStep {
+  Step step;
+  std::string text;
+  NodeId node = kInvalidNode;
+  PortId port = kInvalidPort;
+};
+
+struct Violation {
+  std::string row;     ///< bmc-* row id refuted
+  std::string detail;  ///< human explanation
+  std::vector<TraceStep> trace;  ///< schedule from the initial state
+};
+
+struct ExploreOptions {
+  std::int64_t max_states = 200000;
+  std::int32_t max_depth = 4096;
+};
+
+struct ExploreResult {
+  std::int64_t states = 0;       ///< distinct canonical states stored
+  std::int64_t transitions = 0;  ///< successor edges examined
+  std::int32_t depth = 0;        ///< deepest BFS level reached
+  /// True iff the frontier drained within both budgets (exhaustive proof).
+  bool complete = false;
+  std::int32_t symmetry_group = 1;  ///< certified automorphisms incl. id
+  bool has_violation = false;
+  Violation violation;
+};
+
+class Explorer {
+ public:
+  /// `model` must outlive the explorer.
+  explicit Explorer(const ProtocolModel& model);
+
+  std::int32_t symmetry_group() const noexcept {
+    return static_cast<std::int32_t>(perms_.size()) + 1;
+  }
+
+  /// Lexicographically minimal encoding over the certified automorphisms.
+  std::string canonical(const State& s) const;
+
+  ExploreResult explore(const ExploreOptions& opts) const;
+
+ private:
+  struct Perm {
+    std::vector<NodeId> node_map;         ///< node_map[v] = pi(v)
+    std::vector<std::int32_t> job_map;    ///< job_map[j] = pi(j)
+  };
+  bool certify(Perm& perm) const;
+  State apply(const Perm& perm, const State& s) const;
+
+  const ProtocolModel& model_;
+  std::vector<Perm> perms_;  ///< certified non-identity automorphisms
+};
+
+}  // namespace wavesim::model

@@ -53,13 +53,23 @@ std::vector<PortId> ordered_minimal_ports(const topo::KAryNCube& topology,
 MbmDecision decide(const topo::KAryNCube& topology, NodeId node, NodeId dest,
                    const std::vector<PortView>& view, PortId arrival_port,
                    std::int32_t misroutes, std::int32_t max_misroutes,
-                   bool force) {
+                   bool force, bool mutate_force_unacked) {
   if (static_cast<std::int32_t>(view.size()) != topology.num_ports()) {
     throw std::invalid_argument("mbm::decide: view size mismatch");
   }
-  if (node == dest) return MbmDecision{MbmAction::kDeliver, kInvalidPort, false};
+  if (node == dest) {
+    return MbmDecision{MbmAction::kDeliver, kInvalidPort, false};
+  }
 
   const MinimalPorts minimal = collect_minimal(topology, node, dest);
+
+  // Seeded bug: treat still-establishing channels as waitable too. This is
+  // exactly what the Theorem-1 proof forbids; the BMC and fsck I7 must both
+  // catch it (docs/TESTING.md mutation table).
+  const auto waitable = [mutate_force_unacked](PortView v) {
+    return v == PortView::kBusyEstablished ||
+           (mutate_force_unacked && v == PortView::kBusyPending);
+  };
 
   // 1. A free minimal channel pair.
   for (std::int32_t i = 0; i < minimal.count; ++i) {
@@ -73,7 +83,7 @@ MbmDecision decide(const topo::KAryNCube& topology, NodeId node, NodeId dest,
   if (force) {
     for (std::int32_t i = 0; i < minimal.count; ++i) {
       const PortId p = minimal.ports[i];
-      if (view[p] == PortView::kBusyEstablished) {
+      if (waitable(view[p])) {
         return MbmDecision{MbmAction::kWaitForce, p, false};
       }
     }
@@ -94,7 +104,7 @@ MbmDecision decide(const topo::KAryNCube& topology, NodeId node, NodeId dest,
     // that is the only way forward within the misroute budget.
     if (force) {
       for (PortId p = 0; p < topology.num_ports(); ++p) {
-        if (view[p] != PortView::kBusyEstablished) continue;
+        if (!waitable(view[p])) continue;
         if (p == arrival_port) continue;
         if (minimal.contains(p)) continue;
         // Advancing here after the wait will consume a misroute credit.

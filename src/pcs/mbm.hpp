@@ -54,10 +54,17 @@ struct MbmDecision {
 /// (kUnusable). `arrival_port` is the input port the probe occupies at
 /// `node` (kInvalidPort at the source); its opposite direction is excluded
 /// from misroute candidates.
+///
+/// `mutate_force_unacked` is the WAVESIM_MUTATE_FORCE_UNACKED seeded bug
+/// (docs/TESTING.md): a Force probe also waits on kBusyPending channels,
+/// exactly the behavior Theorem 1 forbids. Runtime-plumbed (not an #ifdef
+/// here) so the bounded model checker and the concrete control plane share
+/// one switch and the model-vs-runtime agreement contract can be tested in
+/// a normal build.
 MbmDecision decide(const topo::KAryNCube& topology, NodeId node, NodeId dest,
                    const std::vector<PortView>& view, PortId arrival_port,
                    std::int32_t misroutes, std::int32_t max_misroutes,
-                   bool force);
+                   bool force, bool mutate_force_unacked = false);
 
 /// Minimal ports toward dest ordered by descending remaining offset
 /// magnitude (ties by port index). Exposed for tests.

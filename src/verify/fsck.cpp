@@ -223,6 +223,21 @@ CheckResult check_control_state(const core::Network& network) {
       }
     }
   }
+
+  // I7: every parked Force probe decided to wait on a channel whose
+  // circuit had already returned its ack (the Theorem-1 premise wavecheck
+  // marks force-waits-only-on-acked; its BMC twin is
+  // bmc-force-waits-only-on-acked). The snapshot is taken at decision
+  // time because the channel may legitimately be freed, re-reserved or
+  // torn down between the wait and the probe's next re-decide.
+  for (const auto& wp : plane->waiting_probes()) {
+    if (wp.was_acked) continue;
+    std::ostringstream os;
+    os << "I7: probe " << wp.probe << " force-waits at (node " << wp.node
+       << ", sw " << wp.switch_index << ", port " << wp.port
+       << ") on a channel that had not returned its ack";
+    note(result, os);
+  }
   return result;
 }
 

@@ -15,7 +15,11 @@
 //  I5  cache entries agree with the table: an ack_returned entry points at
 //      an Established circuit of matching (src, dest); a probing entry
 //      points at a kProbing circuit;
-//  I6  in_use circuits are Established.
+//  I6  in_use circuits are Established;
+//  I7  every parked Force probe decided to wait on a channel whose circuit
+//      had returned its ack (decision-time snapshot; the runtime half of
+//      wavecheck's force-waits-only-on-acked row, mirrored by the BMC's
+//      bmc-force-waits-only-on-acked check).
 #pragma once
 
 #include "core/network.hpp"

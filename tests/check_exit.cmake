@@ -4,10 +4,13 @@
 # wavecheck must exit 1 on a violated theorem premise -- without linking a
 # test binary per driver.
 #
-#   cmake -DCMD=<exe|arg|arg...> -DEXPECTED=<code> -P check_exit.cmake
+#   cmake -DCMD=<exe|arg|arg...> -DEXPECTED=<code> [-DMATCH=<regex>]
+#         -P check_exit.cmake
 #
 # CMD uses "|" as the argument separator: semicolons would need two layers
 # of escaping to survive the add_test -> ctest -> cmake -P round trip.
+# MATCH, when set, additionally requires the combined stdout+stderr to
+# match the regex (e.g. a violation row id the run must have printed).
 if(NOT DEFINED CMD OR NOT DEFINED EXPECTED)
   message(FATAL_ERROR "check_exit.cmake needs -DCMD=... and -DEXPECTED=...")
 endif()
@@ -18,5 +21,9 @@ execute_process(COMMAND ${CMD}
   ERROR_VARIABLE err)
 if(NOT result EQUAL "${EXPECTED}")
   message(FATAL_ERROR "command [${CMD}] exited ${result}, expected ${EXPECTED}\n"
+    "stdout:\n${out}\nstderr:\n${err}")
+endif()
+if(DEFINED MATCH AND NOT "${out}${err}" MATCHES "${MATCH}")
+  message(FATAL_ERROR "command [${CMD}] output does not match [${MATCH}]\n"
     "stdout:\n${out}\nstderr:\n${err}")
 endif()

@@ -317,6 +317,54 @@ TEST(Analyze, WholeDesignSpaceIsViolationFree) {
   }
 }
 
+TEST(Analyze, EverySkippedRowNamesItsCoveringOracle) {
+  // The no-silently-uncovered-premise contract: a skipped row must either
+  // name the runtime oracle / BMC row that covers it, or say why the
+  // premise is inapplicable; runtime-covered ok rows must also name their
+  // exhaustive BMC counterpart.
+  const std::vector<std::string> oracles = {"simcheck", "fsck", "watchdog",
+                                            "bmc-", "MB-m event oracle"};
+  const std::vector<std::string> inapplicable = {
+      "no probes", "no circuits", "never sets Force", "nothing falls back"};
+  for (const auto& config : enumerate_configs()) {
+    const ConfigReport report = analyze_config(config);
+    for (const auto& row : report.rows) {
+      if (row.status != CheckStatus::kSkipped) continue;
+      bool covered = false;
+      for (const auto& needle : oracles) {
+        covered = covered || row.detail.find(needle) != std::string::npos;
+      }
+      for (const auto& needle : inapplicable) {
+        covered = covered || row.detail.find(needle) != std::string::npos;
+      }
+      EXPECT_TRUE(covered) << report.id << " row " << row.id
+                           << " skipped without naming coverage: "
+                           << row.detail;
+    }
+  }
+}
+
+TEST(Analyze, RuntimeCoveredRowsNameTheirBmcCounterpart) {
+  // The three rows the BMC now closes exhaustively must say so wherever
+  // they pass only by delegation to a runtime oracle.
+  const sim::SimConfig config = clrp_torus();
+  const ConfigReport report = analyze_config(config);
+  for (const auto& row : report.rows) {
+    if (row.id != "mbm-no-wait" && row.id != "force-waits-only-on-acked" &&
+        row.id != "releases-wait-free") {
+      continue;
+    }
+    EXPECT_EQ(row.status, CheckStatus::kOk) << row.id;
+    EXPECT_NE(row.detail.find("bmc-"), std::string::npos)
+        << row.id << ": " << row.detail;
+  }
+}
+
+TEST(Analyze, BoundedOutHasItsOwnStatusString) {
+  EXPECT_STREQ(to_string(CheckStatus::kBoundedOut), "bounded-out");
+  EXPECT_STREQ(to_string(CheckStatus::kOk), "ok");
+}
+
 TEST(Analyze, ReportJsonHasTheV1Schema) {
   std::vector<ConfigReport> reports;
   reports.push_back(analyze_config(sim::SimConfig::small_mesh()));

@@ -1,0 +1,215 @@
+// Bounded model checker (src/model): explorer canonicalization and
+// symmetry certification, budget honesty (bounded-out is never ok), the
+// per-row checkers, the seeded force-waits-on-unacked mutation, and the
+// model-vs-runtime agreement contract (check/bmc_replay).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "check/bmc_replay.hpp"
+#include "model/bmc.hpp"
+#include "model/explorer.hpp"
+#include "model/model.hpp"
+
+namespace wavesim {
+namespace {
+
+using analysis::CheckStatus;
+
+sim::SimConfig line_config(std::int32_t nodes) {
+  sim::SimConfig config;
+  config.topology.radix = {nodes};
+  config.topology.torus = false;
+  config.router.wave_switches = 1;
+  config.protocol.protocol = sim::ProtocolKind::kClrp;
+  config.protocol.clrp_variant = sim::ClrpVariant::kFull;
+  config.protocol.max_misroutes = 0;
+  config.protocol.circuit_cache_entries = 1;
+  return config;
+}
+
+sim::SimConfig ring4_config() {
+  sim::SimConfig config = line_config(4);
+  config.topology.torus = true;
+  config.protocol.clrp_variant = sim::ClrpVariant::kForceFirst;
+  return config;
+}
+
+const analysis::CheckRow& row_of(const model::BmcReport& report,
+                                 const std::string& id) {
+  for (const auto& row : report.rows) {
+    if (row.id == id) return row;
+  }
+  throw std::out_of_range("no row " + id);
+}
+
+TEST(Explorer, RingTranslationsCertifyAndMeshDoesNot) {
+  const auto jobs = model::bmc_jobs(ring4_config());
+  model::ProtocolModel ring(ring4_config(), jobs);
+  model::Explorer ring_explorer(ring);
+  // All 4 translations of the ring survive certification: the job set
+  // {0->2, 1->3, 2->0, 3->1} is itself translation-invariant.
+  EXPECT_EQ(ring_explorer.symmetry_group(), 4);
+
+  const sim::SimConfig mesh = line_config(4);
+  model::ProtocolModel line(mesh, model::bmc_jobs(mesh));
+  model::Explorer line_explorer(line);
+  EXPECT_EQ(line_explorer.symmetry_group(), 1);
+}
+
+TEST(Explorer, RotatedStatesShareOneCanonicalForm) {
+  const sim::SimConfig config = ring4_config();
+  model::ProtocolModel m(config, model::bmc_jobs(config));
+  model::Explorer explorer(m);
+
+  // job0 (0->2) advances one hop vs the rotated twin: job1 (1->3)
+  // advancing its first hop. Distinct raw states, same canonical form.
+  model::State a = m.initial_state();
+  const auto advance = [&](model::State& s, std::size_t job, NodeId node) {
+    model::JobState& j = s.jobs[job];
+    j.phase = model::Phase::kProbing;
+    j.node = node;
+    s.jobs[job].history[static_cast<std::size_t>(node)] = 0;
+    for (const auto& succ : m.successors(s)) {
+      if (succ.step.job == job) {
+        s = succ.state;
+        return;
+      }
+    }
+    FAIL() << "no successor for job " << job;
+  };
+  model::State b = a;
+  advance(a, 0, 0);  // start job0
+  advance(a, 0, 0);  // probe: reserve (n0, p0)
+  advance(b, 1, 1);  // start job1
+  advance(b, 1, 1);  // probe: reserve (n1, p0)
+  EXPECT_NE(m.encode(a), m.encode(b));
+  EXPECT_EQ(explorer.canonical(a), explorer.canonical(b));
+}
+
+TEST(Explorer, BudgetExhaustionIsBoundedOutNeverOk) {
+  const sim::SimConfig config = ring4_config();
+  model::BmcOptions tiny;
+  tiny.max_states = 5;
+  const model::BmcReport report = model::run_bmc(config, tiny);
+  EXPECT_FALSE(report.complete);
+  EXPECT_TRUE(report.violated_row.empty());
+  for (const auto& row : report.rows) {
+    EXPECT_EQ(row.status, CheckStatus::kBoundedOut) << row.id;
+    EXPECT_NE(row.detail.find("NOT a proof"), std::string::npos) << row.id;
+  }
+  // Depth budget independently forces the same honest verdict.
+  model::BmcOptions shallow;
+  shallow.max_depth = 2;
+  const model::BmcReport depth_report = model::run_bmc(config, shallow);
+  EXPECT_FALSE(depth_report.complete);
+  EXPECT_EQ(depth_report.count(CheckStatus::kOk), 0u);
+}
+
+TEST(Bmc, CleanLineVerifiesAllRowsExhaustively) {
+  const model::BmcReport report =
+      model::run_bmc(line_config(2), model::BmcOptions{});
+  EXPECT_TRUE(report.complete);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.count(CheckStatus::kOk), 4u);
+  EXPECT_TRUE(report.counterexample.empty());
+  EXPECT_GT(report.states, 1);
+}
+
+TEST(Bmc, CarpSkipsTheForceRowAndClosesTheRest) {
+  sim::SimConfig config = line_config(3);
+  config.protocol.protocol = sim::ProtocolKind::kCarp;
+  const model::BmcReport report =
+      model::run_bmc(config, model::BmcOptions{});
+  EXPECT_TRUE(report.complete);
+  const auto& force = row_of(report, "bmc-force-waits-only-on-acked");
+  EXPECT_EQ(force.status, CheckStatus::kSkipped);
+  EXPECT_NE(force.detail.find("never sets Force"), std::string::npos);
+  EXPECT_EQ(row_of(report, "bmc-no-deadlock").status, CheckStatus::kOk);
+  EXPECT_EQ(row_of(report, "bmc-teardown-drains").status, CheckStatus::kOk);
+}
+
+TEST(Bmc, EnvelopeRejectsOutOfScopeConfigs) {
+  std::string why;
+  EXPECT_FALSE(model::bmc_supported(sim::SimConfig{}, &why));  // 8x8
+  EXPECT_NE(why.find("2-4 nodes"), std::string::npos);
+
+  sim::SimConfig config = line_config(3);
+  config.protocol.circuit_cache_entries = 4;
+  EXPECT_FALSE(model::bmc_supported(config, &why));
+
+  config = line_config(3);
+  config.protocol.protocol = sim::ProtocolKind::kWormholeOnly;
+  EXPECT_FALSE(model::bmc_supported(config, &why));
+
+  EXPECT_TRUE(model::bmc_supported(line_config(3)));
+  EXPECT_THROW(model::run_bmc(sim::SimConfig{}, model::BmcOptions{}),
+               std::invalid_argument);
+}
+
+TEST(Bmc, SeededMutationYieldsForceOnUnackedCounterexample) {
+  sim::SimConfig config = ring4_config();
+  config.protocol.mutate_force_unacked = true;
+  const model::BmcReport report =
+      model::run_bmc(config, model::BmcOptions{});
+  EXPECT_EQ(report.violated_row, "bmc-force-waits-only-on-acked");
+  const auto& row = row_of(report, "bmc-force-waits-only-on-acked");
+  EXPECT_EQ(row.status, CheckStatus::kViolation);
+  ASSERT_FALSE(report.counterexample.empty());
+  // The decoded witness mirrors the schedule step for step and ends at
+  // the offending force-wait decision.
+  ASSERT_EQ(row.witness.hops.size(), report.counterexample.size());
+  EXPECT_EQ(row.witness.graph, "bmc-trace");
+  for (std::size_t i = 0; i < row.witness.hops.size(); ++i) {
+    EXPECT_EQ(row.witness.hops[i].name, report.counterexample[i].text);
+    EXPECT_EQ(row.witness.hops[i].vertex, static_cast<std::int32_t>(i));
+  }
+  EXPECT_EQ(report.counterexample.back().step.kind, model::StepKind::kProbe);
+  EXPECT_NE(report.counterexample.back().text.find("PENDING"),
+            std::string::npos);
+}
+
+TEST(BmcReplay, MutatedCounterexampleReproducesOnTheRuntime) {
+  sim::SimConfig config = ring4_config();
+  config.protocol.mutate_force_unacked = true;
+  const model::BmcReport report =
+      model::run_bmc(config, model::BmcOptions{});
+  ASSERT_FALSE(report.violated_row.empty());
+  const check::BmcReplayResult replay = check::replay_bmc(report);
+  EXPECT_EQ(replay.mode, "counterexample");
+  EXPECT_TRUE(replay.agreed) << replay.detail;
+  // The concrete failure is the matching runtime oracle: fsck I7.
+  EXPECT_NE(replay.detail.find("I7"), std::string::npos) << replay.detail;
+}
+
+TEST(BmcReplay, CleanVerdictsReplayCleanOnTheRuntime) {
+  for (const auto& config :
+       {line_config(2), line_config(3), ring4_config()}) {
+    const model::BmcReport report =
+        model::run_bmc(config, model::BmcOptions{});
+    ASSERT_TRUE(report.violated_row.empty()) << report.id;
+    const check::BmcReplayResult replay = check::replay_bmc(report);
+    EXPECT_EQ(replay.mode, "clean");
+    EXPECT_TRUE(replay.agreed) << report.id << ": " << replay.detail;
+  }
+}
+
+TEST(BmcReplay, WholeSliceClosesCleanWithAgreement) {
+  const auto configs = model::enumerate_bmc_configs();
+  ASSERT_GE(configs.size(), 20u);
+  std::set<std::string> ids;
+  for (const auto& config : configs) {
+    const model::BmcReport report =
+        model::run_bmc(config, model::BmcOptions{});
+    EXPECT_TRUE(ids.insert(report.id).second) << "duplicate " << report.id;
+    EXPECT_TRUE(report.complete) << report.id;
+    EXPECT_TRUE(report.ok()) << report.id << ": " << report.violated_row;
+    EXPECT_GE(report.count(CheckStatus::kOk), 3u) << report.id;
+    const check::BmcReplayResult replay = check::replay_bmc(report);
+    EXPECT_TRUE(replay.agreed) << report.id << ": " << replay.detail;
+  }
+}
+
+}  // namespace
+}  // namespace wavesim
