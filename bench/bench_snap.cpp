@@ -1,0 +1,249 @@
+// SNAP -- checkpoint/restore cost and warm-start speedup.
+//
+// Like bench_engine this measures the simulator, not the paper's
+// protocols: a CLRP run on one large torus is (1) snapshotted and
+// restored repeatedly to price the wavesim.snap.v1 round trip, (2)
+// driven through a checkpoint-armed step loop (sliced advance(), no
+// files written) to prove arming costs nothing on the steady path, and
+// (3) re-run from a warmup/measure-boundary checkpoint to measure the
+// warm-start win over cold replay (the mechanism wavesimd sweep jobs
+// and the service's preemption slices stand on).
+//
+// Gates enforced here (not just reported):
+//   * sliced advance() reproduces the one-shot run bit for bit
+//     (checkpoint slicing can never perturb results), and its
+//     accumulated-best rate stays within 1.05x of the unsliced loop;
+//   * the warm-started run's result equals the cold replay's exactly.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "harness/sweep.hpp"
+#include "sim/config.hpp"
+#include "snap/runstate.hpp"
+#include "snap/snapshot.hpp"
+
+namespace {
+
+using namespace wavesim;
+
+snap::RunSpec make_spec(bool quick) {
+  snap::RunSpec spec;
+  const std::int32_t radix = quick ? 8 : 16;
+  spec.config.topology.radix = {radix, radix};
+  spec.config.topology.torus = true;
+  spec.config.protocol.protocol = sim::ProtocolKind::kClrp;
+  spec.config.seed = 9;
+  spec.pattern = "uniform";
+  spec.message_flits = 64;
+  spec.offered_load = 0.12;
+  // Warmup is a third of the run so the warm-start leg has something
+  // real to skip; sweep jobs amortise this once per warm key.
+  spec.warmup = quick ? 1500 : 4000;
+  spec.measure = quick ? 3000 : 8'000;
+  spec.drain_cap = 300'000;
+  spec.seed = 33;
+  return spec;
+}
+
+double seconds_since(const std::chrono::steady_clock::time_point& start) {
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  return elapsed.count();
+}
+
+/// Drive to completion in `slice`-cycle chunks (0 = one shot); returns
+/// the digest of the run's result + final state.
+struct DrivenRun {
+  double wall_seconds = 0.0;
+  Cycle cycles = 0;
+  std::uint64_t digest = 0;
+};
+
+DrivenRun drive(snap::CheckpointableRun& run, Cycle slice) {
+  const auto start = std::chrono::steady_clock::now();
+  const Cycle chunk =
+      slice > 0 ? slice : std::numeric_limits<Cycle>::max();
+  while (!run.done()) run.advance(chunk);
+  DrivenRun out;
+  out.wall_seconds = seconds_since(start);
+  out.cycles = run.now();
+  out.digest = run.checkpoint().digest();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Cli cli("SNAP",
+                 "checkpoint/restore cost, armed-loop overhead, "
+                 "warm-start speedup");
+  if (!cli.parse(argc, argv)) return cli.exit_code();
+  return cli.run([&] {
+    const bool quick = cli.quick();
+    const snap::RunSpec spec = make_spec(quick);
+    bench::banner(
+        "SNAP",
+        "checkpoint/restore cost and warm-start speedup",
+        (quick ? std::string("8x8") : std::string("16x16")) +
+            " torus, CLRP, uniform load 0.12, 64-flit messages; sliced "
+            "runs must be bit-identical to one-shot runs");
+
+    auto krate = [](const DrivenRun& r) {
+      return r.wall_seconds > 0.0
+                 ? static_cast<double>(r.cycles) / r.wall_seconds / 1000.0
+                 : 0.0;
+    };
+
+    // -- 1. snapshot/restore round-trip cost ------------------------------
+    // Taken mid-measure, where the network is busiest and the snapshot
+    // largest; best-of-N squeezes out scheduler noise.
+    constexpr int kCostReps = 5;
+    double snapshot_ms = 1e9, restore_ms = 1e9, save_load_ms = 1e9;
+    std::size_t snapshot_bytes = 0;
+    {
+      snap::CheckpointableRun run(spec);
+      run.advance(spec.warmup + spec.measure / 2);
+      for (int rep = 0; rep < kCostReps; ++rep) {
+        const auto t0 = std::chrono::steady_clock::now();
+        snap::Snapshot snapshot = run.checkpoint();
+        const std::vector<std::uint8_t> encoded = snapshot.encode();
+        snapshot_ms = std::min(snapshot_ms, seconds_since(t0) * 1e3);
+        snapshot_bytes = encoded.size();
+
+        const auto t1 = std::chrono::steady_clock::now();
+        snap::CheckpointableRun restored(snapshot);
+        restore_ms = std::min(restore_ms, seconds_since(t1) * 1e3);
+        bench::require(restored.now() == run.now(),
+                       "restored run is not at the snapshot cycle");
+
+        const std::string path = "bench_snap.tmp.snap";
+        const auto t2 = std::chrono::steady_clock::now();
+        snapshot.save(path);
+        const snap::Snapshot loaded = snap::Snapshot::load(path);
+        save_load_ms = std::min(save_load_ms, seconds_since(t2) * 1e3);
+        bench::require(loaded.digest() == snapshot.digest(),
+                       "snapshot file round trip changed the digest");
+        std::remove(path.c_str());
+      }
+    }
+    bench::Table cost({"op", "ms", "bytes"});
+    cost.add_row({"checkpoint+encode", bench::fmt(snapshot_ms, 2),
+                  bench::fmt_int(snapshot_bytes)});
+    cost.add_row({"restore", bench::fmt(restore_ms, 2), "-"});
+    cost.add_row({"save+load", bench::fmt(save_load_ms, 2),
+                  bench::fmt_int(snapshot_bytes)});
+    cli.report(cost, "snap_cost");
+
+    // -- 2. armed-but-unused step loop ------------------------------------
+    // wavesim_cli --checkpoint-every C turns one advance(max) into
+    // advance(C) slices. The slicing itself must be free: identical
+    // digests (slicing invariance) and <= 1.05x accumulated-best rate.
+    // Same interleaved-repetition scheme as bench_engine's fault-hook
+    // gate: rates, not wall times, best-of until the gate clears.
+    const Cycle armed_slice = quick ? 500 : 2000;
+    constexpr int kMinOverheadReps = 3;
+    constexpr int kMaxOverheadReps = 12;
+    double plain_rate = 0.0, armed_rate = 0.0, armed_overhead = 0.0;
+    std::uint64_t plain_digest = 0;
+    for (int rep = 0; rep < kMaxOverheadReps; ++rep) {
+      snap::CheckpointableRun plain(spec);
+      const DrivenRun p = drive(plain, 0);
+      snap::CheckpointableRun armed(spec);
+      const DrivenRun a = drive(armed, armed_slice);
+      bench::require(p.digest == a.digest,
+                     "sliced advance() diverged from the one-shot run");
+      bench::require(rep == 0 || p.digest == plain_digest,
+                     "plain leg is not reproducible");
+      plain_digest = p.digest;
+      plain_rate = std::max(plain_rate, krate(p));
+      armed_rate = std::max(armed_rate, krate(a));
+      armed_overhead = armed_rate > 0.0 ? plain_rate / armed_rate : 0.0;
+      if (rep + 1 >= kMinOverheadReps && armed_overhead <= 1.05) break;
+    }
+    bench::require(armed_overhead <= 1.05,
+                   "checkpoint-armed step loop costs more than 5% "
+                   "(plain/armed kcycles-per-s ratio " +
+                       bench::fmt(armed_overhead, 3) + ")");
+    bench::Table armed_table({"loop", "kcycles/s", "ratio", "identical"});
+    armed_table.add_row(
+        {"one-shot", bench::fmt(plain_rate, 1), "1.00", "-"});
+    armed_table.add_row({"sliced-" + std::to_string(armed_slice),
+                         bench::fmt(armed_rate, 1),
+                         bench::fmt(armed_overhead, 3), "yes"});
+    cli.report(armed_table, "snap_armed");
+
+    // -- 3. warm start vs cold replay -------------------------------------
+    // One warmup serves every measure window that shares the spec's warm
+    // key. Cold: warmup + measure from scratch. Warm: restore the
+    // boundary checkpoint, rebind, simulate only the measured span.
+    snap::CheckpointableRun warmup_run(spec);
+    warmup_run.advance(spec.warmup);
+    bench::require(warmup_run.at_measure_boundary(),
+                   "warmup did not stop at the measure boundary");
+    const snap::Snapshot boundary = warmup_run.checkpoint();
+
+    // Best-of-N on both legs: a single measured span is only a few ms
+    // and a single unlucky scheduler tick would swamp the comparison.
+    constexpr int kWarmReps = 5;
+    double cold_seconds = 1e9, warm_seconds = 1e9;
+    Cycle cold_cycles = 0, warm_cycles = 0;
+    std::uint64_t cold_digest = 0;
+    for (int rep = 0; rep < kWarmReps; ++rep) {
+      snap::CheckpointableRun cold(spec);
+      const DrivenRun cold_run = drive(cold, 0);
+      bench::require(rep == 0 || cold_run.digest == cold_digest,
+                     "cold replay is not reproducible");
+      cold_digest = cold_run.digest;
+      cold_seconds = std::min(cold_seconds, cold_run.wall_seconds);
+      cold_cycles = cold_run.cycles;
+
+      const auto warm_start = std::chrono::steady_clock::now();
+      snap::CheckpointableRun warm(boundary);
+      warm.rebind(spec.measure, spec.drain_cap);
+      while (!warm.done()) {
+        warm.advance(std::numeric_limits<Cycle>::max());
+      }
+      warm_seconds = std::min(warm_seconds, seconds_since(warm_start));
+      bench::require(warm.checkpoint().digest() == cold_run.digest,
+                     "warm-started run diverged from cold replay");
+      warm_cycles = warm.now() - spec.warmup;
+    }
+    const double warmstart_speedup =
+        warm_seconds > 0.0 ? cold_seconds / warm_seconds : 0.0;
+    const double warm_rate =
+        warm_seconds > 0.0
+            ? static_cast<double>(warm_cycles) / warm_seconds / 1000.0
+            : 0.0;
+    bench::Table warm_table(
+        {"run", "wall-s", "cycles", "speedup", "identical"});
+    warm_table.add_row({"cold", bench::fmt(cold_seconds, 3),
+                        bench::fmt_int(cold_cycles), "1.00", "-"});
+    warm_table.add_row({"warm", bench::fmt(warm_seconds, 3),
+                        bench::fmt_int(warm_cycles),
+                        bench::fmt(warmstart_speedup, 2), "yes"});
+    cli.report(warm_table, "snap_warmstart");
+
+    cli.note("snapshot_ms", sim::JsonValue(snapshot_ms));
+    cli.note("restore_ms", sim::JsonValue(restore_ms));
+    cli.note("save_load_ms", sim::JsonValue(save_load_ms));
+    cli.note("snapshot_bytes",
+             sim::JsonValue(static_cast<std::uint64_t>(snapshot_bytes)));
+    cli.note("plain_kcycles_per_s", sim::JsonValue(plain_rate));
+    cli.note("armed_kcycles_per_s", sim::JsonValue(armed_rate));
+    cli.note("armed_overhead_ratio", sim::JsonValue(armed_overhead));
+    cli.note("warm_kcycles_per_s", sim::JsonValue(warm_rate));
+    cli.note("warmstart_speedup", sim::JsonValue(warmstart_speedup));
+    std::printf("\nsnapshot %.2f ms / restore %.2f ms (%s bytes); armed "
+                "loop %.3fx; warm start %.2fx over cold replay; all legs "
+                "bit-identical\n",
+                snapshot_ms, restore_ms,
+                bench::fmt_int(snapshot_bytes).c_str(), armed_overhead,
+                warmstart_speedup);
+    return true;
+  });
+}

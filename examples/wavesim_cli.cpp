@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <string>
 
 #include "core/simulation.hpp"
@@ -16,6 +17,7 @@
 #include "obs/observer.hpp"
 #include "sim/build_info.hpp"
 #include "sim/json.hpp"
+#include "snap/runstate.hpp"
 #include "verify/delivery.hpp"
 #include "workload/generator.hpp"
 
@@ -56,6 +58,10 @@ struct Options {
   bool shards_given = false;
   std::int64_t lookahead = 1;  ///< barrier lookahead for --engine par
   bool lookahead_given = false;
+  Cycle checkpoint_every = 0;  ///< wavesim.snap.v1 checkpoint period
+  bool checkpoint_every_given = false;
+  std::string checkpoint_out;  ///< checkpoint file (+ .json metadata)
+  std::string restore_path;    ///< resume from a wavesim.snap.v1 file
 };
 
 void usage() {
@@ -97,7 +103,15 @@ void usage() {
       "  --shards N          shard count for --engine par (default: auto)\n"
       "  --lookahead L       barrier lookahead for --engine par (default 1;\n"
       "                      commits up to L cycles per synchronization,\n"
-      "                      bit-identical to L=1)\n");
+      "                      bit-identical to L=1)\n"
+      "  --checkpoint-every C  write a wavesim.snap.v1 checkpoint every C\n"
+      "                      cycles (requires --checkpoint-out)\n"
+      "  --checkpoint-out PATH checkpoint file; PATH.json gets metadata.\n"
+      "                      Written atomically, overwritten each period\n"
+      "  --restore PATH      resume a checkpointed run; config/workload\n"
+      "                      flags come from the snapshot. The finished\n"
+      "                      run is bit-identical to an uninterrupted one\n"
+      "                      under any --engine/--shards/--lookahead\n");
 }
 
 bool parse(int argc, char** argv, Options& opt) {
@@ -155,6 +169,12 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.lookahead = std::strtoll(need(i), nullptr, 10);
       opt.lookahead_given = true;
     }
+    else if (arg == "--checkpoint-every") {
+      opt.checkpoint_every = std::strtoull(need(i), nullptr, 10);
+      opt.checkpoint_every_given = true;
+    }
+    else if (arg == "--checkpoint-out") opt.checkpoint_out = need(i);
+    else if (arg == "--restore") opt.restore_path = need(i);
     else {
       std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg.c_str());
       std::exit(2);
@@ -203,6 +223,53 @@ engine::EngineConfig build_engine_config(const Options& opt) {
     cfg.lookahead = static_cast<Cycle>(opt.lookahead);
   }
   return cfg;
+}
+
+/// Validate the checkpoint/restore flag combinations; exits 2 on misuse.
+/// Observability and multi-seed modes are rejected with checkpointing:
+/// observer state is not part of the snapshot, so a restored run could
+/// not reproduce their output byte-for-byte.
+void check_checkpoint_flags(const Options& opt) {
+  if (opt.checkpoint_every_given && opt.checkpoint_every == 0) {
+    std::fprintf(stderr, "error: --checkpoint-every must be >= 1\n");
+    std::exit(2);
+  }
+  if (opt.checkpoint_every > 0 && opt.checkpoint_out.empty()) {
+    std::fprintf(stderr,
+                 "error: --checkpoint-every requires --checkpoint-out\n");
+    std::exit(2);
+  }
+  if (!opt.checkpoint_out.empty() && opt.checkpoint_every == 0) {
+    std::fprintf(stderr,
+                 "error: --checkpoint-out requires --checkpoint-every\n");
+    std::exit(2);
+  }
+  const bool checkpointing =
+      opt.checkpoint_every > 0 || !opt.restore_path.empty();
+  if (!checkpointing) return;
+  if (!opt.trace_path.empty() || !opt.metrics_path.empty() ||
+      opt.sample_every > 0) {
+    std::fprintf(stderr,
+                 "error: --trace/--metrics/--sample-every are incompatible "
+                 "with checkpointing (observer state is outside the "
+                 "snapshot)\n");
+    std::exit(2);
+  }
+  if (opt.replicas > 1) {
+    std::fprintf(stderr,
+                 "error: --replicas is incompatible with checkpointing "
+                 "(checkpoint one run at a time)\n");
+    std::exit(2);
+  }
+}
+
+std::string format_radices(const std::vector<std::int32_t>& radix) {
+  std::string out;
+  for (std::size_t i = 0; i < radix.size(); ++i) {
+    if (i > 0) out += 'x';
+    out += std::to_string(radix[i]);
+  }
+  return out;
 }
 
 std::vector<std::int32_t> parse_radices(const std::string& spec) {
@@ -267,9 +334,10 @@ int main(int argc, char** argv) {
     usage();
     return 0;
   }
+  check_checkpoint_flags(opt);
   try {
     const engine::EngineConfig engine_cfg = build_engine_config(opt);
-    const sim::SimConfig cfg = build_config(opt);
+    sim::SimConfig cfg = build_config(opt);
     cfg.validate();
 
     if (opt.replicas > 1) {
@@ -322,14 +390,49 @@ int main(int argc, char** argv) {
       return p.saturated_replicas == 0 ? 0 : 1;
     }
 
-    core::Simulation sim(cfg);
+    // Single runs always go through a CheckpointableRun; driven to
+    // completion it is bit-identical to the old run_open_loop path, and
+    // it is the seam --checkpoint-every/--restore need.
+    std::unique_ptr<snap::CheckpointableRun> run;
+    if (!opt.restore_path.empty()) {
+      // Throws std::runtime_error (missing file) or snap::ArchiveError
+      // (corrupt snapshot); main's catch maps both to exit 2.
+      const snap::Snapshot snapshot = snap::Snapshot::load(opt.restore_path);
+      run = std::make_unique<snap::CheckpointableRun>(snapshot);
+      // Reporting below reads the options; in restore mode the snapshot
+      // is the source of truth for config and workload.
+      const snap::RunSpec& spec = run->spec();
+      cfg = spec.config;
+      opt.topo = format_radices(cfg.topology.radix);
+      opt.routing = sim::to_string(cfg.router.routing);
+      opt.pattern = spec.pattern;
+      opt.length = spec.message_flits;
+      opt.load = spec.offered_load;
+      opt.warmup = spec.warmup;
+      opt.cycles = spec.measure;
+      opt.seed = spec.seed;
+    } else {
+      snap::RunSpec spec;
+      spec.config = cfg;
+      spec.pattern = opt.pattern;
+      spec.message_flits = opt.length;
+      spec.offered_load = opt.load;
+      spec.warmup = opt.warmup;
+      spec.measure = opt.cycles;
+      spec.drain_cap = 40 * (opt.warmup + opt.cycles) + 1'000'000;
+      spec.seed = opt.seed;
+      run = std::make_unique<snap::CheckpointableRun>(spec);
+    }
+    core::Simulation& sim = run->sim();
     if (engine_cfg.parallel()) {
-      sim.set_engine(
+      run->set_engine(
           engine::make_engine(engine_cfg, sim.topology().num_nodes()));
     }
 
     // Observability attaches before the first cycle so traces cover the
     // whole run; it is read-only, so stats stay bit-identical either way.
+    // (Incompatible with checkpointing; check_checkpoint_flags rejected
+    // that combination already.)
     std::unique_ptr<obs::Observer> observer;
     if (!opt.trace_path.empty() || !opt.metrics_path.empty() ||
         opt.sample_every > 0) {
@@ -340,12 +443,34 @@ int main(int argc, char** argv) {
       observer = std::make_unique<obs::Observer>(sim, obs_opt);
     }
 
-    auto pattern = load::make_traffic(opt.pattern, sim.topology(),
-                                      sim::Rng{opt.seed * 31 + 7});
-    load::FixedSize sizes(opt.length);
-    const auto result = load::run_open_loop(
-        sim, *pattern, sizes, opt.load, opt.warmup, opt.cycles,
-        /*drain_cap=*/40 * (opt.warmup + opt.cycles) + 1'000'000, opt.seed);
+    const Cycle slice = opt.checkpoint_every > 0
+                            ? opt.checkpoint_every
+                            : std::numeric_limits<Cycle>::max();
+    while (!run->done()) {
+      run->advance(slice);
+      if (opt.checkpoint_every > 0) {
+        const snap::Snapshot snapshot = run->checkpoint();
+        snapshot.save(opt.checkpoint_out);
+        char digest[32];
+        std::snprintf(digest, sizeof digest, "%016llx",
+                      static_cast<unsigned long long>(snapshot.digest()));
+        char warm[32];
+        std::snprintf(warm, sizeof warm, "%016llx",
+                      static_cast<unsigned long long>(
+                          snap::warm_key(run->spec())));
+        const sim::JsonValue meta =
+            sim::JsonValue::object()
+                .set("schema", "wavesim.ckpt.v1")
+                .set("cycle", run->now())
+                .set("digest", digest)
+                .set("warm_key", warm)
+                .set("done", run->done());
+        if (!sim::write_json_file(meta, opt.checkpoint_out + ".json")) {
+          return 2;
+        }
+      }
+    }
+    const load::ExperimentResult result = run->result();
 
     const auto& s = result.stats;
     std::printf("config: %s %s, %s routing, %s, w=%d k=%d m=%d cache=%d %s\n",

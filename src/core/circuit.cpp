@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "snap/archive.hpp"
+
 namespace wavesim::core {
 
 const char* to_string(CircuitState state) noexcept {
@@ -55,6 +57,41 @@ std::vector<CircuitId> CircuitTable::active_ids() const {
   for (const auto& [id, rec] : table_) ids.push_back(id);
   std::sort(ids.begin(), ids.end());
   return ids;
+}
+
+void snap_circuit_record(snap::Archive& ar, CircuitRecord& rec) {
+  ar.pod(rec.id);
+  ar.pod(rec.src);
+  ar.pod(rec.dest);
+  ar.pod(rec.switch_index);
+  ar.pod(rec.state);
+  ar.vec_pod(rec.path);
+  ar.pod(rec.in_use);
+  ar.pod(rec.pending_release);
+  ar.pod(rec.established_at);
+  ar.pod(rec.messages_carried);
+  ar.pod(rec.buffer_flits);
+}
+
+void CircuitTable::snap(snap::Archive& ar) {
+  ar.pod(next_id_);
+  if (ar.writing()) {
+    std::uint64_t n = table_.size();
+    ar.pod(n);
+    for (const CircuitId id : active_ids()) {
+      snap_circuit_record(ar, table_.at(id));
+    }
+  } else {
+    table_.clear();
+    std::uint64_t n = 0;
+    ar.pod(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      CircuitRecord rec;
+      snap_circuit_record(ar, rec);
+      const CircuitId id = rec.id;
+      table_.emplace(id, std::move(rec));
+    }
+  }
 }
 
 }  // namespace wavesim::core

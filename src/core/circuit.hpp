@@ -12,6 +12,10 @@
 
 #include "sim/types.hpp"
 
+namespace wavesim::snap {
+class Archive;
+}  // namespace wavesim::snap
+
 namespace wavesim::core {
 
 enum class CircuitState : std::uint8_t {
@@ -44,6 +48,9 @@ struct CircuitRecord {
   }
 };
 
+/// Field-by-field record serialization (shared by the table and tests).
+void snap_circuit_record(snap::Archive& ar, CircuitRecord& rec);
+
 class CircuitTable {
  public:
   CircuitId create(NodeId src, NodeId dest, std::int32_t switch_index);
@@ -57,6 +64,10 @@ class CircuitTable {
   std::size_t active() const noexcept { return table_.size(); }
   /// Ids of all live circuits, ascending (stable iteration for checkers).
   std::vector<CircuitId> active_ids() const;
+
+  /// Serialize the table in ascending-id order (snapshot/restore; the
+  /// unordered_map's bucket order must never leak into snapshot bytes).
+  void snap(snap::Archive& ar);
 
  private:
   std::unordered_map<CircuitId, CircuitRecord> table_;

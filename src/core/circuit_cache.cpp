@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "snap/archive.hpp"
+
 namespace wavesim::core {
 
 CircuitCache::CircuitCache(std::int32_t entries, sim::ReplacementPolicy policy,
@@ -101,6 +103,27 @@ std::int32_t CircuitCache::valid_entries() const {
   std::int32_t n = 0;
   for (const auto& e : entries_) n += e.valid ? 1 : 0;
   return n;
+}
+
+void CircuitCache::snap(snap::Archive& ar) {
+  for (CacheEntry& e : entries_) {
+    ar.pod(e.valid);
+    ar.pod(e.dest);
+    ar.pod(e.initial_switch);
+    ar.pod(e.switch_index);
+    ar.pod(e.channel);
+    ar.pod(e.circuit);
+    ar.pod(e.ack_returned);
+    ar.pod(e.in_use);
+    ar.pod(e.probing);
+    ar.pod(e.last_use);
+    ar.pod(e.uses);
+    ar.pod(e.created);
+  }
+  ar.pod(hits);
+  ar.pod(misses);
+  ar.pod(evictions);
+  rng_.snap(ar);
 }
 
 }  // namespace wavesim::core

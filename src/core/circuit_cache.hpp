@@ -11,6 +11,10 @@
 #include "sim/rng.hpp"
 #include "sim/types.hpp"
 
+namespace wavesim::snap {
+class Archive;
+}  // namespace wavesim::snap
+
 namespace wavesim::core {
 
 struct CacheEntry {
@@ -66,6 +70,10 @@ class CircuitCache {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;
+
+  /// Serialize entries, statistics, and the replacement RNG
+  /// (snapshot/restore); capacity and policy come from construction.
+  void snap(snap::Archive& ar);
 
  private:
   std::int32_t pick_victim();

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "sim/log.hpp"
+#include "snap/archive.hpp"
 
 namespace wavesim::core {
 
@@ -607,6 +608,80 @@ std::vector<ReleaseDemand> ControlPlane::take_release_demands() {
 
 std::vector<TeardownDone> ControlPlane::take_teardowns_done() {
   return std::exchange(teardowns_done_, {});
+}
+
+void ControlPlane::snap(snap::Archive& ar) {
+  registers_.snap(ar);
+  history_.snap(ar);
+  ar.vec(probes_, [](snap::Archive& a, ActiveProbe& ap) {
+    a.pod(ap.probe.id);
+    a.pod(ap.probe.circuit);
+    a.pod(ap.probe.src);
+    a.pod(ap.probe.dest);
+    a.pod(ap.probe.backtrack);
+    a.pod(ap.probe.misroutes);
+    a.pod(ap.probe.force);
+    a.pod(ap.probe.switch_index);
+    a.pod(ap.node);
+    a.pod(ap.arrival_port);
+    a.vec(ap.stack, [](snap::Archive& b, Hop& hop) {
+      b.pod(hop.from);
+      b.pod(hop.out_port);
+      b.pod(hop.misroutes_before);
+    });
+    a.pod(ap.waiting);
+    a.pod(ap.wait_port);
+    a.pod(ap.wait_was_acked);
+    a.pod(ap.release_requested_for);
+    a.pod(ap.release_requested_at);
+    a.pod(ap.ready_at);
+    a.pod(ap.steps);
+  });
+  if (ar.reading()) {
+    // The cached record pointer is re-resolved, never serialized: a
+    // probing circuit is always live in the table.
+    for (ActiveProbe& ap : probes_) ap.rec = &circuits_.at(ap.probe.circuit);
+  }
+  ar.vec(flits_, [](snap::Archive& a, TravelFlit& f) {
+    a.pod(f.kind);
+    a.pod(f.circuit);
+    a.pod(f.switch_index);
+    a.pod(f.node);
+    a.pod(f.port);
+    a.pod(f.ready_at);
+    a.pod(f.done);
+  });
+  ar.vec(probe_results_, [](snap::Archive& a, ProbeResult& r) {
+    a.pod(r.probe);
+    a.pod(r.circuit);
+    a.pod(r.src);
+    a.pod(r.success);
+    a.pod(r.switch_index);
+  });
+  ar.vec(release_demands_, [](snap::Archive& a, ReleaseDemand& d) {
+    a.pod(d.circuit);
+    a.pod(d.src);
+  });
+  ar.vec(teardowns_done_, [](snap::Archive& a, TeardownDone& t) {
+    a.pod(t.circuit);
+  });
+  ar.vec_pod(static_faulty_);
+  ar.pod(next_probe_);
+  ar.pod(stats_.probes_launched);
+  ar.pod(stats_.probes_succeeded);
+  ar.pod(stats_.probes_failed);
+  ar.pod(stats_.probe_advances);
+  ar.pod(stats_.probe_backtracks);
+  ar.pod(stats_.probe_misroutes);
+  ar.pod(stats_.force_waits);
+  ar.pod(stats_.release_requests_sent);
+  ar.pod(stats_.release_requests_discarded);
+  ar.pod(stats_.teardowns_started);
+  ar.pod(stats_.teardowns_completed);
+  ar.pod(stats_.acks_completed);
+  ar.pod(stats_.probes_killed);
+  ar.pod(stats_.circuits_killed);
+  ar.pod(stats_.max_probe_steps);
 }
 
 }  // namespace wavesim::core

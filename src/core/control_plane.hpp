@@ -30,6 +30,10 @@
 #include "topology/topology.hpp"
 #include "wormhole/link_gate.hpp"
 
+namespace wavesim::snap {
+class Archive;
+}  // namespace wavesim::snap
+
 namespace wavesim::core {
 
 struct ControlPlaneParams {
@@ -167,6 +171,13 @@ class ControlPlane {
   /// Human-readable state of every active probe and travelling flit
   /// (diagnostics; used by the watchdog reports and debugging).
   std::string debug_dump() const;
+
+  /// Serialize registers, history, probes (including parked Force waits
+  /// and pending release retries), travelling flits, undrained events,
+  /// static-fault shadow, and stats (snapshot/restore). The cached
+  /// CircuitRecord pointers are re-resolved against the circuit table on
+  /// load, never serialized.
+  void snap(snap::Archive& ar);
 
  private:
   struct Hop {

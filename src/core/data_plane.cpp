@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "snap/archive.hpp"
+
 namespace wavesim::core {
 
 DataPlane::DataPlane(CircuitTable& circuits, const DataPlaneParams& params)
@@ -104,6 +106,55 @@ MessageId DataPlane::abort_transfer(CircuitId circuit) {
 
 std::vector<TransferDone> DataPlane::take_completed() {
   return std::exchange(completed_, {});
+}
+
+void DataPlane::snap(snap::Archive& ar) {
+  const auto snap_transfer = [](snap::Archive& a, Transfer& t) {
+    a.pod(t.msg);
+    a.pod(t.circuit);
+    a.pod(t.length);
+    a.pod(t.sent);
+    a.pod(t.acked);
+    a.pod(t.send_credit);
+    a.pod(t.started);
+    a.pod(t.not_before);
+    a.pod(t.pipe);
+    a.pod(t.last_delivery);
+    a.vec_pod(t.deliveries);
+    std::uint64_t head = t.deliveries_head;
+    a.pod(head);
+    t.deliveries_head = static_cast<std::size_t>(head);
+  };
+  // std::map iterates in key order already, so writing in iteration
+  // order is deterministic.
+  if (ar.writing()) {
+    std::uint64_t n = transfers_.size();
+    ar.pod(n);
+    for (auto& [msg, transfer] : transfers_) {
+      MessageId key = msg;
+      ar.pod(key);
+      snap_transfer(ar, transfer);
+    }
+  } else {
+    transfers_.clear();
+    std::uint64_t n = 0;
+    ar.pod(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      MessageId key = kInvalidMessage;
+      ar.pod(key);
+      snap_transfer(ar, transfers_[key]);
+    }
+  }
+  ar.vec(completed_, [](snap::Archive& a, TransferDone& d) {
+    a.pod(d.msg);
+    a.pod(d.circuit);
+    a.pod(d.src);
+    a.pod(d.dest);
+    a.pod(d.delivered_at);
+    a.pod(d.acked_at);
+  });
+  ar.pod(flits_delivered_);
+  ar.pod(transfers_aborted_);
 }
 
 }  // namespace wavesim::core

@@ -18,6 +18,10 @@
 #include "core/circuit.hpp"
 #include "sim/types.hpp"
 
+namespace wavesim::snap {
+class Archive;
+}  // namespace wavesim::snap
+
 namespace wavesim::core {
 
 struct DataPlaneParams {
@@ -65,6 +69,10 @@ class DataPlane {
 
   /// Pipe latency in base cycles for a circuit of `hops` hops.
   Cycle pipe_latency(std::int32_t hops) const;
+
+  /// Serialize in-flight transfers, undrained completions, and counters
+  /// (snapshot/restore).
+  void snap(snap::Archive& ar);
 
  private:
   struct Transfer {

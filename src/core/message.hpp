@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "sim/types.hpp"
+#include "snap/archive.hpp"
 
 namespace wavesim::core {
 
@@ -62,6 +63,21 @@ class MessageLog {
     if (rec.done) throw std::logic_error("MessageLog: delivered twice");
     rec.delivered = delivered;
     rec.done = true;
+  }
+
+  /// Serialize all records (snapshot/restore).
+  void snap(snap::Archive& ar) {
+    ar.vec(records_, [](snap::Archive& a, MessageRecord& r) {
+      a.pod(r.id);
+      a.pod(r.src);
+      a.pod(r.dest);
+      a.pod(r.length);
+      a.pod(r.created);
+      a.pod(r.delivered);
+      a.pod(r.mode);
+      a.pod(r.done);
+      a.pod(r.flits_received);
+    });
   }
 
  private:

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "sim/log.hpp"
+#include "snap/archive.hpp"
 
 namespace wavesim::core {
 
@@ -308,6 +309,46 @@ bool Network::quiescent() const {
     return false;
   }
   return true;
+}
+
+void Network::snap(snap::Archive& ar) {
+  // Ordering matters on restore: circuits_ must load before the control
+  // plane (which re-resolves cached CircuitRecord pointers) and before
+  // the interfaces (whose cache entries reference circuit ids).
+  ar.pod(now_);
+  circuits_.snap(ar);
+  if (control_ != nullptr) control_->snap(ar);
+  if (data_ != nullptr) data_->snap(ar);
+  if (fault_ != nullptr) fault_->snap(ar);
+  fabric_.snap(ar);
+  log_.snap(ar);
+  for (auto& iface : interfaces_) iface->snap(ar);
+  rng_.snap(ar);
+  // Only the not-yet-offered suffix of the scheduled-send queue is state;
+  // restore re-bases the head at zero.
+  if (ar.writing()) {
+    std::uint64_t n = sends_.size() - sends_head_;
+    ar.pod(n);
+    for (std::size_t i = sends_head_; i < sends_.size(); ++i) {
+      ar.pod(sends_[i].at);
+      ar.pod(sends_[i].src);
+      ar.pod(sends_[i].dest);
+      ar.pod(sends_[i].length);
+    }
+  } else {
+    std::uint64_t n = 0;
+    ar.pod(n);
+    sends_.assign(static_cast<std::size_t>(n), ScheduledSend{});
+    sends_head_ = 0;
+    for (auto& send : sends_) {
+      ar.pod(send.at);
+      ar.pod(send.src);
+      ar.pod(send.dest);
+      ar.pod(send.length);
+    }
+  }
+  ar.pod(faulty_channels_);
+  ar.pod(delivered_msgs_);
 }
 
 }  // namespace wavesim::core

@@ -24,6 +24,10 @@
 #include "sim/rng.hpp"
 #include "wormhole/fabric.hpp"
 
+namespace wavesim::snap {
+class Archive;
+}  // namespace wavesim::snap
+
 namespace wavesim::core {
 
 /// Everything one shard accumulates while stepping its node range: the
@@ -178,6 +182,15 @@ class Network {
   void set_event_sink(Instrumentation::Sink sink) {
     instrumentation_.set_sink(std::move(sink));
   }
+
+  /// Serialize all mutable simulation state (snapshot/restore). Must be
+  /// called between whole steps (the engine quiesce seam,
+  /// core/step_engine.hpp): mid-step scratch, gate claims, and staged
+  /// shard contexts are never part of a snapshot. On restore the caller
+  /// constructs a Network from the identical config first; structural
+  /// state (topology, routing, plane wiring, fault timeline) comes from
+  /// that construction and only mutable state is overwritten.
+  void snap(snap::Archive& ar);
 
  private:
   /// A send queued by schedule_send, waiting for its cycle.

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "snap/archive.hpp"
+
 namespace wavesim::core {
 
 namespace {
@@ -469,6 +471,75 @@ void NodeInterface::pump_streams(Cycle now, wh::ShardIo& io) {
   bool live = !wormhole_pending_.empty();
   for (const Stream& s : streams_) live = live || s.active();
   fabric_.set_ni_work(node_, live);
+}
+
+void NodeInterface::snap(snap::Archive& ar) {
+  cache_.snap(ar);
+  const auto snap_dest_state = [](snap::Archive& a, DestState& ds) {
+    a.deq(ds.queue, [](snap::Archive& b, MessageId& id) { b.pod(id); });
+    bool has_setup = ds.setup.has_value();
+    a.pod(has_setup);
+    if (has_setup) {
+      if (a.reading() && !ds.setup.has_value()) {
+        // Placeholder construction; snap() overwrites every field.
+        ds.setup.emplace(SetupSequencer::Mode::kClrp, sim::ClrpVariant{},
+                         /*num_switches=*/1, /*initial_switch=*/0);
+      }
+      ds.setup->snap(a);
+    } else if (a.reading()) {
+      ds.setup.reset();
+    }
+    a.pod(ds.release_urgent);
+    a.pod(ds.release_when_drained);
+    a.pod(ds.carp_buffer_flits);
+    a.pod(ds.needs_retry);
+    a.pod(ds.retry_at);
+  };
+  // std::map iterates in key order: deterministic bytes by construction.
+  if (ar.writing()) {
+    std::uint64_t n = dests_.size();
+    ar.pod(n);
+    for (auto& [dest, ds] : dests_) {
+      NodeId key = dest;
+      ar.pod(key);
+      snap_dest_state(ar, ds);
+    }
+  } else {
+    dests_.clear();
+    std::uint64_t n = 0;
+    ar.pod(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      NodeId key = kInvalidNode;
+      ar.pod(key);
+      snap_dest_state(ar, dests_[key]);
+    }
+  }
+  const auto snap_packet = [](snap::Archive& a, Packet& p) {
+    a.pod(p.msg);
+    a.pod(p.dest);
+    a.pod(p.start);
+    a.pod(p.count);
+    a.pod(p.msg_length);
+    a.pod(p.created);
+  };
+  ar.deq(wormhole_pending_, snap_packet);
+  ar.vec(streams_, [&](snap::Archive& a, Stream& s) {
+    snap_packet(a, s.pkt);
+    a.pod(s.sent);
+  });
+  ar.pod(stats_.circuit_messages);
+  ar.pod(stats_.wormhole_messages);
+  ar.pod(stats_.fallback_messages);
+  ar.pod(stats_.setups_started);
+  ar.pod(stats_.setups_succeeded);
+  ar.pod(stats_.setups_failed);
+  ar.pod(stats_.release_demands_honored);
+  ar.pod(stats_.release_demands_discarded);
+  ar.pod(stats_.buffer_reallocs);
+  ar.pod(stats_.packets_sent);
+  ar.pod(stats_.setup_retries);
+  ar.pod(stats_.circuits_invalidated);
+  ar.pod(stats_.unreachable_fallbacks);
 }
 
 }  // namespace wavesim::core

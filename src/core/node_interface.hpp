@@ -17,6 +17,10 @@
 #include "sim/config.hpp"
 #include "wormhole/fabric.hpp"
 
+namespace wavesim::snap {
+class Archive;
+}  // namespace wavesim::snap
+
 namespace wavesim::core {
 
 class NodeInterface {
@@ -82,6 +86,11 @@ class NodeInterface {
     std::uint64_t unreachable_fallbacks = 0;  ///< DV said: no circuit path
   };
   const Stats& stats() const noexcept { return stats_; }
+
+  /// Serialize the circuit cache, per-destination protocol state (setup
+  /// sequencers included), pending wormhole packets/streams, and stats
+  /// (snapshot/restore).
+  void snap(snap::Archive& ar);
 
  private:
   struct DestState {

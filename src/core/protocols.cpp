@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "snap/archive.hpp"
+
 namespace wavesim::core {
 
 SetupSequencer::SetupSequencer(Mode mode, sim::ClrpVariant variant,
@@ -50,6 +52,17 @@ bool SetupSequencer::advance() {
   }
   exhausted_ = true;
   return false;
+}
+
+void SetupSequencer::snap(snap::Archive& ar) {
+  ar.pod(mode_);
+  ar.pod(variant_);
+  ar.pod(num_switches_);
+  ar.pod(initial_switch_);
+  ar.pod(phase_);
+  ar.pod(tried_);
+  ar.pod(attempts_);
+  ar.pod(exhausted_);
 }
 
 }  // namespace wavesim::core

@@ -18,6 +18,10 @@
 #include "sim/config.hpp"
 #include "sim/types.hpp"
 
+namespace wavesim::snap {
+class Archive;
+}  // namespace wavesim::snap
+
 namespace wavesim::core {
 
 struct SetupAttempt {
@@ -47,6 +51,11 @@ class SetupSequencer {
   /// 1 or 2 for CLRP (the Force phase); always 1 for CARP.
   std::int32_t phase() const noexcept { return phase_; }
   std::int32_t attempts_made() const noexcept { return attempts_; }
+
+  /// Serialize every field, configuration included (snapshot/restore): a
+  /// sequencer is created per setup attempt, so restore rebuilds it
+  /// wholesale rather than replaying construction arguments.
+  void snap(snap::Archive& ar);
 
  private:
   std::int32_t switches_per_phase() const noexcept;

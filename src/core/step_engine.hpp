@@ -25,6 +25,14 @@ class StepEngine {
 
   /// Advance `net` by exactly `cycles` cycles. The default is a step()
   /// loop; engines with lookahead override this to batch barriers.
+  ///
+  /// Quiesce-for-snapshot seam (src/snap): whenever step() or run()
+  /// returns, the engine must hold NO carryover state about the network
+  /// -- every window fully committed, every shard context drained -- so
+  /// that Network::snap() between calls captures the complete simulation
+  /// state and a restored network may continue under ANY engine (or shard
+  /// count, or lookahead) with bit-identical results. Engines that batch
+  /// cycles internally must never return mid-window.
   virtual void run(Network& net, Cycle cycles) {
     for (Cycle i = 0; i < cycles; ++i) step(net);
   }

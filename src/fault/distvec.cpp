@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "snap/archive.hpp"
+
 namespace wavesim::fault {
 
 DistanceVector::DistanceVector(const topo::KAryNCube& topology,
@@ -260,6 +262,40 @@ void DistanceVector::step(Cycle now, bool active) {
   } else if (any_dirty_) {
     send_updates(now, /*periodic=*/false);
   }
+}
+
+void DistanceVector::snap(snap::Archive& ar) {
+  ar.vec(routes_, [](snap::Archive& a, Route& r) {
+    a.pod(r.metric);
+    a.pod(r.next_port);
+    a.pod(r.deadline);
+  });
+  ar.vec_pod(alive_);
+  ar.vec_pod(dirty_);
+  ar.vec_pod(node_dirty_);
+  ar.pod(any_dirty_);
+  ar.vec_pod(min_deadline_);
+  ar.deq(in_flight_, [](snap::Archive& a, Advert& adv) {
+    a.pod(adv.deliver_at);
+    a.pod(adv.to);
+    a.pod(adv.in_port);
+    a.pod(adv.triggered);
+    a.vec(adv.entries, [](snap::Archive& b,
+                          std::pair<NodeId, std::int32_t>& e) {
+      b.pod(e.first);
+      b.pod(e.second);
+    });
+  });
+  ar.vec(withdrawals_, [](snap::Archive& a, std::pair<NodeId, NodeId>& w) {
+    a.pod(w.first);
+    a.pod(w.second);
+  });
+  ar.pod(counters_.updates_sent);
+  ar.pod(counters_.triggered_updates);
+  ar.pod(counters_.entries_sent);
+  ar.pod(counters_.adverts_dropped);
+  ar.pod(counters_.routes_withdrawn);
+  ar.pod(counters_.route_timeouts);
 }
 
 }  // namespace wavesim::fault

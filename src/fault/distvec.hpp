@@ -26,6 +26,10 @@
 #include "sim/types.hpp"
 #include "topology/topology.hpp"
 
+namespace wavesim::snap {
+class Archive;
+}  // namespace wavesim::snap
+
 namespace wavesim::fault {
 
 class DistanceVector {
@@ -86,6 +90,10 @@ class DistanceVector {
     return withdrawals_;
   }
   void clear_withdrawals() { withdrawals_.clear(); }
+
+  /// Serialize routes, liveness, dirty sets, in-flight adverts, pending
+  /// withdrawals, and counters (snapshot/restore).
+  void snap(snap::Archive& ar);
 
  private:
   struct Route {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "snap/archive.hpp"
+
 namespace wavesim::fault {
 
 FaultPlane::FaultPlane(const sim::SimConfig& config,
@@ -46,6 +48,17 @@ std::vector<LinkChange> FaultPlane::begin_cycle(Cycle now) {
   if (active_ && now > active_until_) active_ = false;
   dv_.step(now, active_now);
   return changes;
+}
+
+void FaultPlane::snap(snap::Archive& ar) {
+  dv_.snap(ar);
+  std::uint64_t next = next_;
+  ar.pod(next);
+  next_ = static_cast<std::size_t>(next);
+  ar.pod(active_until_);
+  ar.pod(active_);
+  ar.pod(counters_.links_failed);
+  ar.pod(counters_.links_restored);
 }
 
 }  // namespace wavesim::fault

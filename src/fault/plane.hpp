@@ -28,6 +28,10 @@
 #include "sim/types.hpp"
 #include "topology/topology.hpp"
 
+namespace wavesim::snap {
+class Archive;
+}  // namespace wavesim::snap
+
 namespace wavesim::fault {
 
 /// One link transition the Network must apply this cycle, in canonical
@@ -89,6 +93,12 @@ class FaultPlane {
   const std::vector<sim::FaultEvent>& timeline() const noexcept {
     return timeline_;
   }
+
+  /// Serialize the DV layer, timeline cursor, and activity window
+  /// (snapshot/restore). The timeline itself is a deterministic expansion
+  /// of the config (same seed-forked RNG on construction), so only the
+  /// cursor round-trips.
+  void snap(snap::Archive& ar);
 
  private:
   Cycle hold_cycles() const noexcept {

@@ -1,6 +1,9 @@
 #include "pcs/history.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "snap/archive.hpp"
 
 namespace wavesim::pcs {
 
@@ -38,5 +41,29 @@ std::int64_t HistoryStore::entries(ProbeId probe) const {
 }
 
 void HistoryStore::erase(ProbeId probe) { store_.erase(probe); }
+
+void HistoryStore::snap(snap::Archive& ar) {
+  if (ar.writing()) {
+    std::vector<ProbeId> probes;
+    probes.reserve(store_.size());
+    for (const auto& [probe, rows] : store_) probes.push_back(probe);
+    std::sort(probes.begin(), probes.end());
+    std::uint64_t n = probes.size();
+    ar.pod(n);
+    for (ProbeId probe : probes) {
+      ar.pod(probe);
+      ar.vec_pod(store_.at(probe));
+    }
+  } else {
+    store_.clear();
+    std::uint64_t n = 0;
+    ar.pod(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      ProbeId probe = kInvalidProbe;
+      ar.pod(probe);
+      ar.vec_pod(store_[probe]);
+    }
+  }
+}
 
 }  // namespace wavesim::pcs

@@ -18,6 +18,10 @@
 
 #include "sim/types.hpp"
 
+namespace wavesim::snap {
+class Archive;
+}  // namespace wavesim::snap
+
 namespace wavesim::pcs {
 
 class HistoryStore {
@@ -37,6 +41,10 @@ class HistoryStore {
   void erase(ProbeId probe);
 
   std::size_t probes_tracked() const noexcept { return store_.size(); }
+
+  /// Serialize rows in ascending-probe order (snapshot/restore; the
+  /// unordered_map's bucket order must never leak into snapshot bytes).
+  void snap(snap::Archive& ar);
 
  private:
   // probe -> per-node searched-port bitmasks (index = node id).

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "snap/archive.hpp"
+
 namespace wavesim::pcs {
 
 const char* to_string(ChannelStatus status) noexcept {
@@ -128,6 +130,20 @@ RegisterFile::RegisterFile(const topo::KAryNCube& topology,
       regs_.emplace_back(topology.num_ports());
     }
   }
+}
+
+void SwitchRegisters::snap(snap::Archive& ar) {
+  for (OutChannel& ch : out_) {
+    ar.pod(ch.status);
+    ar.pod(ch.probe);
+    ar.pod(ch.circuit);
+    ar.pod(ch.ack_returned);
+    ar.pod(ch.in_port);
+  }
+}
+
+void RegisterFile::snap(snap::Archive& ar) {
+  for (SwitchRegisters& regs : regs_) regs.snap(ar);
 }
 
 }  // namespace wavesim::pcs

@@ -13,6 +13,10 @@
 #include "sim/types.hpp"
 #include "topology/topology.hpp"
 
+namespace wavesim::snap {
+class Archive;
+}  // namespace wavesim::snap
+
 namespace wavesim::pcs {
 
 /// Pseudo-port used in mappings for circuits that start (input side) or
@@ -70,6 +74,9 @@ class SwitchRegisters {
   /// Count of channels in each status (diagnostics / tests).
   std::int32_t count(ChannelStatus status) const;
 
+  /// Serialize every output channel's registers (snapshot/restore).
+  void snap(snap::Archive& ar);
+
  private:
   struct OutChannel {
     ChannelStatus status = ChannelStatus::kFree;
@@ -99,6 +106,9 @@ class RegisterFile {
     return regs_.at(static_cast<std::size_t>(node) * num_switches_ +
                     switch_index);
   }
+
+  /// Serialize all (node, switch) register banks (snapshot/restore).
+  void snap(snap::Archive& ar);
 
  private:
   std::int32_t num_switches_;

@@ -1,0 +1,312 @@
+#include "service/jobs.hpp"
+
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+
+#include "check/scenario.hpp"
+#include "check/simcheck.hpp"
+#include "harness/sweep.hpp"
+#include "service/proto.hpp"
+#include "snap/runstate.hpp"
+#include "snap/snapshot.hpp"
+#include "verify/delivery.hpp"
+#include "verify/watchdog.hpp"
+
+namespace wavesim::service {
+
+namespace {
+
+bool file_exists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+/// Result document for a finished run -- the service analogue of the
+/// CLI's wavesim.run.v1. Deliberately excludes the job id, tenant and
+/// any timestamp: the same spec must yield a byte-identical result file
+/// whether the job ran uninterrupted, was preempted between slices, or
+/// was resumed by a restarted daemon (CI's service-smoke compares them).
+sim::JsonValue run_result_json(snap::CheckpointableRun& run) {
+  const load::ExperimentResult& r = run.result();
+  const auto check = verify::check_delivery(run.sim().network());
+  return sim::JsonValue::object()
+      .set("schema", "wavesim.result.v1")
+      .set("kind", "run")
+      .set("spec", runspec_to_json(run.spec()))
+      .set("drained", r.drained)
+      .set("invariants_ok", check.ok())
+      .set("watchdog_verdict", verify::to_string(r.watchdog_verdict))
+      .set("stalled_for", r.max_stalled)
+      .set("offered_messages", r.offered_messages)
+      .set("cycles_total", r.cycles_total)
+      .set("stats", harness::stats_to_json(r.stats));
+}
+
+void check_known_keys(const sim::JsonValue& spec,
+                      std::initializer_list<const char*> known,
+                      const char* kind) {
+  for (const auto& [key, member] : spec.members()) {
+    (void)member;
+    bool ok = false;
+    for (const char* k : known) ok = ok || key == k;
+    if (!ok) {
+      throw std::runtime_error(std::string("unknown ") + kind +
+                               " spec field '" + key + "'");
+    }
+  }
+}
+
+}  // namespace
+
+const char* to_string(JobState state) noexcept {
+  switch (state) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kFailed: return "failed";
+    case JobState::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
+JobState job_state_from_string(const std::string& text) {
+  if (text == "queued") return JobState::kQueued;
+  if (text == "running") return JobState::kRunning;
+  if (text == "done") return JobState::kDone;
+  if (text == "failed") return JobState::kFailed;
+  if (text == "cancelled") return JobState::kCancelled;
+  throw std::runtime_error("bad job state '" + text + "'");
+}
+
+sim::JsonValue job_to_json(const Job& job) {
+  return sim::JsonValue::object()
+      .set("schema", "wavesim.jobfile.v1")
+      .set("id", job.id)
+      .set("tenant", job.tenant)
+      .set("weight", job.weight)
+      .set("kind", job.kind)
+      .set("spec", job.spec)
+      .set("state", to_string(job.state))
+      .set("cycle", job.cycle)
+      .set("slices", job.slices)
+      .set("completion_seq", job.completion_seq)
+      .set("error", job.error)
+      .set("cancel_requested", job.cancel_requested);
+}
+
+Job job_from_json(const sim::JsonValue& value) {
+  if (!value.is_object() ||
+      value.at("schema").as_string() != "wavesim.jobfile.v1") {
+    throw std::runtime_error("not a wavesim.jobfile.v1 document");
+  }
+  Job job;
+  job.id = value.at("id").as_string();
+  job.tenant = value.at("tenant").as_string();
+  job.weight = value.at("weight").as_number();
+  job.kind = value.at("kind").as_string();
+  job.spec = value.at("spec");
+  job.state = job_state_from_string(value.at("state").as_string());
+  job.cycle = static_cast<Cycle>(value.at("cycle").as_int());
+  job.slices = static_cast<std::uint64_t>(value.at("slices").as_int());
+  job.completion_seq =
+      static_cast<std::uint64_t>(value.at("completion_seq").as_int());
+  job.error = value.at("error").as_string();
+  job.cancel_requested = value.at("cancel_requested").as_bool();
+  return job;
+}
+
+std::string JobRunner::checkpoint_path(const std::string& id) const {
+  return state_dir_ + "/" + id + ".ckpt";
+}
+
+std::string JobRunner::result_path(const std::string& id) const {
+  return state_dir_ + "/result-" + id + ".json";
+}
+
+SliceOutcome JobRunner::step(Job& job,
+                             const std::function<bool()>& cancelled) {
+  SliceOutcome out;
+  try {
+    ++job.slices;
+    if (job.kind == "run") return step_run(job);
+    if (job.kind == "sweep") return step_sweep(job, cancelled);
+    if (job.kind == "simcheck") return step_simcheck(job);
+    out.failed = true;
+    out.error = "unknown job kind '" + job.kind + "'";
+  } catch (const std::exception& e) {
+    out.failed = true;
+    out.error = e.what();
+  }
+  return out;
+}
+
+SliceOutcome JobRunner::step_run(Job& job) {
+  SliceOutcome out;
+  try {
+    const std::string ckpt = checkpoint_path(job.id);
+    std::unique_ptr<snap::CheckpointableRun> run;
+    if (file_exists(ckpt)) {
+      run = std::make_unique<snap::CheckpointableRun>(
+          snap::Snapshot::load(ckpt));
+    } else {
+      // First slice -- or the checkpoint vanished, in which case the
+      // run restarts from cycle 0 and still produces the identical
+      // result file (determinism makes recovery idempotent).
+      run = std::make_unique<snap::CheckpointableRun>(
+          runspec_from_json(job.spec));
+    }
+    const Cycle before = run->now();
+    run->advance(slice_cycles_);
+    job.cycle = run->now();
+    out.cost = static_cast<double>(run->now() - before);
+    if (run->done()) {
+      if (!sim::write_json_file(run_result_json(*run),
+                                result_path(job.id))) {
+        throw std::runtime_error("cannot write " + result_path(job.id));
+      }
+      std::remove(ckpt.c_str());
+      out.done = true;
+    } else {
+      run->checkpoint().save(ckpt);
+    }
+  } catch (const std::exception& e) {
+    out.failed = true;
+    out.error = e.what();
+  }
+  return out;
+}
+
+SliceOutcome JobRunner::step_sweep(Job& job,
+                                   const std::function<bool()>& cancelled) {
+  SliceOutcome out;
+  try {
+    check_known_keys(job.spec, {"base", "measures"}, "sweep");
+    const sim::JsonValue* base = job.spec.find("base");
+    const sim::JsonValue* measures = job.spec.find("measures");
+    if (base == nullptr || measures == nullptr || !measures->is_array() ||
+        measures->size() == 0) {
+      throw std::runtime_error(
+          "sweep spec needs 'base' (run spec) and 'measures' (array)");
+    }
+    const snap::RunSpec spec = runspec_from_json(*base);
+
+    // All points share the spec's warm prefix, so one warmup serves the
+    // whole sweep: checkpoint at the warmup/measure boundary and start
+    // every point from there (bench/bench_snap.cpp measures the win).
+    snap::CheckpointableRun warm(spec);
+    warm.advance(spec.warmup);
+    if (!warm.at_measure_boundary()) {
+      throw std::logic_error("sweep warmup did not reach the boundary");
+    }
+    out.cost += static_cast<double>(spec.warmup);
+    const snap::Snapshot boundary = warm.checkpoint();
+
+    sim::JsonValue points = sim::JsonValue::array();
+    for (std::size_t i = 0; i < measures->size(); ++i) {
+      if (cancelled()) return out;  // worker maps this to kCancelled
+      const std::int64_t measure = measures->at(i).as_int();
+      if (measure < 1) throw std::runtime_error("measures must be >= 1");
+      snap::CheckpointableRun point(boundary);
+      point.rebind(static_cast<Cycle>(measure),
+                   40 * (spec.warmup + static_cast<Cycle>(measure)) +
+                       1'000'000);
+      while (!point.done()) {
+        point.advance(std::numeric_limits<Cycle>::max());
+      }
+      out.cost += static_cast<double>(point.now() - spec.warmup);
+      job.cycle += point.now() - spec.warmup;
+      const load::ExperimentResult& r = point.result();
+      points.push_back(
+          sim::JsonValue::object()
+              .set("measure", measure)
+              .set("drained", r.drained)
+              .set("offered_messages", r.offered_messages)
+              .set("stats", harness::stats_to_json(r.stats)));
+    }
+    char warm_hex[32];
+    std::snprintf(warm_hex, sizeof warm_hex, "%016llx",
+                  static_cast<unsigned long long>(snap::warm_key(spec)));
+    const sim::JsonValue doc =
+        sim::JsonValue::object()
+            .set("schema", "wavesim.result.v1")
+            .set("kind", "sweep")
+            .set("base", runspec_to_json(spec))
+            .set("warm_key", warm_hex)
+            .set("points", std::move(points));
+    if (!sim::write_json_file(doc, result_path(job.id))) {
+      throw std::runtime_error("cannot write " + result_path(job.id));
+    }
+    out.done = true;
+  } catch (const std::exception& e) {
+    out.failed = true;
+    out.error = e.what();
+  }
+  return out;
+}
+
+SliceOutcome JobRunner::step_simcheck(Job& job) {
+  SliceOutcome out;
+  try {
+    check_known_keys(job.spec,
+                     {"count", "base_seed", "faulty", "max_failures"},
+                     "simcheck");
+    check::SimcheckOptions options;
+    if (const sim::JsonValue* v = job.spec.find("count")) {
+      options.count = static_cast<std::size_t>(v->as_int());
+    } else {
+      options.count = 20;
+    }
+    if (const sim::JsonValue* v = job.spec.find("base_seed")) {
+      options.base_seed = static_cast<std::uint64_t>(v->as_int());
+    }
+    if (const sim::JsonValue* v = job.spec.find("faulty")) {
+      options.faulty = v->as_bool();
+    }
+    if (const sim::JsonValue* v = job.spec.find("max_failures")) {
+      options.max_failures = static_cast<std::size_t>(v->as_int());
+    }
+    if (options.count < 1) throw std::runtime_error("count must be >= 1");
+    // One worker thread: parallelism belongs to the daemon's worker
+    // pool, not inside a single job. No shrinking: service jobs report,
+    // the CLI (simcheck --replay) investigates.
+    options.threads = 1;
+    options.shrink_failures = false;
+    const check::Report report = check::run_simcheck(options);
+
+    sim::JsonValue failures = sim::JsonValue::array();
+    for (const check::Failure& f : report.failures) {
+      failures.push_back(
+          sim::JsonValue::object()
+              .set("index", f.index)
+              .set("seed", check::to_hex_u64(f.original.seed)));
+    }
+    const sim::JsonValue doc =
+        sim::JsonValue::object()
+            .set("schema", "wavesim.result.v1")
+            .set("kind", "simcheck")
+            .set("base_seed", options.base_seed)
+            .set("count", options.count)
+            .set("faulty", options.faulty)
+            .set("scenarios_run", report.scenarios_run)
+            .set("saturated", report.saturated)
+            .set("ok", report.ok())
+            .set("failures", std::move(failures));
+    if (!sim::write_json_file(doc, result_path(job.id))) {
+      throw std::runtime_error("cannot write " + result_path(job.id));
+    }
+    // Nominal WFQ charge: scenarios are short bounded runs; 20k cycles
+    // apiece keeps simcheck jobs comparable to run slices.
+    out.cost = static_cast<double>(report.scenarios_run) * 20'000.0;
+    out.done = true;
+  } catch (const std::exception& e) {
+    out.failed = true;
+    out.error = e.what();
+  }
+  return out;
+}
+
+}  // namespace wavesim::service

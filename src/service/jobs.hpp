@@ -1,0 +1,89 @@
+// Job records and slice execution for wavesimd.
+//
+// A job is persisted as a wavesim.jobfile.v1 document in the daemon's
+// state directory and advanced in bounded slices. Run jobs lean on
+// snap::CheckpointableRun: every slice restores the job's checkpoint,
+// advances at most slice_cycles, and checkpoints again. Preemption and
+// crash recovery are therefore the same mechanism -- whether the worker
+// moved on to another tenant's job or the whole daemon was killed, the
+// next slice starts from the same wavesim.snap.v1 file, and the finished
+// result is bit-identical to an uninterrupted run (tests/test_snap.cpp
+// proves the underlying round trip).
+//
+// Sweep jobs exploit warm starting: all points share the spec's warm
+// prefix (snap::warm_key), so the warmup is simulated once, checkpointed
+// at the warmup/measure boundary, and every point restores + rebinds
+// from that boundary. Simcheck jobs wrap check::run_simcheck.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/json.hpp"
+#include "sim/types.hpp"
+
+namespace wavesim::service {
+
+enum class JobState : std::uint8_t {
+  kQueued = 0,
+  kRunning = 1,
+  kDone = 2,
+  kFailed = 3,
+  kCancelled = 4,
+};
+
+const char* to_string(JobState state) noexcept;
+JobState job_state_from_string(const std::string& text);
+
+struct Job {
+  std::string id;
+  std::string tenant = "default";
+  double weight = 1.0;
+  std::string kind;     ///< run | sweep | simcheck
+  sim::JsonValue spec;  ///< job-kind specific payload (see docs/SERVICE.md)
+  JobState state = JobState::kQueued;
+  Cycle cycle = 0;           ///< simulation progress (run jobs)
+  std::uint64_t slices = 0;  ///< scheduling quanta consumed
+  std::uint64_t completion_seq = 0;  ///< daemon-wide finish order, 1-based
+  std::string error;
+  bool cancel_requested = false;
+};
+
+/// wavesim.jobfile.v1 round trip (what the state directory stores).
+sim::JsonValue job_to_json(const Job& job);
+Job job_from_json(const sim::JsonValue& value);
+
+struct SliceOutcome {
+  bool done = false;
+  bool failed = false;
+  double cost = 0.0;  ///< simulation cycles consumed (WFQ charge)
+  std::string error;
+};
+
+class JobRunner {
+ public:
+  JobRunner(std::string state_dir, Cycle slice_cycles)
+      : state_dir_(std::move(state_dir)), slice_cycles_(slice_cycles) {}
+
+  /// Execute one scheduling quantum of `job`, updating its progress
+  /// fields. Run jobs advance at most slice_cycles then checkpoint;
+  /// sweep jobs run point-to-point (checking `cancelled` between
+  /// points); simcheck jobs run to completion. On done, the result
+  /// document is written to result_path(job.id); the checkpoint file is
+  /// removed. Never throws: failures come back in the outcome.
+  SliceOutcome step(Job& job, const std::function<bool()>& cancelled);
+
+  std::string checkpoint_path(const std::string& id) const;
+  std::string result_path(const std::string& id) const;
+
+ private:
+  SliceOutcome step_run(Job& job);
+  SliceOutcome step_sweep(Job& job, const std::function<bool()>& cancelled);
+  SliceOutcome step_simcheck(Job& job);
+
+  const std::string state_dir_;
+  const Cycle slice_cycles_;
+};
+
+}  // namespace wavesim::service

@@ -1,0 +1,51 @@
+// wavesim.job.v1 -- the wire protocol wavesimd speaks.
+//
+// Transport: line-delimited JSON over a local AF_UNIX stream socket,
+// one request and one response per connection. Every response carries
+// "ok"; failures add "error" (and "retry_after_ms" when the request
+// should be retried later, e.g. queue-full backpressure).
+//
+// Requests:
+//   {"op":"submit","kind":"run","spec":{...},"tenant":"a","weight":2}
+//   {"op":"status","id":"job-1"}     {"op":"result","id":"job-1"}
+//   {"op":"cancel","id":"job-1"}     {"op":"stats"}   {"op":"shutdown"}
+//
+// Run specs use the same vocabulary as wavesim_cli's flags (topo, mesh,
+// protocol, routing, pattern, load, length, warmup, measure, seed, ...),
+// so a job is a CLI invocation by construction: the service and the CLI
+// produce the same run for the same spec (docs/SERVICE.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/json.hpp"
+#include "snap/runstate.hpp"
+
+namespace wavesim::service {
+
+/// Canonical JSON form of a run spec (fixed field order, every field
+/// present). runspec_from_json(runspec_to_json(s)) reproduces s for all
+/// fields the schema covers; result files echo this canonical form so
+/// resumed jobs emit byte-identical results.
+sim::JsonValue runspec_to_json(const snap::RunSpec& spec);
+
+/// Parse a wavesim.job.v1 run spec. Strict: an unknown key, a bad enum
+/// value or an invalid configuration throws std::runtime_error naming
+/// the offending field (the daemon maps that to an error response).
+snap::RunSpec runspec_from_json(const sim::JsonValue& value);
+
+sim::JsonValue ok_response();
+sim::JsonValue error_response(const std::string& message);
+/// Backpressure: the request was well-formed but the daemon is full.
+sim::JsonValue busy_response(const std::string& message,
+                             std::int64_t retry_after_ms);
+
+/// Read one '\n'-terminated line from `fd` (the newline is stripped).
+/// False on EOF before any byte, timeout, or an over-long line.
+bool read_line(int fd, std::string& line, int timeout_ms);
+
+/// Write `line` plus a trailing newline; false on any short write.
+bool write_line(int fd, const std::string& line);
+
+}  // namespace wavesim::service

@@ -1,0 +1,112 @@
+#include "service/queue.hpp"
+
+#include <algorithm>
+
+namespace wavesim::service {
+
+const std::string* FairQueue::min_active_tenant() const {
+  const std::string* best = nullptr;
+  double best_vtime = 0.0;
+  for (const auto& [name, tenant] : tenants_) {
+    if (tenant.fifo.empty()) continue;
+    if (best == nullptr || tenant.vtime < best_vtime) {
+      best = &name;
+      best_vtime = tenant.vtime;
+    }
+  }
+  return best;
+}
+
+bool FairQueue::push(const std::string& job_id, const std::string& tenant,
+                     double weight, std::int64_t& retry_after_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (queued_ >= capacity_) {
+    // Rough heuristic: a slot frees up when the head job finishes a
+    // slice; scale the hint with the backlog so retries spread out.
+    retry_after_ms =
+        std::max<std::int64_t>(100, static_cast<std::int64_t>(queued_) * 100);
+    return false;
+  }
+  Tenant& t = tenants_[tenant];
+  if (t.fifo.empty()) t.vtime = std::max(t.vtime, vclock_);
+  t.weight = std::max(weight, 1e-6);
+  t.fifo.push_back(job_id);
+  ++queued_;
+  cv_.notify_one();
+  return true;
+}
+
+void FairQueue::requeue(const std::string& job_id, const std::string& tenant,
+                        double weight) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Tenant& t = tenants_[tenant];
+  if (t.fifo.empty()) t.vtime = std::max(t.vtime, vclock_);
+  t.weight = std::max(weight, 1e-6);
+  t.fifo.push_back(job_id);
+  ++queued_;
+  cv_.notify_one();
+}
+
+bool FairQueue::pop(std::string& job_id, std::string& tenant) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return stopped_ || queued_ > 0; });
+  if (stopped_) return false;
+  const std::string* name = min_active_tenant();
+  Tenant& t = tenants_[*name];
+  tenant = *name;
+  job_id = t.fifo.front();
+  t.fifo.pop_front();
+  --queued_;
+  vclock_ = std::max(vclock_, t.vtime);
+  return true;
+}
+
+void FairQueue::charge(const std::string& tenant, double cost) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return;
+  it->second.vtime += cost / it->second.weight;
+}
+
+bool FairQueue::remove(const std::string& job_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, tenant] : tenants_) {
+    (void)name;
+    const auto it =
+        std::find(tenant.fifo.begin(), tenant.fifo.end(), job_id);
+    if (it != tenant.fifo.end()) {
+      tenant.fifo.erase(it);
+      --queued_;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t FairQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queued_;
+}
+
+void FairQueue::stop() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stopped_ = true;
+  cv_.notify_all();
+}
+
+sim::JsonValue FairQueue::stats_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  sim::JsonValue tenants = sim::JsonValue::array();
+  for (const auto& [name, tenant] : tenants_) {
+    tenants.push_back(sim::JsonValue::object()
+                          .set("tenant", name)
+                          .set("queued", tenant.fifo.size())
+                          .set("weight", tenant.weight)
+                          .set("vtime", tenant.vtime));
+  }
+  return sim::JsonValue::object()
+      .set("depth", queued_)
+      .set("tenants", std::move(tenants));
+}
+
+}  // namespace wavesim::service

@@ -1,0 +1,82 @@
+// Weighted-fair job queue with bounded admission.
+//
+// Scheduling is virtual-time WFQ: every tenant carries a virtual time;
+// pop() serves the active tenant with the smallest one (FIFO within a
+// tenant) and the daemon charges the work actually done back via
+// charge(cost / weight is applied here, not by the caller). A tenant
+// with weight w therefore receives a w-proportional share of simulation
+// cycles whenever it has work queued, and an idle tenant cannot bank
+// credit: on re-activation its virtual time is clamped up to the global
+// virtual clock.
+//
+// Admission is bounded: push() past the capacity is refused with a
+// retry-after hint, which the daemon surfaces to the client as explicit
+// backpressure ({"ok":false,"error":"queue full","retry_after_ms":N})
+// instead of unbounded buffering. Requeues of already-admitted jobs
+// (checkpoint-based preemption) bypass the cap so a running job can
+// always yield its slot without being bounced.
+#pragma once
+
+#include <cstdint>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "sim/json.hpp"
+
+namespace wavesim::service {
+
+class FairQueue {
+ public:
+  explicit FairQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Admit a new job. False (with a retry hint in milliseconds) when the
+  /// queue is at capacity.
+  bool push(const std::string& job_id, const std::string& tenant,
+            double weight, std::int64_t& retry_after_ms);
+
+  /// Re-admit a preempted job at the back of its tenant's line; exempt
+  /// from the capacity check (the job was already admitted once).
+  void requeue(const std::string& job_id, const std::string& tenant,
+               double weight);
+
+  /// Block until a job is available or stop() was called. False means
+  /// stopped; a stopped queue keeps its contents (the daemon persists
+  /// job state, so the next start re-admits them).
+  bool pop(std::string& job_id, std::string& tenant);
+
+  /// Charge `cost` units of work (simulation cycles) against `tenant`:
+  /// its virtual time advances by cost / weight.
+  void charge(const std::string& tenant, double cost);
+
+  /// Remove a queued job (cancellation). False when not queued.
+  bool remove(const std::string& job_id);
+
+  std::size_t size() const;
+  void stop();
+
+  /// {"depth":N,"tenants":[{"tenant":..,"queued":..,"vtime":..}, ...]}
+  sim::JsonValue stats_json() const;
+
+ private:
+  struct Tenant {
+    std::deque<std::string> fifo;
+    double vtime = 0.0;
+    double weight = 1.0;
+  };
+
+  // Smallest virtual time among tenants with queued work; callers hold mu_.
+  const std::string* min_active_tenant() const;
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::string, Tenant> tenants_;  // ordered => deterministic ties
+  std::size_t queued_ = 0;
+  double vclock_ = 0.0;
+  bool stopped_ = false;
+};
+
+}  // namespace wavesim::service

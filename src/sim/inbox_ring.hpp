@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "sim/types.hpp"
+#include "snap/archive.hpp"
 
 namespace wavesim::sim {
 
@@ -50,6 +51,34 @@ class InboxRing {
       if (buf_[prev].due <= buf_[pos].due) break;
       std::swap(buf_[prev], buf_[pos]);
       pos = prev;
+    }
+  }
+
+  /// Serialize the logical FIFO content (snapshot/restore). Only the
+  /// due-ordered entries round-trip; the physical layout is normalized
+  /// to head_ = 0 on restore, which can never affect behavior -- pops
+  /// and pushes see the same logical sequence either way. `fn` is the
+  /// per-entry field serializer, `fn(Archive&, T&)`.
+  template <typename Fn>
+  void snap(snap::Archive& ar, Fn&& fn) {
+    std::uint64_t n = count_;
+    ar.pod(n);
+    if (ar.writing()) {
+      for (std::size_t i = 0; i < count_; ++i) {
+        fn(ar, buf_[(head_ + i) & mask_]);
+      }
+    } else {
+      buf_.clear();
+      head_ = 0;
+      count_ = 0;
+      std::size_t cap = 8;
+      while (cap < n) cap *= 2;
+      buf_.resize(cap);
+      mask_ = cap - 1;
+      for (std::uint64_t i = 0; i < n; ++i) {
+        fn(ar, buf_[i]);
+        ++count_;
+      }
     }
   }
 

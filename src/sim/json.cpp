@@ -368,17 +368,30 @@ JsonValue read_json_file(const std::string& path) {
 }
 
 bool write_json_file(const JsonValue& value, const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
+  // Write-to-temp then rename, so readers polling `path` (the service's
+  // result files, checkpoint metadata) never observe a torn document.
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
   if (f == nullptr) {
-    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    std::fprintf(stderr, "error: cannot write %s\n", tmp.c_str());
     return false;
   }
   const std::string text = value.dump(2);
-  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size() &&
-                  std::fputc('\n', f) != EOF;
-  std::fclose(f);
-  if (!ok) std::fprintf(stderr, "error: short write to %s\n", path.c_str());
-  return ok;
+  bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size() &&
+            std::fputc('\n', f) != EOF;
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    std::fprintf(stderr, "error: short write to %s\n", tmp.c_str());
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::fprintf(stderr, "error: cannot rename %s to %s\n", tmp.c_str(),
+                 path.c_str());
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
 }
 
 }  // namespace wavesim::sim

@@ -9,6 +9,8 @@
 #include <cstdint>
 #include <array>
 
+#include "snap/archive.hpp"
+
 namespace wavesim::sim {
 
 /// SplitMix64 step; used for seeding and for cheap stateless hashing.
@@ -45,6 +47,11 @@ class Rng {
 
   /// Fork an independent child stream (stable given call order).
   Rng fork() noexcept;
+
+  /// Serialize the raw stream state (snapshot/restore).
+  void snap(snap::Archive& ar) {
+    for (auto& word : state_) ar.pod(word);
+  }
 
  private:
   std::array<std::uint64_t, 4> state_;

@@ -1,0 +1,103 @@
+#include "snap/runstate.hpp"
+
+#include "sim/rng.hpp"
+
+namespace wavesim::snap {
+
+void snap_runspec(Archive& ar, RunSpec& spec) {
+  snap_config(ar, spec.config);
+  ar.str(spec.pattern);
+  ar.pod(spec.message_flits);
+  ar.pod(spec.offered_load);
+  ar.pod(spec.warmup);
+  ar.pod(spec.measure);
+  ar.pod(spec.drain_cap);
+  ar.pod(spec.seed);
+}
+
+std::uint64_t warm_key(const RunSpec& spec) {
+  // Serialize the warm-sharable prefix (everything but measure and
+  // drain_cap, which only affect post-boundary behavior) and fold the
+  // bytes; Snapshot::digest gives an order-sensitive 64-bit fold.
+  Archive ar = Archive::writer();
+  RunSpec copy = spec;
+  snap_config(ar, copy.config);
+  ar.str(copy.pattern);
+  ar.pod(copy.message_flits);
+  ar.pod(copy.offered_load);
+  ar.pod(copy.warmup);
+  ar.pod(copy.seed);
+  Snapshot snap;
+  snap.set("warm", ar.take_bytes());
+  return snap.digest();
+}
+
+CheckpointableRun::CheckpointableRun(const RunSpec& spec) {
+  spec.config.validate();
+  build(spec);
+}
+
+CheckpointableRun::CheckpointableRun(const Snapshot& snapshot) {
+  Archive ar = Archive::reader(snapshot.section("runspec"));
+  RunSpec spec;
+  snap_runspec(ar, spec);
+  if (!ar.exhausted()) {
+    throw ArchiveError("snapshot: trailing bytes in runspec section");
+  }
+  spec.config.validate();
+  build(spec);
+  restore_simulation(snapshot, *sim_);
+  {
+    Archive pa = Archive::reader(snapshot.section("pattern"));
+    pattern_->snap(pa);
+    if (!pa.exhausted()) {
+      throw ArchiveError("snapshot: trailing bytes in pattern section");
+    }
+  }
+  {
+    Archive da = Archive::reader(snapshot.section("driver"));
+    driver_->snap(da);
+    if (!da.exhausted()) {
+      throw ArchiveError("snapshot: trailing bytes in driver section");
+    }
+  }
+}
+
+void CheckpointableRun::build(const RunSpec& spec) {
+  spec_ = spec;
+  sim_ = std::make_unique<core::Simulation>(spec_.config);
+  pattern_ = load::make_traffic(spec_.pattern, sim_->topology(),
+                                sim::Rng{spec_.seed * 31 + 7});
+  sizes_ = std::make_unique<load::FixedSize>(spec_.message_flits);
+  driver_ = std::make_unique<load::OpenLoopDriver>(
+      *sim_, *pattern_, *sizes_, spec_.offered_load, spec_.warmup,
+      spec_.measure, spec_.drain_cap, spec_.seed);
+}
+
+void CheckpointableRun::rebind(Cycle measure, Cycle drain_cap) {
+  driver_->rebind(measure, drain_cap);
+  spec_.measure = measure;
+  spec_.drain_cap = drain_cap;
+}
+
+Snapshot CheckpointableRun::checkpoint() {
+  Snapshot snap = snapshot_simulation(*sim_);
+  {
+    Archive ar = Archive::writer();
+    snap_runspec(ar, spec_);
+    snap.set("runspec", ar.take_bytes());
+  }
+  {
+    Archive ar = Archive::writer();
+    pattern_->snap(ar);
+    snap.set("pattern", ar.take_bytes());
+  }
+  {
+    Archive ar = Archive::writer();
+    driver_->snap(ar);
+    snap.set("driver", ar.take_bytes());
+  }
+  return snap;
+}
+
+}  // namespace wavesim::snap

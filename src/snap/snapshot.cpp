@@ -1,0 +1,254 @@
+#include "snap/snapshot.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "core/simulation.hpp"
+#include "sim/config.hpp"
+#include "sim/rng.hpp"
+
+namespace wavesim::snap {
+
+namespace {
+
+std::uint64_t mix_bytes(std::uint64_t h, const std::uint8_t* p,
+                        std::size_t n) noexcept {
+  while (n >= 8) {
+    std::uint64_t w;
+    std::memcpy(&w, p, 8);
+    h = sim::hash_mix(h ^ w);
+    p += 8;
+    n -= 8;
+  }
+  if (n > 0) {
+    std::uint64_t tail = 0;
+    std::memcpy(&tail, p, n);
+    h = sim::hash_mix(h ^ tail ^ (static_cast<std::uint64_t>(n) << 56));
+  }
+  return h;
+}
+
+}  // namespace
+
+void Snapshot::set(std::string name, std::vector<std::uint8_t> bytes) {
+  for (auto& [n, b] : sections_) {
+    if (n == name) {
+      b = std::move(bytes);
+      return;
+    }
+  }
+  sections_.emplace_back(std::move(name), std::move(bytes));
+}
+
+bool Snapshot::has(const std::string& name) const noexcept {
+  for (const auto& [n, b] : sections_) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+const std::vector<std::uint8_t>& Snapshot::section(
+    const std::string& name) const {
+  for (const auto& [n, b] : sections_) {
+    if (n == name) return b;
+  }
+  throw ArchiveError("snapshot: missing section '" + name + "'");
+}
+
+std::vector<std::string> Snapshot::names() const {
+  std::vector<std::string> out;
+  out.reserve(sections_.size());
+  for (const auto& [n, b] : sections_) out.push_back(n);
+  return out;
+}
+
+std::vector<std::uint8_t> Snapshot::encode() const {
+  Archive ar = Archive::writer();
+  std::string magic = kMagic;
+  ar.str(magic);
+  std::uint64_t count = sections_.size();
+  ar.pod(count);
+  for (const auto& [name, bytes] : sections_) {
+    std::string n = name;
+    ar.str(n);
+    // const_cast is safe: vec_pod only reads in write mode.
+    ar.vec_pod(const_cast<std::vector<std::uint8_t>&>(bytes));
+  }
+  return ar.take_bytes();
+}
+
+Snapshot Snapshot::decode(const std::vector<std::uint8_t>& bytes) {
+  Archive ar = Archive::reader(bytes);
+  std::string magic;
+  ar.str(magic);
+  if (magic != kMagic) {
+    throw ArchiveError("snapshot: bad magic (want '" + std::string(kMagic) +
+                       "', got '" + magic + "')");
+  }
+  std::uint64_t count = 0;
+  ar.pod(count);
+  if (count > 1024) {
+    throw ArchiveError("snapshot: section count out of range");
+  }
+  Snapshot snap;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::string name;
+    ar.str(name);
+    std::vector<std::uint8_t> payload;
+    ar.vec_pod(payload);
+    snap.set(std::move(name), std::move(payload));
+  }
+  if (!ar.exhausted()) {
+    throw ArchiveError("snapshot: trailing bytes after section table");
+  }
+  return snap;
+}
+
+std::uint64_t Snapshot::digest() const noexcept {
+  std::uint64_t h = 0x77617665736e6170ULL;  // "wavesnap"
+  for (const auto& [name, bytes] : sections_) {
+    h = mix_bytes(h, reinterpret_cast<const std::uint8_t*>(name.data()),
+                  name.size());
+    h = sim::hash_mix(h ^ bytes.size());
+    h = mix_bytes(h, bytes.data(), bytes.size());
+  }
+  return h;
+}
+
+void Snapshot::save(const std::string& path) const {
+  const std::vector<std::uint8_t> bytes = encode();
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("snapshot: cannot write '" + tmp + "'");
+    }
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+      throw std::runtime_error("snapshot: short write to '" + tmp + "'");
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("snapshot: cannot rename '" + tmp + "' to '" +
+                             path + "'");
+  }
+}
+
+Snapshot Snapshot::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("snapshot: cannot open '" + path + "'");
+  }
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    throw std::runtime_error("snapshot: read error on '" + path + "'");
+  }
+  return decode(bytes);
+}
+
+void snap_config(Archive& ar, sim::SimConfig& config) {
+  ar.vec_pod(config.topology.radix);
+  ar.pod(config.topology.torus);
+
+  ar.pod(config.router.wormhole_vcs);
+  ar.pod(config.router.vc_buffer_depth);
+  ar.pod(config.router.wave_switches);
+  ar.pod(config.router.routing);
+  ar.pod(config.router.wave_clock_factor);
+  ar.pod(config.router.split_channels);
+  ar.pod(config.router.circuit_window);
+  ar.pod(config.router.virtual_circuits);
+  ar.pod(config.router.wormhole_pipeline_latency);
+  ar.pod(config.router.control_hop_cycles);
+
+  ar.pod(config.protocol.protocol);
+  ar.pod(config.protocol.clrp_variant);
+  ar.pod(config.protocol.max_misroutes);
+  ar.pod(config.protocol.circuit_cache_entries);
+  ar.pod(config.protocol.replacement);
+  ar.pod(config.protocol.min_circuit_message_flits);
+  ar.pod(config.protocol.max_packet_flits);
+  ar.pod(config.protocol.pcs_only);
+  ar.pod(config.protocol.mutate_force_unacked);
+
+  ar.pod(config.software.wormhole_send_overhead);
+  ar.pod(config.software.circuit_first_send_overhead);
+  ar.pod(config.software.circuit_reuse_send_overhead);
+  ar.pod(config.software.clrp_initial_buffer_flits);
+  ar.pod(config.software.buffer_realloc_penalty);
+
+  ar.pod(config.faults.link_fault_rate);
+  ar.vec(config.faults.events, [](Archive& a, sim::FaultEvent& ev) {
+    a.pod(ev.at);
+    a.pod(ev.kind);
+    a.pod(ev.node);
+    a.pod(ev.port);
+  });
+  ar.pod(config.faults.storm.at);
+  ar.pod(config.faults.storm.fraction);
+  ar.pod(config.faults.storm.repair_after);
+  ar.pod(config.faults.churn.rate);
+  ar.pod(config.faults.churn.from);
+  ar.pod(config.faults.churn.until);
+  ar.pod(config.faults.churn.mean_repair);
+  ar.pod(config.faults.dv.advert_period);
+  ar.pod(config.faults.dv.timeout_periods);
+  ar.pod(config.faults.dv.hop_cycles);
+
+  ar.pod(config.seed);
+}
+
+Snapshot snapshot_simulation(core::Simulation& sim) {
+  Snapshot snap;
+  {
+    Archive ar = Archive::writer();
+    sim::SimConfig config = sim.config();
+    snap_config(ar, config);
+    snap.set("config", ar.take_bytes());
+  }
+  {
+    Archive ar = Archive::writer();
+    sim.network().snap(ar);
+    snap.set("network", ar.take_bytes());
+  }
+  return snap;
+}
+
+sim::SimConfig restore_config(const Snapshot& snapshot) {
+  Archive ar = Archive::reader(snapshot.section("config"));
+  sim::SimConfig config;
+  snap_config(ar, config);
+  if (!ar.exhausted()) {
+    throw ArchiveError("snapshot: trailing bytes in config section");
+  }
+  config.validate();
+  return config;
+}
+
+void restore_simulation(const Snapshot& snapshot, core::Simulation& sim) {
+  // Guard against restoring into a simulation built from a different
+  // configuration: the object graph (arena sizes, plane presence) is a
+  // function of the config, so a mismatch would corrupt state instead
+  // of failing loudly.
+  Archive check = Archive::writer();
+  sim::SimConfig config = sim.config();
+  snap_config(check, config);
+  if (check.bytes() != snapshot.section("config")) {
+    throw ArchiveError(
+        "snapshot: config mismatch (construct the Simulation from "
+        "restore_config() first)");
+  }
+  Archive ar = Archive::reader(snapshot.section("network"));
+  sim.network().snap(ar);
+  if (!ar.exhausted()) {
+    throw ArchiveError("snapshot: trailing bytes in network section");
+  }
+}
+
+}  // namespace wavesim::snap

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "snap/archive.hpp"
+
 namespace wavesim::verify {
 
 const char* to_string(Verdict verdict) noexcept {
@@ -71,6 +73,17 @@ Verdict ProgressWatchdog::poll() {
   }
   stalled_ = now - last_poll_cycle_;
   return stalled_ >= patience_ ? Verdict::kStuck : Verdict::kWaiting;
+}
+
+void ProgressWatchdog::snap(snap::Archive& ar) {
+  ar.pod(last_.delivered);
+  ar.pod(last_.wormhole_moves);
+  ar.pod(last_.probe_moves);
+  ar.pod(last_.circuit_flits);
+  ar.pod(last_.control_events);
+  ar.pod(last_.fault_events);
+  ar.pod(last_poll_cycle_);
+  ar.pod(stalled_);
 }
 
 }  // namespace wavesim::verify

@@ -7,6 +7,10 @@
 
 #include "core/network.hpp"
 
+namespace wavesim::snap {
+class Archive;
+}  // namespace wavesim::snap
+
 namespace wavesim::verify {
 
 enum class Verdict {
@@ -27,6 +31,11 @@ class ProgressWatchdog {
   Verdict poll();
 
   Cycle stalled_for() const noexcept { return stalled_; }
+
+  /// Serialize the last-poll sample and stall accumulator
+  /// (snapshot/restore), so a restored run's stall verdicts match an
+  /// uninterrupted one.
+  void snap(snap::Archive& ar);
 
  private:
   struct Snapshot {

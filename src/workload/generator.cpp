@@ -1,8 +1,10 @@
 #include "workload/generator.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
+#include "snap/archive.hpp"
 #include "workload/traffic.hpp"
 
 namespace wavesim::load {
@@ -52,56 +54,142 @@ void OpenLoopGenerator::run_batch(Cycle cycles) {
   sim_.run(cycles);
 }
 
+void OpenLoopGenerator::snap(snap::Archive& ar) {
+  rng_.snap(ar);
+  ar.pod(offered_);
+}
+
+OpenLoopDriver::OpenLoopDriver(core::Simulation& sim, TrafficPattern& pattern,
+                               SizeDist& sizes, double offered_load,
+                               Cycle warmup, Cycle measure, Cycle drain_cap,
+                               std::uint64_t seed)
+    // The watchdog is read-only: polling it does not perturb the run, so
+    // results stay bit-identical to a run without it.
+    : sim_(sim), watchdog_(sim.network(), 20'000),
+      gen_(sim, pattern, sizes, offered_load, sim::Rng{seed}),
+      warmup_(warmup), measure_(measure), drain_cap_(drain_cap) {}
+
+void OpenLoopDriver::poll() {
+  result_.watchdog_verdict = watchdog_.poll();
+  result_.max_stalled = std::max(result_.max_stalled, watchdog_.stalled_for());
+}
+
+void OpenLoopDriver::next_phase() {
+  switch (phase_) {
+    case Phase::kWarmup:
+      cut_ = sim_.now();
+      offered_before_ = gen_.offered_messages();
+      phase_ = Phase::kMeasure;
+      break;
+    case Phase::kMeasure:
+      result_.offered_messages = gen_.offered_messages() - offered_before_;
+      drain_deadline_ = sim_.now() + drain_cap_;
+      phase_ = Phase::kDrain;
+      break;
+    case Phase::kDrain:
+      poll();
+      result_.stats = sim_.stats(cut_);
+      result_.cycles_total = sim_.now();
+      phase_ = Phase::kDone;
+      break;
+    case Phase::kDone:
+      break;
+  }
+  done_in_phase_ = 0;
+}
+
+Cycle OpenLoopDriver::advance(Cycle max_cycles) {
+  Cycle used = 0;
+  while (phase_ != Phase::kDone) {
+    if (phase_ == Phase::kWarmup || phase_ == Phase::kMeasure) {
+      const Cycle total = phase_ == Phase::kWarmup ? warmup_ : measure_;
+      if (done_in_phase_ >= total) {
+        next_phase();
+        continue;
+      }
+      if (used >= max_cycles) break;
+      // Batched driving: spans between watchdog polls go to the generator
+      // in one run_batch each (identical message sequence to per-cycle
+      // ticks, but a lookahead engine can batch barriers inside a span).
+      // Polls land at phase-local multiples of kPollEvery no matter how
+      // the caller slices advance() calls.
+      const Cycle span =
+          std::min({kPollEvery - done_in_phase_ % kPollEvery,
+                    total - done_in_phase_, max_cycles - used});
+      gen_.run_batch(span);
+      done_in_phase_ += span;
+      used += span;
+      if (done_in_phase_ % kPollEvery == 0) poll();
+    } else {  // Phase::kDrain
+      // Drain: same stepping as Simulation::run_until_delivered, with
+      // periodic watchdog polls folded in.
+      if (sim_.network().quiescent()) {
+        next_phase();
+        continue;
+      }
+      if (sim_.now() >= drain_deadline_) {
+        result_.drained = false;
+        next_phase();
+        continue;
+      }
+      if (used >= max_cycles) break;
+      sim_.step();
+      ++done_in_phase_;
+      ++used;
+      if (sim_.now() % kPollEvery == 0) poll();
+    }
+  }
+  return used;
+}
+
+const ExperimentResult& OpenLoopDriver::result() const {
+  if (phase_ != Phase::kDone) {
+    throw std::logic_error("OpenLoopDriver: result() before done()");
+  }
+  return result_;
+}
+
+void OpenLoopDriver::rebind(Cycle measure, Cycle drain_cap) {
+  if (!at_measure_boundary()) {
+    throw std::logic_error(
+        "OpenLoopDriver: rebind() away from the measure boundary");
+  }
+  measure_ = measure;
+  drain_cap_ = drain_cap;
+}
+
+void OpenLoopDriver::snap(snap::Archive& ar) {
+  watchdog_.snap(ar);
+  gen_.snap(ar);
+  ar.pod(phase_);
+  ar.pod(done_in_phase_);
+  ar.pod(cut_);
+  ar.pod(offered_before_);
+  ar.pod(drain_deadline_);
+  ar.pod(result_.offered_messages);
+  ar.pod(result_.drained);
+  ar.pod(result_.watchdog_verdict);
+  ar.pod(result_.max_stalled);
+  // Aggregate stats are a pure function of the serialized message log,
+  // so a snapshot of a finished run carries them by recomputation, not
+  // by value. (Mid-run snapshots recompute them at the drain -> done
+  // transition anyway.)
+  if (ar.reading() && phase_ == Phase::kDone) {
+    result_.stats = sim_.stats(cut_);
+    result_.cycles_total = sim_.now();
+  }
+}
+
 ExperimentResult run_open_loop(core::Simulation& sim, TrafficPattern& pattern,
                                SizeDist& sizes, double offered_load,
                                Cycle warmup, Cycle measure, Cycle drain_cap,
                                std::uint64_t seed) {
-  // The watchdog is read-only: polling it does not perturb the run, so
-  // results stay bit-identical to a run without it.
-  constexpr Cycle kPollEvery = 512;
-  verify::ProgressWatchdog watchdog(sim.network(), 20'000);
-  ExperimentResult result;
-  auto poll = [&] {
-    result.watchdog_verdict = watchdog.poll();
-    result.max_stalled = std::max(result.max_stalled, watchdog.stalled_for());
-  };
-
-  OpenLoopGenerator gen(sim, pattern, sizes, offered_load, sim::Rng{seed});
-  // Batched driving: spans between watchdog polls go to the generator in
-  // one run_batch each (identical message sequence to per-cycle ticks,
-  // but a lookahead engine can batch barriers inside a span).
-  auto drive = [&](Cycle total) {
-    Cycle done = 0;
-    while (done < total) {
-      const Cycle span =
-          std::min<Cycle>(kPollEvery - done % kPollEvery, total - done);
-      gen.run_batch(span);
-      done += span;
-      if (done % kPollEvery == 0) poll();
-    }
-  };
-  drive(warmup);
-  const Cycle cut = sim.now();
-  const std::uint64_t offered_before = gen.offered_messages();
-  drive(measure);
-
-  result.offered_messages = gen.offered_messages() - offered_before;
-  // Drain: same stepping as Simulation::run_until_delivered, with
-  // periodic watchdog polls folded in.
-  const Cycle deadline = sim.now() + drain_cap;
-  result.drained = true;
-  while (!sim.network().quiescent()) {
-    if (sim.now() >= deadline) {
-      result.drained = false;
-      break;
-    }
-    sim.step();
-    if (sim.now() % kPollEvery == 0) poll();
+  OpenLoopDriver driver(sim, pattern, sizes, offered_load, warmup, measure,
+                        drain_cap, seed);
+  while (!driver.done()) {
+    driver.advance(std::numeric_limits<Cycle>::max());
   }
-  poll();
-  result.stats = sim.stats(cut);
-  result.cycles_total = sim.now();
-  return result;
+  return driver.result();
 }
 
 SaturationSearch find_saturation(const sim::SimConfig& config,

@@ -9,6 +9,10 @@
 #include "workload/size_dist.hpp"
 #include "workload/traffic.hpp"
 
+namespace wavesim::snap {
+class Archive;
+}  // namespace wavesim::snap
+
 namespace wavesim::load {
 
 /// Injects messages open-loop: every cycle, every node offers a message
@@ -32,6 +36,10 @@ class OpenLoopGenerator {
   std::uint64_t offered_messages() const noexcept { return offered_; }
   double offered_load() const noexcept { return load_; }
 
+  /// Serialize the generator's RNG stream and offered counter
+  /// (snapshot/restore).
+  void snap(snap::Archive& ar);
+
  private:
   core::Simulation& sim_;
   TrafficPattern& pattern_;
@@ -54,6 +62,74 @@ struct ExperimentResult {
   /// warmup, measurement, and drain).
   verify::Verdict watchdog_verdict = verify::Verdict::kIdle;
   Cycle max_stalled = 0;  ///< longest no-movement stretch observed
+};
+
+/// Resumable form of run_open_loop: the same warmup / measure / drain
+/// state machine, but advanced in caller-chosen slices so the run can be
+/// checkpointed between slices (src/snap) or preempted by a job scheduler
+/// (src/service). Driving a fresh driver to completion — any slicing —
+/// yields results bit-identical to run_open_loop: message sequence, RNG
+/// draw order, and watchdog poll cycles are all slice-invariant.
+class OpenLoopDriver {
+ public:
+  static constexpr Cycle kPollEvery = 512;  ///< watchdog poll period
+
+  OpenLoopDriver(core::Simulation& sim, TrafficPattern& pattern,
+                 SizeDist& sizes, double offered_load, Cycle warmup,
+                 Cycle measure, Cycle drain_cap, std::uint64_t seed);
+
+  /// Advance the run by at most `max_cycles` simulated cycles. Returns the
+  /// cycles actually consumed (less than `max_cycles` only when the run
+  /// completes). Phase transitions are eager: bookkeeping for a finished
+  /// phase happens before returning, so a snapshot taken between slices is
+  /// never ambiguous about which phase it is in.
+  Cycle advance(Cycle max_cycles);
+
+  bool done() const noexcept { return phase_ == Phase::kDone; }
+
+  /// Valid once done(): the same result run_open_loop would return.
+  const ExperimentResult& result() const;
+
+  /// True exactly at the warmup/measure boundary (warmup finished, no
+  /// measured cycle run yet) — the point sweeps warm-start from.
+  bool at_measure_boundary() const noexcept {
+    return phase_ == Phase::kMeasure && done_in_phase_ == 0;
+  }
+
+  /// Retarget the measurement window. Only legal at_measure_boundary():
+  /// a warm-started sweep point restores a shared post-warmup snapshot
+  /// and then measures for its own span.
+  void rebind(Cycle measure, Cycle drain_cap);
+
+  Cycle measurement_cut() const noexcept { return cut_; }
+
+  /// Serialize driver progress (phase machine, counters, watchdog,
+  /// generator RNG). The caller serializes the Simulation and the traffic
+  /// pattern separately.
+  void snap(snap::Archive& ar);
+
+ private:
+  enum class Phase : std::uint8_t {
+    kWarmup = 0,
+    kMeasure = 1,
+    kDrain = 2,
+    kDone = 3,
+  };
+  void poll();
+  void next_phase();
+
+  core::Simulation& sim_;
+  verify::ProgressWatchdog watchdog_;
+  OpenLoopGenerator gen_;
+  Cycle warmup_;
+  Cycle measure_;
+  Cycle drain_cap_;
+  Phase phase_ = Phase::kWarmup;
+  Cycle done_in_phase_ = 0;
+  Cycle cut_ = 0;                ///< measurement window start
+  std::uint64_t offered_before_ = 0;
+  Cycle drain_deadline_ = 0;
+  ExperimentResult result_;
 };
 
 ExperimentResult run_open_loop(core::Simulation& sim, TrafficPattern& pattern,

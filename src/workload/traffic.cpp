@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "snap/archive.hpp"
+
 namespace wavesim::load {
 
 namespace {
@@ -182,6 +184,12 @@ std::unique_ptr<TrafficPattern> make_traffic(const std::string& name,
     return std::make_unique<WorkingSetTraffic>(topology, 4, 0.8, seed_rng);
   }
   throw std::invalid_argument("make_traffic: unknown pattern '" + name + "'");
+}
+
+void WorkingSetTraffic::snap(snap::Archive& ar) {
+  ar.vec(sets_, [](snap::Archive& a, std::vector<NodeId>& set) {
+    a.vec_pod(set);
+  });
 }
 
 }  // namespace wavesim::load

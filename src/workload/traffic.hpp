@@ -14,6 +14,10 @@
 #include "sim/types.hpp"
 #include "topology/topology.hpp"
 
+namespace wavesim::snap {
+class Archive;
+}  // namespace wavesim::snap
+
 namespace wavesim::load {
 
 class TrafficPattern {
@@ -22,6 +26,9 @@ class TrafficPattern {
   /// Destination for the next message from `src`; never returns src.
   virtual NodeId pick(NodeId src, sim::Rng& rng) = 0;
   virtual const char* name() const noexcept = 0;
+  /// Serialize mutable pattern state (snapshot/restore). Most patterns
+  /// are stateless; WorkingSetTraffic overrides this with its sets.
+  virtual void snap(snap::Archive& ar) { (void)ar; }
 };
 
 /// Uniformly random destination.
@@ -121,6 +128,7 @@ class WorkingSetTraffic final : public TrafficPattern {
   const std::vector<NodeId>& working_set(NodeId src) const {
     return sets_.at(src);
   }
+  void snap(snap::Archive& ar) override;
 
  private:
   const topo::KAryNCube& topology_;

@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "snap/archive.hpp"
+
 namespace wavesim::wh {
 
 /// Rotating-priority arbiter over `size` requesters. grant() scans from the
@@ -33,6 +35,10 @@ class RoundRobinArbiter {
     }
     return -1;
   }
+
+  /// Serialize the rotating pointer (snapshot/restore); size_ is
+  /// structural and comes from construction.
+  void snap(snap::Archive& ar) { ar.pod(pointer_); }
 
  private:
   std::int32_t size_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "snap/archive.hpp"
+
 namespace wavesim::wh {
 
 Fabric::Fabric(const topo::KAryNCube& topology,
@@ -195,6 +197,33 @@ double Fabric::max_link_utilization(Cycle elapsed) const {
   std::uint64_t peak = 0;
   for (auto count : link_flits_) peak = std::max(peak, count);
   return static_cast<double>(peak) / static_cast<double>(elapsed);
+}
+
+void Fabric::snap(snap::Archive& ar) {
+  for (Router& r : routers_) r.snap(ar);
+  const auto snap_timed_credit = [](snap::Archive& a, TimedCredit& tc) {
+    a.pod(tc.due);
+    a.pod(tc.credit.node);
+    a.pod(tc.credit.out_port);
+    a.pod(tc.credit.vc);
+  };
+  const auto snap_timed_flit = [](snap::Archive& a, TimedFlit& tf) {
+    a.pod(tf.due);
+    a.pod(tf.flit.dest_node);
+    a.pod(tf.flit.in_port);
+    a.pod(tf.flit.vc);
+    snap_flit(a, tf.flit.flit);
+  };
+  for (auto& ring : credit_in_) ring.snap(ar, snap_timed_credit);
+  for (auto& ring : flit_in_) ring.snap(ar, snap_timed_flit);
+  ar.vec_pod(node_busy_);
+  ar.pod(flits_delivered_);
+  ar.pod(flits_injected_);
+  ar.pod(link_flit_hops_);
+  ar.vec_pod(link_flits_);
+  ar.pod(flits_on_links_);
+  ar.pod(flits_buffered_);
+  ar.pod(last_activity_);
 }
 
 }  // namespace wavesim::wh

@@ -19,6 +19,10 @@
 #include "sim/inbox_ring.hpp"
 #include "wormhole/router.hpp"
 
+namespace wavesim::snap {
+class Archive;
+}  // namespace wavesim::snap
+
 namespace wavesim::wh {
 
 struct FabricParams {
@@ -202,6 +206,11 @@ class Fabric {
   /// Cycle of the most recent flit movement anywhere in the plane
   /// (progress watchdog input).
   Cycle last_activity() const noexcept { return last_activity_; }
+
+  /// Serialize routers, inbox rings, activity bytes, and the transport
+  /// counters (snapshot/restore). The delivery handler, gate claims
+  /// (reset every cycle), and scratch outbox are not state.
+  void snap(snap::Archive& ar);
 
  private:
   // Shard-safety tags (docs/ENGINE.md, enforced by tools/shardlint.py).

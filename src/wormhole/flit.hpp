@@ -2,6 +2,7 @@
 #pragma once
 
 #include "sim/types.hpp"
+#include "snap/archive.hpp"
 
 namespace wavesim::wh {
 
@@ -17,6 +18,19 @@ struct Flit {
 
   friend bool operator==(const Flit&, const Flit&) = default;
 };
+
+/// Field-by-field flit serialization (the struct has padding, so a raw
+/// byte copy would leak indeterminate bytes into the snapshot).
+inline void snap_flit(snap::Archive& ar, Flit& f) {
+  ar.pod(f.msg);
+  ar.pod(f.src);
+  ar.pod(f.dest);
+  ar.pod(f.seq);
+  ar.pod(f.length);
+  ar.pod(f.head);
+  ar.pod(f.tail);
+  ar.pod(f.created_at);
+}
 
 /// Build flit `seq` of an L-flit message (single-flit messages are both
 /// head and tail).

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "snap/archive.hpp"
+
 namespace wavesim::wh {
 
 InputVc::InputVc(std::int32_t capacity)
@@ -84,6 +86,33 @@ void InputVc::activate(PortId out_port, VcId out_vc) {
   out_vc_ = out_vc;
   state_ = VcState::kActive;
   candidates_.clear();
+}
+
+void InputVc::snap(snap::Archive& ar) {
+  std::int32_t n = size_;
+  ar.pod(n);
+  if (ar.writing()) {
+    for (std::int32_t i = 0; i < size_; ++i) {
+      std::int32_t pos = head_ + i;
+      if (pos >= capacity_) pos -= capacity_;
+      snap_flit(ar, slots_[pos]);
+    }
+  } else {
+    if (n < 0 || n > capacity_) {
+      throw snap::ArchiveError("InputVc: snapshot occupancy out of range");
+    }
+    head_ = 0;
+    size_ = n;
+    for (std::int32_t i = 0; i < n; ++i) snap_flit(ar, slots_[i]);
+  }
+  ar.pod(state_);
+  ar.vec(candidates_, [](snap::Archive& a, route::RouteCandidate& c) {
+    a.pod(c.port);
+    a.pod(c.vc);
+    a.pod(c.escape);
+  });
+  ar.pod(out_port_);
+  ar.pod(out_vc_);
 }
 
 void InputVc::release() {

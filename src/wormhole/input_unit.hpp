@@ -7,6 +7,10 @@
 #include "routing/routing.hpp"
 #include "wormhole/flit.hpp"
 
+namespace wavesim::snap {
+class Archive;
+}  // namespace wavesim::snap
+
 namespace wavesim::wh {
 
 /// Lifecycle of one input VC:
@@ -59,6 +63,11 @@ class InputVc {
 
   PortId out_port() const noexcept { return out_port_; }
   VcId out_vc() const noexcept { return out_vc_; }
+
+  /// Serialize the logical buffer content and pipeline state
+  /// (snapshot/restore). The ring is normalized to head_ = 0 on restore;
+  /// backing storage (arena vs self-owned) is structural and untouched.
+  void snap(snap::Archive& ar);
 
  private:
   Flit* slots_ = nullptr;

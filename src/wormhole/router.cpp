@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "snap/archive.hpp"
+
 namespace wavesim::wh {
 
 Router::Router(const topo::KAryNCube& topology,
@@ -204,6 +206,23 @@ void Router::route_compute() {
     ++routing_vcs_;
     ++nonidle_vcs_;
   }
+}
+
+void Router::snap(snap::Archive& ar) {
+  for (InputVc& in : inputs_) in.snap(ar);
+  for (OutputVc& out : outputs_) {
+    ar.pod(out.allocated);
+    ar.pod(out.holder_port);
+    ar.pod(out.holder_vc);
+    ar.pod(out.credits);
+  }
+  for (RoundRobinArbiter& arb : switch_arbiters_) arb.snap(ar);
+  va_arbiter_.snap(ar);
+  ar.pod(occupancy_);
+  ar.pod(nonidle_vcs_);
+  ar.pod(active_vcs_);
+  ar.pod(routing_vcs_);
+  ar.pod(route_pending_);
 }
 
 }  // namespace wavesim::wh

@@ -21,6 +21,10 @@
 #include "wormhole/input_unit.hpp"
 #include "wormhole/link_gate.hpp"
 
+namespace wavesim::snap {
+class Archive;
+}  // namespace wavesim::snap
+
 namespace wavesim::wh {
 
 struct RouterParams {
@@ -85,6 +89,11 @@ class Router {
 
   /// Sum of buffered flits across all input VCs (watchdog / conservation).
   std::int64_t buffered_flits() const noexcept { return occupancy_; }
+
+  /// Serialize buffered flits, pipeline state, arbiter pointers, and the
+  /// live-state counters (snapshot/restore). Structural layout (arena,
+  /// port/VC counts) comes from construction and is not serialized.
+  void snap(snap::Archive& ar);
 
  private:
   struct OutputVc {

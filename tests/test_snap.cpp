@@ -1,0 +1,373 @@
+// Deterministic checkpoint/restore (src/snap): restore(snapshot(S)) then
+// stepping N cycles must be bit-identical to stepping S directly — same
+// section bytes, same digests, same experiment results — across engines,
+// shard counts and lookahead windows, through probe setup, teardown and
+// fault storms.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "snap/runstate.hpp"
+#include "snap/snapshot.hpp"
+
+namespace {
+
+using namespace wavesim;
+
+snap::RunSpec small_clrp_spec() {
+  snap::RunSpec spec;
+  spec.config = sim::SimConfig::small_mesh();
+  spec.pattern = "working-set";
+  spec.message_flits = 16;
+  spec.offered_load = 0.20;
+  spec.warmup = 600;
+  spec.measure = 1200;
+  spec.drain_cap = 60'000;
+  spec.seed = 7;
+  return spec;
+}
+
+snap::RunSpec torus_carp_spec() {
+  snap::RunSpec spec;
+  spec.config = sim::SimConfig::default_torus();
+  spec.config.protocol.protocol = sim::ProtocolKind::kCarp;
+  spec.pattern = "transpose";
+  spec.message_flits = 32;
+  spec.offered_load = 0.15;
+  spec.warmup = 500;
+  spec.measure = 1000;
+  spec.drain_cap = 80'000;
+  spec.seed = 21;
+  return spec;
+}
+
+snap::RunSpec storm_spec() {
+  snap::RunSpec spec;
+  spec.config = sim::SimConfig::default_torus();
+  spec.config.faults.storm.at = 900;
+  spec.config.faults.storm.fraction = 0.25;
+  spec.config.faults.storm.repair_after = 700;
+  spec.pattern = "uniform";
+  spec.message_flits = 24;
+  spec.offered_load = 0.12;
+  spec.warmup = 600;
+  spec.measure = 1500;
+  spec.drain_cap = 100'000;
+  spec.seed = 5;
+  return spec;
+}
+
+std::unique_ptr<core::StepEngine> par_engine(std::int32_t nodes,
+                                             std::int32_t shards,
+                                             Cycle lookahead) {
+  engine::EngineConfig cfg;
+  cfg.kind = engine::EngineKind::kPar;
+  cfg.shards = shards;
+  cfg.lookahead = lookahead;
+  return engine::make_engine(cfg, nodes);
+}
+
+/// Drive to completion and return the final full-state digest.
+std::uint64_t finish(snap::CheckpointableRun& run) {
+  while (!run.done()) run.advance(1'000'000);
+  return run.checkpoint().digest();
+}
+
+void expect_same_result(const load::ExperimentResult& a,
+                        const load::ExperimentResult& b) {
+  EXPECT_EQ(a.offered_messages, b.offered_messages);
+  EXPECT_EQ(a.drained, b.drained);
+  EXPECT_EQ(a.cycles_total, b.cycles_total);
+  EXPECT_EQ(a.max_stalled, b.max_stalled);
+  EXPECT_EQ(a.watchdog_verdict, b.watchdog_verdict);
+  EXPECT_EQ(a.stats.messages_delivered, b.stats.messages_delivered);
+  EXPECT_EQ(a.stats.flits_delivered, b.stats.flits_delivered);
+  // Latencies are deterministic sums of integers: bitwise equality.
+  EXPECT_EQ(a.stats.latency_mean, b.stats.latency_mean);
+  EXPECT_EQ(a.stats.latency_max, b.stats.latency_max);
+  EXPECT_EQ(a.stats.probes_launched, b.stats.probes_launched);
+  EXPECT_EQ(a.stats.cache_hits, b.stats.cache_hits);
+  EXPECT_EQ(a.stats.links_failed, b.stats.links_failed);
+  EXPECT_EQ(a.stats.transfers_aborted, b.stats.transfers_aborted);
+}
+
+/// The core property: checkpoint at `cut`, restore into a fresh run, and
+/// both the uninterrupted original and the restored copy must agree on
+/// every subsequent checkpoint digest and on the final result.
+void check_round_trip(const snap::RunSpec& spec, Cycle cut) {
+  snap::CheckpointableRun original(spec);
+  original.advance(cut);
+  snap::Snapshot at_cut = original.checkpoint();
+
+  // Serialization itself must round-trip byte-exactly.
+  snap::Snapshot decoded = snap::Snapshot::decode(at_cut.encode());
+  EXPECT_EQ(decoded.digest(), at_cut.digest());
+
+  snap::CheckpointableRun restored(decoded);
+  EXPECT_EQ(restored.now(), original.now());
+  EXPECT_EQ(restored.checkpoint().digest(), at_cut.digest());
+
+  // March both in mismatched slice sizes: slicing must not matter.
+  Cycle slice = 1;
+  while (!original.done() || !restored.done()) {
+    original.advance(slice);
+    restored.advance(2 * slice + 1);
+    restored.advance(0);
+    while (restored.now() < original.now() && !restored.done()) {
+      restored.advance(original.now() - restored.now());
+    }
+    while (original.now() < restored.now() && !original.done()) {
+      original.advance(restored.now() - original.now());
+    }
+    ASSERT_EQ(original.now(), restored.now());
+    ASSERT_EQ(original.checkpoint().digest(), restored.checkpoint().digest());
+    slice = slice * 3 + 7;
+  }
+  expect_same_result(original.result(), restored.result());
+}
+
+TEST(SnapArchive, PodAndContainersRoundTrip) {
+  snap::Archive w = snap::Archive::writer();
+  std::uint64_t a = 0x1122334455667788ULL;
+  bool flag = true;
+  std::string s = "wavesim";
+  std::vector<std::int32_t> v{3, 1, 4, 1, 5};
+  w.pod(a);
+  w.pod(flag);
+  w.str(s);
+  w.vec_pod(v);
+
+  snap::Archive r = snap::Archive::reader(w.bytes());
+  std::uint64_t a2 = 0;
+  bool flag2 = false;
+  std::string s2;
+  std::vector<std::int32_t> v2;
+  r.pod(a2);
+  r.pod(flag2);
+  r.str(s2);
+  r.vec_pod(v2);
+  EXPECT_EQ(a2, a);
+  EXPECT_EQ(flag2, flag);
+  EXPECT_EQ(s2, s);
+  EXPECT_EQ(v2, v);
+  EXPECT_TRUE(r.exhausted());
+
+  // Truncation throws instead of reading garbage.
+  snap::Archive t = snap::Archive::reader({1, 2, 3});
+  std::uint64_t big = 0;
+  EXPECT_THROW(t.pod(big), snap::ArchiveError);
+}
+
+TEST(SnapSnapshot, EncodeDecodeAndErrors) {
+  snap::Snapshot snap;
+  snap.set("alpha", {1, 2, 3});
+  snap.set("beta", {});
+  const auto bytes = snap.encode();
+  const snap::Snapshot back = snap::Snapshot::decode(bytes);
+  EXPECT_EQ(back.digest(), snap.digest());
+  EXPECT_EQ(back.section("alpha"), (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_TRUE(back.has("beta"));
+  EXPECT_FALSE(back.has("gamma"));
+  EXPECT_THROW(back.section("gamma"), snap::ArchiveError);
+
+  std::vector<std::uint8_t> corrupt = bytes;
+  corrupt[2] ^= 0xff;  // clobber the magic
+  EXPECT_THROW(snap::Snapshot::decode(corrupt), snap::ArchiveError);
+  corrupt = bytes;
+  corrupt.resize(corrupt.size() - 1);
+  EXPECT_THROW(snap::Snapshot::decode(corrupt), snap::ArchiveError);
+}
+
+TEST(SnapSnapshot, SaveLoadAtomic) {
+  snap::Snapshot snap;
+  snap.set("data", {9, 8, 7, 6});
+  const std::string path = "test_snap_saveload.snap";
+  snap.save(path);
+  const snap::Snapshot back = snap::Snapshot::load(path);
+  EXPECT_EQ(back.digest(), snap.digest());
+  // The tmp file must be gone after a successful save.
+  std::FILE* tmp = std::fopen((path + ".tmp").c_str(), "rb");
+  EXPECT_EQ(tmp, nullptr);
+  if (tmp != nullptr) std::fclose(tmp);
+  std::remove(path.c_str());
+  EXPECT_THROW(snap::Snapshot::load(path), std::runtime_error);
+}
+
+TEST(SnapConfig, RoundTripsEveryField) {
+  sim::SimConfig cfg = sim::SimConfig::default_torus();
+  cfg.topology.radix = {4, 4, 2};
+  cfg.router.routing = sim::RoutingKind::kDuatoAdaptive;
+  cfg.router.wormhole_vcs = 3;
+  cfg.protocol.protocol = sim::ProtocolKind::kCarp;
+  cfg.protocol.replacement = sim::ReplacementPolicy::kLfu;
+  cfg.software.wormhole_send_overhead = 12;
+  cfg.faults.link_fault_rate = 0.05;
+  cfg.faults.events.push_back(
+      {100, sim::FaultEventKind::kLinkDown, 3, 2});
+  cfg.faults.storm = {500, 0.1, 250};
+  cfg.faults.churn = {0.001, 10, 2000, 300};
+  cfg.seed = 99;
+
+  snap::Archive w = snap::Archive::writer();
+  snap::snap_config(w, cfg);
+  snap::Archive r = snap::Archive::reader(w.bytes());
+  sim::SimConfig back;
+  snap::snap_config(r, back);
+  EXPECT_TRUE(r.exhausted());
+
+  snap::Archive w2 = snap::Archive::writer();
+  snap::snap_config(w2, back);
+  EXPECT_EQ(w2.bytes(), w.bytes());
+  EXPECT_EQ(back.topology.radix, cfg.topology.radix);
+  EXPECT_EQ(back.faults.events, cfg.faults.events);
+  EXPECT_EQ(back.faults.storm, cfg.faults.storm);
+}
+
+TEST(SnapRestore, RejectsConfigMismatch) {
+  snap::RunSpec spec = small_clrp_spec();
+  snap::CheckpointableRun run(spec);
+  run.advance(64);
+  snap::Snapshot snap = run.checkpoint();
+
+  sim::SimConfig other = spec.config;
+  other.protocol.circuit_cache_entries += 1;
+  core::Simulation sim(other);
+  EXPECT_THROW(snap::restore_simulation(snap, sim), snap::ArchiveError);
+}
+
+// -- Round-trip determinism across scenarios and phases ----------------------
+
+TEST(SnapRoundTrip, ClrpWorkingSetMidWarmup) {
+  check_round_trip(small_clrp_spec(), 300);
+}
+
+TEST(SnapRoundTrip, ClrpWorkingSetMidMeasure) {
+  // Cut mid-measurement: probes, teardowns and circuit transfers are all
+  // in flight at a busy CLRP cut point.
+  check_round_trip(small_clrp_spec(), 1100);
+}
+
+TEST(SnapRoundTrip, CarpTransposeMidMeasure) {
+  check_round_trip(torus_carp_spec(), 900);
+}
+
+TEST(SnapRoundTrip, FaultStormMidStorm) {
+  // Cut while a quarter of the links are down and the distance-vector
+  // layer is converging: DV adverts, withdrawals and aborted transfers
+  // must all survive the round trip.
+  check_round_trip(storm_spec(), 1100);
+}
+
+TEST(SnapRoundTrip, FaultStormDuringRepair) {
+  check_round_trip(storm_spec(), 1700);
+}
+
+TEST(SnapRoundTrip, DensePerCycleCutsCoverProbeAndTeardownWindows) {
+  // Checkpoint at every cycle over a busy span: any mid-probe or
+  // mid-teardown divergence shows up as a digest mismatch one cycle
+  // after its cut.
+  snap::RunSpec spec = small_clrp_spec();
+  snap::CheckpointableRun original(spec);
+  original.advance(640);
+  for (int i = 0; i < 48; ++i) {
+    snap::Snapshot snap = original.checkpoint();
+    snap::CheckpointableRun restored(snap);
+    restored.advance(1);
+    original.advance(1);
+    ASSERT_EQ(original.checkpoint().digest(), restored.checkpoint().digest())
+        << "diverged after the cut at cycle " << (original.now() - 1);
+  }
+}
+
+// -- Engine / shard / lookahead matrix ---------------------------------------
+
+TEST(SnapEngines, RestoredRunContinuesUnderAnyEngine) {
+  const snap::RunSpec spec = small_clrp_spec();
+  const std::int32_t nodes = spec.config.num_nodes();
+
+  snap::CheckpointableRun seq_run(spec);
+  seq_run.advance(800);
+  const snap::Snapshot cut = seq_run.checkpoint();
+  const std::uint64_t want = finish(seq_run);
+  const load::ExperimentResult& want_result = seq_run.result();
+
+  struct Leg {
+    std::int32_t shards;
+    Cycle lookahead;
+  };
+  const std::vector<Leg> legs{{1, 1}, {2, 1}, {8, 1}, {2, 8}, {8, 8}};
+  for (const Leg& leg : legs) {
+    snap::CheckpointableRun run(cut);
+    run.set_engine(par_engine(nodes, leg.shards, leg.lookahead));
+    EXPECT_EQ(finish(run), want)
+        << "shards=" << leg.shards << " lookahead=" << leg.lookahead;
+    expect_same_result(run.result(), want_result);
+  }
+}
+
+TEST(SnapEngines, ParCheckpointRestoresUnderSeq) {
+  const snap::RunSpec spec = storm_spec();
+  const std::int32_t nodes = spec.config.num_nodes();
+
+  snap::CheckpointableRun par_run(spec);
+  par_run.set_engine(par_engine(nodes, 4, 8));
+  par_run.advance(1000);
+  const snap::Snapshot cut = par_run.checkpoint();
+  const std::uint64_t want = finish(par_run);
+
+  snap::CheckpointableRun seq_run(cut);  // default sequential stepper
+  EXPECT_EQ(finish(seq_run), want);
+  expect_same_result(seq_run.result(), par_run.result());
+}
+
+// -- Warm start --------------------------------------------------------------
+
+TEST(SnapWarmStart, SharedWarmupCheckpointSeedsLongerMeasurement) {
+  snap::RunSpec spec = small_clrp_spec();
+
+  // Park a run exactly at the warmup/measure boundary.
+  snap::CheckpointableRun warm(spec);
+  warm.advance(spec.warmup);
+  ASSERT_TRUE(warm.at_measure_boundary());
+  const snap::Snapshot boundary = warm.checkpoint();
+
+  // Cold run of a sibling spec that differs only in the measured span.
+  snap::RunSpec longer = spec;
+  longer.measure = 2 * spec.measure;
+  EXPECT_EQ(snap::warm_key(longer), snap::warm_key(spec));
+  snap::CheckpointableRun cold(longer);
+  const std::uint64_t want = finish(cold);
+
+  // Warm start: restore the shared boundary, rebind the window.
+  snap::CheckpointableRun warmed(boundary);
+  ASSERT_TRUE(warmed.at_measure_boundary());
+  warmed.rebind(longer.measure, longer.drain_cap);
+  EXPECT_EQ(finish(warmed), want);
+  expect_same_result(warmed.result(), cold.result());
+}
+
+TEST(SnapWarmStart, WarmKeySeparatesDifferentPrefixes) {
+  const snap::RunSpec spec = small_clrp_spec();
+  snap::RunSpec other = spec;
+  other.offered_load += 0.01;
+  EXPECT_NE(snap::warm_key(other), snap::warm_key(spec));
+  other = spec;
+  other.seed += 1;
+  EXPECT_NE(snap::warm_key(other), snap::warm_key(spec));
+  other = spec;
+  other.drain_cap *= 2;  // not part of the warm prefix
+  EXPECT_EQ(snap::warm_key(other), snap::warm_key(spec));
+}
+
+TEST(SnapWarmStart, RebindAwayFromBoundaryThrows) {
+  snap::RunSpec spec = small_clrp_spec();
+  snap::CheckpointableRun run(spec);
+  run.advance(spec.warmup + 100);
+  EXPECT_FALSE(run.at_measure_boundary());
+  EXPECT_THROW(run.rebind(500, 50'000), std::logic_error);
+}
+
+}  // namespace

@@ -1,8 +1,9 @@
 #!/usr/bin/env python3
-"""Perf trendline gate for the engine bench (CI and local use).
+"""Perf trendline gate for the engine and snap benches (CI and local use).
 
-Reads a wavesim.bench.v1 export from ``bench_engine --json`` and compares
-its kcycles/s points against the committed baseline
+Reads one or more wavesim.bench.v1 exports (``bench_engine --json``,
+``bench_snap --json``), merges their kcycles/s points, and compares the
+merged set against the committed baseline
 ``bench/baselines/engine.json``. Emits a markdown table (appended to
 ``$GITHUB_STEP_SUMMARY`` when set, printed otherwise) and applies a soft
 gate per point:
@@ -17,8 +18,9 @@ gate exists to catch order-of-magnitude regressions (an accidental return
 to per-cycle stepping, a lost fast path), not 10% noise.
 
 Usage:
-  tools/perf_trendline.py CURRENT.json [--baseline bench/baselines/engine.json]
-  tools/perf_trendline.py CURRENT.json --write-baseline  # refresh baseline
+  tools/perf_trendline.py ENGINE.json [SNAP.json ...] \
+      [--baseline bench/baselines/engine.json]
+  tools/perf_trendline.py ENGINE.json SNAP.json --write-baseline
 """
 
 from __future__ import annotations
@@ -35,13 +37,22 @@ BASELINE_SCHEMA = "wavesim.perfbase.v1"
 
 
 def extract_points(doc: dict) -> dict[str, float]:
-    """Flatten a bench_engine export into {point-key: kcycles/s}.
+    """Flatten one bench export into {point-key: kcycles/s}.
 
-    Keys are stable across runs so the baseline can be diffed by hand:
-    ``seq``, ``par-s<shards>``, ``wh-par-s<shards>-L<lookahead>``,
-    ``fault-seq``/``fault-par-s<shards>`` (failure-storm legs).
+    Keys are stable across runs so the baseline can be diffed by hand.
+    ENGINE exports yield ``seq``, ``par-s<shards>``,
+    ``wh-par-s<shards>-L<lookahead>``, ``fault-seq``/``fault-par-s<shards>``
+    (failure-storm legs); SNAP exports yield ``snap-plain``/``snap-armed``
+    (checkpoint-armed step loop) and ``snap-warm`` (warm-started span).
     """
     extra = doc["extra"]
+    experiment = doc.get("experiment", "ENGINE")
+    if experiment == "SNAP":
+        return {
+            "snap-plain": float(extra["plain_kcycles_per_s"]),
+            "snap-armed": float(extra["armed_kcycles_per_s"]),
+            "snap-warm": float(extra["warm_kcycles_per_s"]),
+        }
     points: dict[str, float] = {"seq": float(extra["seq_kcycles_per_s"])}
     for p in extra["engine_points"]:
         points[f"par-s{p['shards']}"] = float(p["kcycles_per_s"])
@@ -80,19 +91,26 @@ def write_baseline(path: str, doc: dict, points: dict[str, float]) -> None:
 
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("current", help="bench_engine --json export")
+    ap.add_argument("current", nargs="+",
+                    help="bench --json export(s); points are merged")
     ap.add_argument("--baseline", default="bench/baselines/engine.json")
     ap.add_argument("--write-baseline", action="store_true",
                     help="refresh the baseline from the current run and exit")
     args = ap.parse_args()
 
-    with open(args.current) as f:
-        doc = json.load(f)
-    if doc.get("schema") != "wavesim.bench.v1":
-        raise SystemExit(f"{args.current}: not a wavesim.bench.v1 export")
-    if not doc.get("ok", False):
-        raise SystemExit(f"{args.current}: bench run reported ok=false")
-    points = extract_points(doc)
+    doc = {}
+    points: dict[str, float] = {}
+    for path in args.current:
+        with open(path) as f:
+            doc = json.load(f)
+        if doc.get("schema") != "wavesim.bench.v1":
+            raise SystemExit(f"{path}: not a wavesim.bench.v1 export")
+        if not doc.get("ok", False):
+            raise SystemExit(f"{path}: bench run reported ok=false")
+        for key, value in extract_points(doc).items():
+            if key in points:
+                raise SystemExit(f"{path}: duplicate point {key!r}")
+            points[key] = value
 
     if args.write_baseline:
         write_baseline(args.baseline, doc, points)

@@ -9,6 +9,10 @@ layout shardlint expects) and checks the lint's three contracts:
    without carrying its [shard:] tag along is flagged (exit 1, naming
    the member) — the regression this self-test exists for.
 3. A shard-phase write to a [shard: seq] member is flagged (exit 1).
+4. A serialization accessor (snap::Archive load path) that assigns
+   [shard: seq] members is fine while it stays in the sequential
+   phase — reachability, not a blanket suppression, is what keeps the
+   lint quiet — and is flagged the moment shard-phase code calls it.
 
 Finally the lint must pass against the real repository this file sits in.
 
@@ -27,9 +31,11 @@ SHARDLINT = TOOLS / "shardlint.py"
 
 NETWORK_HPP = """
 namespace wavesim::core {
+class Archive;
 class Network {
  public:
   void step_shard(int begin, int end);
+  void snap(Archive& ar);
  private:
   int counter_ = 0;       // [shard: seq]
   int per_node_ = 0;      // [shard: owned]
@@ -51,6 +57,40 @@ NETWORK_CPP_SEQ_WRITE = """
 namespace wavesim::core {
 void Network::step_shard(int begin, int end) {
   counter_ += begin + end;
+}
+}  // namespace wavesim::core
+"""
+
+# Serialization accessor: Network::snap() assigns the [shard: seq]
+# member wholesale while restoring from an Archive. Legal — snapshots
+# are taken and restored between steps, outside the shard phase — and
+# the lint must reach that verdict from the call graph alone, without a
+# suppression on the member or the method.
+NETWORK_CPP_SNAP_ACCESSOR = """
+#include "core/network.hpp"
+namespace wavesim::core {
+void Network::step_shard(int begin, int end) {
+  per_node_ += begin + end;
+}
+void Network::snap(Archive& ar) {
+  counter_ = 0;
+  per_node_ = 0;
+}
+}  // namespace wavesim::core
+"""
+
+# The same accessor called from shard-phase code: now its seq write is
+# inside the closure and must be flagged.
+NETWORK_CPP_SNAP_IN_SHARD = """
+#include "core/network.hpp"
+namespace wavesim::core {
+void Network::step_shard(int begin, int end) {
+  per_node_ += begin + end;
+  snap(scratch_archive());
+}
+void Network::snap(Archive& ar) {
+  counter_ = 0;
+  per_node_ = 0;
 }
 }  // namespace wavesim::core
 """
@@ -187,6 +227,22 @@ def main() -> int:
         results.append(check(
             "shard-phase write to a seq member is flagged",
             r.returncode == 1 and "counter_" in r.stdout,
+            r.stdout + r.stderr))
+
+        write_fixture(root, inbox_ring=INBOX_RING_TAGGED,
+                      network_cpp=NETWORK_CPP_SNAP_ACCESSOR)
+        r = run_lint(root)
+        results.append(check(
+            "sequential-phase serialization accessor passes untouched",
+            r.returncode == 0, r.stdout + r.stderr))
+
+        write_fixture(root, inbox_ring=INBOX_RING_TAGGED,
+                      network_cpp=NETWORK_CPP_SNAP_IN_SHARD)
+        r = run_lint(root)
+        results.append(check(
+            "shard-reachable serialization accessor is flagged",
+            r.returncode == 1 and "Network::snap" in r.stdout
+            and "counter_" in r.stdout,
             r.stdout + r.stderr))
 
     r = run_lint(REPO)
