@@ -54,6 +54,7 @@ void CircuitTable::retire(CircuitId id) { table_.erase(id); }
 std::vector<CircuitId> CircuitTable::active_ids() const {
   std::vector<CircuitId> ids;
   ids.reserve(table_.size());
+  // [det: local] collect-then-sort; bucket order never escapes.
   for (const auto& [id, rec] : table_) ids.push_back(id);
   std::sort(ids.begin(), ids.end());
   return ids;

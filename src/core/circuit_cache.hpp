@@ -79,7 +79,7 @@ class CircuitCache {
   std::int32_t pick_victim();
 
   std::vector<CacheEntry> entries_;
-  sim::ReplacementPolicy policy_;
+  sim::ReplacementPolicy policy_;  // [snap: skip] config, fixed at construction
   sim::Rng rng_;
 };
 

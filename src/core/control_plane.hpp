@@ -235,8 +235,8 @@ class ControlPlane {
   const topo::KAryNCube& topology_;
   CircuitTable& circuits_;
   wh::LinkGate& gate_;
-  ControlPlaneParams params_;
-  const Instrumentation* instr_ = nullptr;
+  ControlPlaneParams params_;  // [snap: skip] config, fixed at construction
+  const Instrumentation* instr_ = nullptr;  // [snap: skip] observer wiring
   pcs::RegisterFile registers_;
   pcs::HistoryStore history_;
   /// Active probes in ascending id order (= creation order: ids are
@@ -250,7 +250,7 @@ class ControlPlane {
   std::vector<TeardownDone> teardowns_done_;
   /// Hot-path scratch, reused across probes/cycles (never read across
   /// calls): the MB-m port view.
-  std::vector<pcs::PortView> view_scratch_;
+  std::vector<pcs::PortView> view_scratch_;  // [snap: skip] dead between calls
   /// Channels statically faulted at init, per (node, switch, port):
   /// restore_link must not heal them. Empty until the first mark_faulty.
   std::vector<std::uint8_t> static_faulty_;

@@ -93,7 +93,7 @@ class DataPlane {
   };
 
   CircuitTable& circuits_;
-  DataPlaneParams params_;
+  DataPlaneParams params_;  // [snap: skip] config, fixed at construction
   std::map<MessageId, Transfer> transfers_;
   std::vector<TransferDone> completed_;
   std::uint64_t flits_delivered_ = 0;

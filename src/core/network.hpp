@@ -213,11 +213,14 @@ class Network {
   // [shard: seq] mutated only by the sequential phases, [shard: owned]
   // per-node / owner-partitioned and writable from step_shard for owned
   // nodes, [shard: ro] immutable after construction.
-  sim::SimConfig config_;                             // [shard: ro]
-  topo::KAryNCube topology_;                          // [shard: ro]
+  sim::SimConfig config_;     // [shard: ro] [snap: skip] is the config section
+  topo::KAryNCube topology_;  // [shard: ro] [snap: skip] derived from config
+  // [snap: skip] stateless strategy object, derived from config.
   std::unique_ptr<route::RoutingAlgorithm> routing_;  // [shard: ro]
   /// Gate claims are owner-partitioned: router n only claims channels
   /// leaving n, which belong to n's shard. [shard: owned]
+  /// [snap: skip] claims are mid-step scratch, all released at the
+  /// quiesce seam where snapshots are taken (docs/ENGINE.md).
   wh::ExclusiveLinkGate gate_;
   CircuitTable circuits_;                  // [shard: seq]
   std::unique_ptr<ControlPlane> control_;  // [shard: seq]
@@ -226,13 +229,16 @@ class Network {
   /// schedule. Advanced only in step_begin. [shard: seq]
   std::unique_ptr<fault::FaultPlane> fault_;
   wh::Fabric fabric_;                      // [shard: owned]
+  /// [snap: skip] observer wiring (metrics/trace sinks), not sim state.
   Instrumentation instrumentation_;        // [shard: seq]
   /// Reassembly counters are per message, and a message ejects at exactly
   /// one node, hence one shard. [shard: owned]
   MessageLog log_;
   std::vector<std::unique_ptr<NodeInterface>> interfaces_;  // [shard: owned]
   sim::Rng rng_;  // [shard: seq]
-  ShardContext scratch_ctx_;  ///< for the sequential step() [shard: seq]
+  /// For the sequential step(). [shard: seq] [snap: skip] mid-step
+  /// scratch, dead at the quiesce seam.
+  ShardContext scratch_ctx_;
   /// Pending scheduled sends, non-decreasing `at`; a head index makes the
   /// per-cycle drain O(due sends). [shard: seq]
   std::vector<ScheduledSend> sends_;

@@ -128,7 +128,7 @@ class NodeInterface {
   void send_wormhole(MessageId id, MessageMode mode, Cycle now);
 
   // Shard-safety tags (docs/ENGINE.md, enforced by tools/shardlint.py).
-  NodeId node_;                      // [shard: ro]
+  NodeId node_;       // [shard: ro] [snap: skip] identity, fixed at construction
   const sim::SimConfig& config_;     // [shard: ro]
   const topo::KAryNCube& topology_;  // [shard: ro]
   MessageLog& log_;                  // [shard: seq]
@@ -136,11 +136,11 @@ class NodeInterface {
   /// pump_streams only injects into this node's own router. [shard: owned]
   wh::Fabric& fabric_;
   /// Null when k == 0 (pure wormhole network). [shard: seq]
-  ControlPlane* control_;
-  DataPlane* data_;               // [shard: seq]
+  ControlPlane* control_;  // [snap: skip] wiring; plane snapped by Network
+  DataPlane* data_;   // [shard: seq] [snap: skip] wiring; snapped by Network
   /// Null without a dynamic fault schedule; reads only (the Network
   /// advances it in the sequential prologue). [shard: ro]
-  const fault::FaultPlane* fault_;
+  const fault::FaultPlane* fault_;  // [snap: skip] wiring; snapped by Network
   const Instrumentation& instr_;  // [shard: ro]
   CircuitCache cache_;            // [shard: seq]
 

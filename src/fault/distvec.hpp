@@ -132,10 +132,10 @@ class DistanceVector {
   void converge_initial();
 
   const topo::KAryNCube& topology_;
-  sim::DistanceVectorConfig config_;
-  std::int32_t hop_cycles_;
-  std::int32_t num_nodes_;
-  std::int32_t infinity_;
+  sim::DistanceVectorConfig config_;  // [snap: skip] config, fixed at construction
+  std::int32_t hop_cycles_;  // [snap: skip] derived from config at construction
+  std::int32_t num_nodes_;   // [snap: skip] derived from topology at construction
+  std::int32_t infinity_;    // [snap: skip] derived from config at construction
   std::vector<Route> routes_;           // N x N, src-major
   std::vector<std::uint8_t> alive_;     // per channel_index
   std::vector<std::uint8_t> dirty_;     // N x N: changed since last advert

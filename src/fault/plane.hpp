@@ -107,9 +107,12 @@ class FaultPlane {
   }
   void wake(Cycle now);
 
-  sim::FaultConfig config_;
+  sim::FaultConfig config_;  // [snap: skip] config, fixed at construction
   DistanceVector dv_;
-  std::vector<sim::FaultEvent> timeline_;  // sorted by (at, node, port, kind)
+  /// Sorted by (at, node, port, kind). [snap: skip] expanded
+  /// deterministically from config + seed at construction; the snapped
+  /// cursor next_ carries the consumed prefix.
+  std::vector<sim::FaultEvent> timeline_;
   std::size_t next_ = 0;
   Cycle active_until_ = 0;
   bool active_ = false;

@@ -64,6 +64,8 @@ SweepResult run_sweep(const std::vector<SweepPoint>& points,
   const std::int32_t replicas = options.replicas > 0 ? options.replicas : 1;
   const std::size_t n = points.size() * static_cast<std::size_t>(replicas);
 
+  // [det: local] wall-time measurement only; wall_seconds is reported
+  // but excluded from the determinism contract and all digests.
   const auto start = std::chrono::steady_clock::now();
   std::vector<ReplicaOutcome> outcomes(n);
   const unsigned threads =
@@ -138,6 +140,7 @@ SweepResult run_sweep(const std::vector<SweepPoint>& points,
     result.points.push_back(std::move(summary));
   }
   result.wall_seconds =
+      // [det: local] reported measurement, excluded from all digests.
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
   return result;

@@ -185,8 +185,10 @@ sim::JsonValue TraceRecorder::to_json(std::int32_t num_nodes) const {
   // (Sorted order means "the last timestamp seen" is the trace end.)
   if (!evs.empty()) {
     Event end = evs.back();
+    // [det: local] collect-then-sort; bucket order never escapes.
     std::vector<std::int64_t> leftover_msgs(open_msgs.begin(),
                                             open_msgs.end());
+    // [det: local] collect-then-sort; bucket order never escapes.
     std::vector<std::int64_t> leftover_circuits(open_circuits.begin(),
                                                 open_circuits.end());
     std::sort(leftover_msgs.begin(), leftover_msgs.end());

@@ -46,6 +46,7 @@ void HistoryStore::snap(snap::Archive& ar) {
   if (ar.writing()) {
     std::vector<ProbeId> probes;
     probes.reserve(store_.size());
+    // [det: local] collect-then-sort; snapshot bytes see sorted ids.
     for (const auto& [probe, rows] : store_) probes.push_back(probe);
     std::sort(probes.begin(), probes.end());
     std::uint64_t n = probes.size();

@@ -111,7 +111,7 @@ class RegisterFile {
   void snap(snap::Archive& ar);
 
  private:
-  std::int32_t num_switches_;
+  std::int32_t num_switches_;  // [snap: skip] derived from config at construction
   std::vector<SwitchRegisters> regs_;  // node-major
 };
 

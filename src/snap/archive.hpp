@@ -108,6 +108,26 @@ class Archive {
     for (auto& e : v) pod(e);
   }
 
+  /// Write-mode-only overload for const-held data (e.g. Snapshot
+  /// sections being encoded). Byte-identical to the mutable overload in
+  /// write mode; reading into a const vector is a logic error and
+  /// throws, so call sites never need a const_cast.
+  template <typename T>
+  void vec_pod(const std::vector<T>& v) {
+    static_assert(std::is_arithmetic_v<T> || std::is_enum_v<T>,
+                  "vec_pod is for scalar element types; use vec(v, fn) "
+                  "for structs (field-by-field, no padding bytes)");
+    if (reading()) {
+      throw ArchiveError("snap::Archive: cannot read into a const vector");
+    }
+    std::uint64_t n = v.size();
+    pod(n);
+    for (const T& e : v) {
+      const auto* p = reinterpret_cast<const std::uint8_t*>(&e);
+      bytes_.insert(bytes_.end(), p, p + sizeof(T));
+    }
+  }
+
   /// Vector of anything: size prefix + per-element functor
   /// `fn(Archive&, T&)`.
   template <typename T, typename Fn>

@@ -73,8 +73,7 @@ std::vector<std::uint8_t> Snapshot::encode() const {
   for (const auto& [name, bytes] : sections_) {
     std::string n = name;
     ar.str(n);
-    // const_cast is safe: vec_pod only reads in write mode.
-    ar.vec_pod(const_cast<std::vector<std::uint8_t>&>(bytes));
+    ar.vec_pod(bytes);  // const write-mode overload
   }
   return ar.take_bytes();
 }

@@ -51,7 +51,7 @@ class ProgressWatchdog {
   Snapshot take() const;
 
   const core::Network& network_;
-  Cycle patience_;
+  Cycle patience_;  // [snap: skip] config, fixed at construction
   Snapshot last_;
   Cycle last_poll_cycle_ = 0;
   Cycle stalled_ = 0;

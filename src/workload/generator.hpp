@@ -44,8 +44,8 @@ class OpenLoopGenerator {
   core::Simulation& sim_;
   TrafficPattern& pattern_;
   SizeDist& sizes_;
-  double load_;
-  double p_message_;
+  double load_;       // [snap: skip] config, fixed at construction
+  double p_message_;  // [snap: skip] derived from config at construction
   sim::Rng rng_;
   std::uint64_t offered_ = 0;
 };
@@ -121,9 +121,9 @@ class OpenLoopDriver {
   core::Simulation& sim_;
   verify::ProgressWatchdog watchdog_;
   OpenLoopGenerator gen_;
-  Cycle warmup_;
-  Cycle measure_;
-  Cycle drain_cap_;
+  Cycle warmup_;      // [snap: skip] config, fixed at construction
+  Cycle measure_;     // [snap: skip] restored externally via rebind()
+  Cycle drain_cap_;   // [snap: skip] restored externally via rebind()
   Phase phase_ = Phase::kWarmup;
   Cycle done_in_phase_ = 0;
   Cycle cut_ = 0;                ///< measurement window start

@@ -52,8 +52,8 @@ class HotspotTraffic final : public TrafficPattern {
 
  private:
   const topo::KAryNCube& topology_;
-  NodeId hot_;
-  double hot_fraction_;
+  NodeId hot_;           // [snap: skip] config, fixed at construction
+  double hot_fraction_;  // [snap: skip] config, fixed at construction
 };
 
 /// Matrix transpose: coordinates rotate one dimension (2-D: (x,y)->(y,x)).
@@ -76,7 +76,7 @@ class BitReversalTraffic final : public TrafficPattern {
 
  private:
   const topo::KAryNCube& topology_;
-  std::int32_t bits_;
+  std::int32_t bits_;  // [snap: skip] derived from topology at construction
 };
 
 /// Bit complement of the node index (requires power-of-two node count).
@@ -132,8 +132,8 @@ class WorkingSetTraffic final : public TrafficPattern {
 
  private:
   const topo::KAryNCube& topology_;
-  double p_in_set_;
-  double skew_;
+  double p_in_set_;  // [snap: skip] config, fixed at construction
+  double skew_;      // [snap: skip] config, fixed at construction
   std::vector<std::vector<NodeId>> sets_;
 };
 

@@ -41,7 +41,7 @@ class RoundRobinArbiter {
   void snap(snap::Archive& ar) { ar.pod(pointer_); }
 
  private:
-  std::int32_t size_;
+  std::int32_t size_;  // [snap: skip] capacity, fixed at construction
   std::int32_t pointer_ = 0;
 };
 

@@ -215,12 +215,14 @@ class Fabric {
  private:
   // Shard-safety tags (docs/ENGINE.md, enforced by tools/shardlint.py).
   const topo::KAryNCube& topology_;  // [shard: ro]
-  FabricParams params_;              // [shard: ro]
+  FabricParams params_;  // [shard: ro] [snap: skip] config, fixed at construction
   std::vector<Router> routers_;      // [shard: owned]
-  std::unique_ptr<ExclusiveLinkGate> owned_gate_;  // [shard: seq]
+  /// [shard: seq] [snap: skip] claims are mid-step scratch, released
+  /// at the quiesce seam (docs/ENGINE.md).
+  std::unique_ptr<ExclusiveLinkGate> owned_gate_;
   /// Claims are owner-partitioned over source channels. [shard: owned]
-  LinkGate* gate_;
-  bool gate_is_owned_;  // [shard: ro]
+  LinkGate* gate_;  // [snap: skip] wiring; claim state is mid-step scratch
+  bool gate_is_owned_;  // [shard: ro] [snap: skip] structural, fixed at construction
   /// Per-node arrival rings. Pushed by the sequential commit (or by the
   /// owning shard mid-window), popped by the owning shard. [shard: owned]
   std::vector<sim::InboxRing<TimedCredit>> credit_in_;
@@ -230,8 +232,10 @@ class Fabric {
   /// inbox bits recomputed after stepping, NI bit via set_ni_work), and
   /// commit-written for arrival destinations. [shard: owned]
   std::vector<std::uint8_t> node_busy_;
-  ShardIo scratch_io_;  ///< for the sequential step() [shard: seq]
-  DeliveryHandler delivery_;           // [shard: seq]
+  /// For the sequential step(). [shard: seq] [snap: skip] mid-step
+  /// scratch, drained at the quiesce seam.
+  ShardIo scratch_io_;
+  DeliveryHandler delivery_;  // [shard: seq] [snap: skip] callback wiring
   std::uint64_t flits_delivered_ = 0;  // [shard: seq]
   std::uint64_t flits_injected_ = 0;   // [shard: seq]
   std::uint64_t link_flit_hops_ = 0;   // [shard: seq]

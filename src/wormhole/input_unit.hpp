@@ -71,7 +71,9 @@ class InputVc {
 
  private:
   Flit* slots_ = nullptr;
-  std::vector<Flit> own_;  ///< backing store in self-owned mode only
+  /// Backing store in self-owned mode only. [snap: skip] structural;
+  /// the logical ring content is serialized through slots_.
+  std::vector<Flit> own_;
   std::int32_t capacity_;
   std::int32_t head_ = 0;
   std::int32_t size_ = 0;

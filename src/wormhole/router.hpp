@@ -115,12 +115,14 @@ class Router {
 
   const topo::KAryNCube& topology_;
   const route::RoutingAlgorithm& routing_;
-  NodeId node_;
-  RouterParams params_;
-  std::int32_t network_ports_;
+  NodeId node_;  // [snap: skip] identity, fixed at construction
+  RouterParams params_;  // [snap: skip] config, fixed at construction
+  std::int32_t network_ports_;  // [snap: skip] derived from topology
 
   /// Backing store for every input VC ring: VC (port, vc) owns the slice
   /// [flat(port, vc) * depth, (flat(port, vc) + 1) * depth).
+  /// [snap: skip] structural backing store; the logical ring content
+  /// is serialized through inputs_ (InputVc::snap).
   std::vector<Flit> flit_arena_;
   /// [flat(port, vc)], port in [0, network_ports_] (last = injection).
   std::vector<InputVc> inputs_;
@@ -137,7 +139,7 @@ class Router {
   std::int32_t route_pending_ = 0;  ///< idle inputs with a head buffered
 
   /// Reused candidate storage for local-delivery heads (no allocation).
-  std::vector<route::RouteCandidate> cand_scratch_;
+  std::vector<route::RouteCandidate> cand_scratch_;  // [snap: skip] dead between calls
 };
 
 }  // namespace wavesim::wh

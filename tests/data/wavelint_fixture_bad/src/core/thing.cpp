@@ -1,0 +1,12 @@
+// See thing.hpp: deliberately violates both wavelint contracts.
+#include "core/thing.hpp"
+namespace wavesim::core {
+std::vector<int> Thing::sorted_keys() const {
+  std::vector<int> out;
+  for (const auto& [k, v] : table_) out.push_back(k);
+  return out;
+}
+void Thing::snap(snap::Archive& ar) {
+  ar.pod(count_);
+}
+}  // namespace wavesim::core

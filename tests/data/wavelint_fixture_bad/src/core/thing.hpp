@@ -1,0 +1,17 @@
+// Deliberately broken fixture for the wavelint exit-code contract tests
+// (tests/CMakeLists.txt): Thing::cursor_ is neither serialized in
+// Thing::snap() nor tagged [snap: skip], and thing.cpp iterates an
+// unordered container without a [det: local] escape. wavelint must exit
+// 1 on this tree naming both. Not part of the build.
+namespace wavesim::core {
+class Thing {
+ public:
+  void snap(snap::Archive& ar);
+  std::vector<int> sorted_keys() const;
+
+ private:
+  int count_ = 0;
+  int cursor_ = 0;
+  std::unordered_map<int, int> table_;
+};
+}  // namespace wavesim::core

@@ -1,284 +1,26 @@
 #!/usr/bin/env python3
-"""shardlint -- static checker for the engine's shard-safety conventions.
+"""shardlint -- compatibility shim over tools/wavelint.py.
 
-docs/ENGINE.md rule 1: code running in the shard phase ("write only to
-your shard or your context") may mutate per-node-owned state and the
-passed ShardIo/EventBuffer, but must never write state that belongs to
-the sequential phases. This lint makes that contract machine-checked:
-
-* Every `_`-suffixed data member of the classes with a shard phase
-  (core::Network, wh::Fabric, core::NodeInterface) must carry a
-  `[shard: seq|owned|ro]` tag in a comment on its declaration line or the
-  comment line(s) directly above it. The same tagging duty applies to the
-  flat arena/SoA containers those classes relocated hot state into
-  (HEADER_TARGETS: sim::InboxRing, wh::ExclusiveLinkGate) — they are
-  header-only, so only tag presence is checked; their call sites are
-  covered through the class closure below:
-    - seq:   mutated only in the sequential phases (step_begin /
-             step_commit / construction); shard code may read it.
-    - owned: per-node or owner-partitioned state a shard may mutate for
-             the nodes it owns.
-    - ro:    immutable after construction.
-* The call graph is closed over from the shard-phase roots
-  (Network::step_shard, Fabric::step_nodes, NodeInterface::pump_streams),
-  following same-class calls and the known cross-class seams
-  (fabric_.method(), interfaces_[..]->method()). When a callee has
-  several overloads, the one taking a ShardIo is the shard-phase one.
-  (Router state is per-node by construction and not tagged.)
-* Inside every reachable body, a write to a `seq` or `ro` member --
-  assignment, compound assignment, increment/decrement, or a call to a
-  known mutating method (push_back, clear, resize, ...) -- is a
-  violation.
-
-The parser is deliberately regex-based and conservative: it understands
-the project's own style (one declaration per line, members suffixed `_`,
-out-of-line method definitions) and fails loudly (exit 2) on anything it
-cannot parse rather than guessing. Writes smuggled through non-const
-references or free functions are out of scope and belong to TSan, which
-CI runs alongside this lint.
-
-Exit codes: 0 clean, 1 violations found, 2 parse/usage error.
+The shard-safety lint (member [shard: seq|owned|ro] tags plus the
+call-graph closure from the shard-phase roots, docs/ENGINE.md rule 1)
+now lives in tools/wavelint.py as its `shard` pass, sharing parsing
+infrastructure with the `snap` (snapshot completeness) and `det`
+(determinism hazards) passes. This entry point remains so existing
+invocations -- `python3 tools/shardlint.py [--root R]` -- keep working;
+it simply delegates. Exit codes unchanged: 0 clean, 1 violations,
+2 parse/usage error.
 """
 
-import argparse
-import re
 import sys
 from pathlib import Path
 
-# (header, implementation, class name) triples under lint.
-TARGETS = [
-    ("src/core/network.hpp", "src/core/network.cpp", "Network"),
-    ("src/wormhole/fabric.hpp", "src/wormhole/fabric.cpp", "Fabric"),
-    ("src/core/node_interface.hpp", "src/core/node_interface.cpp",
-     "NodeInterface"),
-]
-
-# Header-only arena/SoA containers holding state relocated out of the
-# TARGETS classes. Members must carry [shard:] tags (so a field moved into
-# a container cannot silently lose its classification); there is no
-# closure to walk — their methods run in whatever phase the caller is in.
-HEADER_TARGETS = [
-    ("src/sim/inbox_ring.hpp", "InboxRing"),
-    ("src/wormhole/link_gate.hpp", "ExclusiveLinkGate"),
-]
-
-# Shard-phase entry points: (class, method). The closure starts here.
-ROOTS = [
-    ("Network", "step_shard"),
-    ("Fabric", "step_nodes"),
-    ("NodeInterface", "pump_streams"),
-]
-
-# Member expression prefix -> class of the object it designates, for the
-# cross-class calls that occur in shard-phase code.
-CROSS_CLASS_CALLS = [
-    (re.compile(r"\bfabric_\s*\.\s*(\w+)\s*\("), "Fabric"),
-    (re.compile(r"\binterfaces_\s*\[[^]]*\]\s*->\s*(\w+)\s*\("),
-     "NodeInterface"),
-]
-
-TAG_RE = re.compile(r"\[shard:\s*(seq|owned|ro)\]")
-MEMBER_RE = re.compile(
-    r"^\s*(?:mutable\s+)?[\w:<>,*&\s]+?[\s&*]([A-Za-z]\w*_)\s*"
-    r"(?:=[^;()]*|\{[^;]*\})?;")
-MUTATING_METHODS = (
-    "push_back|emplace_back|pop_back|push_front|pop_front|push|pop|insert|"
-    "erase|clear|resize|assign|emplace|reserve|swap|mark_delivered|"
-    "set_\\w+|reset|emit|fork|advance|claim")
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+import wavelint  # noqa: E402
 
 
-def strip_comments(text):
-    """Remove //, /* */ comments and string literals, preserving newlines."""
-    out = []
-    i, n = 0, len(text)
-    while i < n:
-        c = text[i]
-        if c == "/" and i + 1 < n and text[i + 1] == "/":
-            while i < n and text[i] != "\n":
-                i += 1
-        elif c == "/" and i + 1 < n and text[i + 1] == "*":
-            j = text.find("*/", i + 2)
-            j = n if j < 0 else j + 2
-            out.append("\n" * text.count("\n", i, j))
-            i = j
-        elif c in "\"'":
-            quote, j = c, i + 1
-            while j < n and text[j] != quote:
-                j += 2 if text[j] == "\\" else 1
-            i = j + 1
-        else:
-            out.append(c)
-            i += 1
-    return "".join(out)
-
-
-def class_body(text, class_name, path):
-    """The text between the braces of `class class_name { ... };`."""
-    m = re.search(r"\bclass\s+%s\b[^;{]*\{" % class_name, text)
-    if not m:
-        sys.exit("shardlint: cannot find class %s in %s" % (class_name, path))
-    depth, i = 1, m.end()
-    while i < len(text) and depth:
-        depth += {"{": 1, "}": -1}.get(text[i], 0)
-        i += 1
-    return text[m.end():i - 1], text[:m.end()].count("\n")
-
-
-def parse_members(header_path, class_name):
-    """{member name: tag}; exits 2 when a member lacks its tag."""
-    text = header_path.read_text()
-    body, first_line = class_body(text, class_name, header_path)
-    lines = body.split("\n")
-    members, missing = {}, []
-    depth = 0  # brace depth inside the class body: declarations sit at 0,
-    for idx, line in enumerate(lines):  # inline method bodies above 0
-        code = line.split("//")[0]
-        at_declaration_depth = depth == 0
-        depth += code.count("{") - code.count("}")
-        m = MEMBER_RE.match(code)
-        if not m or "(" in code or not at_declaration_depth:
-            continue
-        name = m.group(1)
-        if not name.endswith("_"):
-            continue  # nested-struct fields are not shard-tagged
-        tag = TAG_RE.search(line)
-        back = idx - 1
-        while tag is None and back >= 0 and lines[back].lstrip().startswith(
-                ("//", "///")):
-            tag = TAG_RE.search(lines[back])
-            back -= 1
-        if tag is None:
-            missing.append("%s:%d: %s::%s has no [shard: seq|owned|ro] tag" %
-                           (header_path, first_line + idx + 2, class_name,
-                            name))
-        else:
-            members[name] = tag.group(1)
-    return members, missing
-
-
-METHOD_DEF_RE = re.compile(
-    r"^[\w:<>,*&\s~]*?\b(\w+)::(\w+)\s*\(([^;{]*)\)\s*(?:const)?\s*"
-    r"(?:noexcept)?\s*\{", re.M)
-
-
-def parse_methods(impl_path, class_name):
-    """{method name: [(params, body, line)]} for out-of-line definitions."""
-    text = strip_comments(impl_path.read_text())
-    methods = {}
-    for m in METHOD_DEF_RE.finditer(text):
-        if m.group(1) != class_name:
-            continue
-        depth, i = 1, m.end()
-        while i < len(text) and depth:
-            depth += {"{": 1, "}": -1}.get(text[i], 0)
-            i += 1
-        methods.setdefault(m.group(2), []).append(
-            (m.group(3), text[m.end():i - 1], text[:m.start()].count("\n") + 1))
-    return methods
-
-
-def shard_overloads(overloads):
-    """Prefer the ShardIo-taking overload(s); all of them otherwise."""
-    shard = [o for o in overloads if "ShardIo" in o[0] or "ShardContext" in o[0]]
-    return shard or overloads
-
-
-def reachable_bodies(all_methods):
-    """Closure of (class, method) from ROOTS; yields (class, method, body)."""
-    seen, queue, bodies = set(), list(ROOTS), []
-    while queue:
-        cls, name = queue.pop(0)
-        if (cls, name) in seen or name not in all_methods.get(cls, {}):
-            continue
-        seen.add((cls, name))
-        for params, body, line in shard_overloads(all_methods[cls][name]):
-            bodies.append((cls, name, body, line))
-            for callee in re.findall(r"(?<![\w.>:])(\w+)\s*\(", body):
-                if callee in all_methods.get(cls, {}):
-                    queue.append((cls, callee))
-            for pattern, target_cls in CROSS_CLASS_CALLS:
-                for callee in pattern.findall(body):
-                    queue.append((target_cls, callee))
-    return bodies
-
-
-def write_violations(cls, method, body, start_line, members, impl_path):
-    """Writes to seq/ro members inside one shard-reachable body."""
-    found = []
-    for name, tag in sorted(members.items()):
-        if tag == "owned":
-            continue
-        patterns = [
-            r"(?<![\w.])%s\s*(?:=(?!=)|\+=|-=|\*=|/=|%%=|\|=|&=|\^=|<<=|>>=)"
-            % name,
-            r"(?:\+\+|--)\s*%s\b" % name,
-            r"(?<![\w.])%s\s*(?:\+\+|--)" % name,
-            r"(?<![\w.])%s\s*(?:\.|->)\s*(?:%s)\s*\(" % (name,
-                                                         MUTATING_METHODS),
-        ]
-        for pat in patterns:
-            m = re.search(pat, body)
-            if m:
-                line = start_line + body.count("\n", 0, m.start())
-                found.append(
-                    "%s:%d: %s::%s writes [shard: %s] member %s during the "
-                    "shard phase" % (impl_path, line, cls, method, tag, name))
-                break
-    return found
-
-
-def main():
-    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
-    parser.add_argument("--root", default=".",
-                        help="repository root (default: cwd)")
-    args = parser.parse_args()
-    root = Path(args.root)
-
-    errors, members_by_class, methods_by_class, impls = [], {}, {}, {}
-    for header, impl, cls in TARGETS:
-        hpath, ipath = root / header, root / impl
-        if not hpath.is_file() or not ipath.is_file():
-            sys.exit("shardlint: missing %s or %s" % (hpath, ipath))
-        members, missing = parse_members(hpath, cls)
-        if not members and not missing:
-            sys.exit("shardlint: parsed no members for %s — parser broken?"
-                     % cls)
-        errors += missing
-        members_by_class[cls] = members
-        methods_by_class[cls] = parse_methods(ipath, cls)
-        impls[cls] = impl
-        if not methods_by_class[cls]:
-            sys.exit("shardlint: parsed no methods for %s — parser broken?"
-                     % cls)
-
-    for header, cls in HEADER_TARGETS:
-        hpath = root / header
-        if not hpath.is_file():
-            sys.exit("shardlint: missing %s" % hpath)
-        members, missing = parse_members(hpath, cls)
-        if not members and not missing:
-            sys.exit("shardlint: parsed no members for %s — parser broken?"
-                     % cls)
-        errors += missing
-        members_by_class[cls] = members
-
-    for cls, name in ROOTS:
-        if name not in methods_by_class[cls]:
-            sys.exit("shardlint: shard root %s::%s not found" % (cls, name))
-
-    bodies = reachable_bodies(methods_by_class)
-    for cls, method, body, line in bodies:
-        errors += write_violations(cls, method, body, line,
-                                   members_by_class[cls], impls[cls])
-
-    if errors:
-        print("\n".join(sorted(errors)))
-        print("shardlint: %d violation(s)" % len(errors))
-        return 1
-    tagged = sum(len(m) for m in members_by_class.values())
-    print("shardlint: clean (%d tagged members, %d shard-reachable bodies)"
-          % (tagged, len(bodies)))
-    return 0
+def main(argv=None):
+    args = sys.argv[1:] if argv is None else list(argv)
+    return wavelint.main(["--pass", "shard", *args])
 
 
 if __name__ == "__main__":
